@@ -1,0 +1,216 @@
+//! Bus-based snoopy MESI coherence across the private L2s (Table 3).
+//!
+//! All 8 L2s sit on a shared 512-bit snooping bus. An L2 miss broadcasts:
+//! a remote `Modified`/`Exclusive`/`Shared` copy supplies the line
+//! cache-to-cache (and downgrades/invalidates per MESI); otherwise the
+//! request goes to DRAM. The model tracks transaction counts — the inputs
+//! to the NoC activity factor and the DRAM command rates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{AccessOutcome, Cache, LineState};
+use crate::config::CacheGeometry;
+
+/// Where an L2 miss was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MissSource {
+    /// Served by a remote L2 (cache-to-cache transfer).
+    CacheToCache,
+    /// Served by DRAM.
+    Dram,
+}
+
+/// Bus statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusStats {
+    /// Bus transactions (every L2 miss broadcasts once).
+    pub transactions: u64,
+    /// Cache-to-cache transfers.
+    pub c2c_transfers: u64,
+    /// Invalidations performed at remote caches.
+    pub invalidations: u64,
+    /// Dirty writebacks triggered by snoops.
+    pub snoop_writebacks: u64,
+    /// Requests forwarded to DRAM.
+    pub dram_requests: u64,
+}
+
+/// The 8 coherent L2s and their snooping bus.
+#[derive(Debug, Clone)]
+pub struct CoherentL2s {
+    caches: Vec<Cache>,
+    stats: BusStats,
+}
+
+impl CoherentL2s {
+    /// Creates `n` empty coherent L2s.
+    pub fn new(n: usize, geometry: CacheGeometry) -> Self {
+        CoherentL2s {
+            caches: (0..n).map(|_| Cache::new(geometry)).collect(),
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Number of caches.
+    pub fn len(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Whether there are no caches.
+    pub fn is_empty(&self) -> bool {
+        self.caches.is_empty()
+    }
+
+    /// A cache's private view (for stats).
+    pub fn cache(&self, core: usize) -> &Cache {
+        &self.caches[core]
+    }
+
+    /// Core `core` accesses `addr`; returns where a miss was served from
+    /// (`None` on a local hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, addr: u64, write: bool) -> Option<MissSource> {
+        assert!(core < self.caches.len(), "core {core} out of range");
+
+        // Local lookup first. A write to a Shared line shows up as an
+        // upgrade miss and must invalidate remote sharers.
+        let local_state = self.caches[core].state_of(addr);
+        let local_hit = match local_state {
+            LineState::Invalid => false,
+            LineState::Shared => !write,
+            LineState::Exclusive | LineState::Modified => true,
+        };
+        if local_hit {
+            let outcome = self.caches[core].access(addr, write, LineState::Exclusive);
+            debug_assert_eq!(outcome, AccessOutcome::Hit);
+            return None;
+        }
+
+        // Bus transaction: snoop the other caches.
+        self.stats.transactions += 1;
+        let mut supplied = false;
+        for i in 0..self.caches.len() {
+            if i == core {
+                continue;
+            }
+            let remote_state = self.caches[i].state_of(addr);
+            if remote_state == LineState::Invalid {
+                continue;
+            }
+            supplied = true;
+            if write {
+                if self.caches[i].invalidate(addr) {
+                    self.stats.snoop_writebacks += 1;
+                }
+                self.stats.invalidations += 1;
+            } else if self.caches[i].downgrade(addr) {
+                self.stats.snoop_writebacks += 1;
+            }
+        }
+
+        // Fill locally: Shared if a read found remote copies, else
+        // Exclusive (reads) / Modified (writes, handled by `access`).
+        let fill = if supplied && !write {
+            LineState::Shared
+        } else {
+            LineState::Exclusive
+        };
+        let _ = self.caches[core].access(addr, write, fill);
+
+        let upgrade = local_state == LineState::Shared && write;
+        if supplied || upgrade {
+            // An upgrade with no remaining sharers still only costs the bus
+            // transaction — the data is already local.
+            self.stats.c2c_transfers += u64::from(supplied);
+            Some(MissSource::CacheToCache)
+        } else {
+            self.stats.dram_requests += 1;
+            Some(MissSource::Dram)
+        }
+    }
+
+    /// Bus statistics so far.
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2s(n: usize) -> CoherentL2s {
+        CoherentL2s::new(
+            n,
+            CacheGeometry {
+                size: 8 * 1024,
+                ways: 4,
+                line: 64,
+                round_trip_cycles: 10,
+            },
+        )
+    }
+
+    #[test]
+    fn cold_miss_goes_to_dram() {
+        let mut b = l2s(8);
+        assert_eq!(b.access(0, 0x1000, false), Some(MissSource::Dram));
+        assert_eq!(b.access(0, 0x1000, false), None); // now a hit
+        assert_eq!(b.stats().dram_requests, 1);
+    }
+
+    #[test]
+    fn remote_copy_supplies_cache_to_cache() {
+        let mut b = l2s(8);
+        b.access(0, 0x1000, false);
+        assert_eq!(b.access(1, 0x1000, false), Some(MissSource::CacheToCache));
+        // Both now Shared; further reads hit locally.
+        assert_eq!(b.access(0, 0x1000, false), None);
+        assert_eq!(b.access(1, 0x1000, false), None);
+        assert_eq!(b.cache(0).state_of(0x1000), LineState::Shared);
+        assert_eq!(b.cache(1).state_of(0x1000), LineState::Shared);
+    }
+
+    #[test]
+    fn write_invalidates_remote_sharers() {
+        let mut b = l2s(4);
+        b.access(0, 0x2000, false);
+        b.access(1, 0x2000, false);
+        b.access(2, 0x2000, false);
+        // Core 3 writes: all three sharers invalidated.
+        assert_eq!(b.access(3, 0x2000, true), Some(MissSource::CacheToCache));
+        assert_eq!(b.stats().invalidations, 3);
+        assert_eq!(b.cache(0).state_of(0x2000), LineState::Invalid);
+        assert_eq!(b.cache(3).state_of(0x2000), LineState::Modified);
+    }
+
+    #[test]
+    fn remote_dirty_line_is_written_back_on_snoop() {
+        let mut b = l2s(2);
+        b.access(0, 0x3000, true); // Modified at core 0
+        assert_eq!(b.access(1, 0x3000, false), Some(MissSource::CacheToCache));
+        assert_eq!(b.stats().snoop_writebacks, 1);
+        assert_eq!(b.cache(0).state_of(0x3000), LineState::Shared);
+    }
+
+    #[test]
+    fn upgrade_on_shared_write_counts_transaction() {
+        let mut b = l2s(2);
+        b.access(0, 0x4000, false);
+        b.access(1, 0x4000, false); // both Shared
+        let before = b.stats().transactions;
+        assert_eq!(b.access(0, 0x4000, true), Some(MissSource::CacheToCache));
+        assert_eq!(b.stats().transactions, before + 1);
+        assert_eq!(b.cache(1).state_of(0x4000), LineState::Invalid);
+    }
+
+    #[test]
+    fn exclusive_read_when_no_remote_copy() {
+        let mut b = l2s(2);
+        b.access(0, 0x5000, false);
+        assert_eq!(b.cache(0).state_of(0x5000), LineState::Exclusive);
+    }
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench ablation_electrical_bus` — ablation/extension experiment.
+
+fn main() {
+    xylem_bench::experiments::ablation_electrical_bus();
+}

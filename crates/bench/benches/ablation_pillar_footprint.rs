@@ -1,0 +1,5 @@
+//! `cargo bench --bench ablation_pillar_footprint` — ablation/extension experiment.
+
+fn main() {
+    xylem_bench::experiments::ablation_pillar_footprint();
+}

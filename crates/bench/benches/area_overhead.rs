@@ -1,0 +1,5 @@
+//! `cargo bench --bench area_overhead` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::area_overhead();
+}

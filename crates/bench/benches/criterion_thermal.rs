@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the thermal substrate: model assembly,
+//! steady-state solves at several grid resolutions, transient steps, and
+//! the superposition fast path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use xylem::response::ThermalResponse;
+use xylem_stack::{StackConfig, XylemScheme};
+use xylem_thermal::grid::GridSpec;
+use xylem_thermal::power::PowerMap;
+use xylem_thermal::temperature::TemperatureField;
+
+fn bench_steady_state(c: &mut Criterion) {
+    let built = StackConfig::paper_default(XylemScheme::BankEnhanced)
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("steady_state");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let model = built.stack().discretize(GridSpec::new(n, n)).unwrap();
+        let mut p = PowerMap::zeros(&model);
+        p.add_uniform_layer_power(built.proc_metal_layer(), 20.0);
+        for &l in built.dram_metal_layers() {
+            p.add_uniform_layer_power(l, 0.4);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| model.steady_state(&p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_build(c: &mut Criterion) {
+    let built = StackConfig::paper_default(XylemScheme::BankEnhanced)
+        .build()
+        .unwrap();
+    c.bench_function("discretize_64x64", |b| {
+        b.iter(|| built.stack().discretize(GridSpec::new(64, 64)).unwrap())
+    });
+}
+
+fn bench_transient_step(c: &mut Criterion) {
+    let built = StackConfig::paper_default(XylemScheme::BankSurround)
+        .build()
+        .unwrap();
+    let model = built.stack().discretize(GridSpec::new(32, 32)).unwrap();
+    let mut p = PowerMap::zeros(&model);
+    p.add_uniform_layer_power(built.proc_metal_layer(), 18.0);
+    let init = TemperatureField::uniform(&model, model.ambient());
+    c.bench_function("transient_step_32x32_5ms", |b| {
+        b.iter(|| model.transient(&p, &init, 5e-3, 1).unwrap())
+    });
+}
+
+fn bench_superposition(c: &mut Criterion) {
+    let built = StackConfig::paper_default(XylemScheme::BankEnhanced)
+        .build()
+        .unwrap();
+    let response = ThermalResponse::compute(&built, GridSpec::new(16, 16)).unwrap();
+    let proc_powers = vec![0.25; response.proc_blocks().len()];
+    let dram_powers = vec![0.4; response.n_dram_dies()];
+    c.bench_function("superposition_evaluate_16x16", |b| {
+        b.iter(|| response.temperatures(&proc_powers, &dram_powers).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_steady_state,
+    bench_model_build,
+    bench_transient_step,
+    bench_superposition
+);
+criterion_main!(benches);

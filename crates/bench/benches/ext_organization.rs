@@ -1,0 +1,5 @@
+//! `cargo bench --bench ext_organization` — stack-organization tradeoff.
+
+fn main() {
+    xylem_bench::experiments::ext_organization();
+}

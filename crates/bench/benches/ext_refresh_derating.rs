@@ -1,0 +1,5 @@
+//! `cargo bench --bench ext_refresh_derating` — ablation/extension experiment.
+
+fn main() {
+    xylem_bench::experiments::ext_refresh_derating();
+}

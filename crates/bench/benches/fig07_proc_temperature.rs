@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig07_proc_temperature` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::fig07_proc_temperature();
+}

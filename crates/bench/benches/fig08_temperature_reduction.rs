@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig08_temperature_reduction` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::fig08_temperature_reduction();
+}

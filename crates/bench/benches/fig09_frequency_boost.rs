@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig09_frequency_boost` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::fig09_frequency_boost();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig10_performance_gain` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::fig10_performance_gain();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig11_power_increase` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::fig11_power_increase();
+}

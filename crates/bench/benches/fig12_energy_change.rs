@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig12_energy_change` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::fig12_energy_change();
+}

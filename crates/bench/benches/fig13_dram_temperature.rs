@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig13_dram_temperature` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::fig13_dram_temperature();
+}

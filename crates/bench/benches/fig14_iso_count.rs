@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig14_iso_count` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::fig14_iso_count();
+}

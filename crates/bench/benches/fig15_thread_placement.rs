@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig15_thread_placement` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::fig15_thread_placement();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig16_frequency_boosting` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::fig16_frequency_boosting();
+}

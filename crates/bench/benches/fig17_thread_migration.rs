@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig17_thread_migration` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::fig17_thread_migration();
+}

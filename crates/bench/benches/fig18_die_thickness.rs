@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig18_die_thickness` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::fig18_die_thickness();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig19_memory_dies` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::fig19_memory_dies();
+}

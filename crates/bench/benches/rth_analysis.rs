@@ -1,0 +1,5 @@
+//! `cargo bench --bench rth_analysis` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::rth_analysis();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench table1_layers` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::table1_layers();
+}

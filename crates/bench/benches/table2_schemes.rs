@@ -1,0 +1,5 @@
+//! `cargo bench --bench table2_schemes` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::table2_schemes();
+}

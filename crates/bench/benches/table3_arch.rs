@@ -1,0 +1,5 @@
+//! `cargo bench --bench table3_arch` — regenerates this artefact of the paper.
+
+fn main() {
+    xylem_bench::experiments::table3_arch();
+}

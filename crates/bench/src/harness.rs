@@ -1,0 +1,231 @@
+//! Shared experiment infrastructure: tables, CSV output, system cache.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use xylem::system::{SystemConfig, XylemSystem};
+use xylem_stack::XylemScheme;
+
+/// Workspace-relative directory for experiment CSVs
+/// (`target/xylem-results`), overridable with `XYLEM_RESULTS_DIR`.
+pub fn results_dir() -> PathBuf {
+    if let Some(d) = std::env::var_os("XYLEM_RESULTS_DIR") {
+        return PathBuf::from(d);
+    }
+    workspace_target().join("xylem-results")
+}
+
+/// Workspace-relative directory for unit-response caches
+/// (`target/xylem-cache`), overridable with `XYLEM_CACHE_DIR`.
+pub fn cache_dir() -> PathBuf {
+    if let Some(d) = std::env::var_os("XYLEM_CACHE_DIR") {
+        return PathBuf::from(d);
+    }
+    workspace_target().join("xylem-cache")
+}
+
+fn workspace_target() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target")
+}
+
+/// Builds the paper-default system for `scheme` with the shared response
+/// cache (first use per scheme solves ~89 unit problems; later uses load
+/// from disk).
+///
+/// # Panics
+///
+/// Panics on construction errors (experiment binaries fail loudly).
+pub fn system(scheme: XylemScheme) -> XylemSystem {
+    let mut cfg = SystemConfig::paper_default(scheme);
+    cfg.cache_dir = Some(cache_dir());
+    XylemSystem::new(cfg).unwrap_or_else(|e| panic!("building {scheme} system: {e}"))
+}
+
+/// Builds a system with a modified stack configuration (sensitivity
+/// sweeps and ablations), still using the shared cache. These sweeps run
+/// on a **32x32** grid: every swept point needs its own unit-response
+/// set, and the reported quantities are cross-scheme deltas/means whose
+/// trends are grid-stable.
+///
+/// # Panics
+///
+/// Panics on construction errors.
+pub fn system_with(
+    scheme: XylemScheme,
+    modify: impl FnOnce(&mut xylem_stack::StackConfig),
+) -> XylemSystem {
+    let mut cfg = SystemConfig::paper_default(scheme);
+    cfg.grid = xylem_thermal::grid::GridSpec::new(32, 32);
+    cfg.cache_dir = Some(cache_dir());
+    modify(&mut cfg.stack);
+    XylemSystem::new(cfg).unwrap_or_else(|e| panic!("building {scheme} system: {e}"))
+}
+
+/// The 32x32 counterpart of [`system`], for tables that mix default and
+/// modified configurations (everything on the same grid).
+///
+/// # Panics
+///
+/// Panics on construction errors.
+pub fn system_fast(scheme: XylemScheme) -> XylemSystem {
+    system_with(scheme, |_| {})
+}
+
+/// A printable/saveable result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Formats the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(s, "{:<w$}", c, w = widths[i]);
+                } else {
+                    let _ = write!(s, "  {:>w$}", c, w = widths[i]);
+                }
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes `name.csv` under [`results_dir`].
+    pub fn save_csv(&self, name: &str) {
+        let dir = results_dir();
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let mut csv = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            csv,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                csv,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        let _ = std::fs::write(dir.join(format!("{name}.csv")), csv);
+    }
+
+    /// Prints and saves in one step.
+    pub fn emit(&self, name: &str) {
+        self.print();
+        self.save_csv(name);
+        println!("[saved {}/{name}.csv]", results_dir().display());
+        println!();
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Arithmetic mean of a slice.
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// # Panics
+///
+/// Panics on empty input or non-positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let s: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean needs positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (s / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_and_width_check() {
+        let mut t = Table::new("demo", &["app", "value"]);
+        t.row(vec!["FFT".into(), "1.00".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("FFT"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn means() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+}

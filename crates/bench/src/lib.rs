@@ -1,0 +1,15 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `benches/*.rs` target (run via `cargo bench`) is a thin `main`
+//! over the drivers in [`experiments`]; shared infrastructure (result
+//! tables, CSV output, system construction with a workspace-wide response
+//! cache) lives in [`harness`].
+//!
+//! Results are printed in the paper's units/series and also written as
+//! CSV under `target/xylem-results/`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod harness;

@@ -1,0 +1,75 @@
+//! Calibration sweep: all 17 apps x schemes at 2.4 GHz, paper grid.
+//!
+//! Prints base temperature per app, the bank/banke/isoCount deltas, and
+//! the iso-temperature frequency boosts — the quantities DESIGN.md
+//! calibrates against (paper: bank -5.0 C / +400 MHz, banke -8.4 C /
+//! +720 MHz, isoCount -3.7 C vs bank, prior ~ base).
+
+use xylem::headroom::max_frequency_at_iso_temperature;
+use xylem::system::{SystemConfig, XylemSystem};
+use xylem_stack::XylemScheme;
+use xylem_workloads::Benchmark;
+
+fn main() {
+    let mut systems: Vec<(XylemScheme, XylemSystem)> = [
+        XylemScheme::Base,
+        XylemScheme::BankSurround,
+        XylemScheme::BankEnhanced,
+        XylemScheme::IsoCount,
+        XylemScheme::Prior,
+    ]
+    .into_iter()
+    .map(|s| (s, XylemSystem::new(SystemConfig::paper_default(s)).unwrap()))
+    .collect();
+
+    println!(
+        "{:12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>6} {:>6}",
+        "app", "P(W)", "base", "d-bank", "d-bnke", "d-iso", "d-prior", "f-bank", "f-bnke"
+    );
+    let mut sums = [0.0f64; 6];
+    for b in Benchmark::ALL {
+        let mut temps = Vec::new();
+        let mut power = 0.0;
+        for (_, sys) in systems.iter_mut() {
+            let e = sys.evaluate_uniform(b, 2.4).unwrap();
+            power = e.total_power_w;
+            temps.push(e.proc_hotspot_c);
+        }
+        let base = temps[0];
+        let boost = |sys: &mut XylemSystem| {
+            max_frequency_at_iso_temperature(sys, b, base)
+                .unwrap()
+                .map_or(0.0, |o| o.f_ghz)
+        };
+        let f_bank = boost(&mut systems[1].1);
+        let f_banke = boost(&mut systems[2].1);
+        println!(
+            "{:12} {:7.1} {:7.2} {:7.2} {:7.2} {:7.2} {:7.2} | {:6.1} {:6.1}",
+            b.name(),
+            power,
+            base,
+            base - temps[1],
+            base - temps[2],
+            base - temps[3],
+            base - temps[4],
+            f_bank,
+            f_banke
+        );
+        sums[0] += base;
+        sums[1] += base - temps[1];
+        sums[2] += base - temps[2];
+        sums[3] += base - temps[3];
+        sums[4] += f_bank - 2.4;
+        sums[5] += f_banke - 2.4;
+    }
+    let n = Benchmark::ALL.len() as f64;
+    println!(
+        "MEAN base {:.2} | d-bank {:.2} d-banke {:.2} d-iso {:.2} | boost bank {:.0} MHz banke {:.0} MHz",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        sums[3] / n,
+        sums[4] / n * 1000.0,
+        sums[5] / n * 1000.0
+    );
+}

@@ -1,0 +1,324 @@
+//! `xylem` — command-line driver for the Xylem reproduction.
+//!
+//! ```text
+//! xylem evaluate --scheme banke --app Cholesky --freq 2.4
+//! xylem boost    --scheme banke --app FFT
+//! xylem sweep    --scheme base --freq 2.4
+//! xylem report   --scheme base --app Barnes --freq 2.4
+//! xylem dtm      --scheme base --app "LU(NAS)" --freq 3.5 --duration 2.0
+//! xylem schemes
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use xylem::dtm::{dtm_transient, DtmPolicy};
+use xylem::headroom::max_frequency_at_iso_temperature;
+use xylem::system::{SystemConfig, XylemSystem};
+use xylem_stack::area::{AreaOverhead, SAMSUNG_WIDE_IO_DIE_AREA};
+use xylem_stack::dram_die::DramDieGeometry;
+use xylem_stack::XylemScheme;
+use xylem_thermal::grid::GridSpec;
+use xylem_thermal::power::PowerMap;
+use xylem_thermal::report::StackThermalReport;
+use xylem_workloads::Benchmark;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let opts = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "evaluate" => evaluate(&opts),
+        "boost" => boost(&opts),
+        "sweep" => sweep(&opts),
+        "report" => report(&opts),
+        "dtm" => dtm(&opts),
+        "schemes" => {
+            schemes();
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "xylem — vertical thermal conduction in 3D processor-memory stacks\n\
+         \n\
+         commands:\n\
+           evaluate --scheme S --app A --freq F     temperatures/power for one run\n\
+           boost    --scheme S --app A              iso-temperature frequency boost vs base\n\
+           sweep    --scheme S --freq F             all 17 applications\n\
+           report   --scheme S --app A --freq F     layer-by-layer thermal breakdown\n\
+           dtm      --scheme S --app A --freq F --duration D   closed-loop DTM transient\n\
+           schemes                                  list TTSV schemes and overheads\n\
+         \n\
+         schemes: base bank banke isoCount prior;  apps: FFT Cholesky ... (paper names)\n\
+         optional: --grid N (default 64)"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() {
+                out.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn scheme_of(opts: &HashMap<String, String>) -> Result<XylemScheme, String> {
+    let name = opts.get("scheme").map(String::as_str).unwrap_or("banke");
+    XylemScheme::ALL
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown scheme '{name}'"))
+}
+
+fn app_of(opts: &HashMap<String, String>) -> Result<Benchmark, String> {
+    let name = opts.get("app").map(String::as_str).unwrap_or("Cholesky");
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown application '{name}' (use paper names, e.g. LU(NAS))"))
+}
+
+fn freq_of(opts: &HashMap<String, String>) -> Result<f64, String> {
+    match opts.get("freq") {
+        None => Ok(2.4),
+        Some(s) => s.parse().map_err(|_| format!("bad --freq '{s}'")),
+    }
+}
+
+fn system_of(opts: &HashMap<String, String>) -> Result<XylemSystem, String> {
+    let scheme = scheme_of(opts)?;
+    let mut cfg = SystemConfig::paper_default(scheme);
+    if let Some(g) = opts.get("grid") {
+        let n: usize = g.parse().map_err(|_| format!("bad --grid '{g}'"))?;
+        cfg.grid = GridSpec::new(n, n);
+    }
+    XylemSystem::new(cfg).map_err(|e| e.to_string())
+}
+
+fn evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let mut sys = system_of(opts)?;
+    let app = app_of(opts)?;
+    let f = freq_of(opts)?;
+    let e = sys.evaluate_uniform(app, f).map_err(|e| e.to_string())?;
+    println!("{} on {} @ {f:.1} GHz", app, sys.scheme());
+    println!("  processor hotspot : {:8.2} C (core {})", e.proc_hotspot_c, e.hottest_core());
+    println!("  bottom DRAM die   : {:8.2} C", e.dram_hotspot_c);
+    println!("  processor power   : {:8.2} W", e.proc_power_w);
+    println!("  DRAM stack power  : {:8.2} W", e.dram_power_w);
+    println!("  execution time    : {:8.2} ms", e.exec_time_s() * 1e3);
+    println!("  stack energy      : {:8.3} J", e.stack_energy_j());
+    Ok(())
+}
+
+fn boost(opts: &HashMap<String, String>) -> Result<(), String> {
+    let app = app_of(opts)?;
+    let mut base = {
+        let mut o = opts.clone();
+        o.insert("scheme".into(), "base".into());
+        system_of(&o)?
+    };
+    let reference = base
+        .evaluate_uniform(app, 2.4)
+        .map_err(|e| e.to_string())?;
+    let mut sys = system_of(opts)?;
+    let out = max_frequency_at_iso_temperature(&mut sys, app, reference.proc_hotspot_c)
+        .map_err(|e| e.to_string())?;
+    match out {
+        None => println!(
+            "{} cannot hold the base reference of {:.2} C even at 2.4 GHz",
+            sys.scheme(),
+            reference.proc_hotspot_c
+        ),
+        Some(b) => {
+            let gain = reference.exec_time_s() / b.evaluation.exec_time_s() - 1.0;
+            println!(
+                "{} on {}: base reference {:.2} C @2.4 GHz -> boosted to {:.1} GHz \
+                 ({:+.0} MHz, {:.1}% faster, hotspot {:.2} C)",
+                app,
+                sys.scheme(),
+                reference.proc_hotspot_c,
+                b.f_ghz,
+                (b.f_ghz - 2.4) * 1000.0,
+                gain * 100.0,
+                b.evaluation.proc_hotspot_c
+            );
+        }
+    }
+    Ok(())
+}
+
+fn sweep(opts: &HashMap<String, String>) -> Result<(), String> {
+    let mut sys = system_of(opts)?;
+    let f = freq_of(opts)?;
+    println!(
+        "{:12} {:>9} {:>9} {:>8} {:>9}",
+        "app", "proc C", "dram C", "power W", "time ms"
+    );
+    for app in Benchmark::ALL {
+        let e = sys.evaluate_uniform(app, f).map_err(|e| e.to_string())?;
+        println!(
+            "{:12} {:>9.2} {:>9.2} {:>8.1} {:>9.2}",
+            app.name(),
+            e.proc_hotspot_c,
+            e.dram_hotspot_c,
+            e.total_power_w,
+            e.exec_time_s() * 1e3
+        );
+    }
+    Ok(())
+}
+
+fn report(opts: &HashMap<String, String>) -> Result<(), String> {
+    let sys = system_of(opts)?;
+    let app = app_of(opts)?;
+    let f = freq_of(opts)?;
+    // Direct solve (not the response cache) so every layer is sensed.
+    let built = sys.built();
+    let grid = GridSpec::new(32, 32);
+    let model = built
+        .stack()
+        .discretize(grid)
+        .map_err(|e| e.to_string())?;
+    let metrics = sys.machine().run(app, f, 8);
+    let dvfs = sys.power_model().dvfs().clone();
+    let point = dvfs.point_at(f);
+    let cores = vec![
+        xylem_power::CoreActivity {
+            activity: metrics.activity,
+            memory_intensity: metrics.memory_intensity,
+            point,
+        };
+        8
+    ];
+    let uncore = xylem_power::UncoreActivity {
+        llc: metrics.llc_activity,
+        mc: metrics.mc_utilization,
+        noc: metrics.noc_activity,
+        point,
+    };
+    let blocks = sys.power_model().block_powers(&cores, &uncore, 90.0);
+    let mut map = PowerMap::zeros(&model);
+    for (name, w) in &blocks {
+        map.add_block_power(&model, built.proc_metal_layer(), name, *w)
+            .map_err(|e| e.to_string())?;
+    }
+    let n_dies = built.dram_metal_layers().len();
+    let die_w = xylem_dram::DramEnergyModel::paper_default().die_power(
+        metrics.dram_read_rate,
+        metrics.dram_write_rate,
+        metrics.dram_activate_rate,
+        85.0,
+        n_dies,
+    );
+    for &l in built.dram_metal_layers() {
+        map.add_uniform_layer_power(l, die_w);
+    }
+    let temps = model.steady_state(&map).map_err(|e| e.to_string())?;
+    let r = StackThermalReport::new(&model, &temps);
+    println!("{} on {} @ {f:.1} GHz (32x32 grid)", app, sys.scheme());
+    print!("{}", r.render());
+    println!(
+        "D2D share of the internal rise: {:.0}%",
+        r.rise_share(|n| n.starts_with("d2d")) * 100.0
+    );
+    Ok(())
+}
+
+fn dtm(opts: &HashMap<String, String>) -> Result<(), String> {
+    let sys = system_of(opts)?;
+    let app = app_of(opts)?;
+    let f = freq_of(opts)?;
+    let duration: f64 = opts
+        .get("duration")
+        .map(|s| s.parse().map_err(|_| format!("bad --duration '{s}'")))
+        .transpose()?
+        .unwrap_or(2.0);
+    let r = dtm_transient(
+        &sys,
+        app,
+        f,
+        duration,
+        &DtmPolicy::paper_default(),
+        GridSpec::new(24, 24),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{} on {}: requested {f:.1} GHz for {duration:.1} s",
+        app,
+        sys.scheme()
+    );
+    println!(
+        "  effective frequency {:.2} GHz, final {:.1} GHz, {} throttle steps, \
+         peak {:.1} C, {:.1}% of time above trip",
+        r.mean_f_ghz(),
+        r.final_f_ghz,
+        r.throttle_events,
+        r.peak_hotspot_c(),
+        r.time_above_trip * 100.0
+    );
+    // A coarse frequency-over-time strip.
+    let stride = (r.samples.len() / 60).max(1);
+    let glyphs: String = r
+        .samples
+        .iter()
+        .step_by(stride)
+        .map(|s| {
+            let t = ((s.f_ghz - 2.4) / 1.1 * 9.0).round() as u32;
+            char::from_digit(t.min(9), 10).unwrap_or('?')
+        })
+        .collect();
+    println!("  f(t) [0=2.4GHz..9=3.5GHz]: {glyphs}");
+    Ok(())
+}
+
+fn schemes() {
+    let g = DramDieGeometry::paper_default();
+    println!(
+        "{:10} {:>6} {:>10} {:>9}  description",
+        "scheme", "TTSVs", "area mm2", "% die"
+    );
+    for s in XylemScheme::ALL {
+        let a = AreaOverhead::for_scheme(s, &g, SAMSUNG_WIDE_IO_DIE_AREA);
+        let desc = match s {
+            XylemScheme::Base => "plain Wide I/O stack",
+            XylemScheme::BankSurround => "TTSVs at bank vertices, aligned+shorted",
+            XylemScheme::BankEnhanced => "bank + 8 co-designed TTSVs at the cores",
+            XylemScheme::IsoCount => "banke minus the generic central row",
+            XylemScheme::Prior => "banke placement, no alignment/shorting",
+        };
+        println!(
+            "{:10} {:>6} {:>10.4} {:>8.2}%  {desc}",
+            s.name(),
+            a.ttsv_count,
+            a.total_area * 1e6,
+            a.percent()
+        );
+    }
+}

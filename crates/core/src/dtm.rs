@@ -1,0 +1,446 @@
+//! Closed-loop dynamic thermal management (DTM).
+//!
+//! Fig. 7 reports unthrottled steady-state temperatures and notes that "a
+//! real machine, a Dynamic Thermal Management (DTM) system would throttle
+//! frequencies to prevent excessive temperatures" (Sec. 7.2). This module
+//! makes that loop executable: a reactive controller samples the hotspot
+//! every control period during a transient simulation and steps the DVFS
+//! point down when the trip temperature is exceeded (up again below the
+//! release temperature, with hysteresis).
+
+use serde::{Deserialize, Serialize};
+
+use xylem_power::{CoreActivity, UncoreActivity};
+use xylem_thermal::grid::GridSpec;
+use xylem_thermal::power::PowerMap;
+use xylem_workloads::Benchmark;
+
+use crate::system::XylemSystem;
+use crate::Result;
+
+/// Reactive DTM policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DtmPolicy {
+    /// Throttle when the hotspot exceeds this, deg C (paper: T_j,max =
+    /// 100).
+    pub trip_c: f64,
+    /// Re-boost when the hotspot falls below this, deg C (hysteresis).
+    pub release_c: f64,
+    /// Controller sampling period, s.
+    pub control_period_s: f64,
+}
+
+impl DtmPolicy {
+    /// The paper's limits with a 2 C hysteresis band and 1 ms control.
+    pub fn paper_default() -> Self {
+        DtmPolicy {
+            trip_c: 100.0,
+            release_c: 98.0,
+            control_period_s: 1e-3,
+        }
+    }
+}
+
+/// One controller sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DtmSample {
+    /// Simulation time, s.
+    pub time_s: f64,
+    /// DVFS point in force during this period, GHz.
+    pub f_ghz: f64,
+    /// Hotspot at the end of the period, deg C.
+    pub hotspot_c: f64,
+}
+
+/// Result of a DTM transient run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DtmResult {
+    /// Controller trace.
+    pub samples: Vec<DtmSample>,
+    /// DVFS point at the end of the run, GHz.
+    pub final_f_ghz: f64,
+    /// Downward frequency steps taken.
+    pub throttle_events: usize,
+    /// Fraction of samples above the trip temperature.
+    pub time_above_trip: f64,
+}
+
+impl DtmResult {
+    /// Mean frequency over the run, GHz — the effective (DTM-limited)
+    /// operating point.
+    pub fn mean_f_ghz(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.f_ghz).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Peak hotspot seen, deg C.
+    pub fn peak_hotspot_c(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.hotspot_c)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Runs `benchmark` (8 threads) for `duration_s` starting from a cold
+/// die, requesting `requested_f_ghz`; the DTM controller throttles as
+/// needed. The transient runs on `grid` (coarser than the steady-state
+/// experiments).
+///
+/// # Errors
+///
+/// Propagates model errors.
+///
+/// # Panics
+///
+/// Panics on a degenerate duration/policy.
+pub fn dtm_transient(
+    system: &XylemSystem,
+    benchmark: Benchmark,
+    requested_f_ghz: f64,
+    duration_s: f64,
+    policy: &DtmPolicy,
+    grid: GridSpec,
+) -> Result<DtmResult> {
+    assert!(duration_s > 0.0 && policy.control_period_s > 0.0);
+    assert!(policy.release_c <= policy.trip_c);
+    let built = system.built();
+    let model = built.stack().discretize(grid)?;
+    let pm_layer = built.proc_metal_layer();
+    let dvfs = system.power_model().dvfs().clone();
+
+    // Precompute one power map per DVFS point at or below the request.
+    let points: Vec<f64> = dvfs
+        .points()
+        .map(|p| p.frequency_ghz)
+        .filter(|&f| f <= requested_f_ghz + 1e-9)
+        .collect();
+    assert!(!points.is_empty(), "requested frequency below the DVFS range");
+    let mut maps = Vec::with_capacity(points.len());
+    for &f in &points {
+        let metrics = system.machine().run(benchmark, f, 8);
+        let point = dvfs.point_at(f);
+        let cores = vec![
+            CoreActivity {
+                activity: metrics.activity,
+                memory_intensity: metrics.memory_intensity,
+                point,
+            };
+            8
+        ];
+        let uncore = UncoreActivity {
+            llc: metrics.llc_activity,
+            mc: metrics.mc_utilization,
+            noc: metrics.noc_activity,
+            point,
+        };
+        let blocks = system.power_model().block_powers(&cores, &uncore, 95.0);
+        let mut map = PowerMap::zeros(&model);
+        for (name, w) in &blocks {
+            map.add_block_power(&model, pm_layer, name, *w)?;
+        }
+        let n_dies = built.dram_metal_layers().len();
+        let die_w = xylem_dram::DramEnergyModel::paper_default().die_power(
+            metrics.dram_read_rate,
+            metrics.dram_write_rate,
+            metrics.dram_activate_rate,
+            85.0,
+            n_dies,
+        );
+        for &l in built.dram_metal_layers() {
+            map.add_uniform_layer_power(l, die_w);
+        }
+        maps.push(map);
+    }
+
+    let mut level = maps.len() - 1; // start at the requested point
+    let mut field = xylem_thermal::temperature::TemperatureField::uniform(&model, model.ambient());
+    let steps = (duration_s / policy.control_period_s).round() as usize;
+    let mut samples = Vec::with_capacity(steps);
+    let mut throttle_events = 0usize;
+    let mut above = 0usize;
+
+    for k in 0..steps {
+        field = model.transient(&maps[level], &field, policy.control_period_s, 1)?;
+        let hot = field.max_of_layer(pm_layer);
+        samples.push(DtmSample {
+            time_s: (k + 1) as f64 * policy.control_period_s,
+            f_ghz: points[level],
+            hotspot_c: hot,
+        });
+        if hot > policy.trip_c {
+            above += 1;
+            if level > 0 {
+                level -= 1;
+                throttle_events += 1;
+            }
+        } else if hot < policy.release_c && level + 1 < maps.len() {
+            level += 1;
+        }
+    }
+
+    Ok(DtmResult {
+        final_f_ghz: points[level],
+        throttle_events,
+        time_above_trip: above as f64 / steps.max(1) as f64,
+        samples,
+    })
+}
+
+/// Runs a **phased** workload (warm-up / main / tail, see
+/// [`xylem_workloads::PhasedWorkload`]) under the DTM controller: each
+/// phase contributes its instruction-weighted share of `duration_s` with
+/// its own power map, so the controller sees a thermal step when the hot
+/// main phase begins — the scenario where reactive throttling actually
+/// engages on a real machine.
+///
+/// # Errors
+///
+/// Propagates model errors.
+///
+/// # Panics
+///
+/// Panics on degenerate duration/policy.
+pub fn dtm_transient_phased(
+    system: &XylemSystem,
+    workload: &xylem_workloads::PhasedWorkload,
+    requested_f_ghz: f64,
+    duration_s: f64,
+    policy: &DtmPolicy,
+    grid: GridSpec,
+) -> Result<DtmResult> {
+    assert!(duration_s > 0.0 && policy.control_period_s > 0.0);
+    let built = system.built();
+    let model = built.stack().discretize(grid)?;
+    let pm_layer = built.proc_metal_layer();
+    let dvfs = system.power_model().dvfs().clone();
+    let points: Vec<f64> = dvfs
+        .points()
+        .map(|p| p.frequency_ghz)
+        .filter(|&f| f <= requested_f_ghz + 1e-9)
+        .collect();
+    assert!(!points.is_empty(), "requested frequency below the DVFS range");
+
+    // Power maps per (phase, DVFS point), built from the phase profiles.
+    let mut phase_maps: Vec<Vec<PowerMap>> = Vec::new();
+    for (pi, _) in workload.phases().iter().enumerate() {
+        let profile = workload.phase_profile(pi);
+        let mut maps = Vec::with_capacity(points.len());
+        for &f in &points {
+            let lat = system.machine().dram_latency_under_load(&profile, f, 8);
+            let cpi = xylem_archsim::interval::cpi_breakdown(
+                system.machine().arch(),
+                &profile,
+                f,
+                lat,
+            );
+            let activity = profile.activity_peak * (cpi.core() / cpi.total());
+            let point = dvfs.point_at(f);
+            let cores = vec![
+                CoreActivity {
+                    activity,
+                    memory_intensity: profile.memory_intensity,
+                    point,
+                };
+                8
+            ];
+            let uncore = UncoreActivity {
+                llc: (profile.l1d_mpki / 25.0).min(1.0),
+                mc: [(profile.dram_apki() / 8.0).min(1.0); 4],
+                noc: (profile.l2_mpki / 10.0).min(1.0),
+                point,
+            };
+            let blocks = system.power_model().block_powers(&cores, &uncore, 95.0);
+            let mut map = PowerMap::zeros(&model);
+            for (name, w) in &blocks {
+                map.add_block_power(&model, pm_layer, name, *w)?;
+            }
+            let n_dies = built.dram_metal_layers().len();
+            let instr_rate = f * 1e9 / cpi.total() * 8.0;
+            let acc = instr_rate * profile.dram_apki() / 1000.0;
+            let die_w = xylem_dram::DramEnergyModel::paper_default().die_power(
+                acc * profile.read_fraction,
+                acc * (1.0 - profile.read_fraction),
+                acc * (1.0 - profile.row_hit_fraction),
+                85.0,
+                n_dies,
+            );
+            for &l in built.dram_metal_layers() {
+                map.add_uniform_layer_power(l, die_w);
+            }
+            maps.push(map);
+        }
+        phase_maps.push(maps);
+    }
+
+    // Phase boundaries by instruction weight over the wall-clock run.
+    let mut boundaries = Vec::new();
+    let mut acc = 0.0;
+    for ph in workload.phases() {
+        acc += ph.weight;
+        boundaries.push(acc * duration_s);
+    }
+
+    let mut level = points.len() - 1;
+    let mut field =
+        xylem_thermal::temperature::TemperatureField::uniform(&model, model.ambient());
+    let steps = (duration_s / policy.control_period_s).round() as usize;
+    let mut samples = Vec::with_capacity(steps);
+    let mut throttle_events = 0usize;
+    let mut above = 0usize;
+    for k in 0..steps {
+        let t = (k + 1) as f64 * policy.control_period_s;
+        let phase = boundaries
+            .iter()
+            .position(|&b| t <= b + 1e-12)
+            .unwrap_or(workload.phases().len() - 1);
+        field = model.transient(&phase_maps[phase][level], &field, policy.control_period_s, 1)?;
+        let hot = field.max_of_layer(pm_layer);
+        samples.push(DtmSample {
+            time_s: t,
+            f_ghz: points[level],
+            hotspot_c: hot,
+        });
+        if hot > policy.trip_c {
+            above += 1;
+            if level > 0 {
+                level -= 1;
+                throttle_events += 1;
+            }
+        } else if hot < policy.release_c && level + 1 < points.len() {
+            level += 1;
+        }
+    }
+
+    Ok(DtmResult {
+        final_f_ghz: points[level],
+        throttle_events,
+        time_above_trip: above as f64 / steps.max(1) as f64,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xylem_stack::XylemScheme;
+    use crate::system::SystemConfig;
+
+    fn system(scheme: XylemScheme) -> XylemSystem {
+        let mut cfg = SystemConfig::fast(scheme);
+        cfg.cache_dir = Some(std::env::temp_dir().join("xylem-system-test-cache"));
+        XylemSystem::new(cfg).unwrap()
+    }
+
+    fn quick_policy() -> DtmPolicy {
+        DtmPolicy {
+            trip_c: 100.0,
+            release_c: 98.0,
+            control_period_s: 20e-3,
+        }
+    }
+
+    #[test]
+    fn hot_workload_gets_throttled_on_base() {
+        let s = system(XylemScheme::Base);
+        let r = dtm_transient(
+            &s,
+            Benchmark::LuNas,
+            3.5,
+            3.0,
+            &quick_policy(),
+            GridSpec::new(12, 12),
+        )
+        .unwrap();
+        assert!(r.throttle_events > 0, "{r:?}");
+        assert!(r.final_f_ghz < 3.5);
+        // The trip level is only exceeded transiently.
+        let tail = &r.samples[r.samples.len() / 2..];
+        let tail_above = tail.iter().filter(|s| s.hotspot_c > 100.5).count();
+        assert!(
+            tail_above < tail.len() / 4,
+            "still hot in steady state: {tail_above}/{}",
+            tail.len()
+        );
+    }
+
+    #[test]
+    fn cool_workload_keeps_its_request() {
+        let s = system(XylemScheme::BankEnhanced);
+        let r = dtm_transient(
+            &s,
+            Benchmark::Is,
+            2.8,
+            2.0,
+            &quick_policy(),
+            GridSpec::new(12, 12),
+        )
+        .unwrap();
+        assert_eq!(r.throttle_events, 0, "{:?}", r.final_f_ghz);
+        assert!((r.final_f_ghz - 2.8).abs() < 1e-9);
+        assert!(r.peak_hotspot_c() < 100.0);
+    }
+
+    #[test]
+    fn phased_run_throttles_in_the_hot_phase() {
+        use xylem_workloads::PhasedWorkload;
+        let s = system(XylemScheme::Base);
+        let w = PhasedWorkload::standard(Benchmark::Cholesky);
+        let r = dtm_transient_phased(
+            &s,
+            &w,
+            3.5,
+            2.4,
+            &quick_policy(),
+            GridSpec::new(12, 12),
+        )
+        .unwrap();
+        assert_eq!(
+            r.samples.len(),
+            (2.4 / quick_policy().control_period_s).round() as usize
+        );
+        // The warm-up phase (first 15%) is cooler than the main phase.
+        let n = r.samples.len();
+        let warmup_max = r.samples[..n * 15 / 100]
+            .iter()
+            .map(|s| s.hotspot_c)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let main_max = r.samples[n * 20 / 100..n * 80 / 100]
+            .iter()
+            .map(|s| s.hotspot_c)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(main_max > warmup_max, "{main_max} vs {warmup_max}");
+    }
+
+    #[test]
+    fn pillars_raise_the_dtm_limited_frequency() {
+        let policy = quick_policy();
+        let grid = GridSpec::new(12, 12);
+        let base = dtm_transient(
+            &system(XylemScheme::Base),
+            Benchmark::Cholesky,
+            3.5,
+            3.0,
+            &policy,
+            grid,
+        )
+        .unwrap();
+        let banke = dtm_transient(
+            &system(XylemScheme::BankEnhanced),
+            Benchmark::Cholesky,
+            3.5,
+            3.0,
+            &policy,
+            grid,
+        )
+        .unwrap();
+        assert!(
+            banke.mean_f_ghz() > base.mean_f_ghz(),
+            "banke {} vs base {}",
+            banke.mean_f_ghz(),
+            base.mean_f_ghz()
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Evaluation results: temperatures, power, performance for one run.
+
+use serde::{Deserialize, Serialize};
+
+use xylem_archsim::AppMetrics;
+use xylem_workloads::Benchmark;
+
+/// The outcome of evaluating one run (workload + placement + frequencies)
+/// on one stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Hotspot of the processor metal layer, deg C.
+    pub proc_hotspot_c: f64,
+    /// Per-core hotspots (core id 1..=8 -> index 0..8), deg C.
+    pub core_hotspot_c: [f64; 8],
+    /// Hotspot of the bottom-most DRAM die, deg C.
+    pub dram_hotspot_c: f64,
+    /// Processor die power, W.
+    pub proc_power_w: f64,
+    /// DRAM stack power, W.
+    pub dram_power_w: f64,
+    /// Total stack power, W.
+    pub total_power_w: f64,
+    /// Per-application performance results for the workloads in the run.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+/// Per-application performance within a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadResult {
+    /// The application.
+    pub benchmark: Benchmark,
+    /// Cores it occupied.
+    pub cores: Vec<usize>,
+    /// Its frequency, GHz (cores of one instance share a frequency).
+    pub f_ghz: f64,
+    /// Full performance metrics.
+    pub metrics: AppMetrics,
+}
+
+impl Evaluation {
+    /// Execution time of the (single) workload, s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run had zero or multiple workloads.
+    pub fn exec_time_s(&self) -> f64 {
+        assert_eq!(self.workloads.len(), 1, "run has multiple workloads");
+        self.workloads[0].metrics.exec_time_s
+    }
+
+    /// Stack energy for the (single) workload: total power times its
+    /// execution time, J.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run had zero or multiple workloads.
+    pub fn stack_energy_j(&self) -> f64 {
+        self.total_power_w * self.exec_time_s()
+    }
+
+    /// Hottest core id (1..=8).
+    pub fn hottest_core(&self) -> usize {
+        let mut best = (1, f64::NEG_INFINITY);
+        for (i, &t) in self.core_hotspot_c.iter().enumerate() {
+            if t > best.1 {
+                best = (i + 1, t);
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_metrics() -> AppMetrics {
+        AppMetrics {
+            f_ghz: 2.4,
+            threads: 8,
+            cpi: xylem_archsim::CpiBreakdown {
+                base: 0.5,
+                l1i_stall: 0.0,
+                l2_access: 0.1,
+                coherence: 0.0,
+                dram: 0.2,
+            },
+            exec_time_s: 0.05,
+            dram_latency_ns: 42.0,
+            activity: 0.8,
+            memory_intensity: 0.2,
+            llc_activity: 0.3,
+            mc_utilization: [0.2; 4],
+            noc_activity: 0.1,
+            dram_read_rate: 1e8,
+            dram_write_rate: 5e7,
+            dram_activate_rate: 6e7,
+            dram_bandwidth_gbps: 9.6,
+        }
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let e = Evaluation {
+            proc_hotspot_c: 95.0,
+            core_hotspot_c: [90.0, 91.0, 95.0, 89.0, 88.0, 87.0, 86.0, 85.0],
+            dram_hotspot_c: 88.0,
+            proc_power_w: 20.0,
+            dram_power_w: 4.0,
+            total_power_w: 24.0,
+            workloads: vec![WorkloadResult {
+                benchmark: Benchmark::Fft,
+                cores: (1..=8).collect(),
+                f_ghz: 2.4,
+                metrics: dummy_metrics(),
+            }],
+        };
+        assert!((e.stack_energy_j() - 24.0 * 0.05).abs() < 1e-12);
+        assert_eq!(e.hottest_core(), 3);
+    }
+}

@@ -1,0 +1,200 @@
+//! Frequency boosting into the thermal headroom (paper Sec. 5.1, 7.3).
+//!
+//! Xylem's headline optimization: improved vertical conduction lowers the
+//! processor temperature, and the freed headroom is spent by raising the
+//! DVFS point until the temperature returns to the limit. Two search
+//! modes exist:
+//!
+//! * **iso-temperature** (Fig. 9-12): the limit is the temperature the
+//!   *base* stack reached for the same application at 2.4 GHz;
+//! * **DTM limits** (Figs. 15-16): the limit is `T_j,max` = 100 deg C for
+//!   the processor and 95 deg C for the DRAM — what a dynamic thermal
+//!   management system enforces on a real machine.
+
+use serde::{Deserialize, Serialize};
+
+use xylem_workloads::Benchmark;
+
+use crate::evaluation::Evaluation;
+use crate::system::{RunSpec, XylemSystem};
+use crate::Result;
+
+/// Thermal limits for a frequency search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalLimits {
+    /// Processor hotspot limit, deg C.
+    pub proc_c: f64,
+    /// DRAM hotspot limit, deg C (use `f64::INFINITY` to ignore).
+    pub dram_c: f64,
+}
+
+impl ThermalLimits {
+    /// The paper's DTM limits: 100 deg C processor, 95 deg C DRAM.
+    pub fn paper_dtm() -> Self {
+        ThermalLimits {
+            proc_c: 100.0,
+            dram_c: 95.0,
+        }
+    }
+
+    /// Iso-temperature limits: match a reference processor temperature
+    /// (DRAM unconstrained, as in the paper's Sec. 7.3 methodology).
+    pub fn iso_temperature(reference_proc_c: f64) -> Self {
+        ThermalLimits {
+            proc_c: reference_proc_c,
+            dram_c: f64::INFINITY,
+        }
+    }
+
+    /// Whether an evaluation satisfies the limits.
+    pub fn admits(&self, e: &Evaluation) -> bool {
+        e.proc_hotspot_c <= self.proc_c + 1e-9 && e.dram_hotspot_c <= self.dram_c + 1e-9
+    }
+}
+
+/// Result of a frequency search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoostOutcome {
+    /// Highest admissible frequency, GHz.
+    pub f_ghz: f64,
+    /// The evaluation at that frequency.
+    pub evaluation: Evaluation,
+}
+
+/// Finds the highest DVFS point whose run (built by `make_run`) satisfies
+/// `limits`. Scans the table bottom-up (12 points; evaluations are cheap
+/// through the response cache). Returns `None` if even the lowest point
+/// violates the limits.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn max_frequency_for_run(
+    system: &mut XylemSystem,
+    limits: ThermalLimits,
+    mut make_run: impl FnMut(f64) -> RunSpec,
+) -> Result<Option<BoostOutcome>> {
+    let points: Vec<f64> = system
+        .power_model()
+        .dvfs()
+        .points()
+        .map(|p| p.frequency_ghz)
+        .collect();
+    let mut best: Option<BoostOutcome> = None;
+    for f in points {
+        let run = make_run(f);
+        let e = system.evaluate(&run)?;
+        if limits.admits(&e) {
+            best = Some(BoostOutcome {
+                f_ghz: f,
+                evaluation: e,
+            });
+        } else {
+            break; // temperature is monotone in frequency
+        }
+    }
+    Ok(best)
+}
+
+/// Highest frequency for the standard 8-thread run of `benchmark` whose
+/// processor hotspot stays at or below the base stack's temperature for
+/// the same application at 2.4 GHz (`reference_c`).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn max_frequency_at_iso_temperature(
+    system: &mut XylemSystem,
+    benchmark: Benchmark,
+    reference_c: f64,
+) -> Result<Option<BoostOutcome>> {
+    max_frequency_for_run(
+        system,
+        ThermalLimits::iso_temperature(reference_c),
+        |f| RunSpec::uniform(benchmark, f),
+    )
+}
+
+/// Highest frequency for the standard 8-thread run under the paper's DTM
+/// limits (T_j,max = 100 deg C, DRAM <= 95 deg C).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn max_frequency_under_limits(
+    system: &mut XylemSystem,
+    benchmark: Benchmark,
+) -> Result<Option<BoostOutcome>> {
+    max_frequency_for_run(system, ThermalLimits::paper_dtm(), |f| {
+        RunSpec::uniform(benchmark, f)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xylem_stack::XylemScheme;
+    use crate::system::SystemConfig;
+
+    fn system(scheme: XylemScheme) -> XylemSystem {
+        let mut cfg = SystemConfig::fast(scheme);
+        cfg.cache_dir = Some(std::env::temp_dir().join("xylem-system-test-cache"));
+        XylemSystem::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn iso_temperature_boost_is_higher_on_banke() {
+        let mut base = system(XylemScheme::Base);
+        let reference = base
+            .evaluate_uniform(Benchmark::Radiosity, 2.4)
+            .unwrap()
+            .proc_hotspot_c;
+        let mut banke = system(XylemScheme::BankEnhanced);
+        let boost = max_frequency_at_iso_temperature(&mut banke, Benchmark::Radiosity, reference)
+            .unwrap()
+            .expect("banke admits at least 2.4 GHz");
+        assert!(boost.f_ghz > 2.4, "{}", boost.f_ghz);
+        assert!(boost.evaluation.proc_hotspot_c <= reference + 1e-9);
+    }
+
+    #[test]
+    fn base_at_its_own_reference_stays_at_2_4() {
+        let mut base = system(XylemScheme::Base);
+        let reference = base
+            .evaluate_uniform(Benchmark::Cholesky, 2.4)
+            .unwrap()
+            .proc_hotspot_c;
+        let boost = max_frequency_at_iso_temperature(&mut base, Benchmark::Cholesky, reference)
+            .unwrap()
+            .expect("the reference point itself is admissible");
+        assert!((boost.f_ghz - 2.4).abs() < 1e-9, "{}", boost.f_ghz);
+    }
+
+    #[test]
+    fn impossible_limits_return_none() {
+        let mut s = system(XylemScheme::Base);
+        let out = max_frequency_for_run(
+            &mut s,
+            ThermalLimits {
+                proc_c: 10.0,
+                dram_c: 10.0,
+            },
+            |f| RunSpec::uniform(Benchmark::Fft, f),
+        )
+        .unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn memory_bound_gets_a_larger_dtm_boost_than_compute_bound() {
+        // Cooler applications leave more headroom below T_j,max.
+        let mut s = system(XylemScheme::BankEnhanced);
+        let cool = max_frequency_under_limits(&mut s, Benchmark::Is)
+            .unwrap()
+            .unwrap();
+        let hot = max_frequency_under_limits(&mut s, Benchmark::LuNas)
+            .unwrap()
+            .unwrap();
+        assert!(cool.f_ghz >= hot.f_ghz, "{} vs {}", cool.f_ghz, hot.f_ghz);
+    }
+}

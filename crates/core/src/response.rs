@@ -1,0 +1,374 @@
+//! Per-block unit thermal responses (discrete Green's functions).
+//!
+//! The RC network is linear, so the temperature field is an affine
+//! function of block powers:
+//!
+//! ```text
+//! T(cell) = T_ambient_field(cell) + sum_b P_b * R_b(cell)
+//! ```
+//!
+//! [`ThermalResponse::compute`] solves one steady-state problem per power
+//! source (81 processor blocks + one uniform source per DRAM die) and
+//! stores the responses at the two sensor layers the experiments read:
+//! the processor metal layer and the bottom-most DRAM metal layer. Every
+//! subsequent evaluation is then a dense dot product instead of a solve —
+//! this is what makes sweeping 17 applications x 5 schemes x 12
+//! frequencies practical.
+//!
+//! Responses are cached on disk (JSON under a caller-supplied directory)
+//! keyed by a hash of the full stack configuration.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use xylem_stack::builder::BuiltStack;
+use xylem_thermal::error::ThermalError;
+use xylem_thermal::grid::GridSpec;
+use xylem_thermal::power::PowerMap;
+
+use crate::Result;
+
+/// Sensor-layer responses to unit power in each source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThermalResponse {
+    grid_nx: usize,
+    grid_ny: usize,
+    ambient_c: f64,
+    /// Processor-block names, in source order.
+    proc_blocks: Vec<String>,
+    /// `proc_response[source][cell]`: K/W at the processor metal layer.
+    /// Sources: processor blocks first, then one per DRAM die (top
+    /// first).
+    proc_response: Vec<Vec<f64>>,
+    /// Same sources, sensed at the bottom DRAM metal layer.
+    dram_response: Vec<Vec<f64>>,
+    /// Number of DRAM-die sources.
+    n_dram_dies: usize,
+    /// Cells of each core's 9 blocks at the processor metal layer
+    /// (core id 1..=8 -> index 0..8).
+    core_cells: Vec<Vec<usize>>,
+}
+
+impl ThermalResponse {
+    /// Solves the unit problems for `built` on `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates discretization/solver errors.
+    pub fn compute(built: &BuiltStack, grid: GridSpec) -> Result<Self> {
+        let model = built.stack().discretize(grid)?;
+        let pm_layer = built.proc_metal_layer();
+        let bd_layer = built.bottom_dram_metal_layer();
+
+        let proc_blocks: Vec<String> = model.block_names(pm_layer).to_vec();
+        let n_dram = built.dram_metal_layers().len();
+
+        let mut proc_response = Vec::with_capacity(proc_blocks.len() + n_dram);
+        let mut dram_response = Vec::with_capacity(proc_blocks.len() + n_dram);
+
+        // Ambient field: zero power everywhere -> everything at ambient.
+        // (The affine term is just the ambient constant for this package.)
+        let ambient_c = model.ambient();
+
+        for block in &proc_blocks {
+            let mut p = PowerMap::zeros(&model);
+            p.add_block_power(&model, pm_layer, block, 1.0)?;
+            let t = model.steady_state(&p)?;
+            proc_response.push(t.layer_slice(pm_layer).iter().map(|x| x - ambient_c).collect());
+            dram_response.push(t.layer_slice(bd_layer).iter().map(|x| x - ambient_c).collect());
+        }
+        for &die_layer in built.dram_metal_layers() {
+            let mut p = PowerMap::zeros(&model);
+            p.add_uniform_layer_power(die_layer, 1.0);
+            let t = model.steady_state(&p)?;
+            proc_response.push(t.layer_slice(pm_layer).iter().map(|x| x - ambient_c).collect());
+            dram_response.push(t.layer_slice(bd_layer).iter().map(|x| x - ambient_c).collect());
+        }
+
+        // Core cell sets for per-core hotspot queries.
+        let mut core_cells = Vec::with_capacity(8);
+        for core in 1..=8usize {
+            let mut cells = Vec::new();
+            for sub in xylem_stack::proc_die::CORE_BLOCKS {
+                let name = xylem_stack::proc_die::ProcDieGeometry::core_block_name(core, sub);
+                if let Ok(w) = model.block_weights(pm_layer, &name) {
+                    cells.extend(w.iter().map(|&(c, _)| c));
+                }
+            }
+            cells.sort_unstable();
+            cells.dedup();
+            core_cells.push(cells);
+        }
+
+        Ok(ThermalResponse {
+            grid_nx: grid.nx(),
+            grid_ny: grid.ny(),
+            ambient_c,
+            proc_blocks,
+            proc_response,
+            dram_response,
+            n_dram_dies: n_dram,
+            core_cells,
+        })
+    }
+
+    /// Loads a cached response for `built`+`grid` from `cache_dir`, or
+    /// computes and stores it. Pass a directory like
+    /// `target/xylem-cache`; it is created if missing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates computation errors. Cache I/O failures fall back to
+    /// recomputation (and are reported only if recomputation also fails).
+    pub fn load_or_compute(
+        cache_dir: impl AsRef<Path>,
+        built: &BuiltStack,
+        grid: GridSpec,
+    ) -> Result<Self> {
+        let path = Self::cache_path(cache_dir.as_ref(), built, grid);
+        if let Ok(bytes) = std::fs::read(&path) {
+            if let Ok(r) = serde_json::from_slice::<ThermalResponse>(&bytes) {
+                if r.grid_nx == grid.nx() && r.grid_ny == grid.ny() {
+                    return Ok(r);
+                }
+            }
+        }
+        let r = Self::compute(built, grid)?;
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Ok(bytes) = serde_json::to_vec(&r) {
+            let _ = std::fs::write(&path, bytes);
+        }
+        Ok(r)
+    }
+
+    /// Bump when solver numerics or derived geometry (anything not
+    /// captured by the config serialization, e.g. scheme site-placement
+    /// logic) change, so stale caches are never served.
+    const CACHE_VERSION: u32 = 2;
+
+    fn cache_path(dir: &Path, built: &BuiltStack, grid: GridSpec) -> PathBuf {
+        let mut h = DefaultHasher::new();
+        Self::CACHE_VERSION.hash(&mut h);
+        // Hash the full configuration (geometry, scheme, package) via its
+        // JSON serialization, the *derived* TTSV site list (placement
+        // logic lives outside the config), and the grid.
+        let cfg = serde_json::to_string(built.config()).unwrap_or_default();
+        cfg.hash(&mut h);
+        let sites = serde_json::to_string(built.sites()).unwrap_or_default();
+        sites.hash(&mut h);
+        grid.nx().hash(&mut h);
+        grid.ny().hash(&mut h);
+        dir.join(format!("response-{:016x}.json", h.finish()))
+    }
+
+    /// Whether two responses have identical processor-side unit
+    /// responses (used by cache tests).
+    pub fn proc_response_eq(&self, other: &ThermalResponse) -> bool {
+        self.proc_response == other.proc_response
+    }
+
+    /// Ambient temperature, deg C.
+    pub fn ambient(&self) -> f64 {
+        self.ambient_c
+    }
+
+    /// The processor-block source names.
+    pub fn proc_blocks(&self) -> &[String] {
+        &self.proc_blocks
+    }
+
+    /// Number of DRAM-die sources.
+    pub fn n_dram_dies(&self) -> usize {
+        self.n_dram_dies
+    }
+
+    /// Index of a processor block source.
+    pub fn proc_block_index(&self, name: &str) -> Option<usize> {
+        self.proc_blocks.iter().position(|b| b == name)
+    }
+
+    /// Temperature fields at the two sensor layers for the given powers:
+    /// `(processor metal cells, bottom DRAM metal cells)`, deg C.
+    ///
+    /// `proc_powers[i]` matches [`ThermalResponse::proc_blocks`]`[i]`;
+    /// `dram_powers[d]` is the total power of DRAM die `d` (top first).
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::PowerMapMismatch`] if the vectors have the wrong
+    /// lengths.
+    pub fn temperatures(
+        &self,
+        proc_powers: &[f64],
+        dram_powers: &[f64],
+    ) -> Result<(Vec<f64>, Vec<f64>)> {
+        if proc_powers.len() != self.proc_blocks.len() || dram_powers.len() != self.n_dram_dies {
+            return Err(ThermalError::PowerMapMismatch {
+                map_nodes: proc_powers.len() + dram_powers.len(),
+                model_nodes: self.proc_blocks.len() + self.n_dram_dies,
+            });
+        }
+        let cells = self.grid_nx * self.grid_ny;
+        let mut proc = vec![self.ambient_c; cells];
+        let mut dram = vec![self.ambient_c; cells];
+        for (s, &p) in proc_powers.iter().chain(dram_powers.iter()).enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let rp = &self.proc_response[s];
+            let rd = &self.dram_response[s];
+            for c in 0..cells {
+                proc[c] += p * rp[c];
+                dram[c] += p * rd[c];
+            }
+        }
+        Ok((proc, dram))
+    }
+
+    /// Maximum of a cell field.
+    pub fn hotspot(field: &[f64]) -> f64 {
+        field.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Maximum temperature over core `id`'s cells (1..=8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in `1..=8`.
+    pub fn core_hotspot(&self, proc_field: &[f64], id: usize) -> f64 {
+        assert!((1..=8).contains(&id), "core {id} out of range");
+        self.core_cells[id - 1]
+            .iter()
+            .map(|&c| proc_field[c])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xylem_stack::{StackConfig, XylemScheme};
+
+    fn small_response(scheme: XylemScheme) -> ThermalResponse {
+        let built = StackConfig::paper_default(scheme).build().unwrap();
+        ThermalResponse::compute(&built, GridSpec::new(16, 16)).unwrap()
+    }
+
+    #[test]
+    fn source_count_is_blocks_plus_dies() {
+        let r = small_response(XylemScheme::Base);
+        assert_eq!(r.proc_blocks().len(), 83);
+        assert_eq!(r.n_dram_dies(), 8);
+        assert_eq!(r.proc_response.len(), 91);
+    }
+
+    #[test]
+    fn superposition_matches_direct_solve() {
+        let built = StackConfig::paper_default(XylemScheme::BankSurround)
+            .build()
+            .unwrap();
+        let grid = GridSpec::new(16, 16);
+        let r = ThermalResponse::compute(&built, grid).unwrap();
+
+        // Direct solve with a mixed power map.
+        let model = built.stack().discretize(grid).unwrap();
+        let pm = built.proc_metal_layer();
+        let mut p = PowerMap::zeros(&model);
+        p.add_block_power(&model, pm, "core1_fpu", 2.0).unwrap();
+        p.add_block_power(&model, pm, "llc_top", 1.5).unwrap();
+        p.add_uniform_layer_power(built.dram_metal_layers()[7], 0.4);
+        let direct = model.steady_state(&p).unwrap();
+
+        // Superposed.
+        let mut proc_powers = vec![0.0; r.proc_blocks().len()];
+        proc_powers[r.proc_block_index("core1_fpu").unwrap()] = 2.0;
+        proc_powers[r.proc_block_index("llc_top").unwrap()] = 1.5;
+        let mut dram_powers = vec![0.0; 8];
+        dram_powers[7] = 0.4;
+        let (proc, dram) = r.temperatures(&proc_powers, &dram_powers).unwrap();
+
+        let direct_proc = direct.layer_slice(pm);
+        for c in 0..proc.len() {
+            assert!(
+                (proc[c] - direct_proc[c]).abs() < 1e-4,
+                "cell {c}: {} vs {}",
+                proc[c],
+                direct_proc[c]
+            );
+        }
+        let direct_dram = direct.layer_slice(built.bottom_dram_metal_layer());
+        for c in 0..dram.len() {
+            assert!((dram[c] - direct_dram[c]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_power_is_ambient() {
+        let r = small_response(XylemScheme::Base);
+        let (proc, dram) = r
+            .temperatures(&vec![0.0; 83], &vec![0.0; 8])
+            .unwrap();
+        assert!(proc.iter().all(|&t| (t - r.ambient()).abs() < 1e-12));
+        assert!(dram.iter().all(|&t| (t - r.ambient()).abs() < 1e-12));
+    }
+
+    #[test]
+    fn core_hotspot_tracks_its_own_power() {
+        let r = small_response(XylemScheme::Base);
+        let mut proc_powers = vec![0.0; 83];
+        proc_powers[r.proc_block_index("core5_fpu").unwrap()] = 3.0;
+        let (proc, _) = r.temperatures(&proc_powers, &vec![0.0; 8]).unwrap();
+        let hot5 = r.core_hotspot(&proc, 5);
+        let hot4 = r.core_hotspot(&proc, 4); // diagonal corner
+        assert!(hot5 > hot4 + 1.0, "{hot5} vs {hot4}");
+        assert!((ThermalResponse::hotspot(&proc) - hot5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_power_vector_length_rejected() {
+        let r = small_response(XylemScheme::Base);
+        assert!(r.temperatures(&vec![0.0; 3], &vec![0.0; 8]).is_err());
+        assert!(r.temperatures(&vec![0.0; 83], &vec![0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn disk_cache_roundtrip() {
+        let dir = std::env::temp_dir().join("xylem-response-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let built = StackConfig::paper_default(XylemScheme::Base).build().unwrap();
+        let grid = GridSpec::new(8, 8);
+        let a = ThermalResponse::load_or_compute(&dir, &built, grid).unwrap();
+        let b = ThermalResponse::load_or_compute(&dir, &built, grid).unwrap();
+        assert_eq!(a.proc_response, b.proc_response);
+        // A different scheme hashes to a different file.
+        let built2 = StackConfig::paper_default(XylemScheme::BankEnhanced)
+            .build()
+            .unwrap();
+        let c = ThermalResponse::load_or_compute(&dir, &built2, grid).unwrap();
+        assert_ne!(a.proc_response, c.proc_response);
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(files, 2);
+    }
+}
+
+impl ThermalResponse {
+    /// Debug helper: first difference between two responses.
+    #[doc(hidden)]
+    pub fn debug_diff(&self, other: &ThermalResponse) -> String {
+        if self.proc_response.len() != other.proc_response.len() {
+            return format!("len {} vs {}", self.proc_response.len(), other.proc_response.len());
+        }
+        for (s, (x, y)) in self.proc_response.iter().zip(&other.proc_response).enumerate() {
+            if x.len() != y.len() { return format!("src {s}: len {} vs {}", x.len(), y.len()); }
+            for (c, (p, q)) in x.iter().zip(y).enumerate() {
+                if p != q { return format!("src {s} cell {c}: {p} vs {q} (bits {:x} vs {:x})", p.to_bits(), q.to_bits()); }
+            }
+        }
+        "identical".into()
+    }
+}

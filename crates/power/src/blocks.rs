@@ -1,0 +1,97 @@
+//! Per-block power fractions of a 4-issue out-of-order core.
+//!
+//! The fractions are McPAT-shaped: execution units (ALU cluster and FPU)
+//! dominate dynamic power for compute-bound code, the load/store unit and
+//! caches dominate for memory-bound code. The thermal model cares about
+//! *where* the watts land, so two profiles are provided and blended by the
+//! workload's memory intensity.
+
+/// The 9 sub-blocks of a core, matching
+/// `xylem_stack::proc_die::CORE_BLOCKS` (execution cluster first — it
+/// occupies the core row facing the die center).
+pub const CORE_BLOCKS: [&str; 9] = [
+    "alu", "fpu", "l1d", "rf", "issue", "lsu", "fetch", "decode", "l1i",
+];
+
+/// Dynamic-power fractions for fully compute-bound execution (sum = 1).
+pub const COMPUTE_FRACTIONS: [f64; 9] = [
+    0.15, // integer execution
+    0.17, // fpu
+    0.08, // l1d
+    0.12, // register files
+    0.14, // issue queue + ROB
+    0.12, // lsu
+    0.08, // fetch
+    0.06, // decode/rename
+    0.08, // l1i
+];
+
+/// Dynamic-power fractions for fully memory-bound execution (sum = 1).
+pub const MEMORY_FRACTIONS: [f64; 9] = [
+    0.10, // integer execution
+    0.06, // fpu
+    0.26, // l1d
+    0.08, // register files
+    0.10, // issue queue + ROB
+    0.22, // lsu
+    0.07, // fetch
+    0.05, // decode/rename
+    0.06, // l1i
+];
+
+/// Leakage is proportional to area; every sub-block occupies one cell of
+/// the 3x3 core grid, so leakage fractions are uniform.
+pub const LEAKAGE_FRACTION: f64 = 1.0 / 9.0;
+
+/// Per-block dynamic fractions for a workload with the given memory
+/// intensity (0 = compute-bound, 1 = memory-bound).
+///
+/// # Panics
+///
+/// Panics if `memory_intensity` is outside `[0, 1]`.
+pub fn dynamic_fractions(memory_intensity: f64) -> [f64; 9] {
+    assert!(
+        (0.0..=1.0).contains(&memory_intensity),
+        "memory intensity {memory_intensity} outside [0, 1]"
+    );
+    let mut out = [0.0; 9];
+    for i in 0..9 {
+        out[i] =
+            (1.0 - memory_intensity) * COMPUTE_FRACTIONS[i] + memory_intensity * MEMORY_FRACTIONS[i];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let c: f64 = COMPUTE_FRACTIONS.iter().sum();
+        let m: f64 = MEMORY_FRACTIONS.iter().sum();
+        assert!((c - 1.0).abs() < 1e-12, "{c}");
+        assert!((m - 1.0).abs() < 1e-12, "{m}");
+        for mi in [0.0, 0.3, 0.7, 1.0] {
+            let s: f64 = dynamic_fractions(mi).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fpu_dominates_compute_lsu_dominates_memory() {
+        let fpu = CORE_BLOCKS.iter().position(|&b| b == "fpu").unwrap();
+        let lsu = CORE_BLOCKS.iter().position(|&b| b == "lsu").unwrap();
+        let c = dynamic_fractions(0.0);
+        let m = dynamic_fractions(1.0);
+        assert_eq!(c.iter().cloned().fold(0.0, f64::max), c[fpu]);
+        assert!(m[lsu] > c[lsu]);
+        assert!(m[fpu] < c[fpu]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_intensity_panics() {
+        let _ = dynamic_fractions(1.5);
+    }
+}

@@ -1,0 +1,28 @@
+//! Analytic processor power model with DVFS (the McPAT stand-in).
+//!
+//! The thermal experiments need, for every workload and operating point, a
+//! per-block power map of the processor die. This crate provides:
+//!
+//! * [`dvfs`] — the paper's DVFS range: 2.4-3.5 GHz in 100 MHz steps with a
+//!   linear voltage schedule (Sandy-Bridge-class power management,
+//!   Sec. 5.1);
+//! * [`blocks`] — per-block dynamic-power and area fractions of a 4-issue
+//!   out-of-order core;
+//! * [`processor`] — [`ProcessorPowerModel`], which combines per-core
+//!   activities, per-core operating points (cores may run at different
+//!   frequencies for the conductivity-aware techniques), uncore activity,
+//!   and temperature-dependent leakage into named block powers.
+//!
+//! Calibration: at 2.4 GHz the processor die spans ~8 W (memory-bound
+//! workloads) to ~24 W (compute-bound), matching the paper's Sec. 6.2
+//! statement (validated against Intel's Xeon E3-1260L envelope).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod blocks;
+pub mod dvfs;
+pub mod processor;
+
+pub use dvfs::{DvfsTable, OperatingPoint};
+pub use processor::{CoreActivity, ProcessorPowerModel, UncoreActivity};

@@ -1,0 +1,290 @@
+//! The processor-die power model: named block powers from activities.
+//!
+//! [`ProcessorPowerModel::block_powers`] produces `(block name, watts)`
+//! pairs whose names match the processor floorplan of `xylem-stack`
+//! (`core{id}_{sub}`, `llc_top`, `llc_bot`, `mc0..3`, `noc0/1`,
+//! `tsv_bus`), ready to feed `xylem_thermal::PowerMap::add_block_power`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::blocks::{dynamic_fractions, CORE_BLOCKS, LEAKAGE_FRACTION};
+use crate::dvfs::{DvfsTable, OperatingPoint};
+
+/// Number of cores the model covers.
+pub const NUM_CORES: usize = 8;
+
+/// Per-core inputs for one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreActivity {
+    /// Dynamic activity factor, 0 (idle/clock-gated) to 1 (peak).
+    pub activity: f64,
+    /// Memory intensity, 0 (compute-bound) to 1 (memory-bound): shifts
+    /// dynamic power between execution units and the memory pipeline.
+    pub memory_intensity: f64,
+    /// This core's operating point (cores may differ under the
+    /// conductivity-aware boosting technique).
+    pub point: OperatingPoint,
+}
+
+impl CoreActivity {
+    /// An idle, power-gated core at the given point.
+    pub fn idle(point: OperatingPoint) -> Self {
+        CoreActivity {
+            activity: 0.0,
+            memory_intensity: 0.0,
+            point,
+        }
+    }
+}
+
+/// Uncore inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UncoreActivity {
+    /// LLC activity, 0..1.
+    pub llc: f64,
+    /// Per-memory-controller utilization, 0..1.
+    pub mc: [f64; 4],
+    /// Coherence-bus/NoC activity, 0..1.
+    pub noc: f64,
+    /// Uncore operating point (typically the chip-wide base point).
+    pub point: OperatingPoint,
+}
+
+/// Analytic processor power model (the McPAT stand-in).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorPowerModel {
+    dvfs: DvfsTable,
+    /// Dynamic watts of one core at activity 1, at the reference point.
+    core_dynamic_ref: f64,
+    /// Leakage watts of one core at the reference voltage and temperature.
+    core_leakage_ref: f64,
+    /// LLC dynamic watts at activity 1 (reference point).
+    llc_dynamic_ref: f64,
+    /// LLC leakage watts (large SRAM arrays leak).
+    llc_leakage_ref: f64,
+    /// Dynamic watts of one memory controller at utilization 1.
+    mc_dynamic_ref: f64,
+    /// Leakage watts of one memory controller.
+    mc_leakage_ref: f64,
+    /// Dynamic watts of the NoC/coherence bus at activity 1.
+    noc_dynamic_ref: f64,
+    /// TSV-bus I/O driver watts at full memory utilization.
+    bus_io_ref: f64,
+    /// Linearized leakage temperature slope, 1/K (leakage grows
+    /// `1 + coeff * (T - T_ref)`).
+    leakage_temp_coeff: f64,
+    /// Leakage reference temperature, deg C.
+    reference_temp: f64,
+}
+
+impl ProcessorPowerModel {
+    /// The calibrated model: processor die spans ~8 W (memory-bound) to
+    /// ~24 W (compute-bound, hot) at 2.4 GHz — the paper's Sec. 6.2
+    /// envelope, validated against the Xeon E3-1260L class.
+    pub fn paper_default() -> Self {
+        ProcessorPowerModel {
+            dvfs: DvfsTable::paper_default(),
+            core_dynamic_ref: 1.70,
+            core_leakage_ref: 0.50,
+            llc_dynamic_ref: 1.8,
+            llc_leakage_ref: 1.1,
+            mc_dynamic_ref: 0.35,
+            mc_leakage_ref: 0.05,
+            noc_dynamic_ref: 0.6,
+            bus_io_ref: 0.25,
+            leakage_temp_coeff: 0.008,
+            reference_temp: 70.0,
+        }
+    }
+
+    /// The DVFS table.
+    pub fn dvfs(&self) -> &DvfsTable {
+        &self.dvfs
+    }
+
+    /// Leakage multiplier at `temp_c` (linearized exponential).
+    pub fn leakage_temp_factor(&self, temp_c: f64) -> f64 {
+        (1.0 + self.leakage_temp_coeff * (temp_c - self.reference_temp)).max(0.5)
+    }
+
+    /// Power of one core, split `(dynamic, leakage)`, W.
+    pub fn core_power(&self, core: &CoreActivity, temp_c: f64) -> (f64, f64) {
+        let reference = self.dvfs.reference();
+        let dyn_w = self.core_dynamic_ref
+            * core.activity.clamp(0.0, 1.0)
+            * core.point.dynamic_scale(&reference);
+        let leak_w = self.core_leakage_ref
+            * core.point.leakage_scale(&reference)
+            * self.leakage_temp_factor(temp_c);
+        (dyn_w, leak_w)
+    }
+
+    /// Named block powers for the whole die: 8 cores x 9 blocks plus the
+    /// uncore blocks. `temp_c` drives leakage (use the previous iteration's
+    /// hotspot estimate, or the ambient for a cold start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores.len() != 8`.
+    pub fn block_powers(
+        &self,
+        cores: &[CoreActivity],
+        uncore: &UncoreActivity,
+        temp_c: f64,
+    ) -> Vec<(String, f64)> {
+        assert_eq!(cores.len(), NUM_CORES, "expected {NUM_CORES} cores");
+        let reference = self.dvfs.reference();
+        let mut out = Vec::with_capacity(NUM_CORES * CORE_BLOCKS.len() + 9);
+
+        for (i, core) in cores.iter().enumerate() {
+            let id = i + 1;
+            let (dyn_w, leak_w) = self.core_power(core, temp_c);
+            let fr = dynamic_fractions(core.memory_intensity.clamp(0.0, 1.0));
+            for (bi, block) in CORE_BLOCKS.iter().enumerate() {
+                let w = dyn_w * fr[bi] + leak_w * LEAKAGE_FRACTION;
+                out.push((format!("core{id}_{block}"), w));
+            }
+        }
+
+        let up = &uncore.point;
+        let dyn_scale = up.dynamic_scale(&reference);
+        let leak_scale = up.leakage_scale(&reference) * self.leakage_temp_factor(temp_c);
+        let llc = self.llc_dynamic_ref * uncore.llc.clamp(0.0, 1.0) * dyn_scale
+            + self.llc_leakage_ref * leak_scale;
+        out.push(("llc_top".into(), llc / 2.0));
+        out.push(("llc_bot".into(), llc / 2.0));
+        let mut mc_util_sum = 0.0;
+        for (i, &util) in uncore.mc.iter().enumerate() {
+            let w = self.mc_dynamic_ref * util.clamp(0.0, 1.0) * dyn_scale
+                + self.mc_leakage_ref * leak_scale;
+            mc_util_sum += util.clamp(0.0, 1.0);
+            out.push((format!("mc{i}"), w));
+        }
+        let noc = self.noc_dynamic_ref * uncore.noc.clamp(0.0, 1.0) * dyn_scale;
+        out.push(("noc0".into(), noc / 2.0));
+        out.push(("noc1".into(), noc / 2.0));
+        out.push((
+            "tsv_bus".into(),
+            self.bus_io_ref * (mc_util_sum / 4.0) * dyn_scale,
+        ));
+        out
+    }
+
+    /// Total die power for the given inputs, W.
+    pub fn total_power(
+        &self,
+        cores: &[CoreActivity],
+        uncore: &UncoreActivity,
+        temp_c: f64,
+    ) -> f64 {
+        self.block_powers(cores, uncore, temp_c)
+            .iter()
+            .map(|(_, w)| w)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_cores(activity: f64, mi: f64, p: OperatingPoint) -> Vec<CoreActivity> {
+        vec![
+            CoreActivity {
+                activity,
+                memory_intensity: mi,
+                point: p,
+            };
+            8
+        ]
+    }
+
+    fn uncore(llc: f64, mc: f64, p: OperatingPoint) -> UncoreActivity {
+        UncoreActivity {
+            llc,
+            mc: [mc; 4],
+            noc: mc,
+            point: p,
+        }
+    }
+
+    #[test]
+    fn envelope_matches_paper_8_to_24_w() {
+        let m = ProcessorPowerModel::paper_default();
+        let p = m.dvfs().reference();
+        let hot = m.total_power(&all_cores(1.0, 0.1, p), &uncore(0.6, 0.3, p), 95.0);
+        assert!((20.0..25.0).contains(&hot), "compute-bound {hot} W");
+        let cold = m.total_power(&all_cores(0.22, 0.9, p), &uncore(0.5, 0.8, p), 75.0);
+        assert!((7.0..12.0).contains(&cold), "memory-bound {cold} W");
+    }
+
+    #[test]
+    fn power_monotone_in_frequency() {
+        let m = ProcessorPowerModel::paper_default();
+        let mut prev = 0.0;
+        for point in m.dvfs().points() {
+            let w = m.total_power(
+                &all_cores(0.8, 0.3, point),
+                &uncore(0.5, 0.4, point),
+                80.0,
+            );
+            assert!(w > prev, "{w} at {point:?}");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let m = ProcessorPowerModel::paper_default();
+        let p = m.dvfs().reference();
+        let idle = all_cores(0.0, 0.0, p);
+        let w_cool = m.total_power(&idle, &uncore(0.0, 0.0, p), 50.0);
+        let w_hot = m.total_power(&idle, &uncore(0.0, 0.0, p), 100.0);
+        assert!(w_hot > w_cool);
+    }
+
+    #[test]
+    fn per_core_points_differ() {
+        let m = ProcessorPowerModel::paper_default();
+        let base = m.dvfs().reference();
+        let fast = m.dvfs().point_at(3.5);
+        let mut cores = all_cores(0.8, 0.2, base);
+        cores[2].point = fast;
+        let powers = m.block_powers(&cores, &uncore(0.5, 0.3, base), 80.0);
+        let sum_core = |id: usize| -> f64 {
+            powers
+                .iter()
+                .filter(|(n, _)| n.starts_with(&format!("core{id}_")))
+                .map(|(_, w)| w)
+                .sum()
+        };
+        assert!(sum_core(3) > 1.5 * sum_core(1), "{} vs {}", sum_core(3), sum_core(1));
+    }
+
+    #[test]
+    fn block_names_match_floorplan_vocabulary() {
+        let m = ProcessorPowerModel::paper_default();
+        let p = m.dvfs().reference();
+        let powers = m.block_powers(&all_cores(0.5, 0.5, p), &uncore(0.5, 0.5, p), 80.0);
+        assert_eq!(powers.len(), 8 * 9 + 2 + 4 + 2 + 1);
+        assert!(powers.iter().any(|(n, _)| n == "core8_fpu"));
+        assert!(powers.iter().any(|(n, _)| n == "tsv_bus"));
+        for (_, w) in &powers {
+            assert!(*w >= 0.0);
+        }
+    }
+
+    #[test]
+    fn compute_bound_fpu_is_hotter_than_memory_bound() {
+        let m = ProcessorPowerModel::paper_default();
+        let p = m.dvfs().reference();
+        let get = |mi: f64| -> f64 {
+            m.block_powers(&all_cores(0.9, mi, p), &uncore(0.5, 0.5, p), 80.0)
+                .iter()
+                .find(|(n, _)| n == "core1_fpu")
+                .unwrap()
+                .1
+        };
+        assert!(get(0.0) > get(1.0));
+    }
+}

@@ -1,0 +1,54 @@
+//! Scratch calibration: base vs bank vs banke hotspot temperatures.
+
+use xylem_stack::builder::StackConfig;
+use xylem_stack::proc_die::ProcDieGeometry;
+use xylem_stack::scheme::XylemScheme;
+use xylem_thermal::grid::GridSpec;
+use xylem_thermal::power::PowerMap;
+
+fn main() {
+    let grid = GridSpec::new(64, 64);
+    let footprint: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(250e-6);
+    for scheme in [
+        XylemScheme::Base,
+        XylemScheme::BankSurround,
+        XylemScheme::BankEnhanced,
+        XylemScheme::Prior,
+    ] {
+        let mut cfg = StackConfig::paper_default(scheme);
+        cfg.pillar_footprint = footprint;
+        let built = cfg.build().unwrap();
+        let model = built.stack().discretize(grid).unwrap();
+        let mut p = PowerMap::zeros(&model);
+        // Processor: 20 W total; 2.2 W per core concentrated, LLC 2.4 W.
+        let pm = built.proc_metal_layer();
+        for core in 1..=8 {
+            for b in ProcDieGeometry::core_block_names(core) {
+                p.add_block_power(&model, pm, &b, 2.2 / 9.0).unwrap();
+            }
+        }
+        p.add_block_power(&model, pm, "llc_top", 1.0).unwrap();
+        p.add_block_power(&model, pm, "llc_bot", 1.0).unwrap();
+        for mc in ["mc0", "mc1", "mc2", "mc3"] {
+            p.add_block_power(&model, pm, mc, 0.1).unwrap();
+        }
+        // DRAM: 0.4 W per die.
+        for &l in built.dram_metal_layers() {
+            p.add_uniform_layer_power(l, 0.4);
+        }
+        let t = model.steady_state(&p).unwrap();
+        let hot = t.max_of_layer(pm);
+        let dram_hot = t.max_of_layer(built.bottom_dram_metal_layer());
+        println!(
+            "{:10} P={:5.1} W  proc hotspot {:6.2} C  bottom-DRAM {:6.2} C  iters {}",
+            scheme.name(),
+            p.total(),
+            hot,
+            dram_hot,
+            t.stats().iterations
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! TTSV area and routing overhead accounting (paper Sec. 7.1).
+//!
+//! One TTSV plus its keep-out zone occupies `(100 um + 2 x 10 um)^2 =
+//! 0.0144 mm^2`. Against the 64.34 mm^2 Samsung Wide I/O prototype die,
+//! `bank` (28 TTSVs) costs 0.63% and `banke` (36) costs 0.81%. TTSVs are
+//! passive (no energy overhead) and terminate below the frontside metal
+//! (no routing congestion there).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dram_die::DramDieGeometry;
+use crate::scheme::XylemScheme;
+use crate::tsv::TsvTech;
+
+/// Die area of Samsung's Wide I/O DRAM prototype (Kim et al., ISSCC 2011),
+/// the reference the paper computes overheads against, m^2.
+pub const SAMSUNG_WIDE_IO_DIE_AREA: f64 = 64.34e-6;
+
+/// Area-overhead report for one scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaOverhead {
+    /// TTSVs per die.
+    pub ttsv_count: usize,
+    /// Area of one TTSV site including KOZ, m^2.
+    pub site_area: f64,
+    /// Total TTSV area, m^2.
+    pub total_area: f64,
+    /// Fraction of the reference die area (0..=1).
+    pub fraction_of_die: f64,
+}
+
+impl AreaOverhead {
+    /// Computes the overhead of `scheme` on `geom`, against the reference
+    /// die area (use [`SAMSUNG_WIDE_IO_DIE_AREA`] to match the paper).
+    pub fn for_scheme(scheme: XylemScheme, geom: &DramDieGeometry, reference_area: f64) -> Self {
+        let tech = TsvTech::thermal();
+        let count = scheme.ttsv_count(geom);
+        let site = tech.site_area();
+        let total = count as f64 * site;
+        AreaOverhead {
+            ttsv_count: count,
+            site_area: site,
+            total_area: total,
+            fraction_of_die: total / reference_area,
+        }
+    }
+
+    /// Overhead as a percentage.
+    pub fn percent(&self) -> f64 {
+        self.fraction_of_die * 100.0
+    }
+}
+
+/// Routing-overhead summary: TTSVs never enter the frontside metal layers
+/// (Fig. 3), so the frontside routing overhead is structurally zero; the
+/// shorting via lives in the 0-2 backside metal layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingOverhead {
+    /// Vias added to the frontside metal layers (always 0).
+    pub frontside_vias: usize,
+    /// Shorting vias added to the backside metal layers (one per TTSV for
+    /// aligned-and-shorted schemes).
+    pub backside_vias: usize,
+}
+
+impl RoutingOverhead {
+    /// Computes the routing overhead of `scheme`.
+    pub fn for_scheme(scheme: XylemScheme, geom: &DramDieGeometry) -> Self {
+        RoutingOverhead {
+            frontside_vias: 0,
+            backside_vias: if scheme.aligned_and_shorted() {
+                scheme.ttsv_count(geom)
+            } else {
+                0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_percentages() {
+        let g = DramDieGeometry::paper_default();
+        let bank =
+            AreaOverhead::for_scheme(XylemScheme::BankSurround, &g, SAMSUNG_WIDE_IO_DIE_AREA);
+        assert!((bank.total_area * 1e6 - 0.4032).abs() < 1e-9);
+        assert!((bank.percent() - 0.63).abs() < 0.01, "{}", bank.percent());
+        let banke =
+            AreaOverhead::for_scheme(XylemScheme::BankEnhanced, &g, SAMSUNG_WIDE_IO_DIE_AREA);
+        assert!((banke.total_area * 1e6 - 0.5184).abs() < 1e-9);
+        assert!((banke.percent() - 0.81).abs() < 0.01, "{}", banke.percent());
+    }
+
+    #[test]
+    fn base_has_zero_overhead() {
+        let g = DramDieGeometry::paper_default();
+        let a = AreaOverhead::for_scheme(XylemScheme::Base, &g, SAMSUNG_WIDE_IO_DIE_AREA);
+        assert_eq!(a.ttsv_count, 0);
+        assert_eq!(a.percent(), 0.0);
+    }
+
+    #[test]
+    fn frontside_routing_is_always_zero() {
+        let g = DramDieGeometry::paper_default();
+        for s in XylemScheme::ALL {
+            let r = RoutingOverhead::for_scheme(s, &g);
+            assert_eq!(r.frontside_vias, 0);
+        }
+        let r = RoutingOverhead::for_scheme(XylemScheme::Prior, &g);
+        assert_eq!(r.backside_vias, 0); // prior never shorts
+        let r = RoutingOverhead::for_scheme(XylemScheme::BankSurround, &g);
+        assert_eq!(r.backside_vias, 28);
+    }
+}

@@ -1,0 +1,45 @@
+//! 3D processor-memory stack geometry and Xylem TTSV placement schemes.
+//!
+//! This crate builds the physical structure the Xylem paper (MICRO 2017)
+//! evaluates: a Wide I/O-compliant stack of 8 DRAM dies on top of an 8-core
+//! processor die (the "memory-on-top" organization of Sec. 3.2), including:
+//!
+//! * the Wide I/O DRAM die floorplan (16 banks, central TSV bus,
+//!   peripheral-logic strips) — [`dram_die`];
+//! * the processor die floorplan (8 cores on the periphery, LLC + memory
+//!   controllers + TSV bus in the center, Fig. 6) — [`proc_die`];
+//! * TSV/TTSV/microbump technology parameters and density math — [`tsv`];
+//! * the five TTSV placement schemes of Table 2 (`base`, `bank`, `banke`,
+//!   `isoCount`, `prior`) — [`scheme`];
+//! * the stack builder that assembles everything into a solvable
+//!   [`xylem_thermal::Stack`], painting TTSV pillars into the silicon
+//!   layers and — for aligned-and-shorted schemes — high-conductivity
+//!   microbump sites into the D2D layers (Sec. 4.1.2) — [`builder`];
+//! * TTSV area/overhead accounting (Sec. 7.1) — [`area`].
+//!
+//! # Example
+//!
+//! ```
+//! use xylem_stack::builder::StackConfig;
+//! use xylem_stack::scheme::XylemScheme;
+//!
+//! # fn main() -> Result<(), xylem_thermal::ThermalError> {
+//! let config = StackConfig::paper_default(XylemScheme::BankEnhanced);
+//! let built = config.build()?;
+//! assert_eq!(built.stack().len(), 8 * 3 + 2); // 8 DRAM dies x 3 layers + proc Si + metal
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod builder;
+pub mod dram_die;
+pub mod proc_die;
+pub mod scheme;
+pub mod tsv;
+
+pub use builder::{BuiltStack, Organization, StackConfig};
+pub use scheme::XylemScheme;

@@ -1,0 +1,517 @@
+//! HotSpot-style **block mode**: one RC node per floorplan block.
+//!
+//! The paper notes (Sec. 6.1) that it runs the thermal simulation "in
+//! grid mode for higher accuracy" — block mode is the faster, coarser
+//! alternative that HotSpot offers, and it is implemented here both for
+//! completeness of the substrate and as an independent cross-check of the
+//! grid solver (the validation tests require the two modes to agree on
+//! smooth problems).
+//!
+//! Model: every user layer contributes one node per floorplan block (or a
+//! single die-sized node if the layer has no floorplan). Material patches
+//! (TTSVs, pillars) are folded into each block's *effective* vertical
+//! conductivity by area weighting. Nodes connect vertically to the
+//! area-overlapping nodes of the adjacent layers and laterally to
+//! edge-sharing blocks within the layer. The package is lumped: TIM, IHS
+//! and sink each become one node, with the sink grounded through the
+//! convection resistance (plus the optional board path from the bottom
+//! layer).
+
+use crate::error::ThermalError;
+use crate::floorplan::Rect;
+use crate::layer::Layer;
+use crate::solve::{solve_cg, SolverOptions};
+use crate::stack::Stack;
+
+/// A solved block-mode temperature result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockTemperatures {
+    /// `temps[layer][block]`, deg C (one entry for floorplan-less layers).
+    pub layers: Vec<Vec<f64>>,
+    /// Package node temperatures `(tim, spreader, sink)`, deg C.
+    pub package: (f64, f64, f64),
+    /// Ambient used, deg C.
+    pub ambient: f64,
+}
+
+impl BlockTemperatures {
+    /// Hottest block of a layer, `(block index, deg C)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn hotspot_of_layer(&self, layer: usize) -> (usize, f64) {
+        let mut best = (0, f64::NEG_INFINITY);
+        for (i, &t) in self.layers[layer].iter().enumerate() {
+            if t > best.1 {
+                best = (i, t);
+            }
+        }
+        best
+    }
+
+    /// Area-weighted mean of a layer (blocks carry their own areas, which
+    /// the model stores; here a plain mean over blocks is reported for
+    /// floorplanned layers built by [`BlockThermalModel`], whose blocks
+    /// tile the die for power layers).
+    pub fn mean_of_layer(&self, layer: usize) -> f64 {
+        let v = &self.layers[layer];
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Node metadata inside the assembled block model.
+#[derive(Debug, Clone)]
+struct BlockNode {
+    rect: Rect,
+    /// Effective vertical conductivity (patches folded in), W/m-K.
+    lambda: f64,
+    thickness: f64,
+}
+
+/// The assembled block-mode RC network for a stack.
+#[derive(Debug, Clone)]
+pub struct BlockThermalModel {
+    /// Per user layer: the node ids of its blocks.
+    layer_nodes: Vec<Vec<usize>>,
+    /// Block names per layer (empty name for the die-sized node).
+    block_names: Vec<Vec<String>>,
+    nodes: Vec<BlockNode>,
+    /// Adjacency `(a, b, G)` stored once per edge, W/K.
+    edges: Vec<(usize, usize, f64)>,
+    /// Conductance to ambient per node, W/K.
+    g_ambient: Vec<f64>,
+    /// Package node ids: (tim, spreader, sink).
+    package_nodes: (usize, usize, usize),
+    ambient: f64,
+    options: SolverOptions,
+}
+
+impl BlockThermalModel {
+    /// Builds the block-mode network for `stack`.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::BadStack`] for degenerate geometry.
+    pub fn build(stack: &Stack) -> Result<Self, ThermalError> {
+        let (w, h) = (stack.width(), stack.height());
+        let die = Rect::new(0.0, 0.0, w, h);
+        let pkg = stack.package();
+        pkg.validate_die(w, h)?;
+
+        let mut nodes: Vec<BlockNode> = Vec::new();
+        let mut layer_nodes: Vec<Vec<usize>> = Vec::new();
+        let mut block_names: Vec<Vec<String>> = Vec::new();
+
+        for layer in stack.layers() {
+            let mut ids = Vec::new();
+            let mut names = Vec::new();
+            match layer.floorplan() {
+                Some(fp) if !fp.is_empty() => {
+                    for (bi, block) in fp.blocks().iter().enumerate() {
+                        let lambda = effective_lambda(layer, bi, block.rect());
+                        ids.push(nodes.len());
+                        names.push(block.name().to_string());
+                        nodes.push(BlockNode {
+                            rect: *block.rect(),
+                            lambda,
+                            thickness: layer.thickness(),
+                        });
+                    }
+                }
+                _ => {
+                    // Die-sized node; fold patches into the average.
+                    let lambda = effective_lambda_unfloorplanned(layer, &die);
+                    ids.push(nodes.len());
+                    names.push(String::new());
+                    nodes.push(BlockNode {
+                        rect: die,
+                        lambda,
+                        thickness: layer.thickness(),
+                    });
+                }
+            }
+            layer_nodes.push(ids);
+            block_names.push(names);
+        }
+
+        // Package nodes: TIM, spreader, sink (die-sized lumped).
+        let tim_id = nodes.len();
+        nodes.push(BlockNode {
+            rect: die,
+            lambda: pkg.tim_material().conductivity(),
+            thickness: pkg.tim_thickness(),
+        });
+        let sp_id = nodes.len();
+        nodes.push(BlockNode {
+            rect: die, // center portion; spreading folded into convection
+            lambda: pkg.spreader_material().conductivity(),
+            thickness: pkg.spreader_thickness(),
+        });
+        let sink_id = nodes.len();
+        nodes.push(BlockNode {
+            rect: die,
+            lambda: pkg.sink_material().conductivity(),
+            thickness: pkg.sink_thickness(),
+        });
+
+        let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+        let mut g_ambient = vec![0.0; nodes.len()];
+
+        // Vertical coupling between consecutive user layers (and the top
+        // layer to the TIM, TIM to spreader, spreader to sink).
+        let vertical_g = |a: &BlockNode, b: &BlockNode| -> f64 {
+            let overlap = a.rect.intersection_area(&b.rect);
+            if overlap <= 0.0 {
+                return 0.0;
+            }
+            overlap / (a.thickness / (2.0 * a.lambda) + b.thickness / (2.0 * b.lambda))
+        };
+        for l in 0..layer_nodes.len() {
+            let above: Vec<usize> = if l == 0 {
+                vec![tim_id]
+            } else {
+                layer_nodes[l - 1].clone()
+            };
+            for &i in &layer_nodes[l] {
+                for &j in &above {
+                    let (na, nb) = (&nodes[i], &nodes[j]);
+                    let g = vertical_g(na, nb);
+                    if g > 0.0 {
+                        edges.push((i, j, g));
+                    }
+                }
+            }
+        }
+        let g_tim_sp = vertical_g(&nodes[tim_id], &nodes[sp_id]);
+        edges.push((tim_id, sp_id, g_tim_sp));
+        let g_sp_sink = vertical_g(&nodes[sp_id], &nodes[sink_id]);
+        edges.push((sp_id, sink_id, g_sp_sink));
+
+        // Lateral coupling between edge-sharing blocks within each layer.
+        for ids in &layer_nodes {
+            for (ai, &i) in ids.iter().enumerate() {
+                for &j in ids.iter().skip(ai + 1) {
+                    if let Some(g) = lateral_g(&nodes[i], &nodes[j]) {
+                        edges.push((i, j, g));
+                    }
+                }
+            }
+        }
+
+        // Sink to ambient: the lumped convection resistance plus the
+        // package's lateral spreading advantage, approximated by the full
+        // convection resistance (block mode does not resolve periphery).
+        g_ambient[sink_id] = 1.0 / pkg.convection_resistance();
+        // Optional board path from the bottom layer's nodes, area-shared.
+        if let Some(r_board) = pkg.board_resistance() {
+            let bottom = layer_nodes.last().expect("stack has layers");
+            let total_area: f64 = bottom.iter().map(|&i| nodes[i].rect.area()).sum();
+            for &i in bottom {
+                g_ambient[i] = nodes[i].rect.area() / total_area / r_board;
+            }
+        }
+
+        Ok(BlockThermalModel {
+            layer_nodes,
+            block_names,
+            nodes,
+            edges,
+            g_ambient,
+            package_nodes: (tim_id, sp_id, sink_id),
+            ambient: pkg.ambient(),
+            options: SolverOptions::default(),
+        })
+    }
+
+    /// Number of nodes (blocks + 3 package nodes).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Index of a named block within a user layer.
+    pub fn block_index(&self, layer: usize, name: &str) -> Option<usize> {
+        self.block_names
+            .get(layer)?
+            .iter()
+            .position(|n| n == name)
+    }
+
+    /// Solves steady state for per-layer, per-block powers (W). The outer
+    /// vector must match the layer count; inner vectors the block counts
+    /// (empty inner vectors mean zero power).
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::PowerMapMismatch`] on shape mismatch;
+    /// [`ThermalError::NoConvergence`] if CG stalls.
+    pub fn steady_state(
+        &self,
+        block_powers: &[Vec<f64>],
+    ) -> Result<BlockTemperatures, ThermalError> {
+        if block_powers.len() != self.layer_nodes.len() {
+            return Err(ThermalError::PowerMapMismatch {
+                map_nodes: block_powers.len(),
+                model_nodes: self.layer_nodes.len(),
+            });
+        }
+        let n = self.nodes.len();
+        let mut b = vec![0.0; n];
+        for (l, powers) in block_powers.iter().enumerate() {
+            if powers.is_empty() {
+                continue;
+            }
+            if powers.len() != self.layer_nodes[l].len() {
+                return Err(ThermalError::PowerMapMismatch {
+                    map_nodes: powers.len(),
+                    model_nodes: self.layer_nodes[l].len(),
+                });
+            }
+            for (k, &p) in powers.iter().enumerate() {
+                b[self.layer_nodes[l][k]] += p;
+            }
+        }
+        for i in 0..n {
+            b[i] += self.g_ambient[i] * self.ambient;
+        }
+
+        // Assemble adjacency for the matvec.
+        let mut neighbors: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(a, c, g) in &self.edges {
+            neighbors[a].push((c, g));
+            neighbors[c].push((a, g));
+        }
+        let diag: Vec<f64> = (0..n)
+            .map(|i| {
+                neighbors[i].iter().map(|&(_, g)| g).sum::<f64>() + self.g_ambient[i]
+            })
+            .collect();
+        if diag.iter().any(|&d| d <= 0.0) {
+            return Err(ThermalError::BadStack {
+                reason: "block model has an isolated node".into(),
+            });
+        }
+        let matvec = |x: &[f64], y: &mut [f64]| {
+            for i in 0..x.len() {
+                let mut acc = diag[i] * x[i];
+                for &(j, g) in &neighbors[i] {
+                    acc -= g * x[j];
+                }
+                y[i] = acc;
+            }
+        };
+        let mut x = vec![self.ambient; n];
+        solve_cg(matvec, &diag, &b, &mut x, &self.options)?;
+
+        let layers = self
+            .layer_nodes
+            .iter()
+            .map(|ids| ids.iter().map(|&i| x[i]).collect())
+            .collect();
+        let (t, s, k) = self.package_nodes;
+        Ok(BlockTemperatures {
+            layers,
+            package: (x[t], x[s], x[k]),
+            ambient: self.ambient,
+        })
+    }
+}
+
+/// Effective vertical conductivity of a floorplan block: the block's own
+/// material (override or base) blended with any patches overlapping it.
+fn effective_lambda(layer: &Layer, block_index: usize, rect: &Rect) -> f64 {
+    let base = layer
+        .block_material(block_index)
+        .unwrap_or(layer.base_material())
+        .conductivity();
+    fold_patches(layer, rect, base)
+}
+
+/// Effective conductivity of a floorplan-less layer over `region`.
+fn effective_lambda_unfloorplanned(layer: &Layer, region: &Rect) -> f64 {
+    fold_patches(layer, region, layer.base_material().conductivity())
+}
+
+fn fold_patches(layer: &Layer, rect: &Rect, base: f64) -> f64 {
+    let area = rect.area();
+    if area <= 0.0 {
+        return base;
+    }
+    let mut lambda = base;
+    for patch in layer.patches() {
+        let f = patch.rect().intersection_area(rect) / area;
+        if f > 0.0 {
+            lambda = lambda * (1.0 - f) + f * patch.material().conductivity();
+        }
+    }
+    lambda
+}
+
+/// Lateral conductance between two blocks of one layer if they share an
+/// edge: `G = lambda_series * t * shared_len / centroid_distance`.
+fn lateral_g(a: &BlockNode, b: &BlockNode) -> Option<f64> {
+    const EPS: f64 = 1e-9;
+    let shared = if (a.rect.x_max() - b.rect.x()).abs() < EPS
+        || (b.rect.x_max() - a.rect.x()).abs() < EPS
+    {
+        (a.rect.y_max().min(b.rect.y_max()) - a.rect.y().max(b.rect.y())).max(0.0)
+    } else if (a.rect.y_max() - b.rect.y()).abs() < EPS
+        || (b.rect.y_max() - a.rect.y()).abs() < EPS
+    {
+        (a.rect.x_max().min(b.rect.x_max()) - a.rect.x().max(b.rect.x())).max(0.0)
+    } else {
+        0.0
+    };
+    if shared <= EPS {
+        return None;
+    }
+    let d = a.rect.center_distance(&b.rect).max(EPS);
+    // Series half-distances through each block's own conductivity.
+    let (da, db) = (d / 2.0, d / 2.0);
+    let g = a.thickness * shared / (da / a.lambda + db / b.lambda);
+    Some(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::grid::GridSpec;
+    use crate::material::{D2D_AVERAGE, SILICON};
+    use crate::package::Package;
+    use crate::power::PowerMap;
+    use crate::stack::Stack;
+
+    const DIE: f64 = 8e-3;
+
+    fn simple_stack() -> Stack {
+        let mut fp = Floorplan::new(DIE, DIE);
+        fp.add_block("left", Rect::new(0.0, 0.0, DIE / 2.0, DIE)).unwrap();
+        fp.add_block("right", Rect::new(DIE / 2.0, 0.0, DIE / 2.0, DIE))
+            .unwrap();
+        Stack::builder(DIE, DIE)
+            .package(Package::default_for_die(DIE, DIE))
+            .layer(Layer::uniform("si-top", 100e-6, SILICON.clone()))
+            .layer(Layer::uniform("d2d", 20e-6, D2D_AVERAGE.clone()))
+            .layer(Layer::uniform("proc", 100e-6, SILICON.clone()).with_floorplan(fp))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_expected_node_count() {
+        let m = BlockThermalModel::build(&simple_stack()).unwrap();
+        // 1 + 1 + 2 block nodes + 3 package nodes.
+        assert_eq!(m.node_count(), 7);
+        assert_eq!(m.block_index(2, "left"), Some(0));
+        assert_eq!(m.block_index(2, "right"), Some(1));
+        assert_eq!(m.block_index(0, "nope"), None);
+    }
+
+    #[test]
+    fn power_raises_its_own_block_most() {
+        let m = BlockThermalModel::build(&simple_stack()).unwrap();
+        let t = m
+            .steady_state(&[vec![], vec![], vec![12.0, 0.0]])
+            .unwrap();
+        let (hot, _) = t.hotspot_of_layer(2);
+        assert_eq!(hot, 0); // "left"
+        assert!(t.layers[2][0] > t.layers[2][1] + 0.5);
+        // Package node ordering: sink coolest, tim warmest.
+        let (tim, sp, sink) = t.package;
+        assert!(tim >= sp && sp >= sink && sink > t.ambient);
+    }
+
+    #[test]
+    fn agrees_with_grid_mode_on_smooth_problems() {
+        // Uniform power over the bottom layer: block and grid mode should
+        // land within a few degrees of each other.
+        let stack = simple_stack();
+        let block = BlockThermalModel::build(&stack).unwrap();
+        let bt = block
+            .steady_state(&[vec![], vec![], vec![8.0, 8.0]])
+            .unwrap();
+        let grid = stack.discretize(GridSpec::new(16, 16)).unwrap();
+        let mut p = PowerMap::zeros(&grid);
+        p.add_uniform_layer_power(2, 16.0);
+        let gt = grid.steady_state(&p).unwrap();
+        let block_mean = bt.mean_of_layer(2);
+        let grid_mean = gt.mean_of_layer(2);
+        assert!(
+            (block_mean - grid_mean).abs() < 5.0,
+            "block {block_mean} vs grid {grid_mean}"
+        );
+    }
+
+    #[test]
+    fn pillar_patches_fold_into_block_lambda() {
+        use crate::layer::MaterialPatch;
+        use crate::material::shorted_pillar_d2d;
+        let mut d2d = Layer::uniform("d2d", 20e-6, D2D_AVERAGE.clone());
+        d2d.add_patch(MaterialPatch::new(
+            "pillar",
+            Rect::new(3e-3, 3e-3, 2e-3, 2e-3),
+            shorted_pillar_d2d(20e-6),
+        ))
+        .unwrap();
+        let with_pillar = Stack::builder(DIE, DIE)
+            .package(Package::default_for_die(DIE, DIE))
+            .layer(Layer::uniform("top", 100e-6, SILICON.clone()))
+            .layer(d2d)
+            .layer(Layer::uniform("proc", 100e-6, SILICON.clone()))
+            .build()
+            .unwrap();
+        let plain = Stack::builder(DIE, DIE)
+            .package(Package::default_for_die(DIE, DIE))
+            .layer(Layer::uniform("top", 100e-6, SILICON.clone()))
+            .layer(Layer::uniform("d2d", 20e-6, D2D_AVERAGE.clone()))
+            .layer(Layer::uniform("proc", 100e-6, SILICON.clone()))
+            .build()
+            .unwrap();
+        let hot = |s: &Stack| {
+            BlockThermalModel::build(s)
+                .unwrap()
+                .steady_state(&[vec![], vec![], vec![15.0]])
+                .unwrap()
+                .layers[2][0]
+        };
+        assert!(hot(&with_pillar) < hot(&plain) - 1.0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let m = BlockThermalModel::build(&simple_stack()).unwrap();
+        assert!(m.steady_state(&[vec![]]).is_err());
+        assert!(m.steady_state(&[vec![], vec![], vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn block_mode_runs_the_full_paper_floorplans() {
+        // The processor floorplan's 83 blocks, through block mode.
+        use crate::layer::Layer as L;
+        let mut fp = Floorplan::new(DIE, DIE);
+        // A 4x4 tiling stands in for an arbitrary many-block layer here
+        // (the real paper floorplans live in xylem-stack, a downstream
+        // crate).
+        for i in 0..4 {
+            for j in 0..4 {
+                fp.add_block(
+                    format!("b{i}{j}"),
+                    Rect::new(i as f64 * DIE / 4.0, j as f64 * DIE / 4.0, DIE / 4.0, DIE / 4.0),
+                )
+                .unwrap();
+            }
+        }
+        let stack = Stack::builder(DIE, DIE)
+            .layer(L::uniform("si", 100e-6, SILICON.clone()).with_floorplan(fp))
+            .build()
+            .unwrap();
+        let m = BlockThermalModel::build(&stack).unwrap();
+        let powers = vec![vec![1.0; 16]];
+        let t = m.steady_state(&powers).unwrap();
+        // 4-fold symmetry of the block temperatures.
+        let v = &t.layers[0];
+        assert!((v[0] - v[15]).abs() < 1e-6);
+        assert!((v[5] - v[10]).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,156 @@
+//! Error type for the thermal simulator.
+
+use std::fmt;
+
+/// Errors produced when building or solving a thermal model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// A geometric quantity (width, height, thickness, ...) was not strictly
+    /// positive or not finite.
+    InvalidGeometry {
+        /// What was being validated.
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A material property (conductivity, heat capacity) was invalid.
+    InvalidMaterial {
+        /// What was being validated.
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A floorplan block fell outside the die outline or overlapped another
+    /// block.
+    BadFloorplan {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A layer, block, or node index was out of range.
+    IndexOutOfRange {
+        /// What kind of index.
+        what: &'static str,
+        /// The requested index.
+        index: usize,
+        /// The number of valid entries.
+        len: usize,
+    },
+    /// The stack had no layers, or layers with mismatched outlines.
+    BadStack {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The iterative solver failed to reach the requested tolerance.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual norm at the last iteration.
+        residual: f64,
+        /// Requested tolerance.
+        tolerance: f64,
+    },
+    /// A power map was built for a different model (size mismatch).
+    PowerMapMismatch {
+        /// Nodes in the power map.
+        map_nodes: usize,
+        /// Nodes in the model.
+        model_nodes: usize,
+    },
+    /// Transient integration was asked to run with a non-positive step.
+    InvalidTimeStep {
+        /// The offending time step in seconds.
+        dt: f64,
+    },
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::InvalidGeometry { what, value } => {
+                write!(f, "invalid geometry: {what} = {value}")
+            }
+            ThermalError::InvalidMaterial { what, value } => {
+                write!(f, "invalid material property: {what} = {value}")
+            }
+            ThermalError::BadFloorplan { reason } => write!(f, "bad floorplan: {reason}"),
+            ThermalError::IndexOutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+            ThermalError::BadStack { reason } => write!(f, "bad stack: {reason}"),
+            ThermalError::NoConvergence {
+                iterations,
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} iterations \
+                 (residual {residual:.3e}, tolerance {tolerance:.3e})"
+            ),
+            ThermalError::PowerMapMismatch {
+                map_nodes,
+                model_nodes,
+            } => write!(
+                f,
+                "power map has {map_nodes} nodes but model has {model_nodes}"
+            ),
+            ThermalError::InvalidTimeStep { dt } => {
+                write!(f, "invalid time step {dt} s (must be positive and finite)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors: Vec<ThermalError> = vec![
+            ThermalError::InvalidGeometry {
+                what: "width".into(),
+                value: -1.0,
+            },
+            ThermalError::InvalidMaterial {
+                what: "conductivity".into(),
+                value: 0.0,
+            },
+            ThermalError::BadFloorplan {
+                reason: "overlap".into(),
+            },
+            ThermalError::IndexOutOfRange {
+                what: "layer",
+                index: 9,
+                len: 3,
+            },
+            ThermalError::BadStack {
+                reason: "empty".into(),
+            },
+            ThermalError::NoConvergence {
+                iterations: 10,
+                residual: 1.0,
+                tolerance: 1e-9,
+            },
+            ThermalError::PowerMapMismatch {
+                map_nodes: 1,
+                model_nodes: 2,
+            },
+            ThermalError::InvalidTimeStep { dt: 0.0 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            let first = s.chars().next().unwrap();
+            assert!(first.is_lowercase() || first.is_numeric(), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ThermalError>();
+    }
+}

@@ -1,0 +1,285 @@
+//! Grid discretization: rasterizing floorplans onto the solver grid.
+//!
+//! All layers of a stack share one [`GridSpec`] (`nx x ny` cells over the
+//! die outline). Rasterization converts each [`Layer`]
+//! into per-cell conductivity and heat-capacity arrays using area-weighted
+//! blending (the rule of mixtures the paper uses for composite regions), and
+//! computes, for every floorplan block, the fraction of the block's area
+//! falling into each cell — the weights used to spread block power over
+//! cells.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ThermalError;
+use crate::floorplan::Rect;
+use crate::layer::Layer;
+
+/// Grid resolution shared by all layers of a stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridSpec {
+    nx: usize,
+    ny: usize,
+}
+
+impl GridSpec {
+    /// Creates a grid of `nx x ny` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must have at least one cell");
+        GridSpec { nx, ny }
+    }
+
+    /// Cells along x.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Cells along y.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total cells per layer.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Linear index of cell `(ix, iy)` (row-major, y-major rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if out of range.
+    pub fn index(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        iy * self.nx + ix
+    }
+
+    /// Inverse of [`GridSpec::index`].
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        (idx % self.nx, idx / self.nx)
+    }
+
+    /// Geometry of cell `(ix, iy)` on a `width x height` outline.
+    pub fn cell_rect(&self, width: f64, height: f64, ix: usize, iy: usize) -> Rect {
+        let dx = width / self.nx as f64;
+        let dy = height / self.ny as f64;
+        Rect::new(ix as f64 * dx, iy as f64 * dy, dx, dy)
+    }
+
+    /// Range of cell x-indices whose cells may intersect `[x0, x1]`.
+    fn x_range(&self, width: f64, x0: f64, x1: f64) -> std::ops::Range<usize> {
+        let dx = width / self.nx as f64;
+        let lo = (x0 / dx).floor().max(0.0) as usize;
+        let hi = ((x1 / dx).ceil() as usize).min(self.nx);
+        lo.min(self.nx)..hi
+    }
+
+    /// Range of cell y-indices whose cells may intersect `[y0, y1]`.
+    fn y_range(&self, height: f64, y0: f64, y1: f64) -> std::ops::Range<usize> {
+        let dy = height / self.ny as f64;
+        let lo = (y0 / dy).floor().max(0.0) as usize;
+        let hi = ((y1 / dy).ceil() as usize).min(self.ny);
+        lo.min(self.ny)..hi
+    }
+}
+
+/// A layer rasterized onto the grid.
+#[derive(Debug, Clone)]
+pub struct RasterizedLayer {
+    /// Per-cell thermal conductivity, W/(m*K).
+    pub lambda: Vec<f64>,
+    /// Per-cell volumetric heat capacity, J/(m^3*K).
+    pub capacity: Vec<f64>,
+    /// For every floorplan block `b`: list of `(cell index, fraction of the
+    /// block's area inside that cell)`. Fractions of each block sum to ~1.
+    pub block_weights: Vec<Vec<(usize, f64)>>,
+}
+
+/// Rasterizes one layer onto the grid for a die outline of
+/// `width x height` meters.
+///
+/// # Errors
+///
+/// [`ThermalError::BadStack`] if the layer's floorplan outline disagrees
+/// with the die outline by more than 0.1%.
+pub fn rasterize(
+    layer: &Layer,
+    grid: GridSpec,
+    width: f64,
+    height: f64,
+) -> Result<RasterizedLayer, ThermalError> {
+    if let Some(fp) = layer.floorplan() {
+        let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-30);
+        if rel(fp.width(), width) > 1e-3 || rel(fp.height(), height) > 1e-3 {
+            return Err(ThermalError::BadStack {
+                reason: format!(
+                    "layer '{}' floorplan outline {:.4}x{:.4} mm disagrees with stack outline {:.4}x{:.4} mm",
+                    layer.name(),
+                    fp.width() * 1e3,
+                    fp.height() * 1e3,
+                    width * 1e3,
+                    height * 1e3
+                ),
+            });
+        }
+    }
+
+    let n = grid.cells();
+    let base = layer.base_material();
+    let mut lambda = vec![base.conductivity(); n];
+    let mut capacity = vec![base.volumetric_heat_capacity(); n];
+    let cell_area = (width / grid.nx() as f64) * (height / grid.ny() as f64);
+
+    let mut block_weights: Vec<Vec<(usize, f64)>> = Vec::new();
+
+    if let Some(fp) = layer.floorplan() {
+        // Pass 1: block material overrides, area-weighted against the base.
+        for (bi, block) in fp.blocks().iter().enumerate() {
+            let r = *block.rect();
+            let mut weights = Vec::new();
+            let block_area = r.area();
+            for iy in grid.y_range(height, r.y(), r.y_max()) {
+                for ix in grid.x_range(width, r.x(), r.x_max()) {
+                    let cell = grid.cell_rect(width, height, ix, iy);
+                    let inter = cell.intersection_area(&r);
+                    if inter <= 0.0 {
+                        continue;
+                    }
+                    let ci = grid.index(ix, iy);
+                    if block_area > 0.0 {
+                        weights.push((ci, inter / block_area));
+                    }
+                    if let Some(m) = layer.block_material(bi) {
+                        let f = inter / cell_area;
+                        lambda[ci] = lambda[ci] * (1.0 - f) + f * m.conductivity();
+                        capacity[ci] =
+                            capacity[ci] * (1.0 - f) + f * m.volumetric_heat_capacity();
+                    }
+                }
+            }
+            block_weights.push(weights);
+        }
+    }
+
+    // Pass 2: patches, in order; later patches overwrite earlier blends.
+    for patch in layer.patches() {
+        let r = *patch.rect();
+        let m = patch.material();
+        for iy in grid.y_range(height, r.y(), r.y_max()) {
+            for ix in grid.x_range(width, r.x(), r.x_max()) {
+                let cell = grid.cell_rect(width, height, ix, iy);
+                let inter = cell.intersection_area(&r);
+                if inter <= 0.0 {
+                    continue;
+                }
+                let ci = grid.index(ix, iy);
+                let f = inter / cell_area;
+                lambda[ci] = lambda[ci] * (1.0 - f) + f * m.conductivity();
+                capacity[ci] = capacity[ci] * (1.0 - f) + f * m.volumetric_heat_capacity();
+            }
+        }
+    }
+
+    Ok(RasterizedLayer {
+        lambda,
+        capacity,
+        block_weights,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::layer::MaterialPatch;
+    use crate::material::{COPPER, SILICON};
+
+    const W: f64 = 8e-3;
+    const H: f64 = 8e-3;
+
+    #[test]
+    fn grid_indexing_roundtrip() {
+        let g = GridSpec::new(7, 5);
+        for iy in 0..5 {
+            for ix in 0..7 {
+                let i = g.index(ix, iy);
+                assert_eq!(g.coords(i), (ix, iy));
+            }
+        }
+        assert_eq!(g.cells(), 35);
+    }
+
+    #[test]
+    fn cell_rects_tile_the_outline() {
+        let g = GridSpec::new(4, 4);
+        let total: f64 = (0..4)
+            .flat_map(|iy| (0..4).map(move |ix| (ix, iy)))
+            .map(|(ix, iy)| g.cell_rect(W, H, ix, iy).area())
+            .sum();
+        assert!((total - W * H).abs() / (W * H) < 1e-12);
+    }
+
+    #[test]
+    fn uniform_layer_rasterizes_to_base() {
+        let l = Layer::uniform("si", 100e-6, SILICON.clone());
+        let r = rasterize(&l, GridSpec::new(8, 8), W, H).unwrap();
+        assert!(r.lambda.iter().all(|&x| (x - 120.0).abs() < 1e-12));
+        assert!(r.block_weights.is_empty());
+    }
+
+    #[test]
+    fn half_copper_block_blends() {
+        let mut fp = Floorplan::new(W, H);
+        fp.add_block("cu", Rect::new(0.0, 0.0, W / 2.0, H)).unwrap();
+        let mut l = Layer::uniform("si", 100e-6, SILICON.clone()).with_floorplan(fp);
+        l.set_block_material("cu", COPPER.clone()).unwrap();
+        let g = GridSpec::new(8, 8);
+        let r = rasterize(&l, g, W, H).unwrap();
+        // Left half copper, right half silicon; block boundary on a cell edge.
+        for iy in 0..8 {
+            for ix in 0..8 {
+                let got = r.lambda[g.index(ix, iy)];
+                let want = if ix < 4 { 400.0 } else { 120.0 };
+                assert!((got - want).abs() < 1e-9, "cell ({ix},{iy}) = {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_cell_coverage_blends_by_area() {
+        // Patch covering exactly a quarter of one 1x1-cell grid.
+        let l0 = Layer::uniform("si", 100e-6, SILICON.clone());
+        let mut l = l0;
+        l.add_patch(MaterialPatch::new(
+            "p",
+            Rect::new(0.0, 0.0, W / 2.0, H / 2.0),
+            COPPER.clone(),
+        ))
+        .unwrap();
+        let r = rasterize(&l, GridSpec::new(1, 1), W, H).unwrap();
+        let want = 0.25 * 400.0 + 0.75 * 120.0;
+        assert!((r.lambda[0] - want).abs() < 1e-9, "{}", r.lambda[0]);
+    }
+
+    #[test]
+    fn block_weights_sum_to_one() {
+        let mut fp = Floorplan::new(W, H);
+        // A block deliberately misaligned with the 8x8 grid.
+        fp.add_block("b", Rect::new(1.1e-3, 0.7e-3, 3.3e-3, 2.9e-3))
+            .unwrap();
+        let l = Layer::uniform("si", 100e-6, SILICON.clone()).with_floorplan(fp);
+        let r = rasterize(&l, GridSpec::new(8, 8), W, H).unwrap();
+        let sum: f64 = r.block_weights[0].iter().map(|&(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{sum}");
+    }
+
+    #[test]
+    fn mismatched_outline_rejected() {
+        let fp = Floorplan::new(W * 2.0, H);
+        let l = Layer::uniform("si", 100e-6, SILICON.clone()).with_floorplan(fp);
+        assert!(rasterize(&l, GridSpec::new(4, 4), W, H).is_err());
+    }
+}

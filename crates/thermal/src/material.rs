@@ -1,0 +1,292 @@
+//! Thermal materials: conductivity and volumetric heat capacity.
+//!
+//! All quantities are SI: conductivity in W/(m*K), volumetric heat capacity
+//! in J/(m^3*K), lengths in meters. The constants in this module are the
+//! values used by the Xylem paper (Table 1) and its cited sources
+//! (Black et al. 2006, Emma et al. 2014, HotSpot, Loh 2008, Matsumoto 2010,
+//! Colgan 2012/13).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ThermalError;
+
+/// A homogeneous thermal material.
+///
+/// # Example
+///
+/// ```
+/// use xylem_thermal::material::Material;
+/// let si = Material::new("silicon", 120.0, 1.75e6).unwrap();
+/// assert_eq!(si.conductivity(), 120.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Material {
+    name: String,
+    /// Thermal conductivity, W/(m*K).
+    conductivity: f64,
+    /// Volumetric heat capacity, J/(m^3*K).
+    volumetric_heat_capacity: f64,
+}
+
+impl Material {
+    /// Creates a material from its name, conductivity (W/m-K) and volumetric
+    /// heat capacity (J/m^3-K).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidMaterial`] if either property is not a
+    /// strictly positive finite number.
+    pub fn new(
+        name: impl Into<String>,
+        conductivity: f64,
+        volumetric_heat_capacity: f64,
+    ) -> Result<Self, ThermalError> {
+        if !(conductivity.is_finite() && conductivity > 0.0) {
+            return Err(ThermalError::InvalidMaterial {
+                what: "conductivity".into(),
+                value: conductivity,
+            });
+        }
+        if !(volumetric_heat_capacity.is_finite() && volumetric_heat_capacity > 0.0) {
+            return Err(ThermalError::InvalidMaterial {
+                what: "volumetric heat capacity".into(),
+                value: volumetric_heat_capacity,
+            });
+        }
+        Ok(Material {
+            name: name.into(),
+            conductivity,
+            volumetric_heat_capacity,
+        })
+    }
+
+    /// Material name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Thermal conductivity in W/(m*K).
+    pub fn conductivity(&self) -> f64 {
+        self.conductivity
+    }
+
+    /// Volumetric heat capacity in J/(m^3*K).
+    pub fn volumetric_heat_capacity(&self) -> f64 {
+        self.volumetric_heat_capacity
+    }
+
+    /// Thermal resistance per unit area of a slab of this material with the
+    /// given thickness: `Rth = t / lambda`, in m^2-K/W.
+    ///
+    /// Multiply by 1e6 to express in the paper's mm^2-K/W.
+    pub fn rth_per_area(&self, thickness: f64) -> f64 {
+        thickness / self.conductivity
+    }
+
+    /// Area-weighted parallel blend of two materials (the paper's rule of
+    /// mixtures, Sec. 6.1): `lambda = rho_a*lambda_a + rho_b*lambda_b`.
+    ///
+    /// `fraction_a` is the fractional area occupancy of `self`; the remainder
+    /// is `other`. Heat capacities blend the same way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction_a` is outside `[0, 1]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use xylem_thermal::material::{COPPER, SILICON};
+    /// // The paper's TSV bus: 25% Cu (400) + 75% Si (120) = 190 W/m-K.
+    /// let bus = COPPER.blend(&SILICON, 0.25, "tsv-bus");
+    /// assert!((bus.conductivity() - 190.0).abs() < 1e-9);
+    /// ```
+    pub fn blend(&self, other: &Material, fraction_a: f64, name: impl Into<String>) -> Material {
+        assert!(
+            (0.0..=1.0).contains(&fraction_a),
+            "fraction_a = {fraction_a} outside [0, 1]"
+        );
+        let fb = 1.0 - fraction_a;
+        Material {
+            name: name.into(),
+            conductivity: fraction_a * self.conductivity + fb * other.conductivity,
+            volumetric_heat_capacity: fraction_a * self.volumetric_heat_capacity
+                + fb * other.volumetric_heat_capacity,
+        }
+    }
+}
+
+macro_rules! const_material {
+    ($(#[$doc:meta])* $name:ident, $str_name:expr, $k:expr, $c:expr) => {
+        $(#[$doc])*
+        pub static $name: Material = Material {
+            name: String::new(),
+            conductivity: $k,
+            volumetric_heat_capacity: $c,
+        };
+    };
+}
+
+// NOTE: `String::new()` is const; `name()` of the statics returns "". Use
+// `named_constant` below when a display name matters.
+
+const_material!(
+    /// Bulk silicon: 120 W/m-K (paper Table 1), 1.75e6 J/m^3-K (HotSpot).
+    SILICON, "silicon", 120.0, 1.75e6
+);
+const_material!(
+    /// Copper (TSV/TTSV fill, heat sink, IHS): 400 W/m-K, 3.4e6 J/m^3-K.
+    COPPER, "copper", 400.0, 3.4e6
+);
+const_material!(
+    /// Processor frontside metal + active logic layer: 12 W/m-K (Table 1).
+    PROC_METAL, "proc-metal", 12.0, 2.0e6
+);
+const_material!(
+    /// DRAM frontside metal (Al routing + dielectric): 9 W/m-K (Table 1).
+    DRAM_METAL, "dram-metal", 9.0, 2.0e6
+);
+const_material!(
+    /// Average die-to-die layer with 25%-density dummy microbumps:
+    /// 1.5 W/m-K as measured by IBM (Colgan) and Matsumoto et al.
+    D2D_AVERAGE, "d2d-average", 1.5, 2.0e6
+);
+const_material!(
+    /// A single Cu-pillar/solder microbump: 40 W/m-K (Matsumoto 2010).
+    MICROBUMP, "microbump", 40.0, 3.0e6
+);
+const_material!(
+    /// Thermal interface material: 5 W/m-K (Table 1).
+    TIM, "tim", 5.0, 4.0e6
+);
+const_material!(
+    /// Underfill / dielectric fill between microbumps: ~0.5 W/m-K (Sec 2.3).
+    UNDERFILL, "underfill", 0.5, 2.0e6
+);
+
+/// The paper's TSV-bus composite: 25% Cu in Si, effective 190 W/m-K.
+pub fn tsv_bus() -> Material {
+    COPPER.blend(&SILICON, 0.25, "tsv-bus")
+}
+
+/// Effective D2D material at an aligned-and-shorted dummy microbump/TTSV
+/// site (Sec. 4.1.2).
+///
+/// The local resistance is `t_bump/lambda_bump + t_short/lambda_cu`
+/// = 18 um / 40 + 2 um / 400 = 0.46 mm^2-K/W. Expressed as an effective
+/// conductivity of the full `d2d_thickness` slab so it can be rasterized
+/// into the D2D layer grid.
+pub fn shorted_pillar_d2d(d2d_thickness: f64) -> Material {
+    let rth = 18e-6 / MICROBUMP.conductivity + 2e-6 / COPPER.conductivity;
+    Material {
+        name: "d2d-shorted-pillar".into(),
+        conductivity: d2d_thickness / rth,
+        volumetric_heat_capacity: MICROBUMP.volumetric_heat_capacity,
+    }
+}
+
+/// Effective D2D material of the **electrical** TSV-bus region.
+///
+/// Electrical microbumps are connected by construction: TSV -> backside
+/// metal -> microbump -> frontside metal -> devices (paper Fig. 4), so
+/// each electrical bump is a (weaker) vertical pillar whose path also
+/// crosses the frontside metal (0.22 mm^2-K/W). At the electrical-bump
+/// density of (17/50)^2 ~ 11.6%, blended with the average D2D fill. This
+/// is the "limited contribution" of electrical TSVs the paper notes in
+/// Sec. 4.1 — clustered at the die center, oblivious to hotspots.
+pub fn electrical_bus_d2d(d2d_thickness: f64) -> Material {
+    let rth_bump = 18e-6 / MICROBUMP.conductivity
+        + 2e-6 / COPPER.conductivity
+        + 2e-6 / 9.0; // frontside metal crossing
+    let bump_path = Material {
+        name: "d2d-electrical-path".into(),
+        conductivity: d2d_thickness / rth_bump,
+        volumetric_heat_capacity: MICROBUMP.volumetric_heat_capacity,
+    };
+    let density = (17.0_f64 / 50.0) * (17.0 / 50.0);
+    bump_path.blend(&D2D_AVERAGE, density, "d2d-electrical-bus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn electrical_bus_between_average_and_pillar() {
+        let bus = electrical_bus_d2d(20e-6);
+        assert!(bus.conductivity() > D2D_AVERAGE.conductivity());
+        assert!(bus.conductivity() < shorted_pillar_d2d(20e-6).conductivity());
+        // Roughly 3-4x the average D2D conductivity.
+        let ratio = bus.conductivity() / D2D_AVERAGE.conductivity();
+        assert!((2.0..5.0).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn new_rejects_bad_values() {
+        assert!(Material::new("x", 0.0, 1.0).is_err());
+        assert!(Material::new("x", -3.0, 1.0).is_err());
+        assert!(Material::new("x", f64::NAN, 1.0).is_err());
+        assert!(Material::new("x", 1.0, 0.0).is_err());
+        assert!(Material::new("x", 1.0, f64::INFINITY).is_err());
+        assert!(Material::new("x", 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn rth_matches_paper_numbers() {
+        // D2D layer: 20 um / 1.5 W/m-K = 13.33 mm^2-K/W.
+        let rth_mm2 = D2D_AVERAGE.rth_per_area(20e-6) * 1e6;
+        assert!((rth_mm2 - 13.333).abs() < 0.01, "{rth_mm2}");
+        // Bulk silicon: 100 um / 120 = 0.83 mm^2-K/W.
+        let rth_si = SILICON.rth_per_area(100e-6) * 1e6;
+        assert!((rth_si - 0.8333).abs() < 0.001, "{rth_si}");
+        // Processor metal layers: 12 um / 12 = 1.0 mm^2-K/W.
+        let rth_m = PROC_METAL.rth_per_area(12e-6) * 1e6;
+        assert!((rth_m - 1.0).abs() < 1e-12, "{rth_m}");
+    }
+
+    #[test]
+    fn d2d_is_16x_more_resistive_than_silicon() {
+        let d2d = D2D_AVERAGE.rth_per_area(20e-6);
+        let si = SILICON.rth_per_area(100e-6);
+        let ratio = d2d / si;
+        assert!((15.0..17.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn d2d_is_13x_more_resistive_than_metal() {
+        let d2d = D2D_AVERAGE.rth_per_area(20e-6);
+        let metal = PROC_METAL.rth_per_area(12e-6);
+        let ratio = d2d / metal;
+        assert!((13.0..14.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn tsv_bus_blend() {
+        assert!((tsv_bus().conductivity() - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blend_endpoints() {
+        let a = COPPER.blend(&SILICON, 1.0, "a");
+        assert_eq!(a.conductivity(), COPPER.conductivity());
+        let b = COPPER.blend(&SILICON, 0.0, "b");
+        assert_eq!(b.conductivity(), SILICON.conductivity());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn blend_rejects_bad_fraction() {
+        let _ = COPPER.blend(&SILICON, 1.5, "x");
+    }
+
+    #[test]
+    fn shorted_pillar_rth_is_0_46_mm2() {
+        let m = shorted_pillar_d2d(20e-6);
+        let rth_mm2 = m.rth_per_area(20e-6) * 1e6;
+        assert!((rth_mm2 - 0.46).abs() < 0.01, "{rth_mm2}");
+        // ~29x lower than the average D2D resistance.
+        let avg = D2D_AVERAGE.rth_per_area(20e-6) * 1e6;
+        let improvement = avg / rth_mm2;
+        assert!((28.0..31.0).contains(&improvement), "{improvement}");
+    }
+}

@@ -1,0 +1,673 @@
+//! The assembled RC network: conductance graph, capacitances, solvers.
+//!
+//! [`ThermalModel::build`] turns a [`Stack`] + [`GridSpec`] into a node
+//! graph:
+//!
+//! ```text
+//! node ids:
+//!   [0*C .. 1*C)   heat-sink base, die-sized center region (grid)
+//!   [1*C .. 2*C)   IHS (spreader), die-sized center region (grid)
+//!   [2*C .. 3*C)   TIM (grid)
+//!   [3*C .. (3+L)*C) user layers, top to bottom (grid each)
+//!   then 12 extra package nodes:
+//!     +0..4   spreader periphery  (W, E, S, N)
+//!     +4..8   sink inner periphery (above the spreader ring)
+//!     +8..12  sink outer periphery (beyond the spreader)
+//! ```
+//!
+//! where `C = nx*ny` and `L` the number of user layers. The ambient is not
+//! a node: convection enters the diagonal and the right-hand side, which
+//! keeps the system symmetric positive definite.
+
+use crate::error::ThermalError;
+use crate::grid::{rasterize, GridSpec};
+use crate::power::PowerMap;
+use crate::solve::{solve_cg, SolverOptions, SolveStats};
+use crate::stack::Stack;
+use crate::temperature::TemperatureField;
+
+/// Index of the four package periphery sides, in storage order.
+const SIDE_W: usize = 0;
+const SIDE_E: usize = 1;
+const SIDE_S: usize = 2;
+const SIDE_N: usize = 3;
+
+/// A discretized, solvable thermal model.
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    grid: GridSpec,
+    width: f64,
+    height: f64,
+    n_user_layers: usize,
+    user_layer_names: Vec<String>,
+    /// Adjacency list: `neighbors[i]` holds `(j, G_ij)`, stored for both
+    /// endpoints.
+    neighbors: Vec<Vec<(u32, f64)>>,
+    /// Conductance to ambient per node (convection + board path), W/K.
+    g_ambient: Vec<f64>,
+    /// Lumped heat capacity per node, J/K.
+    capacitance: Vec<f64>,
+    /// Diagonal of the conductance matrix (sum of incident G + G_ambient).
+    diagonal: Vec<f64>,
+    ambient: f64,
+    /// Per user layer, per block: `(cell, fraction of block area)`.
+    block_weights: Vec<Vec<Vec<(usize, f64)>>>,
+    /// Block names per user layer (parallel to `block_weights`).
+    block_names: Vec<Vec<String>>,
+    solver_options: SolverOptions,
+}
+
+impl ThermalModel {
+    /// Builds the RC network for `stack` on `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates floorplan/rasterization errors; returns
+    /// [`ThermalError::BadStack`] for impossible geometry.
+    pub fn build(stack: &Stack, grid: GridSpec) -> Result<Self, ThermalError> {
+        let (w, h) = (stack.width(), stack.height());
+        let pkg = stack.package();
+        pkg.validate_die(w, h)?;
+
+        let cells = grid.cells();
+        let n_user = stack.len();
+        let n_solver_layers = 3 + n_user;
+        let extra_base = n_solver_layers * cells;
+        let n_nodes = extra_base + 12;
+
+        // Per solver layer: thickness and per-cell conductivity/capacity.
+        let mut thickness = Vec::with_capacity(n_solver_layers);
+        let mut lambda: Vec<Vec<f64>> = Vec::with_capacity(n_solver_layers);
+        let mut cap_vol: Vec<Vec<f64>> = Vec::with_capacity(n_solver_layers);
+
+        let sink_m = pkg.sink_material();
+        let sp_m = pkg.spreader_material();
+        let tim_m = pkg.tim_material();
+        thickness.push(pkg.sink_thickness());
+        lambda.push(vec![sink_m.conductivity(); cells]);
+        cap_vol.push(vec![sink_m.volumetric_heat_capacity(); cells]);
+        thickness.push(pkg.spreader_thickness());
+        lambda.push(vec![sp_m.conductivity(); cells]);
+        cap_vol.push(vec![sp_m.volumetric_heat_capacity(); cells]);
+        thickness.push(pkg.tim_thickness());
+        lambda.push(vec![tim_m.conductivity(); cells]);
+        cap_vol.push(vec![tim_m.volumetric_heat_capacity(); cells]);
+
+        let mut block_weights = Vec::with_capacity(n_user);
+        let mut block_names = Vec::with_capacity(n_user);
+        let mut user_layer_names = Vec::with_capacity(n_user);
+        for layer in stack.layers() {
+            let r = rasterize(layer, grid, w, h)?;
+            thickness.push(layer.thickness());
+            lambda.push(r.lambda);
+            cap_vol.push(r.capacity);
+            block_weights.push(r.block_weights);
+            block_names.push(
+                layer
+                    .floorplan()
+                    .map(|fp| fp.blocks().iter().map(|b| b.name().to_string()).collect())
+                    .unwrap_or_default(),
+            );
+            user_layer_names.push(layer.name().to_string());
+        }
+
+        let dx = w / grid.nx() as f64;
+        let dy = h / grid.ny() as f64;
+        let cell_area = dx * dy;
+
+        let mut neighbors: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_nodes];
+        let mut g_ambient = vec![0.0_f64; n_nodes];
+        let mut capacitance = vec![0.0_f64; n_nodes];
+
+        let add_edge = |nb: &mut Vec<Vec<(u32, f64)>>, a: usize, b: usize, g: f64| {
+            debug_assert!(g.is_finite() && g > 0.0, "conductance {g} between {a},{b}");
+            nb[a].push((b as u32, g));
+            nb[b].push((a as u32, g));
+        };
+
+        // --- grid-layer internal (lateral) and inter-layer (vertical) edges.
+        for l in 0..n_solver_layers {
+            let t = thickness[l];
+            let lam = &lambda[l];
+            let base = l * cells;
+            for iy in 0..grid.ny() {
+                for ix in 0..grid.nx() {
+                    let i = grid.index(ix, iy);
+                    // capacitance
+                    capacitance[base + i] = cap_vol[l][i] * cell_area * t;
+                    // +x neighbor
+                    if ix + 1 < grid.nx() {
+                        let j = grid.index(ix + 1, iy);
+                        let g = (t * dy) / (dx / (2.0 * lam[i]) + dx / (2.0 * lam[j]));
+                        add_edge(&mut neighbors, base + i, base + j, g);
+                    }
+                    // +y neighbor
+                    if iy + 1 < grid.ny() {
+                        let j = grid.index(ix, iy + 1);
+                        let g = (t * dx) / (dy / (2.0 * lam[i]) + dy / (2.0 * lam[j]));
+                        add_edge(&mut neighbors, base + i, base + j, g);
+                    }
+                    // vertical to the layer below
+                    if l + 1 < n_solver_layers {
+                        let tb = thickness[l + 1];
+                        let lamb = &lambda[l + 1][i];
+                        let g = cell_area / (t / (2.0 * lam[i]) + tb / (2.0 * lamb));
+                        add_edge(&mut neighbors, base + i, (l + 1) * cells + i, g);
+                    }
+                }
+            }
+        }
+
+        // --- package periphery nodes.
+        let sp_side = pkg.spreader_side();
+        let sk_side = pkg.sink_side();
+        let ext_sp_x = (sp_side - w) / 2.0; // spreader overhang beyond die, x
+        let ext_sp_y = (sp_side - h) / 2.0;
+        let ext_sk = (sk_side - sp_side) / 2.0; // sink overhang beyond spreader
+
+        let sp_ring_area = (sp_side * sp_side - w * h).max(0.0);
+        let sk_ring_area = (sk_side * sk_side - sp_side * sp_side).max(0.0);
+        let sp_side_area = sp_ring_area / 4.0;
+        let sk_in_side_area = sp_ring_area / 4.0; // sink region above the spreader ring
+        let sk_out_side_area = sk_ring_area / 4.0;
+
+        let sp_periph = extra_base; // +side
+        let sk_inner = extra_base + 4;
+        let sk_outer = extra_base + 8;
+
+        let lam_sp = sp_m.conductivity();
+        let lam_sk = sink_m.conductivity();
+        let t_sp = pkg.spreader_thickness();
+        let t_sk = pkg.sink_thickness();
+
+        // Capacitances of periphery nodes.
+        for s in 0..4 {
+            capacitance[sp_periph + s] = sp_m.volumetric_heat_capacity() * sp_side_area * t_sp;
+            capacitance[sk_inner + s] = sink_m.volumetric_heat_capacity() * sk_in_side_area * t_sk;
+            capacitance[sk_outer + s] = sink_m.volumetric_heat_capacity() * sk_out_side_area * t_sk;
+        }
+
+        // Lateral edges from the die-sized center grids to periphery nodes,
+        // plus vertical spreader-periph <-> sink-inner-periph edges.
+        if sp_ring_area > 0.0 {
+            // Edge cells of the spreader grid (solver layer 1) and sink grid
+            // (solver layer 0).
+            for iy in 0..grid.ny() {
+                for (side, ix) in [(SIDE_W, 0), (SIDE_E, grid.nx() - 1)] {
+                    let i = grid.index(ix, iy);
+                    let ext = ext_sp_x.max(1e-9);
+                    let g_sp = lam_sp * (t_sp * dy) / (dx / 2.0 + ext / 2.0);
+                    add_edge(&mut neighbors, cells + i, sp_periph + side, g_sp);
+                    let g_sk = lam_sk * (t_sk * dy) / (dx / 2.0 + ext / 2.0);
+                    add_edge(&mut neighbors, i, sk_inner + side, g_sk);
+                }
+            }
+            for ix in 0..grid.nx() {
+                for (side, iy) in [(SIDE_S, 0), (SIDE_N, grid.ny() - 1)] {
+                    let i = grid.index(ix, iy);
+                    let ext = ext_sp_y.max(1e-9);
+                    let g_sp = lam_sp * (t_sp * dx) / (dy / 2.0 + ext / 2.0);
+                    add_edge(&mut neighbors, cells + i, sp_periph + side, g_sp);
+                    let g_sk = lam_sk * (t_sk * dx) / (dy / 2.0 + ext / 2.0);
+                    add_edge(&mut neighbors, i, sk_inner + side, g_sk);
+                }
+            }
+            // Vertical: spreader periphery <-> sink inner periphery.
+            for s in 0..4 {
+                let g = sp_side_area / (t_sp / (2.0 * lam_sp) + t_sk / (2.0 * lam_sk));
+                add_edge(&mut neighbors, sp_periph + s, sk_inner + s, g);
+            }
+        }
+        if sk_ring_area > 0.0 {
+            // Lateral: sink inner periphery <-> sink outer periphery.
+            for s in 0..4 {
+                let ext_in = ((sp_side - w.min(h)) / 2.0).max(1e-9);
+                let g = lam_sk * (t_sk * sp_side) / (ext_in / 2.0 + ext_sk.max(1e-9) / 2.0);
+                add_edge(&mut neighbors, sk_inner + s, sk_outer + s, g);
+            }
+        }
+
+        // --- convection to ambient from every sink node, proportional to
+        // its share of the total sink area.
+        let sink_area_total = sk_side * sk_side;
+        let g_conv_total = 1.0 / pkg.convection_resistance();
+        for i in 0..cells {
+            g_ambient[i] += g_conv_total * (cell_area / sink_area_total);
+        }
+        for s in 0..4 {
+            g_ambient[sk_inner + s] += g_conv_total * (sk_in_side_area / sink_area_total);
+            g_ambient[sk_outer + s] += g_conv_total * (sk_out_side_area / sink_area_total);
+        }
+
+        // --- optional secondary path from the bottom layer to ambient.
+        if let Some(r_board) = pkg.board_resistance() {
+            let g_total = 1.0 / r_board;
+            let bottom_base = (n_solver_layers - 1) * cells;
+            for i in 0..cells {
+                g_ambient[bottom_base + i] += g_total * (cell_area / (w * h));
+            }
+        }
+
+        // Degenerate packages (spreader/sink exactly die-sized) leave some
+        // periphery nodes with no edges at all; pin them to ambient with a
+        // unit conductance so the system stays SPD. They carry no heat.
+        for i in extra_base..n_nodes {
+            if neighbors[i].is_empty() && g_ambient[i] == 0.0 {
+                g_ambient[i] = 1.0;
+            }
+        }
+
+        // --- diagonal.
+        let mut diagonal = vec![0.0_f64; n_nodes];
+        for (i, d) in diagonal.iter_mut().enumerate() {
+            let s: f64 = neighbors[i].iter().map(|&(_, g)| g).sum();
+            *d = s + g_ambient[i];
+        }
+        if diagonal.iter().any(|&d| d <= 0.0) {
+            return Err(ThermalError::BadStack {
+                reason: "model has an isolated node (zero diagonal)".into(),
+            });
+        }
+
+        Ok(ThermalModel {
+            grid,
+            width: w,
+            height: h,
+            n_user_layers: n_user,
+            user_layer_names,
+            neighbors,
+            g_ambient,
+            capacitance,
+            diagonal,
+            ambient: pkg.ambient(),
+            block_weights,
+            block_names,
+            solver_options: SolverOptions::default(),
+        })
+    }
+
+    /// Grid resolution.
+    pub fn grid(&self) -> GridSpec {
+        self.grid
+    }
+
+    /// Die outline width, m.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Die outline height, m.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Number of user (stack) layers, excluding package layers.
+    pub fn n_user_layers(&self) -> usize {
+        self.n_user_layers
+    }
+
+    /// Names of the user layers, top to bottom.
+    pub fn user_layer_names(&self) -> &[String] {
+        &self.user_layer_names
+    }
+
+    /// Ambient temperature, deg C.
+    pub fn ambient(&self) -> f64 {
+        self.ambient
+    }
+
+    /// Total node count (grid cells of all solver layers + package nodes).
+    pub fn node_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Node index of cell `(ix, iy)` in user layer `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer or coordinates are out of range (debug builds for
+    /// coordinates).
+    pub fn user_node(&self, layer: usize, ix: usize, iy: usize) -> usize {
+        assert!(layer < self.n_user_layers, "user layer {layer} out of range");
+        (3 + layer) * self.grid.cells() + self.grid.index(ix, iy)
+    }
+
+    /// First node index of user layer `layer`.
+    pub(crate) fn user_layer_base(&self, layer: usize) -> usize {
+        (3 + layer) * self.grid.cells()
+    }
+
+    /// Block names of user layer `layer` (empty if the layer has no
+    /// floorplan).
+    pub fn block_names(&self, layer: usize) -> &[String] {
+        &self.block_names[layer]
+    }
+
+    /// Power-spreading weights of block `block` in user layer `layer`:
+    /// `(cell, fraction of block area)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::IndexOutOfRange`] if the layer is out of range or
+    /// [`ThermalError::BadFloorplan`] if the block name is unknown.
+    pub fn block_weights(
+        &self,
+        layer: usize,
+        block: &str,
+    ) -> Result<&[(usize, f64)], ThermalError> {
+        let names = self
+            .block_names
+            .get(layer)
+            .ok_or(ThermalError::IndexOutOfRange {
+                what: "layer",
+                index: layer,
+                len: self.n_user_layers,
+            })?;
+        let bi = names
+            .iter()
+            .position(|n| n == block)
+            .ok_or_else(|| ThermalError::BadFloorplan {
+                reason: format!("no block '{block}' in layer {layer}"),
+            })?;
+        Ok(&self.block_weights[layer][bi])
+    }
+
+    /// Replaces the solver options used by [`ThermalModel::steady_state`]
+    /// and the transient integrator.
+    pub fn set_solver_options(&mut self, options: SolverOptions) {
+        self.solver_options = options;
+    }
+
+    /// Current solver options.
+    pub fn solver_options(&self) -> &SolverOptions {
+        &self.solver_options
+    }
+
+    /// `y = G x` (conductance matrix including convection on the diagonal).
+    fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..x.len() {
+            let mut acc = self.diagonal[i] * x[i];
+            for &(j, g) in &self.neighbors[i] {
+                acc -= g * x[j as usize];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// `y = (G + C/dt) x`, the backward-Euler operator.
+    fn matvec_transient(&self, dt: f64, x: &[f64], y: &mut [f64]) {
+        for i in 0..x.len() {
+            let mut acc = (self.diagonal[i] + self.capacitance[i] / dt) * x[i];
+            for &(j, g) in &self.neighbors[i] {
+                acc -= g * x[j as usize];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Right-hand side for the steady-state system: power plus ambient
+    /// injection.
+    fn assemble_rhs(&self, power: &PowerMap) -> Result<Vec<f64>, ThermalError> {
+        let n = self.node_count();
+        if power.n_layers() != self.n_user_layers || power.cells() != self.grid.cells() {
+            return Err(ThermalError::PowerMapMismatch {
+                map_nodes: power.n_layers() * power.cells(),
+                model_nodes: self.n_user_layers * self.grid.cells(),
+            });
+        }
+        let mut b = vec![0.0; n];
+        for (i, g) in self.g_ambient.iter().enumerate() {
+            b[i] = g * self.ambient;
+        }
+        let cells = self.grid.cells();
+        for l in 0..self.n_user_layers {
+            let base = self.user_layer_base(l);
+            let lp = power.layer_slice(l);
+            for c in 0..cells {
+                b[base + c] += lp[c];
+            }
+        }
+        Ok(b)
+    }
+
+    /// Solves the steady-state system `G T = P` for the given power map.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::PowerMapMismatch`] for a mismatched map;
+    /// [`ThermalError::NoConvergence`] if CG stalls (raise
+    /// [`SolverOptions::max_iterations`]).
+    pub fn steady_state(&self, power: &PowerMap) -> Result<TemperatureField, ThermalError> {
+        let b = self.assemble_rhs(power)?;
+        let mut x = vec![self.ambient; self.node_count()];
+        let stats = solve_cg(
+            |v, out| self.matvec(v, out),
+            &self.diagonal,
+            &b,
+            &mut x,
+            &self.solver_options,
+        )?;
+        Ok(TemperatureField::new(self, x, stats))
+    }
+
+    /// Advances a transient simulation by `steps` backward-Euler steps of
+    /// `dt` seconds under constant `power`, starting from `initial`.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::InvalidTimeStep`] for a bad `dt`; otherwise as
+    /// [`ThermalModel::steady_state`].
+    pub fn transient(
+        &self,
+        power: &PowerMap,
+        initial: &TemperatureField,
+        dt: f64,
+        steps: usize,
+    ) -> Result<TemperatureField, ThermalError> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(ThermalError::InvalidTimeStep { dt });
+        }
+        let b0 = self.assemble_rhs(power)?;
+        let n = self.node_count();
+        if initial.node_count() != n {
+            return Err(ThermalError::PowerMapMismatch {
+                map_nodes: initial.node_count(),
+                model_nodes: n,
+            });
+        }
+        let mut x = initial.raw().to_vec();
+        let mut b = vec![0.0; n];
+        // Precompute backward-Euler diagonal for the preconditioner.
+        let diag_be: Vec<f64> = self
+            .diagonal
+            .iter()
+            .zip(&self.capacitance)
+            .map(|(d, c)| d + c / dt)
+            .collect();
+        let mut stats = SolveStats::default();
+        for _ in 0..steps {
+            for i in 0..n {
+                b[i] = b0[i] + self.capacitance[i] / dt * x[i];
+            }
+            let s = solve_cg(
+                |v, out| self.matvec_transient(dt, v, out),
+                &diag_be,
+                &b,
+                &mut x,
+                &self.solver_options,
+            )?;
+            stats.iterations += s.iterations;
+            stats.residual = s.residual;
+        }
+        Ok(TemperatureField::new(self, x, stats))
+    }
+
+    /// Total heat leaving through ambient paths (convection + board) for a
+    /// temperature field, W. At steady state this equals the injected
+    /// power — the conservation check used by the validation tests.
+    pub fn ambient_outflow(&self, temps: &TemperatureField) -> f64 {
+        self.g_ambient
+            .iter()
+            .zip(temps.raw())
+            .map(|(g, t)| g * (t - self.ambient))
+            .sum()
+    }
+
+    pub(crate) fn grid_cells(&self) -> usize {
+        self.grid.cells()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use crate::material::{D2D_AVERAGE, SILICON};
+    use crate::package::Package;
+    use crate::stack::Stack;
+
+    fn model(nx: usize) -> ThermalModel {
+        let die = 8e-3;
+        let stack = Stack::builder(die, die)
+            .package(Package::default_for_die(die, die))
+            .layer(Layer::uniform("si", 100e-6, SILICON.clone()))
+            .layer(Layer::uniform("d2d", 20e-6, D2D_AVERAGE.clone()))
+            .layer(Layer::uniform("proc", 100e-6, SILICON.clone()))
+            .build()
+            .unwrap();
+        stack.discretize(GridSpec::new(nx, nx)).unwrap()
+    }
+
+    #[test]
+    fn node_count_is_layers_times_cells_plus_extras() {
+        let m = model(8);
+        assert_eq!(m.node_count(), (3 + 3) * 64 + 12);
+        assert_eq!(m.n_user_layers(), 3);
+    }
+
+    #[test]
+    fn symmetry_of_adjacency() {
+        let m = model(6);
+        for (i, nbrs) in m.neighbors.iter().enumerate() {
+            for &(j, g) in nbrs {
+                let back = m.neighbors[j as usize]
+                    .iter()
+                    .find(|&&(k, _)| k as usize == i)
+                    .map(|&(_, gb)| gb);
+                assert_eq!(back, Some(g), "edge {i}->{j} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_uniform_power_is_symmetric() {
+        let m = model(8);
+        let mut p = PowerMap::zeros(&m);
+        p.add_uniform_layer_power(2, 10.0);
+        let t = m.steady_state(&p).unwrap();
+        let s = t.layer_slice(2);
+        let g = m.grid();
+        // 4-fold symmetry of the temperature field.
+        for iy in 0..8 {
+            for ix in 0..8 {
+                let a = s[g.index(ix, iy)];
+                let b = s[g.index(7 - ix, iy)];
+                let c = s[g.index(ix, 7 - iy)];
+                assert!((a - b).abs() < 1e-6, "x mirror {a} {b}");
+                assert!((a - c).abs() < 1e-6, "y mirror {a} {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_conservation_at_steady_state() {
+        let m = model(8);
+        let mut p = PowerMap::zeros(&m);
+        p.add_uniform_layer_power(0, 4.0);
+        p.add_uniform_layer_power(2, 16.0);
+        let t = m.steady_state(&p).unwrap();
+        let out = m.ambient_outflow(&t);
+        assert!((out - 20.0).abs() < 0.02, "outflow {out} W, expected 20 W");
+    }
+
+    #[test]
+    fn hotter_with_more_power() {
+        let m = model(8);
+        let mut p1 = PowerMap::zeros(&m);
+        p1.add_uniform_layer_power(2, 10.0);
+        let mut p2 = PowerMap::zeros(&m);
+        p2.add_uniform_layer_power(2, 20.0);
+        let t1 = m.steady_state(&p1).unwrap();
+        let t2 = m.steady_state(&p2).unwrap();
+        assert!(t2.hotspot_of_layer(2).1 > t1.hotspot_of_layer(2).1);
+    }
+
+    #[test]
+    fn linearity_superposition() {
+        // T(a+b) - Tamb == (T(a)-Tamb) + (T(b)-Tamb) for a linear model.
+        let m = model(6);
+        let mut pa = PowerMap::zeros(&m);
+        pa.add_cell_power(2, 1, 1, 3.0);
+        let mut pb = PowerMap::zeros(&m);
+        pb.add_cell_power(2, 4, 4, 5.0);
+        let mut pab = PowerMap::zeros(&m);
+        pab.add_cell_power(2, 1, 1, 3.0);
+        pab.add_cell_power(2, 4, 4, 5.0);
+        let ta = m.steady_state(&pa).unwrap();
+        let tb = m.steady_state(&pb).unwrap();
+        let tab = m.steady_state(&pab).unwrap();
+        let amb = m.ambient();
+        for i in 0..m.node_count() {
+            let lhs = tab.raw()[i] - amb;
+            let rhs = (ta.raw()[i] - amb) + (tb.raw()[i] - amb);
+            assert!((lhs - rhs).abs() < 1e-5, "node {i}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let m = model(6);
+        let mut p = PowerMap::zeros(&m);
+        p.add_uniform_layer_power(2, 12.0);
+        let steady = m.steady_state(&p).unwrap();
+        let init = TemperatureField::uniform(&m, m.ambient());
+        // Long integration: 3000 x 0.1 s = 300 s >> the sink's ~40 s time
+        // constant (C_sink ~ 86 J/K times R_conv = 0.45 K/W).
+        let t = m.transient(&p, &init, 0.1, 3000).unwrap();
+        let (_, hot_tr) = t.hotspot_of_layer(2);
+        let (_, hot_ss) = steady.hotspot_of_layer(2);
+        assert!(
+            (hot_tr - hot_ss).abs() < 0.5,
+            "transient {hot_tr} vs steady {hot_ss}"
+        );
+    }
+
+    #[test]
+    fn transient_monotone_heating_from_ambient() {
+        let m = model(6);
+        let mut p = PowerMap::zeros(&m);
+        p.add_uniform_layer_power(2, 12.0);
+        let t0 = TemperatureField::uniform(&m, m.ambient());
+        let t1 = m.transient(&p, &t0, 1e-3, 10).unwrap();
+        let t2 = m.transient(&p, &t1, 1e-3, 10).unwrap();
+        assert!(t1.hotspot_of_layer(2).1 > m.ambient());
+        assert!(t2.hotspot_of_layer(2).1 > t1.hotspot_of_layer(2).1);
+    }
+
+    #[test]
+    fn mismatched_power_map_rejected() {
+        let m1 = model(6);
+        let m2 = model(8);
+        let p = PowerMap::zeros(&m1);
+        assert!(m2.steady_state(&p).is_err());
+    }
+
+    #[test]
+    fn bad_time_step_rejected() {
+        let m = model(4);
+        let p = PowerMap::zeros(&m);
+        let t0 = TemperatureField::uniform(&m, m.ambient());
+        assert!(m.transient(&p, &t0, 0.0, 1).is_err());
+        assert!(m.transient(&p, &t0, f64::NAN, 1).is_err());
+    }
+}

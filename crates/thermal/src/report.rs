@@ -1,0 +1,177 @@
+//! Layer-by-layer thermal reporting: where the temperature drops.
+//!
+//! The paper's core argument (Sec. 2.5, Fig. 3) is about *which layer*
+//! the temperature falls across. [`StackThermalReport`] measures that on
+//! a solved field: per-layer mean temperatures, the drop across each
+//! interface going down the stack, and each layer's share of the total
+//! rise — the quantitative version of "the D2D layers are the
+//! bottleneck".
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::ThermalModel;
+use crate::temperature::TemperatureField;
+
+/// One layer's entry in the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReportEntry {
+    /// Layer name.
+    pub name: String,
+    /// Mean temperature of the layer, deg C.
+    pub mean_c: f64,
+    /// Hotspot of the layer, deg C.
+    pub max_c: f64,
+    /// Mean temperature rise over the layer directly above (0 for the
+    /// top layer), K. Node-centered semantics: this step spans the lower
+    /// half of the layer above plus the upper half of this layer, so a
+    /// bottleneck layer shows up in its own step *and* the next one.
+    pub drop_from_above: f64,
+}
+
+/// Per-layer thermal breakdown of a solved stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackThermalReport {
+    /// Entries, top (sink side) to bottom.
+    pub layers: Vec<LayerReportEntry>,
+    /// Ambient temperature, deg C.
+    pub ambient_c: f64,
+}
+
+impl StackThermalReport {
+    /// Builds the report from a model and its solved field.
+    pub fn new(model: &ThermalModel, temps: &TemperatureField) -> Self {
+        let mut layers = Vec::with_capacity(model.n_user_layers());
+        let mut prev_mean: Option<f64> = None;
+        for (l, name) in model.user_layer_names().iter().enumerate() {
+            let mean = temps.mean_of_layer(l);
+            let max = temps.max_of_layer(l);
+            layers.push(LayerReportEntry {
+                name: name.clone(),
+                mean_c: mean,
+                max_c: max,
+                drop_from_above: prev_mean.map_or(0.0, |p| mean - p),
+            });
+            prev_mean = Some(mean);
+        }
+        StackThermalReport {
+            layers,
+            ambient_c: model.ambient(),
+        }
+    }
+
+    /// Total mean rise from the top user layer to the bottom one, K.
+    pub fn total_internal_rise(&self) -> f64 {
+        match (self.layers.first(), self.layers.last()) {
+            (Some(top), Some(bottom)) => bottom.mean_c - top.mean_c,
+            _ => 0.0,
+        }
+    }
+
+    /// Fraction of the internal rise attributed to layers whose name
+    /// matches `predicate` (e.g. all `d2d*` layers).
+    pub fn rise_share(&self, predicate: impl Fn(&str) -> bool) -> f64 {
+        let total = self.total_internal_rise();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let share: f64 = self
+            .layers
+            .iter()
+            .filter(|e| predicate(&e.name))
+            .map(|e| e.drop_from_above.max(0.0))
+            .sum();
+        share / total
+    }
+
+    /// Renders a plain-text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>9} {:>10}",
+            "layer", "mean C", "max C", "step K"
+        );
+        for e in &self.layers {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>9.2} {:>9.2} {:>10.3}",
+                e.name, e.mean_c, e.max_c, e.drop_from_above
+            );
+        }
+        let _ = writeln!(
+            out,
+            "internal rise {:.2} K over ambient {:.1} C",
+            self.total_internal_rise(),
+            self.ambient_c
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec;
+    use crate::layer::Layer;
+    use crate::material::{D2D_AVERAGE, DRAM_METAL, SILICON};
+    use crate::power::PowerMap;
+    use crate::stack::Stack;
+
+    fn solved() -> (ThermalModel, TemperatureField) {
+        let die = 8e-3;
+        let stack = Stack::builder(die, die)
+            .layer(Layer::uniform("dram_si", 100e-6, SILICON.clone()))
+            .layer(Layer::uniform("dram_metal", 2e-6, DRAM_METAL.clone()))
+            .layer(Layer::uniform("d2d0", 20e-6, D2D_AVERAGE.clone()))
+            .layer(Layer::uniform("proc_si", 100e-6, SILICON.clone()))
+            .build()
+            .unwrap();
+        let m = stack.discretize(GridSpec::new(8, 8)).unwrap();
+        let mut p = PowerMap::zeros(&m);
+        p.add_uniform_layer_power(3, 15.0);
+        let t = m.steady_state(&p).unwrap();
+        (m, t)
+    }
+
+    #[test]
+    fn report_orders_layers_and_measures_drops() {
+        let (m, t) = solved();
+        let r = StackThermalReport::new(&m, &t);
+        assert_eq!(r.layers.len(), 4);
+        assert_eq!(r.layers[0].name, "dram_si");
+        assert_eq!(r.layers[0].drop_from_above, 0.0);
+        // Heat flows up: every lower layer is warmer on average.
+        for w in r.layers.windows(2) {
+            assert!(w[1].mean_c > w[0].mean_c);
+        }
+        assert!(r.total_internal_rise() > 0.0);
+    }
+
+    #[test]
+    fn d2d_dominates_the_internal_rise() {
+        let (m, t) = solved();
+        let r = StackThermalReport::new(&m, &t);
+        // Node-centered steps: the D2D resistance shows up half in the
+        // step *into* the D2D node and half in the step out of it (into
+        // proc_si). Together they carry nearly the whole internal rise.
+        let d2d_in = r.rise_share(|n| n.starts_with("d2d"));
+        let d2d_out = r.rise_share(|n| n == "proc_si");
+        assert!(d2d_in > 0.35, "{d2d_in}");
+        assert!(d2d_in + d2d_out > 0.9, "{d2d_in} + {d2d_out}");
+        // And the D2D step dwarfs the silicon-to-metal step.
+        let steps: Vec<f64> = r.layers.iter().map(|e| e.drop_from_above).collect();
+        assert!(steps[2] > 5.0 * steps[1], "{steps:?}");
+    }
+
+    #[test]
+    fn render_contains_all_layers() {
+        let (m, t) = solved();
+        let r = StackThermalReport::new(&m, &t);
+        let s = r.render();
+        for e in &r.layers {
+            assert!(s.contains(&e.name));
+        }
+        assert!(s.contains("internal rise"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Linear solvers for the RC network.
+//!
+//! The conductance matrix is symmetric positive definite (pure conduction
+//! plus grounding convection terms on the diagonal), so the steady-state
+//! and backward-Euler systems are solved with Jacobi-preconditioned
+//! conjugate gradient.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ThermalError;
+
+/// Options controlling the iterative solver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverOptions {
+    /// Relative residual tolerance: converged when
+    /// `||b - A x|| <= tolerance * ||b||`.
+    pub tolerance: f64,
+    /// Iteration cap before [`ThermalError::NoConvergence`].
+    pub max_iterations: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            tolerance: 1e-9,
+            max_iterations: 20_000,
+        }
+    }
+}
+
+/// Statistics from a linear solve (or a sequence of transient solves).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Conjugate-gradient iterations performed (summed over transient
+    /// steps).
+    pub iterations: usize,
+    /// Final relative residual.
+    pub residual: f64,
+}
+
+/// Solves `A x = b` by Jacobi-preconditioned CG.
+///
+/// * `matvec(v, out)` computes `out = A v`;
+/// * `diag` is the diagonal of `A` (the Jacobi preconditioner);
+/// * `x` holds the initial guess on entry and the solution on exit.
+///
+/// # Errors
+///
+/// [`ThermalError::NoConvergence`] if the relative residual does not fall
+/// below `options.tolerance` within `options.max_iterations`.
+pub fn solve_cg(
+    mut matvec: impl FnMut(&[f64], &mut [f64]),
+    diag: &[f64],
+    b: &[f64],
+    x: &mut [f64],
+    options: &SolverOptions,
+) -> Result<SolveStats, ThermalError> {
+    let n = b.len();
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(diag.len(), n);
+
+    let norm_b = dot(b, b).sqrt();
+    if norm_b == 0.0 {
+        x.iter_mut().for_each(|v| *v = 0.0);
+        return Ok(SolveStats {
+            iterations: 0,
+            residual: 0.0,
+        });
+    }
+
+    let mut r = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut ap = vec![0.0; n];
+
+    matvec(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    for i in 0..n {
+        z[i] = r[i] / diag[i];
+    }
+    p.copy_from_slice(&z);
+    let mut rz = dot(&r, &z);
+
+    for it in 0..options.max_iterations {
+        let res = dot(&r, &r).sqrt() / norm_b;
+        if res <= options.tolerance {
+            return Ok(SolveStats {
+                iterations: it,
+                residual: res,
+            });
+        }
+        matvec(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            // Matrix not SPD along p (should not happen); bail out.
+            return Err(ThermalError::NoConvergence {
+                iterations: it,
+                residual: res,
+                tolerance: options.tolerance,
+            });
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        for i in 0..n {
+            z[i] = r[i] / diag[i];
+        }
+        let rz_next = dot(&r, &z);
+        let beta = rz_next / rz;
+        rz = rz_next;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+
+    let res = dot(&r, &r).sqrt() / norm_b;
+    if res <= options.tolerance {
+        Ok(SolveStats {
+            iterations: options.max_iterations,
+            residual: res,
+        })
+    } else {
+        Err(ThermalError::NoConvergence {
+            iterations: options.max_iterations,
+            residual: res,
+            tolerance: options.tolerance,
+        })
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense symmetric matvec for testing.
+    fn dense_matvec(a: &[Vec<f64>]) -> impl FnMut(&[f64], &mut [f64]) + '_ {
+        move |x, y| {
+            for (i, row) in a.iter().enumerate() {
+                y[i] = row.iter().zip(x).map(|(m, v)| m * v).sum();
+            }
+        }
+    }
+
+    #[test]
+    fn solves_diagonal_system() {
+        let a = vec![vec![2.0, 0.0], vec![0.0, 4.0]];
+        let diag = vec![2.0, 4.0];
+        let b = vec![2.0, 8.0];
+        let mut x = vec![0.0, 0.0];
+        let stats = solve_cg(dense_matvec(&a), &diag, &b, &mut x, &SolverOptions::default())
+            .unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-9);
+        assert!(stats.residual <= 1e-9);
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        // SPD 3x3.
+        let a = vec![
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ];
+        let diag = vec![4.0, 3.0, 2.0];
+        let b = vec![1.0, 2.0, 3.0];
+        let mut x = vec![0.0; 3];
+        solve_cg(dense_matvec(&a), &diag, &b, &mut x, &SolverOptions::default()).unwrap();
+        // Check residual directly.
+        let mut ax = vec![0.0; 3];
+        dense_matvec(&a)(&x, &mut ax);
+        for i in 0..3 {
+            assert!((ax[i] - b[i]).abs() < 1e-8, "{:?}", x);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero() {
+        let a = vec![vec![2.0, 0.0], vec![0.0, 2.0]];
+        let diag = vec![2.0, 2.0];
+        let b = vec![0.0, 0.0];
+        let mut x = vec![5.0, -3.0];
+        let stats =
+            solve_cg(dense_matvec(&a), &diag, &b, &mut x, &SolverOptions::default()).unwrap();
+        assert_eq!(x, vec![0.0, 0.0]);
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_cap_reported() {
+        // An SPD system with a tight cap.
+        let n = 50;
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            a[i][i] = 2.0;
+            if i + 1 < n {
+                a[i][i + 1] = -1.0;
+                a[i + 1][i] = -1.0;
+            }
+        }
+        let diag: Vec<f64> = (0..n).map(|i| a[i][i]).collect();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let opts = SolverOptions {
+            tolerance: 1e-14,
+            max_iterations: 2,
+        };
+        let err = solve_cg(dense_matvec(&a), &diag, &b, &mut x, &opts).unwrap_err();
+        match err {
+            ThermalError::NoConvergence { iterations, .. } => assert_eq!(iterations, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Temperature fields: solver output with layer/block/hotspot queries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ThermalError;
+use crate::grid::GridSpec;
+use crate::model::ThermalModel;
+use crate::solve::SolveStats;
+
+/// Temperatures (deg C) for every node of a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureField {
+    grid: GridSpec,
+    n_user_layers: usize,
+    /// Node offset of user layer 0.
+    user_offset: usize,
+    ambient: f64,
+    temps: Vec<f64>,
+    stats: SolveStats,
+}
+
+impl TemperatureField {
+    pub(crate) fn new(model: &ThermalModel, temps: Vec<f64>, stats: SolveStats) -> Self {
+        TemperatureField {
+            grid: model.grid(),
+            n_user_layers: model.n_user_layers(),
+            user_offset: 3 * model.grid_cells(),
+            ambient: model.ambient(),
+            temps,
+            stats,
+        }
+    }
+
+    /// A field at a uniform temperature — the usual transient initial
+    /// condition.
+    pub fn uniform(model: &ThermalModel, temperature_c: f64) -> Self {
+        TemperatureField {
+            grid: model.grid(),
+            n_user_layers: model.n_user_layers(),
+            user_offset: 3 * model.grid_cells(),
+            ambient: model.ambient(),
+            temps: vec![temperature_c; model.node_count()],
+            stats: SolveStats::default(),
+        }
+    }
+
+    /// All node temperatures (solver ordering).
+    pub fn raw(&self) -> &[f64] {
+        &self.temps
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.temps.len()
+    }
+
+    /// Ambient temperature used by the solve, deg C.
+    pub fn ambient(&self) -> f64 {
+        self.ambient
+    }
+
+    /// Solver statistics.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Number of user layers.
+    pub fn n_user_layers(&self) -> usize {
+        self.n_user_layers
+    }
+
+    /// Temperatures of user layer `layer`, cell-ordered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_slice(&self, layer: usize) -> &[f64] {
+        assert!(layer < self.n_user_layers, "layer {layer} out of range");
+        let c = self.grid.cells();
+        let base = self.user_offset + layer * c;
+        &self.temps[base..base + c]
+    }
+
+    /// Temperature of a single cell of a user layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn cell(&self, layer: usize, ix: usize, iy: usize) -> f64 {
+        self.layer_slice(layer)[self.grid.index(ix, iy)]
+    }
+
+    /// Hottest cell of a user layer: `((ix, iy), temperature)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn hotspot_of_layer(&self, layer: usize) -> ((usize, usize), f64) {
+        let s = self.layer_slice(layer);
+        let (mut best_i, mut best_t) = (0, f64::NEG_INFINITY);
+        for (i, &t) in s.iter().enumerate() {
+            if t > best_t {
+                best_t = t;
+                best_i = i;
+            }
+        }
+        (self.grid.coords(best_i), best_t)
+    }
+
+    /// Maximum temperature of a user layer, deg C.
+    pub fn max_of_layer(&self, layer: usize) -> f64 {
+        self.hotspot_of_layer(layer).1
+    }
+
+    /// Area-weighted mean temperature of a user layer, deg C (cells have
+    /// equal area, so this is the plain mean).
+    pub fn mean_of_layer(&self, layer: usize) -> f64 {
+        let s = self.layer_slice(layer);
+        s.iter().sum::<f64>() / s.len() as f64
+    }
+
+    /// Hottest cell across all user layers: `(layer, (ix, iy), temperature)`.
+    pub fn global_hotspot(&self) -> (usize, (usize, usize), f64) {
+        let mut best = (0, (0, 0), f64::NEG_INFINITY);
+        for l in 0..self.n_user_layers {
+            let ((ix, iy), t) = self.hotspot_of_layer(l);
+            if t > best.2 {
+                best = (l, (ix, iy), t);
+            }
+        }
+        best
+    }
+
+    /// Maximum temperature over the cells of a named block (weights from
+    /// the model's rasterization; cells with any block coverage count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThermalModel::block_weights`] errors.
+    pub fn block_max(
+        &self,
+        model: &ThermalModel,
+        layer: usize,
+        block: &str,
+    ) -> Result<f64, ThermalError> {
+        let weights = model.block_weights(layer, block)?;
+        let s = self.layer_slice(layer);
+        Ok(weights
+            .iter()
+            .map(|&(c, _)| s[c])
+            .fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Area-weighted mean temperature of a named block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThermalModel::block_weights`] errors.
+    pub fn block_mean(
+        &self,
+        model: &ThermalModel,
+        layer: usize,
+        block: &str,
+    ) -> Result<f64, ThermalError> {
+        let weights = model.block_weights(layer, block)?;
+        let s = self.layer_slice(layer);
+        let mut acc = 0.0;
+        let mut tot = 0.0;
+        for &(c, w) in weights {
+            acc += s[c] * w;
+            tot += w;
+        }
+        Ok(acc / tot.max(1e-30))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use crate::material::SILICON;
+    use crate::power::PowerMap;
+    use crate::stack::Stack;
+
+    fn model() -> ThermalModel {
+        let die = 8e-3;
+        let stack = Stack::builder(die, die)
+            .layer(Layer::uniform("a", 100e-6, SILICON.clone()))
+            .layer(Layer::uniform("b", 100e-6, SILICON.clone()))
+            .build()
+            .unwrap();
+        stack.discretize(GridSpec::new(8, 8)).unwrap()
+    }
+
+    #[test]
+    fn uniform_field_queries() {
+        let m = model();
+        let t = TemperatureField::uniform(&m, 50.0);
+        assert_eq!(t.max_of_layer(0), 50.0);
+        assert_eq!(t.mean_of_layer(1), 50.0);
+        assert_eq!(t.cell(0, 3, 3), 50.0);
+        assert_eq!(t.global_hotspot().2, 50.0);
+    }
+
+    #[test]
+    fn hotspot_tracks_power_location() {
+        let m = model();
+        let mut p = PowerMap::zeros(&m);
+        p.add_cell_power(1, 6, 2, 5.0);
+        let t = m.steady_state(&p).unwrap();
+        let ((ix, iy), _) = t.hotspot_of_layer(1);
+        assert_eq!((ix, iy), (6, 2));
+        // The layer above is cooler at its hotspot than the source layer.
+        assert!(t.max_of_layer(0) < t.max_of_layer(1));
+    }
+
+    #[test]
+    fn mean_below_max() {
+        let m = model();
+        let mut p = PowerMap::zeros(&m);
+        p.add_cell_power(1, 4, 4, 3.0);
+        let t = m.steady_state(&p).unwrap();
+        assert!(t.mean_of_layer(1) < t.max_of_layer(1));
+        assert!(t.mean_of_layer(1) > t.ambient());
+    }
+}

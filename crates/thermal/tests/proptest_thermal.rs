@@ -1,0 +1,147 @@
+//! Property-based tests for the thermal solver's physical invariants.
+
+use proptest::prelude::*;
+
+use xylem_thermal::floorplan::{Floorplan, Rect};
+use xylem_thermal::grid::GridSpec;
+use xylem_thermal::layer::Layer;
+use xylem_thermal::material::{D2D_AVERAGE, SILICON};
+use xylem_thermal::package::Package;
+use xylem_thermal::power::PowerMap;
+use xylem_thermal::stack::Stack;
+use xylem_thermal::ThermalModel;
+
+const DIE: f64 = 8e-3;
+
+fn small_model() -> ThermalModel {
+    let stack = Stack::builder(DIE, DIE)
+        .package(Package::default_for_die(DIE, DIE))
+        .layer(Layer::uniform("dram", 100e-6, SILICON.clone()))
+        .layer(Layer::uniform("d2d", 20e-6, D2D_AVERAGE.clone()))
+        .layer(Layer::uniform("proc", 100e-6, SILICON.clone()))
+        .build()
+        .unwrap();
+    stack.discretize(GridSpec::new(6, 6)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Steady state conserves energy: convected+board outflow equals the
+    /// injected power, for arbitrary point injections.
+    #[test]
+    fn conservation_holds_for_random_injections(
+        cells in proptest::collection::vec((0usize..3, 0usize..6, 0usize..6, 0.1f64..5.0), 1..6)
+    ) {
+        let m = small_model();
+        let mut p = PowerMap::zeros(&m);
+        for &(l, ix, iy, w) in &cells {
+            p.add_cell_power(l, ix, iy, w);
+        }
+        let t = m.steady_state(&p).unwrap();
+        let outflow = m.ambient_outflow(&t);
+        let total = p.total();
+        prop_assert!((outflow - total).abs() < 1e-3 * total.max(1.0),
+            "outflow {outflow} vs injected {total}");
+    }
+
+    /// Every node is at or above ambient when all power is non-negative
+    /// (discrete maximum principle).
+    #[test]
+    fn no_node_below_ambient(
+        layer in 0usize..3,
+        ix in 0usize..6,
+        iy in 0usize..6,
+        watts in 0.0f64..20.0,
+    ) {
+        let m = small_model();
+        let mut p = PowerMap::zeros(&m);
+        p.add_cell_power(layer, ix, iy, watts);
+        let t = m.steady_state(&p).unwrap();
+        let min = t.raw().iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(min >= m.ambient() - 1e-6, "min {min} < ambient");
+    }
+
+    /// Scaling the power map scales the temperature rise (linearity).
+    #[test]
+    fn temperature_rise_is_linear_in_power(
+        layer in 0usize..3,
+        ix in 0usize..6,
+        iy in 0usize..6,
+        watts in 0.5f64..5.0,
+        k in 1.5f64..4.0,
+    ) {
+        let m = small_model();
+        let mut p1 = PowerMap::zeros(&m);
+        p1.add_cell_power(layer, ix, iy, watts);
+        let mut p2 = p1.clone();
+        p2.scale(k);
+        let t1 = m.steady_state(&p1).unwrap();
+        let t2 = m.steady_state(&p2).unwrap();
+        let amb = m.ambient();
+        let rise1 = t1.hotspot_of_layer(layer).1 - amb;
+        let rise2 = t2.hotspot_of_layer(layer).1 - amb;
+        prop_assert!((rise2 - k * rise1).abs() < 1e-6 * rise2.abs().max(1.0),
+            "rise {rise2} vs {k} * {rise1}");
+    }
+
+    /// Adding power anywhere never cools any node (monotonicity).
+    #[test]
+    fn extra_power_never_cools(
+        l1 in 0usize..3, x1 in 0usize..6, y1 in 0usize..6,
+        l2 in 0usize..3, x2 in 0usize..6, y2 in 0usize..6,
+    ) {
+        let m = small_model();
+        let mut pa = PowerMap::zeros(&m);
+        pa.add_cell_power(l1, x1, y1, 3.0);
+        let mut pb = pa.clone();
+        pb.add_cell_power(l2, x2, y2, 2.0);
+        let ta = m.steady_state(&pa).unwrap();
+        let tb = m.steady_state(&pb).unwrap();
+        for (a, b) in ta.raw().iter().zip(tb.raw()) {
+            prop_assert!(b + 1e-7 >= *a, "{b} < {a}");
+        }
+    }
+
+    /// Block rasterization weights always sum to 1 for blocks inside the
+    /// outline, regardless of alignment with the grid.
+    #[test]
+    fn rasterization_weights_sum_to_one(
+        x in 0.0f64..0.7,
+        y in 0.0f64..0.7,
+        w in 0.05f64..0.3,
+        h in 0.05f64..0.3,
+        n in 3usize..12,
+    ) {
+        let mut fp = Floorplan::new(DIE, DIE);
+        fp.add_block("b", Rect::new(x * DIE, y * DIE, w * DIE, h * DIE)).unwrap();
+        let stack = Stack::builder(DIE, DIE)
+            .layer(Layer::uniform("si", 100e-6, SILICON.clone()).with_floorplan(fp))
+            .build()
+            .unwrap();
+        let m = stack.discretize(GridSpec::new(n, n)).unwrap();
+        let sum: f64 = m.block_weights(0, "b").unwrap().iter().map(|&(_, w)| w).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "{sum}");
+    }
+
+    /// A power map built from block power conserves the block total.
+    #[test]
+    fn block_power_total_preserved(
+        x in 0.0f64..0.6,
+        y in 0.0f64..0.6,
+        w in 0.1f64..0.4,
+        h in 0.1f64..0.4,
+        watts in 0.1f64..30.0,
+    ) {
+        let mut fp = Floorplan::new(DIE, DIE);
+        fp.add_block("b", Rect::new(x * DIE, y * DIE, w * DIE, h * DIE)).unwrap();
+        let stack = Stack::builder(DIE, DIE)
+            .layer(Layer::uniform("si", 100e-6, SILICON.clone()).with_floorplan(fp))
+            .build()
+            .unwrap();
+        let m = stack.discretize(GridSpec::new(9, 9)).unwrap();
+        let mut p = PowerMap::zeros(&m);
+        p.add_block_power(&m, 0, "b", watts).unwrap();
+        prop_assert!((p.total() - watts).abs() < 1e-9 * watts);
+    }
+}

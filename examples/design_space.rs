@@ -1,0 +1,64 @@
+//! Design-space exploration beyond the paper's defaults: sweep the
+//! pillar footprint, the die thickness, and the stack height, and report
+//! the resulting banke-over-base temperature advantage.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use xylem_stack::{StackConfig, XylemScheme};
+use xylem_thermal::grid::GridSpec;
+use xylem_workloads::Benchmark;
+
+use xylem::system::{SystemConfig, XylemSystem};
+
+/// Exploration runs on a 32x32 grid: each swept configuration needs its
+/// own unit-response set, and full 64x64 resolution would make this
+/// example take the better part of an hour on first run.
+fn explore_config(scheme: XylemScheme) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default(scheme);
+    cfg.grid = GridSpec::new(32, 32);
+    cfg
+}
+
+fn hotspot(mut make: impl FnMut(&mut StackConfig)) -> Result<f64, Box<dyn std::error::Error>> {
+    let mut cfg = explore_config(XylemScheme::BankEnhanced);
+    make(&mut cfg.stack);
+    let mut sys = XylemSystem::new(cfg)?;
+    Ok(sys.evaluate_uniform(Benchmark::Barnes, 2.4)?.proc_hotspot_c)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Baseline reference.
+    let mut base = XylemSystem::new(explore_config(XylemScheme::Base))?;
+    let t_base = base.evaluate_uniform(Benchmark::Barnes, 2.4)?.proc_hotspot_c;
+    println!("base @2.4 GHz (Barnes): {t_base:.2} C\n");
+
+    println!("pillar footprint sweep (banke):");
+    for um in [100.0, 250.0, 450.0, 600.0] {
+        let t = hotspot(|s| s.pillar_footprint = um * 1e-6)?;
+        println!("  {um:>5.0} um cluster: {t:6.2} C  (saves {:5.2} C)", t_base - t);
+    }
+
+    println!("\ndie thickness sweep (banke, paper Fig. 18 axis):");
+    for um in [50.0, 100.0, 200.0] {
+        let t = hotspot(|s| s.die_thickness = um * 1e-6)?;
+        println!("  {um:>5.0} um dies:    {t:6.2} C");
+    }
+
+    println!("\nstack height sweep (banke, paper Fig. 19 axis):");
+    for n in [2usize, 4, 8, 12, 16] {
+        let t = hotspot(|s| s.n_dram_dies = n)?;
+        println!("  {n:>2} DRAM dies:     {t:6.2} C");
+    }
+
+    println!("\nD2D underfill sensitivity (banke): what if future underfills improve?");
+    for lambda in [0.5, 1.5, 5.0, 15.0] {
+        // Rebuild with a custom D2D conductivity by scaling the layer
+        // thickness equivalently (Rth = t/lambda): half the thickness
+        // doubles the effective conductance.
+        let t = hotspot(|s| s.d2d_thickness = 20e-6 * 1.5 / lambda)?;
+        println!("  lambda_D2D = {lambda:>4.1} W/m-K equivalent: {t:6.2} C");
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Closed-loop DTM demo: request the design frequency (3.5 GHz) on the
+//! base stack vs the banke stack and watch the controller throttle.
+//!
+//! ```text
+//! cargo run --release --example dtm_trace [app] [seconds]
+//! ```
+
+use xylem::dtm::{dtm_transient, dtm_transient_phased, DtmPolicy};
+use xylem::system::{SystemConfig, XylemSystem};
+use xylem_stack::XylemScheme;
+use xylem_thermal::grid::GridSpec;
+use xylem_workloads::{Benchmark, PhasedWorkload};
+
+fn strip(samples: &[xylem::dtm::DtmSample]) -> String {
+    let stride = (samples.len() / 64).max(1);
+    samples
+        .iter()
+        .step_by(stride)
+        .map(|s| {
+            let t = ((s.f_ghz - 2.4) / 1.1 * 9.0).round() as u32;
+            char::from_digit(t.min(9), 10).unwrap_or('?')
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args
+        .get(1)
+        .and_then(|n| Benchmark::ALL.iter().find(|b| b.name().eq_ignore_ascii_case(n)))
+        .copied()
+        .unwrap_or(Benchmark::Cholesky);
+    let duration: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2.0);
+    let policy = DtmPolicy::paper_default();
+    let grid = GridSpec::new(24, 24);
+
+    println!("requesting 3.5 GHz for {duration:.1} s of {app}; DTM trips at {} C", policy.trip_c);
+    for scheme in [XylemScheme::Base, XylemScheme::BankEnhanced] {
+        let sys = XylemSystem::new(SystemConfig::paper_default(scheme))?;
+        let r = dtm_transient(&sys, app, 3.5, duration, &policy, grid)?;
+        println!(
+            "\n{:6}: effective {:.2} GHz, {} throttles, peak {:.1} C",
+            scheme.name(),
+            r.mean_f_ghz(),
+            r.throttle_events,
+            r.peak_hotspot_c()
+        );
+        println!("  f(t) [0=2.4 .. 9=3.5 GHz]: {}", strip(&r.samples));
+    }
+
+    // Phased view on base: the warm-up phase runs at full speed, the
+    // controller reins in the hot main phase.
+    let sys = XylemSystem::new(SystemConfig::paper_default(XylemScheme::Base))?;
+    let w = PhasedWorkload::standard(app);
+    let r = dtm_transient_phased(&sys, &w, 3.5, duration, &policy, grid)?;
+    println!(
+        "\nbase, phased (warm-up/main/tail): effective {:.2} GHz, {} throttles",
+        r.mean_f_ghz(),
+        r.throttle_events
+    );
+    println!("  f(t): {}", strip(&r.samples));
+    Ok(())
+}

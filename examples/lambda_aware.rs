@@ -1,0 +1,69 @@
+//! Conductivity-aware techniques demo: thread placement, per-ring
+//! frequency boosting, and thread migration on the `banke` stack
+//! (paper Sec. 5.2 / 7.6).
+//!
+//! ```text
+//! cargo run --release --example lambda_aware
+//! ```
+
+use xylem::lambda_aware::{boosting_experiment, placement_experiment};
+use xylem::migration::{migration_experiment, MigrationConfig};
+use xylem::placement::ThreadPlacement;
+use xylem::system::{SystemConfig, XylemSystem};
+use xylem_stack::proc_die::ProcDieGeometry;
+use xylem_stack::XylemScheme;
+use xylem_workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sys = XylemSystem::new(SystemConfig::paper_default(XylemScheme::BankEnhanced))?;
+
+    // The heterogeneity the techniques exploit: mean distance from each
+    // core to the high-conductivity (aligned & shorted) sites.
+    let sites = sys.built().high_conductivity_sites();
+    let geom = ProcDieGeometry::paper_default();
+    println!("mean distance to the {} high-conductivity sites:", sites.len());
+    for id in 1..=8 {
+        let d = geom.mean_distance_to_sites(id, &sites);
+        println!(
+            "  core {id} ({}): {:.2} mm",
+            if ProcDieGeometry::is_inner_core(id) { "inner" } else { "outer" },
+            d * 1e3
+        );
+    }
+
+    // 1. Lambda-aware thread placement: 4 hot threads (LU-NAS) + 4 cool
+    //    threads (IS). Placing the hot threads inside buys frequency.
+    let p = placement_experiment(&mut sys, Benchmark::LuNas, Benchmark::Is)?;
+    println!(
+        "\nthread placement: outside {:.1} GHz, inside {:.1} GHz (+{:.0} MHz)",
+        p.outside_f_ghz,
+        p.inside_f_ghz,
+        (p.inside_f_ghz - p.outside_f_ghz) * 1000.0
+    );
+
+    // 2. Lambda-aware frequency boosting: boost only the inner cores past
+    //    the chip-wide limit.
+    let b = boosting_experiment(&mut sys, Benchmark::Fft)?;
+    println!(
+        "frequency boosting (FFT): single {:.1} GHz, inner cores up to {:.1} GHz (+{:.0} MHz)",
+        b.single_f_ghz,
+        b.multiple_inner_f_ghz,
+        (b.multiple_inner_f_ghz - b.single_f_ghz) * 1000.0
+    );
+
+    // 3. Lambda-aware thread migration: rotate two threads around the
+    //    inner vs outer ring every 30 ms.
+    let cfg = MigrationConfig {
+        f_ghz: 3.2,
+        ..MigrationConfig::paper_default()
+    };
+    let outer = migration_experiment(&sys, Benchmark::Cholesky, &ThreadPlacement::outer(), &cfg)?;
+    let inner = migration_experiment(&sys, Benchmark::Cholesky, &ThreadPlacement::inner(), &cfg)?;
+    println!(
+        "thread migration (Cholesky @3.2 GHz): outer ring {:.2} C, inner ring {:.2} C (saves {:.2} C)",
+        outer.mean_hotspot_c,
+        inner.mean_hotspot_c,
+        outer.mean_hotspot_c - inner.mean_hotspot_c
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build the paper's stack, run one application, and spend
+//! the thermal headroom that microbump-TTSV alignment & shorting creates.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use xylem::headroom::max_frequency_at_iso_temperature;
+use xylem::system::{SystemConfig, XylemSystem};
+use xylem_stack::XylemScheme;
+use xylem_workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = Benchmark::Cholesky;
+
+    // 1. The baseline: a Wide I/O stack (8 DRAM dies over an 8-core
+    //    processor) with no thermal TSVs, running at 2.4 GHz.
+    let mut base = XylemSystem::new(SystemConfig::paper_default(XylemScheme::Base))?;
+    let reference = base.evaluate_uniform(app, 2.4)?;
+    println!(
+        "base   @2.4 GHz: hotspot {:.1} C, stack power {:.1} W, {} runs in {:.1} ms",
+        reference.proc_hotspot_c,
+        reference.total_power_w,
+        app,
+        reference.exec_time_s() * 1e3,
+    );
+
+    // 2. Xylem: align and short dummy microbumps with TTSVs (the `banke`
+    //    co-designed placement). Same workload, same frequency — lower
+    //    temperature.
+    let mut banke = XylemSystem::new(SystemConfig::paper_default(XylemScheme::BankEnhanced))?;
+    let cooled = banke.evaluate_uniform(app, 2.4)?;
+    println!(
+        "banke  @2.4 GHz: hotspot {:.1} C ({:.1} C cooler)",
+        cooled.proc_hotspot_c,
+        reference.proc_hotspot_c - cooled.proc_hotspot_c
+    );
+
+    // 3. Spend the headroom: raise the DVFS point until the hotspot is
+    //    back at the baseline temperature.
+    let boost = max_frequency_at_iso_temperature(&mut banke, app, reference.proc_hotspot_c)?
+        .expect("banke admits at least the base frequency");
+    let gain = reference.exec_time_s() / boost.evaluation.exec_time_s() - 1.0;
+    println!(
+        "banke boosted:   {:.1} GHz at {:.1} C -> {:.1}% faster at iso-temperature",
+        boost.f_ghz,
+        boost.evaluation.proc_hotspot_c,
+        gain * 100.0
+    );
+    Ok(())
+}

