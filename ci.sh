@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Workspace CI gate. Run from the repository root:
+#
+#   ./ci.sh          # format check, clippy, xylem-lint, full test suite
+#
+# Each stage fails fast; the whole script passing is the merge bar.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+# Lints only lib/bin targets: test code is allowed to unwrap (the
+# [workspace.lints] clippy::unwrap_used policy is for library code).
+echo "==> cargo clippy (libs + bins, warnings are errors)"
+cargo clippy --workspace --lib --bins -- -D warnings
+
+echo "==> xylem-lint (units / panic / magic-constant hygiene)"
+cargo run -q -p xylem-lint
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "CI green."

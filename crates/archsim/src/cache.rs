@@ -148,7 +148,11 @@ impl Cache {
         }
 
         self.stats.misses += 1;
-        let state = if write { LineState::Modified } else { fill_state };
+        let state = if write {
+            LineState::Modified
+        } else {
+            fill_state
+        };
         let new_line = Line {
             tag,
             state,
@@ -239,7 +243,10 @@ mod tests {
             c.access(0x1000, false, LineState::Exclusive),
             AccessOutcome::Miss { writeback: None }
         ));
-        assert_eq!(c.access(0x1000, false, LineState::Exclusive), AccessOutcome::Hit);
+        assert_eq!(
+            c.access(0x1000, false, LineState::Exclusive),
+            AccessOutcome::Hit
+        );
         assert_eq!(c.state_of(0x1000), LineState::Exclusive);
     }
 
@@ -247,7 +254,10 @@ mod tests {
     fn same_line_different_word_hits() {
         let mut c = small();
         c.access(0x1000, false, LineState::Exclusive);
-        assert_eq!(c.access(0x103F, false, LineState::Exclusive), AccessOutcome::Hit);
+        assert_eq!(
+            c.access(0x103F, false, LineState::Exclusive),
+            AccessOutcome::Hit
+        );
     }
 
     #[test]

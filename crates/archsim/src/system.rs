@@ -128,8 +128,7 @@ impl Machine {
         let exec_time_s = profile.instructions as f64 * total_cpi / (f_ghz * 1e9);
 
         let instr_rate_per_core = f_ghz * 1e9 / total_cpi;
-        let dram_access_rate =
-            threads as f64 * instr_rate_per_core * profile.dram_apki() / 1000.0;
+        let dram_access_rate = threads as f64 * instr_rate_per_core * profile.dram_apki() / 1000.0;
         let read_rate = dram_access_rate * profile.read_fraction;
         let write_rate = dram_access_rate * (1.0 - profile.read_fraction);
         let activate_rate = dram_access_rate * (1.0 - profile.row_hit_fraction);
@@ -208,7 +207,9 @@ impl Machine {
                 rows[ch][bank16] = rng.gen_range(0..4096);
             }
             let row = rows[ch][bank16];
-            let addr = (row << 12) | ((bank16 as u64 & 0x3) << 10) | (((bank16 as u64) >> 2) << 8)
+            let addr = (row << 12)
+                | ((bank16 as u64 & 0x3) << 10)
+                | (((bank16 as u64) >> 2) << 8)
                 | ((ch as u64) << 6);
             let kind = if rng.gen_bool(profile.read_fraction) {
                 RequestKind::Read
@@ -380,8 +381,18 @@ mod tests {
         let m = Machine::paper_default();
         let is = m.simulate_hierarchy(Benchmark::Is, 40_000, 4, 11);
         let lu = m.simulate_hierarchy(Benchmark::LuNas, 40_000, 4, 11);
-        assert!(is.l1d_mpki > lu.l1d_mpki, "{} vs {}", is.l1d_mpki, lu.l1d_mpki);
-        assert!(is.dram_apki > lu.dram_apki, "{} vs {}", is.dram_apki, lu.dram_apki);
+        assert!(
+            is.l1d_mpki > lu.l1d_mpki,
+            "{} vs {}",
+            is.l1d_mpki,
+            lu.l1d_mpki
+        );
+        assert!(
+            is.dram_apki > lu.dram_apki,
+            "{} vs {}",
+            is.dram_apki,
+            lu.dram_apki
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use xylem_archsim::ArchConfig;
 use xylem_stack::area::{AreaOverhead, RoutingOverhead, SAMSUNG_WIDE_IO_DIE_AREA};
 use xylem_stack::dram_die::DramDieGeometry;
 use xylem_stack::XylemScheme;
+use xylem_thermal::units::Celsius;
 use xylem_workloads::Benchmark;
 
 use crate::harness::{fmt, geomean, mean, system, system_fast, system_with, Table};
@@ -159,7 +160,7 @@ pub fn boost_sweep() -> Vec<BoostRow> {
         let reference = eb.proc_hotspot_c;
         let boosted = |sys: &mut XylemSystem| -> (f64, f64, f64) {
             let BoostOutcome { f_ghz, evaluation } =
-                max_frequency_at_iso_temperature(sys, app, reference)
+                max_frequency_at_iso_temperature(sys, app, Celsius::new(reference))
                     .unwrap()
                     .expect("schemes are cooler than base, so 2.4 GHz is admissible");
             (f_ghz, evaluation.exec_time_s(), evaluation.total_power_w)
@@ -447,8 +448,12 @@ pub fn table1_layers() {
     let p = built.stack().package();
     table.row(vec![
         "Heat sink".into(),
-        format!("{:.1} cm side, {:.1} mm", p.sink_side() * 100.0, p.sink_thickness() * 1000.0),
-        fmt(p.sink_material().conductivity(), 0),
+        format!(
+            "{:.1} cm side, {:.1} mm",
+            p.sink_side() * 100.0,
+            p.sink_thickness() * 1000.0
+        ),
+        fmt(p.sink_material().conductivity().get(), 0),
     ]);
     table.row(vec![
         "IHS".into(),
@@ -457,19 +462,19 @@ pub fn table1_layers() {
             p.spreader_side() * 100.0,
             p.spreader_thickness() * 1000.0
         ),
-        fmt(p.spreader_material().conductivity(), 0),
+        fmt(p.spreader_material().conductivity().get(), 0),
     ]);
     table.row(vec![
         "TIM".into(),
         format!("{:.0} um", p.tim_thickness() * 1e6),
-        fmt(p.tim_material().conductivity(), 0),
+        fmt(p.tim_material().conductivity().get(), 0),
     ]);
     for idx in [0usize, 1, 2] {
         let l = built.stack().layer(idx).unwrap();
         table.row(vec![
             l.name().into(),
             format!("{:.0} um", l.thickness() * 1e6),
-            fmt(l.base_material().conductivity(), 1),
+            fmt(l.base_material().conductivity().get(), 1),
         ]);
     }
     let proc_si = built.stack().layer(built.proc_si_layer()).unwrap();
@@ -478,7 +483,7 @@ pub fn table1_layers() {
         table.row(vec![
             l.name().into(),
             format!("{:.0} um", l.thickness() * 1e6),
-            fmt(l.base_material().conductivity(), 1),
+            fmt(l.base_material().conductivity().get(), 1),
         ]);
     }
     table.emit("table1_layers");
@@ -514,13 +519,49 @@ pub fn table3_arch() {
     let c = ArchConfig::paper_default();
     let mut table = Table::new("Table 3: architectural parameters", &["parameter", "value"]);
     let rows: Vec<(&str, String)> = vec![
-        ("cores", format!("{} x {}-issue OoO, 2.4-3.5 GHz", c.cores, c.issue_width)),
-        ("L1I", format!("{} KB, {}-way, {} cycles RT", c.l1i.size / 1024, c.l1i.ways, c.l1i.round_trip_cycles)),
-        ("L1D", format!("{} KB, {}-way, WT, {} cycles RT", c.l1d.size / 1024, c.l1d.ways, c.l1d.round_trip_cycles)),
-        ("L2", format!("{} KB, {}-way, WB, private, {} cycles RT", c.l2.size / 1024, c.l2.ways, c.l2.round_trip_cycles)),
-        ("coherence", format!("bus-based snoopy MESI, {}-bit bus", c.bus_width_bits)),
-        ("DRAM", "8 dies x 4 Gb; 4 Wide I/O channels; 51.2 GB/s".into()),
-        ("T_j,max", format!("{} C processor, {} C DRAM", c.t_j_max, c.t_dram_max)),
+        (
+            "cores",
+            format!("{} x {}-issue OoO, 2.4-3.5 GHz", c.cores, c.issue_width),
+        ),
+        (
+            "L1I",
+            format!(
+                "{} KB, {}-way, {} cycles RT",
+                c.l1i.size / 1024,
+                c.l1i.ways,
+                c.l1i.round_trip_cycles
+            ),
+        ),
+        (
+            "L1D",
+            format!(
+                "{} KB, {}-way, WT, {} cycles RT",
+                c.l1d.size / 1024,
+                c.l1d.ways,
+                c.l1d.round_trip_cycles
+            ),
+        ),
+        (
+            "L2",
+            format!(
+                "{} KB, {}-way, WB, private, {} cycles RT",
+                c.l2.size / 1024,
+                c.l2.ways,
+                c.l2.round_trip_cycles
+            ),
+        ),
+        (
+            "coherence",
+            format!("bus-based snoopy MESI, {}-bit bus", c.bus_width_bits),
+        ),
+        (
+            "DRAM",
+            "8 dies x 4 Gb; 4 Wide I/O channels; 51.2 GB/s".into(),
+        ),
+        (
+            "T_j,max",
+            format!("{} C processor, {} C DRAM", c.t_j_max, c.t_dram_max),
+        ),
     ];
     for (k, v) in rows {
         table.row(vec![k.into(), v]);
@@ -533,7 +574,14 @@ pub fn area_overhead() {
     let g = DramDieGeometry::paper_default();
     let mut table = Table::new(
         "Sec. 7.1: TTSV area and routing overheads",
-        &["scheme", "TTSVs", "area mm2", "% of 64.34 mm2", "frontside vias", "backside vias"],
+        &[
+            "scheme",
+            "TTSVs",
+            "area mm2",
+            "% of 64.34 mm2",
+            "frontside vias",
+            "backside vias",
+        ],
     );
     for s in XylemScheme::ALL {
         let a = AreaOverhead::for_scheme(s, &g, SAMSUNG_WIDE_IO_DIE_AREA);
@@ -558,7 +606,12 @@ pub fn area_overhead() {
 pub fn ablation_pillar_footprint() {
     let mut table = Table::new(
         "Ablation: dummy-microbump cluster footprint (Barnes @ 2.4 GHz)",
-        &["footprint um", "banke hotspot C", "reduction vs base C", "boost MHz"],
+        &[
+            "footprint um",
+            "banke hotspot C",
+            "reduction vs base C",
+            "boost MHz",
+        ],
     );
     let mut base = system_fast(XylemScheme::Base);
     let reference = base
@@ -573,9 +626,10 @@ pub fn ablation_pillar_footprint() {
             .evaluate_uniform(Benchmark::Barnes, 2.4)
             .unwrap()
             .proc_hotspot_c;
-        let boost = max_frequency_at_iso_temperature(&mut sys, Benchmark::Barnes, reference)
-            .unwrap()
-            .map_or(0.0, |b| (b.f_ghz - 2.4) * 1000.0);
+        let boost =
+            max_frequency_at_iso_temperature(&mut sys, Benchmark::Barnes, Celsius::new(reference))
+                .unwrap()
+                .map_or(0.0, |b| (b.f_ghz - 2.4) * 1000.0);
         table.row(vec![
             fmt(um, 0),
             fmt(t, 2),
@@ -655,11 +709,7 @@ pub fn ext_refresh_derating() {
     let b_pushed = base.evaluate_uniform(hottest, boost_f).unwrap();
     for (config, f, t) in [
         ("base @2.4", 2.4, b24.dram_hotspot_c),
-        (
-            "base pushed (no Xylem)",
-            boost_f,
-            b_pushed.dram_hotspot_c,
-        ),
+        ("base pushed (no Xylem)", boost_f, b_pushed.dram_hotspot_c),
         ("banke boosted (Xylem)", boost_f, eb.dram_hotspot_c),
     ] {
         table.row(vec![
@@ -684,14 +734,24 @@ pub fn ext_organization() {
     use xylem_stack::Organization;
     let mut table = Table::new(
         "Sec. 3 extension: stack organization tradeoff (2.4 GHz)",
-        &["app", "mem-on-top C", "proc-on-top C", "mem-on-top + banke C"],
+        &[
+            "app",
+            "mem-on-top C",
+            "proc-on-top C",
+            "mem-on-top + banke C",
+        ],
     );
     let mut mem = system_fast(XylemScheme::Base);
     let mut proc = system_with(XylemScheme::Base, |s| {
         s.organization = Organization::ProcessorOnTop;
     });
     let mut banke = system_fast(XylemScheme::BankEnhanced);
-    for app in [Benchmark::LuNas, Benchmark::Barnes, Benchmark::Fft, Benchmark::Is] {
+    for app in [
+        Benchmark::LuNas,
+        Benchmark::Barnes,
+        Benchmark::Fft,
+        Benchmark::Is,
+    ] {
         table.row(vec![
             app.name().into(),
             fmt(mem.evaluate_uniform(app, 2.4).unwrap().proc_hotspot_c, 2),
@@ -722,7 +782,7 @@ pub fn rth_analysis() {
         table.row(vec![
             name.into(),
             fmt(t_um, 0),
-            fmt(m.conductivity(), 1),
+            fmt(m.conductivity().get(), 1),
             fmt(m.rth_per_area(t_um * 1e-6) * 1e6, 2),
         ]);
     }

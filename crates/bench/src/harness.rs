@@ -25,8 +25,7 @@ pub fn cache_dir() -> PathBuf {
 }
 
 fn workspace_target() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target")
 }
 
 /// Builds the paper-default system for `scheme` with the shared response
@@ -150,7 +149,11 @@ impl Table {
         let _ = writeln!(
             csv,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

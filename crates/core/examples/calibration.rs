@@ -8,6 +8,7 @@
 use xylem::headroom::max_frequency_at_iso_temperature;
 use xylem::system::{SystemConfig, XylemSystem};
 use xylem_stack::XylemScheme;
+use xylem_thermal::units::Celsius;
 use xylem_workloads::Benchmark;
 
 fn main() {
@@ -37,7 +38,7 @@ fn main() {
         }
         let base = temps[0];
         let boost = |sys: &mut XylemSystem| {
-            max_frequency_at_iso_temperature(sys, b, base)
+            max_frequency_at_iso_temperature(sys, b, Celsius::new(base))
                 .unwrap()
                 .map_or(0.0, |o| o.f_ghz)
         };

@@ -21,6 +21,7 @@ use xylem_stack::XylemScheme;
 use xylem_thermal::grid::GridSpec;
 use xylem_thermal::power::PowerMap;
 use xylem_thermal::report::StackThermalReport;
+use xylem_thermal::units::{Celsius, Watts};
 use xylem_workloads::Benchmark;
 
 fn main() -> ExitCode {
@@ -128,7 +129,11 @@ fn evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
     let f = freq_of(opts)?;
     let e = sys.evaluate_uniform(app, f).map_err(|e| e.to_string())?;
     println!("{} on {} @ {f:.1} GHz", app, sys.scheme());
-    println!("  processor hotspot : {:8.2} C (core {})", e.proc_hotspot_c, e.hottest_core());
+    println!(
+        "  processor hotspot : {:8.2} C (core {})",
+        e.proc_hotspot_c,
+        e.hottest_core()
+    );
     println!("  bottom DRAM die   : {:8.2} C", e.dram_hotspot_c);
     println!("  processor power   : {:8.2} W", e.proc_power_w);
     println!("  DRAM stack power  : {:8.2} W", e.dram_power_w);
@@ -144,12 +149,11 @@ fn boost(opts: &HashMap<String, String>) -> Result<(), String> {
         o.insert("scheme".into(), "base".into());
         system_of(&o)?
     };
-    let reference = base
-        .evaluate_uniform(app, 2.4)
-        .map_err(|e| e.to_string())?;
+    let reference = base.evaluate_uniform(app, 2.4).map_err(|e| e.to_string())?;
     let mut sys = system_of(opts)?;
-    let out = max_frequency_at_iso_temperature(&mut sys, app, reference.proc_hotspot_c)
-        .map_err(|e| e.to_string())?;
+    let out =
+        max_frequency_at_iso_temperature(&mut sys, app, Celsius::new(reference.proc_hotspot_c))
+            .map_err(|e| e.to_string())?;
     match out {
         None => println!(
             "{} cannot hold the base reference of {:.2} C even at 2.4 GHz",
@@ -202,10 +206,7 @@ fn report(opts: &HashMap<String, String>) -> Result<(), String> {
     // Direct solve (not the response cache) so every layer is sensed.
     let built = sys.built();
     let grid = GridSpec::new(32, 32);
-    let model = built
-        .stack()
-        .discretize(grid)
-        .map_err(|e| e.to_string())?;
+    let model = built.stack().discretize(grid).map_err(|e| e.to_string())?;
     let metrics = sys.machine().run(app, f, 8);
     let dvfs = sys.power_model().dvfs().clone();
     let point = dvfs.point_at(f);
@@ -223,7 +224,9 @@ fn report(opts: &HashMap<String, String>) -> Result<(), String> {
         noc: metrics.noc_activity,
         point,
     };
-    let blocks = sys.power_model().block_powers(&cores, &uncore, 90.0);
+    let blocks = sys
+        .power_model()
+        .block_powers(&cores, &uncore, Celsius::new(90.0));
     let mut map = PowerMap::zeros(&model);
     for (name, w) in &blocks {
         map.add_block_power(&model, built.proc_metal_layer(), name, *w)
@@ -238,7 +241,7 @@ fn report(opts: &HashMap<String, String>) -> Result<(), String> {
         n_dies,
     );
     for &l in built.dram_metal_layers() {
-        map.add_uniform_layer_power(l, die_w);
+        map.add_uniform_layer_power(l, Watts::new(die_w));
     }
     let temps = model.steady_state(&map).map_err(|e| e.to_string())?;
     let r = StackThermalReport::new(&model, &temps);
@@ -280,7 +283,7 @@ fn dtm(opts: &HashMap<String, String>) -> Result<(), String> {
         r.mean_f_ghz(),
         r.final_f_ghz,
         r.throttle_events,
-        r.peak_hotspot_c(),
+        r.peak_hotspot().get(),
         r.time_above_trip * 100.0
     );
     // A coarse frequency-over-time strip.

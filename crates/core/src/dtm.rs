@@ -13,19 +13,27 @@ use serde::{Deserialize, Serialize};
 use xylem_power::{CoreActivity, UncoreActivity};
 use xylem_thermal::grid::GridSpec;
 use xylem_thermal::power::PowerMap;
+use xylem_thermal::units::{Celsius, Watts};
 use xylem_workloads::Benchmark;
 
 use crate::system::XylemSystem;
 use crate::Result;
 
+/// Leakage-temperature estimate used when precomputing per-DVFS-point
+/// power maps: the die is assumed near its thermal limit.
+const LEAKAGE_TEMP_ESTIMATE: Celsius = Celsius::new(95.0);
+
+/// DRAM temperature estimate for the refresh/leakage terms of the DRAM
+/// energy model (the paper's T_dram,max operating corner).
+const DRAM_TEMP_ESTIMATE_C: f64 = 85.0;
+
 /// Reactive DTM policy parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DtmPolicy {
-    /// Throttle when the hotspot exceeds this, deg C (paper: T_j,max =
-    /// 100).
-    pub trip_c: f64,
-    /// Re-boost when the hotspot falls below this, deg C (hysteresis).
-    pub release_c: f64,
+    /// Throttle when the hotspot exceeds this (paper: T_j,max = 100 C).
+    pub trip: Celsius,
+    /// Re-boost when the hotspot falls below this (hysteresis).
+    pub release: Celsius,
     /// Controller sampling period, s.
     pub control_period_s: f64,
 }
@@ -34,8 +42,8 @@ impl DtmPolicy {
     /// The paper's limits with a 2 C hysteresis band and 1 ms control.
     pub fn paper_default() -> Self {
         DtmPolicy {
-            trip_c: 100.0,
-            release_c: 98.0,
+            trip: Celsius::new(100.0),
+            release: Celsius::new(98.0),
             control_period_s: 1e-3,
         }
     }
@@ -48,8 +56,8 @@ pub struct DtmSample {
     pub time_s: f64,
     /// DVFS point in force during this period, GHz.
     pub f_ghz: f64,
-    /// Hotspot at the end of the period, deg C.
-    pub hotspot_c: f64,
+    /// Hotspot at the end of the period.
+    pub hotspot: Celsius,
 }
 
 /// Result of a DTM transient run.
@@ -75,12 +83,14 @@ impl DtmResult {
         self.samples.iter().map(|s| s.f_ghz).sum::<f64>() / self.samples.len() as f64
     }
 
-    /// Peak hotspot seen, deg C.
-    pub fn peak_hotspot_c(&self) -> f64 {
-        self.samples
-            .iter()
-            .map(|s| s.hotspot_c)
-            .fold(f64::NEG_INFINITY, f64::max)
+    /// Peak hotspot seen.
+    pub fn peak_hotspot(&self) -> Celsius {
+        Celsius::new(
+            self.samples
+                .iter()
+                .map(|s| s.hotspot.get())
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
     }
 }
 
@@ -105,7 +115,7 @@ pub fn dtm_transient(
     grid: GridSpec,
 ) -> Result<DtmResult> {
     assert!(duration_s > 0.0 && policy.control_period_s > 0.0);
-    assert!(policy.release_c <= policy.trip_c);
+    assert!(policy.release <= policy.trip);
     let built = system.built();
     let model = built.stack().discretize(grid)?;
     let pm_layer = built.proc_metal_layer();
@@ -117,7 +127,10 @@ pub fn dtm_transient(
         .map(|p| p.frequency_ghz)
         .filter(|&f| f <= requested_f_ghz + 1e-9)
         .collect();
-    assert!(!points.is_empty(), "requested frequency below the DVFS range");
+    assert!(
+        !points.is_empty(),
+        "requested frequency below the DVFS range"
+    );
     let mut maps = Vec::with_capacity(points.len());
     for &f in &points {
         let metrics = system.machine().run(benchmark, f, 8);
@@ -136,7 +149,9 @@ pub fn dtm_transient(
             noc: metrics.noc_activity,
             point,
         };
-        let blocks = system.power_model().block_powers(&cores, &uncore, 95.0);
+        let blocks = system
+            .power_model()
+            .block_powers(&cores, &uncore, LEAKAGE_TEMP_ESTIMATE);
         let mut map = PowerMap::zeros(&model);
         for (name, w) in &blocks {
             map.add_block_power(&model, pm_layer, name, *w)?;
@@ -146,11 +161,11 @@ pub fn dtm_transient(
             metrics.dram_read_rate,
             metrics.dram_write_rate,
             metrics.dram_activate_rate,
-            85.0,
+            DRAM_TEMP_ESTIMATE_C,
             n_dies,
         );
         for &l in built.dram_metal_layers() {
-            map.add_uniform_layer_power(l, die_w);
+            map.add_uniform_layer_power(l, Watts::new(die_w));
         }
         maps.push(map);
     }
@@ -168,15 +183,15 @@ pub fn dtm_transient(
         samples.push(DtmSample {
             time_s: (k + 1) as f64 * policy.control_period_s,
             f_ghz: points[level],
-            hotspot_c: hot,
+            hotspot: hot,
         });
-        if hot > policy.trip_c {
+        if hot > policy.trip {
             above += 1;
             if level > 0 {
                 level -= 1;
                 throttle_events += 1;
             }
-        } else if hot < policy.release_c && level + 1 < maps.len() {
+        } else if hot < policy.release && level + 1 < maps.len() {
             level += 1;
         }
     }
@@ -221,7 +236,10 @@ pub fn dtm_transient_phased(
         .map(|p| p.frequency_ghz)
         .filter(|&f| f <= requested_f_ghz + 1e-9)
         .collect();
-    assert!(!points.is_empty(), "requested frequency below the DVFS range");
+    assert!(
+        !points.is_empty(),
+        "requested frequency below the DVFS range"
+    );
 
     // Power maps per (phase, DVFS point), built from the phase profiles.
     let mut phase_maps: Vec<Vec<PowerMap>> = Vec::new();
@@ -230,12 +248,8 @@ pub fn dtm_transient_phased(
         let mut maps = Vec::with_capacity(points.len());
         for &f in &points {
             let lat = system.machine().dram_latency_under_load(&profile, f, 8);
-            let cpi = xylem_archsim::interval::cpi_breakdown(
-                system.machine().arch(),
-                &profile,
-                f,
-                lat,
-            );
+            let cpi =
+                xylem_archsim::interval::cpi_breakdown(system.machine().arch(), &profile, f, lat);
             let activity = profile.activity_peak * (cpi.core() / cpi.total());
             let point = dvfs.point_at(f);
             let cores = vec![
@@ -252,7 +266,9 @@ pub fn dtm_transient_phased(
                 noc: (profile.l2_mpki / 10.0).min(1.0),
                 point,
             };
-            let blocks = system.power_model().block_powers(&cores, &uncore, 95.0);
+            let blocks = system
+                .power_model()
+                .block_powers(&cores, &uncore, LEAKAGE_TEMP_ESTIMATE);
             let mut map = PowerMap::zeros(&model);
             for (name, w) in &blocks {
                 map.add_block_power(&model, pm_layer, name, *w)?;
@@ -264,11 +280,11 @@ pub fn dtm_transient_phased(
                 acc * profile.read_fraction,
                 acc * (1.0 - profile.read_fraction),
                 acc * (1.0 - profile.row_hit_fraction),
-                85.0,
+                DRAM_TEMP_ESTIMATE_C,
                 n_dies,
             );
             for &l in built.dram_metal_layers() {
-                map.add_uniform_layer_power(l, die_w);
+                map.add_uniform_layer_power(l, Watts::new(die_w));
             }
             maps.push(map);
         }
@@ -284,8 +300,7 @@ pub fn dtm_transient_phased(
     }
 
     let mut level = points.len() - 1;
-    let mut field =
-        xylem_thermal::temperature::TemperatureField::uniform(&model, model.ambient());
+    let mut field = xylem_thermal::temperature::TemperatureField::uniform(&model, model.ambient());
     let steps = (duration_s / policy.control_period_s).round() as usize;
     let mut samples = Vec::with_capacity(steps);
     let mut throttle_events = 0usize;
@@ -296,20 +311,25 @@ pub fn dtm_transient_phased(
             .iter()
             .position(|&b| t <= b + 1e-12)
             .unwrap_or(workload.phases().len() - 1);
-        field = model.transient(&phase_maps[phase][level], &field, policy.control_period_s, 1)?;
+        field = model.transient(
+            &phase_maps[phase][level],
+            &field,
+            policy.control_period_s,
+            1,
+        )?;
         let hot = field.max_of_layer(pm_layer);
         samples.push(DtmSample {
             time_s: t,
             f_ghz: points[level],
-            hotspot_c: hot,
+            hotspot: hot,
         });
-        if hot > policy.trip_c {
+        if hot > policy.trip {
             above += 1;
             if level > 0 {
                 level -= 1;
                 throttle_events += 1;
             }
-        } else if hot < policy.release_c && level + 1 < points.len() {
+        } else if hot < policy.release && level + 1 < points.len() {
             level += 1;
         }
     }
@@ -325,8 +345,8 @@ pub fn dtm_transient_phased(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xylem_stack::XylemScheme;
     use crate::system::SystemConfig;
+    use xylem_stack::XylemScheme;
 
     fn system(scheme: XylemScheme) -> XylemSystem {
         let mut cfg = SystemConfig::fast(scheme);
@@ -336,8 +356,8 @@ mod tests {
 
     fn quick_policy() -> DtmPolicy {
         DtmPolicy {
-            trip_c: 100.0,
-            release_c: 98.0,
+            trip: Celsius::new(100.0),
+            release: Celsius::new(98.0),
             control_period_s: 20e-3,
         }
     }
@@ -358,7 +378,7 @@ mod tests {
         assert!(r.final_f_ghz < 3.5);
         // The trip level is only exceeded transiently.
         let tail = &r.samples[r.samples.len() / 2..];
-        let tail_above = tail.iter().filter(|s| s.hotspot_c > 100.5).count();
+        let tail_above = tail.iter().filter(|s| s.hotspot > 100.5).count();
         assert!(
             tail_above < tail.len() / 4,
             "still hot in steady state: {tail_above}/{}",
@@ -380,7 +400,7 @@ mod tests {
         .unwrap();
         assert_eq!(r.throttle_events, 0, "{:?}", r.final_f_ghz);
         assert!((r.final_f_ghz - 2.8).abs() < 1e-9);
-        assert!(r.peak_hotspot_c() < 100.0);
+        assert!(r.peak_hotspot() < 100.0);
     }
 
     #[test]
@@ -388,15 +408,8 @@ mod tests {
         use xylem_workloads::PhasedWorkload;
         let s = system(XylemScheme::Base);
         let w = PhasedWorkload::standard(Benchmark::Cholesky);
-        let r = dtm_transient_phased(
-            &s,
-            &w,
-            3.5,
-            2.4,
-            &quick_policy(),
-            GridSpec::new(12, 12),
-        )
-        .unwrap();
+        let r =
+            dtm_transient_phased(&s, &w, 3.5, 2.4, &quick_policy(), GridSpec::new(12, 12)).unwrap();
         assert_eq!(
             r.samples.len(),
             (2.4 / quick_policy().control_period_s).round() as usize
@@ -405,11 +418,11 @@ mod tests {
         let n = r.samples.len();
         let warmup_max = r.samples[..n * 15 / 100]
             .iter()
-            .map(|s| s.hotspot_c)
+            .map(|s| s.hotspot.get())
             .fold(f64::NEG_INFINITY, f64::max);
         let main_max = r.samples[n * 20 / 100..n * 80 / 100]
             .iter()
-            .map(|s| s.hotspot_c)
+            .map(|s| s.hotspot.get())
             .fold(f64::NEG_INFINITY, f64::max);
         assert!(main_max > warmup_max, "{main_max} vs {warmup_max}");
     }

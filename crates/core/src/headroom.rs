@@ -13,6 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use xylem_thermal::units::Celsius;
 use xylem_workloads::Benchmark;
 
 use crate::evaluation::Evaluation;
@@ -22,33 +23,34 @@ use crate::Result;
 /// Thermal limits for a frequency search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ThermalLimits {
-    /// Processor hotspot limit, deg C.
-    pub proc_c: f64,
-    /// DRAM hotspot limit, deg C (use `f64::INFINITY` to ignore).
-    pub dram_c: f64,
+    /// Processor hotspot limit.
+    pub proc: Celsius,
+    /// DRAM hotspot limit (`None` = unconstrained).
+    pub dram: Option<Celsius>,
 }
 
 impl ThermalLimits {
     /// The paper's DTM limits: 100 deg C processor, 95 deg C DRAM.
     pub fn paper_dtm() -> Self {
         ThermalLimits {
-            proc_c: 100.0,
-            dram_c: 95.0,
+            proc: Celsius::new(100.0),
+            dram: Some(Celsius::new(95.0)),
         }
     }
 
     /// Iso-temperature limits: match a reference processor temperature
     /// (DRAM unconstrained, as in the paper's Sec. 7.3 methodology).
-    pub fn iso_temperature(reference_proc_c: f64) -> Self {
+    pub fn iso_temperature(reference_proc: Celsius) -> Self {
         ThermalLimits {
-            proc_c: reference_proc_c,
-            dram_c: f64::INFINITY,
+            proc: reference_proc,
+            dram: None,
         }
     }
 
     /// Whether an evaluation satisfies the limits.
     pub fn admits(&self, e: &Evaluation) -> bool {
-        e.proc_hotspot_c <= self.proc_c + 1e-9 && e.dram_hotspot_c <= self.dram_c + 1e-9
+        e.proc_hotspot_c <= self.proc.get() + 1e-9
+            && self.dram.is_none_or(|d| e.dram_hotspot_c <= d.get() + 1e-9)
     }
 }
 
@@ -106,13 +108,11 @@ pub fn max_frequency_for_run(
 pub fn max_frequency_at_iso_temperature(
     system: &mut XylemSystem,
     benchmark: Benchmark,
-    reference_c: f64,
+    reference: Celsius,
 ) -> Result<Option<BoostOutcome>> {
-    max_frequency_for_run(
-        system,
-        ThermalLimits::iso_temperature(reference_c),
-        |f| RunSpec::uniform(benchmark, f),
-    )
+    max_frequency_for_run(system, ThermalLimits::iso_temperature(reference), |f| {
+        RunSpec::uniform(benchmark, f)
+    })
 }
 
 /// Highest frequency for the standard 8-thread run under the paper's DTM
@@ -133,8 +133,8 @@ pub fn max_frequency_under_limits(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xylem_stack::XylemScheme;
     use crate::system::SystemConfig;
+    use xylem_stack::XylemScheme;
 
     fn system(scheme: XylemScheme) -> XylemSystem {
         let mut cfg = SystemConfig::fast(scheme);
@@ -150,9 +150,13 @@ mod tests {
             .unwrap()
             .proc_hotspot_c;
         let mut banke = system(XylemScheme::BankEnhanced);
-        let boost = max_frequency_at_iso_temperature(&mut banke, Benchmark::Radiosity, reference)
-            .unwrap()
-            .expect("banke admits at least 2.4 GHz");
+        let boost = max_frequency_at_iso_temperature(
+            &mut banke,
+            Benchmark::Radiosity,
+            Celsius::new(reference),
+        )
+        .unwrap()
+        .expect("banke admits at least 2.4 GHz");
         assert!(boost.f_ghz > 2.4, "{}", boost.f_ghz);
         assert!(boost.evaluation.proc_hotspot_c <= reference + 1e-9);
     }
@@ -164,9 +168,13 @@ mod tests {
             .evaluate_uniform(Benchmark::Cholesky, 2.4)
             .unwrap()
             .proc_hotspot_c;
-        let boost = max_frequency_at_iso_temperature(&mut base, Benchmark::Cholesky, reference)
-            .unwrap()
-            .expect("the reference point itself is admissible");
+        let boost = max_frequency_at_iso_temperature(
+            &mut base,
+            Benchmark::Cholesky,
+            Celsius::new(reference),
+        )
+        .unwrap()
+        .expect("the reference point itself is admissible");
         assert!((boost.f_ghz - 2.4).abs() < 1e-9, "{}", boost.f_ghz);
     }
 
@@ -176,8 +184,8 @@ mod tests {
         let out = max_frequency_for_run(
             &mut s,
             ThermalLimits {
-                proc_c: 10.0,
-                dram_c: 10.0,
+                proc: Celsius::new(10.0),
+                dram: Some(Celsius::new(10.0)),
             },
             |f| RunSpec::uniform(Benchmark::Fft, f),
         )

@@ -106,7 +106,10 @@ impl BoostingOutcome {
 /// # Errors
 ///
 /// Propagates evaluation errors.
-pub fn boosting_experiment(system: &mut XylemSystem, benchmark: Benchmark) -> Result<BoostingOutcome> {
+pub fn boosting_experiment(
+    system: &mut XylemSystem,
+    benchmark: Benchmark,
+) -> Result<BoostingOutcome> {
     let limits = ThermalLimits::paper_dtm();
     let both = |f_inner: f64, f_outer: f64| RunSpec {
         instances: vec![
@@ -140,8 +143,8 @@ pub fn boosting_experiment(system: &mut XylemSystem, benchmark: Benchmark) -> Re
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xylem_stack::XylemScheme;
     use crate::system::SystemConfig;
+    use xylem_stack::XylemScheme;
 
     fn system(scheme: XylemScheme) -> XylemSystem {
         let mut cfg = SystemConfig::fast(scheme);

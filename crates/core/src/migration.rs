@@ -12,11 +12,20 @@ use serde::{Deserialize, Serialize};
 use xylem_power::{CoreActivity, UncoreActivity};
 use xylem_thermal::grid::GridSpec;
 use xylem_thermal::power::PowerMap;
+use xylem_thermal::units::{Celsius, Watts};
 use xylem_workloads::Benchmark;
 
 use crate::placement::ThreadPlacement;
 use crate::system::XylemSystem;
 use crate::Result;
+
+/// Fixed leakage-temperature estimate for the iso-frequency migration
+/// comparisons (the error cancels between rings).
+const LEAKAGE_TEMP_ESTIMATE: Celsius = Celsius::new(90.0);
+
+/// DRAM temperature estimate for the refresh/leakage terms of the DRAM
+/// energy model.
+const DRAM_TEMP_ESTIMATE_C: f64 = 85.0;
 
 /// Parameters of a migration experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -108,7 +117,9 @@ pub fn migration_experiment(
             noc: metrics.noc_activity * 0.25,
             point,
         };
-        let blocks = system.power_model().block_powers(&cores, &uncore, 90.0);
+        let blocks = system
+            .power_model()
+            .block_powers(&cores, &uncore, LEAKAGE_TEMP_ESTIMATE);
         let mut map = PowerMap::zeros(&model);
         for (name, w) in &blocks {
             map.add_block_power(&model, pm_layer, name, *w)?;
@@ -119,11 +130,11 @@ pub fn migration_experiment(
             metrics.dram_read_rate,
             metrics.dram_write_rate,
             metrics.dram_activate_rate,
-            85.0,
+            DRAM_TEMP_ESTIMATE_C,
             n_dies,
         );
         for &l in built.dram_metal_layers() {
-            map.add_uniform_layer_power(l, die_w);
+            map.add_uniform_layer_power(l, Watts::new(die_w));
         }
         phase_maps.push(map);
     }
@@ -136,12 +147,11 @@ pub fn migration_experiment(
     let mut migrations = 0usize;
 
     for rotation in 0..cfg.rotations {
-        for phase in 0..4 {
-            let map = &phase_maps[phase];
+        for map in &phase_maps {
             for _ in 0..steps_per_period {
                 field = model.transient(map, &field, cfg.dt_s, 1)?;
                 if rotation > 0 {
-                    let hot = field.max_of_layer(pm_layer);
+                    let hot = field.max_of_layer(pm_layer).get();
                     max_hot = max_hot.max(hot);
                     sum_hot += hot;
                     samples += 1;
@@ -178,7 +188,7 @@ pub struct ThresholdMigrationResult {
 /// high-conductivity sites).
 ///
 /// One thread runs at `f_ghz` on a ring core until the hotspot reaches
-/// `trip_c`, then hops to the coolest idle ring core; the run lasts
+/// `trip`, then hops to the coolest idle ring core; the run lasts
 /// `duration_s`. Returns how many hops were needed — fewer hops on the
 /// inner ring of an aligned-and-shorted stack.
 ///
@@ -194,7 +204,7 @@ pub fn threshold_migration_experiment(
     benchmark: Benchmark,
     ring: &ThreadPlacement,
     f_ghz: f64,
-    trip_c: f64,
+    trip: Celsius,
     duration_s: f64,
     grid: GridSpec,
 ) -> Result<ThresholdMigrationResult> {
@@ -221,7 +231,9 @@ pub fn threshold_migration_experiment(
             noc: metrics.noc_activity * 0.125,
             point,
         };
-        let blocks = system.power_model().block_powers(&cores, &uncore, 90.0);
+        let blocks = system
+            .power_model()
+            .block_powers(&cores, &uncore, LEAKAGE_TEMP_ESTIMATE);
         let mut map = PowerMap::zeros(&model);
         for (name, w) in &blocks {
             map.add_block_power(&model, pm_layer, name, *w)?;
@@ -231,19 +243,18 @@ pub fn threshold_migration_experiment(
             metrics.dram_read_rate,
             metrics.dram_write_rate,
             metrics.dram_activate_rate,
-            85.0,
+            DRAM_TEMP_ESTIMATE_C,
             n_dies,
         );
         for &l in built.dram_metal_layers() {
-            map.add_uniform_layer_power(l, die_w);
+            map.add_uniform_layer_power(l, Watts::new(die_w));
         }
         maps.push(map);
     }
 
     let dt = 2e-3;
     let max_steps = (duration_s / dt).ceil() as usize;
-    let mut field =
-        xylem_thermal::temperature::TemperatureField::uniform(&model, model.ambient());
+    let mut field = xylem_thermal::temperature::TemperatureField::uniform(&model, model.ambient());
     let mut pos = 0usize;
     let mut migrations = 0usize;
     let mut max_hot = f64::NEG_INFINITY;
@@ -271,8 +282,8 @@ pub fn threshold_migration_experiment(
             .iter()
             .map(|&c| slice[c])
             .fold(f64::NEG_INFINITY, f64::max);
-        max_hot = max_hot.max(field.max_of_layer(pm_layer));
-        if active_hot >= trip_c {
+        max_hot = max_hot.max(field.max_of_layer(pm_layer).get());
+        if active_hot >= trip.get() {
             // Hop to the coolest other ring core.
             let next = (0..4)
                 .filter(|&i| i != pos)
@@ -301,8 +312,8 @@ pub fn threshold_migration_experiment(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xylem_stack::XylemScheme;
     use crate::system::SystemConfig;
+    use xylem_stack::XylemScheme;
 
     fn system(scheme: XylemScheme) -> XylemSystem {
         let mut cfg = SystemConfig::fast(scheme);
@@ -325,11 +336,9 @@ mod tests {
         let s = system(XylemScheme::BankEnhanced);
         let cfg = quick_cfg();
         let inner =
-            migration_experiment(&s, Benchmark::Cholesky, &ThreadPlacement::inner(), &cfg)
-                .unwrap();
+            migration_experiment(&s, Benchmark::Cholesky, &ThreadPlacement::inner(), &cfg).unwrap();
         let outer =
-            migration_experiment(&s, Benchmark::Cholesky, &ThreadPlacement::outer(), &cfg)
-                .unwrap();
+            migration_experiment(&s, Benchmark::Cholesky, &ThreadPlacement::outer(), &cfg).unwrap();
         assert!(
             inner.mean_hotspot_c < outer.mean_hotspot_c,
             "inner {} vs outer {}",
@@ -347,7 +356,7 @@ mod tests {
             Benchmark::Cholesky,
             &ThreadPlacement::inner(),
             3.4,
-            70.0,
+            Celsius::new(70.0),
             0.2,
             GridSpec::new(12, 12),
         )
@@ -360,7 +369,7 @@ mod tests {
             Benchmark::Is,
             &ThreadPlacement::inner(),
             2.4,
-            150.0,
+            Celsius::new(150.0),
             0.05,
             GridSpec::new(12, 12),
         )
@@ -377,7 +386,7 @@ mod tests {
                 Benchmark::Cholesky,
                 ring,
                 3.4,
-                72.0,
+                Celsius::new(72.0),
                 0.3,
                 GridSpec::new(12, 12),
             )

@@ -28,6 +28,7 @@ use xylem_stack::builder::BuiltStack;
 use xylem_thermal::error::ThermalError;
 use xylem_thermal::grid::GridSpec;
 use xylem_thermal::power::PowerMap;
+use xylem_thermal::units::{Celsius, Watts};
 
 use crate::Result;
 
@@ -71,21 +72,42 @@ impl ThermalResponse {
 
         // Ambient field: zero power everywhere -> everything at ambient.
         // (The affine term is just the ambient constant for this package.)
-        let ambient_c = model.ambient();
+        let ambient_c = model.ambient().get();
+        let unit = Watts::new(1.0);
 
         for block in &proc_blocks {
             let mut p = PowerMap::zeros(&model);
-            p.add_block_power(&model, pm_layer, block, 1.0)?;
+            p.add_block_power(&model, pm_layer, block, unit)?;
             let t = model.steady_state(&p)?;
-            proc_response.push(t.layer_slice(pm_layer).iter().map(|x| x - ambient_c).collect());
-            dram_response.push(t.layer_slice(bd_layer).iter().map(|x| x - ambient_c).collect());
+            proc_response.push(
+                t.layer_slice(pm_layer)
+                    .iter()
+                    .map(|x| x - ambient_c)
+                    .collect(),
+            );
+            dram_response.push(
+                t.layer_slice(bd_layer)
+                    .iter()
+                    .map(|x| x - ambient_c)
+                    .collect(),
+            );
         }
         for &die_layer in built.dram_metal_layers() {
             let mut p = PowerMap::zeros(&model);
-            p.add_uniform_layer_power(die_layer, 1.0);
+            p.add_uniform_layer_power(die_layer, unit);
             let t = model.steady_state(&p)?;
-            proc_response.push(t.layer_slice(pm_layer).iter().map(|x| x - ambient_c).collect());
-            dram_response.push(t.layer_slice(bd_layer).iter().map(|x| x - ambient_c).collect());
+            proc_response.push(
+                t.layer_slice(pm_layer)
+                    .iter()
+                    .map(|x| x - ambient_c)
+                    .collect(),
+            );
+            dram_response.push(
+                t.layer_slice(bd_layer)
+                    .iter()
+                    .map(|x| x - ambient_c)
+                    .collect(),
+            );
         }
 
         // Core cell sets for per-core hotspot queries.
@@ -172,9 +194,9 @@ impl ThermalResponse {
         self.proc_response == other.proc_response
     }
 
-    /// Ambient temperature, deg C.
-    pub fn ambient(&self) -> f64 {
-        self.ambient_c
+    /// Ambient temperature.
+    pub fn ambient(&self) -> Celsius {
+        Celsius::new(self.ambient_c)
     }
 
     /// The processor-block source names.
@@ -279,9 +301,11 @@ mod tests {
         let model = built.stack().discretize(grid).unwrap();
         let pm = built.proc_metal_layer();
         let mut p = PowerMap::zeros(&model);
-        p.add_block_power(&model, pm, "core1_fpu", 2.0).unwrap();
-        p.add_block_power(&model, pm, "llc_top", 1.5).unwrap();
-        p.add_uniform_layer_power(built.dram_metal_layers()[7], 0.4);
+        p.add_block_power(&model, pm, "core1_fpu", Watts::new(2.0))
+            .unwrap();
+        p.add_block_power(&model, pm, "llc_top", Watts::new(1.5))
+            .unwrap();
+        p.add_uniform_layer_power(built.dram_metal_layers()[7], Watts::new(0.4));
         let direct = model.steady_state(&p).unwrap();
 
         // Superposed.
@@ -310,11 +334,9 @@ mod tests {
     #[test]
     fn zero_power_is_ambient() {
         let r = small_response(XylemScheme::Base);
-        let (proc, dram) = r
-            .temperatures(&vec![0.0; 83], &vec![0.0; 8])
-            .unwrap();
-        assert!(proc.iter().all(|&t| (t - r.ambient()).abs() < 1e-12));
-        assert!(dram.iter().all(|&t| (t - r.ambient()).abs() < 1e-12));
+        let (proc, dram) = r.temperatures(&vec![0.0; 83], &vec![0.0; 8]).unwrap();
+        assert!(proc.iter().all(|&t| (t - r.ambient().get()).abs() < 1e-12));
+        assert!(dram.iter().all(|&t| (t - r.ambient().get()).abs() < 1e-12));
     }
 
     #[test]
@@ -340,7 +362,9 @@ mod tests {
     fn disk_cache_roundtrip() {
         let dir = std::env::temp_dir().join("xylem-response-test");
         let _ = std::fs::remove_dir_all(&dir);
-        let built = StackConfig::paper_default(XylemScheme::Base).build().unwrap();
+        let built = StackConfig::paper_default(XylemScheme::Base)
+            .build()
+            .unwrap();
         let grid = GridSpec::new(8, 8);
         let a = ThermalResponse::load_or_compute(&dir, &built, grid).unwrap();
         let b = ThermalResponse::load_or_compute(&dir, &built, grid).unwrap();
@@ -361,12 +385,29 @@ impl ThermalResponse {
     #[doc(hidden)]
     pub fn debug_diff(&self, other: &ThermalResponse) -> String {
         if self.proc_response.len() != other.proc_response.len() {
-            return format!("len {} vs {}", self.proc_response.len(), other.proc_response.len());
+            return format!(
+                "len {} vs {}",
+                self.proc_response.len(),
+                other.proc_response.len()
+            );
         }
-        for (s, (x, y)) in self.proc_response.iter().zip(&other.proc_response).enumerate() {
-            if x.len() != y.len() { return format!("src {s}: len {} vs {}", x.len(), y.len()); }
+        for (s, (x, y)) in self
+            .proc_response
+            .iter()
+            .zip(&other.proc_response)
+            .enumerate()
+        {
+            if x.len() != y.len() {
+                return format!("src {s}: len {} vs {}", x.len(), y.len());
+            }
             for (c, (p, q)) in x.iter().zip(y).enumerate() {
-                if p != q { return format!("src {s} cell {c}: {p} vs {q} (bits {:x} vs {:x})", p.to_bits(), q.to_bits()); }
+                if p.to_bits() != q.to_bits() {
+                    return format!(
+                        "src {s} cell {c}: {p} vs {q} (bits {:x} vs {:x})",
+                        p.to_bits(),
+                        q.to_bits()
+                    );
+                }
             }
         }
         "identical".into()

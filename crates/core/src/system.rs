@@ -17,6 +17,7 @@ use xylem_stack::builder::{BuiltStack, StackConfig};
 use xylem_stack::XylemScheme;
 use xylem_thermal::error::ThermalError;
 use xylem_thermal::grid::GridSpec;
+use xylem_thermal::units::Celsius;
 use xylem_workloads::Benchmark;
 
 use crate::evaluation::{Evaluation, WorkloadResult};
@@ -241,8 +242,8 @@ impl XylemSystem {
             let mut noc = 0.0;
             for m in &per_instance {
                 llc += m.llc_activity * m.threads as f64 / 8.0;
-                for ch in 0..4 {
-                    mc[ch] += m.mc_utilization[ch];
+                for (acc, &u) in mc.iter_mut().zip(&m.mc_utilization) {
+                    *acc += u;
                 }
                 noc += m.noc_activity;
             }
@@ -253,7 +254,9 @@ impl XylemSystem {
                 point: uncore_point,
             };
 
-            let blocks = self.power.block_powers(&cores, &uncore, t_proc);
+            let blocks = self
+                .power
+                .block_powers(&cores, &uncore, Celsius::new(t_proc));
             let mut proc_powers = vec![0.0; self.response.proc_blocks().len()];
             proc_power_w = 0.0;
             for (name, w) in &blocks {
@@ -262,8 +265,8 @@ impl XylemSystem {
                         reason: format!("power block '{name}' not in floorplan"),
                     }
                 })?;
-                proc_powers[idx] += w;
-                proc_power_w += w;
+                proc_powers[idx] += w.get();
+                proc_power_w += w.get();
             }
 
             // DRAM power per die from summed command rates.
@@ -326,7 +329,11 @@ mod tests {
     fn uniform_run_is_physically_sane() {
         let mut s = system(XylemScheme::Base);
         let e = s.evaluate_uniform(Benchmark::Cholesky, 2.4).unwrap();
-        assert!(e.proc_hotspot_c > 60.0 && e.proc_hotspot_c < 130.0, "{}", e.proc_hotspot_c);
+        assert!(
+            e.proc_hotspot_c > 60.0 && e.proc_hotspot_c < 130.0,
+            "{}",
+            e.proc_hotspot_c
+        );
         assert!(e.dram_hotspot_c < e.proc_hotspot_c);
         assert!((8.0..30.0).contains(&e.proc_power_w), "{}", e.proc_power_w);
         assert!((1.0..6.0).contains(&e.dram_power_w), "{}", e.dram_power_w);

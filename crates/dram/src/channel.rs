@@ -142,8 +142,17 @@ impl Channel {
 
     /// Serves one request (FCFS, open-page); returns
     /// `(completion time ns, row-buffer outcome)`.
-    pub fn access(&mut self, rank: usize, bank: usize, row: u64, req: &MemoryRequest) -> (f64, RowBufferOutcome) {
-        assert!(rank < 4 && bank < 4, "rank {rank} / bank {bank} out of range");
+    pub fn access(
+        &mut self,
+        rank: usize,
+        bank: usize,
+        row: u64,
+        req: &MemoryRequest,
+    ) -> (f64, RowBufferOutcome) {
+        assert!(
+            rank < 4 && bank < 4,
+            "rank {rank} / bank {bank} out of range"
+        );
         let t = self.timing;
         let b = &mut self.banks[rank * 4 + bank];
         let start = req.issue_ns.max(b.ready_at);
@@ -333,7 +342,10 @@ mod tests {
         // Immediately conflict: precharge must wait until tRAS after ACT@0.
         let (d2, o2) = s.access(read_at(1 << 12, 0.0));
         assert_eq!(o2, RowBufferOutcome::Conflict);
-        assert!(d2 >= t.t_ras + t.t_rp + t.t_rcd + t.hit_latency() - 1e-9, "{d2}");
+        assert!(
+            d2 >= t.t_ras + t.t_rp + t.t_rcd + t.hit_latency() - 1e-9,
+            "{d2}"
+        );
     }
 
     #[test]

@@ -119,7 +119,11 @@ impl FrFcfsScheduler {
 
     /// Pending requests across all channels.
     pub fn pending(&self) -> usize {
-        self.reads.iter().chain(self.writes.iter()).map(Vec::len).sum()
+        self.reads
+            .iter()
+            .chain(self.writes.iter())
+            .map(Vec::len)
+            .sum()
     }
 
     /// Serves every queued request; returns `(completion time ns,
@@ -145,13 +149,8 @@ impl FrFcfsScheduler {
         if self.draining[ch] && self.writes[ch].len() <= self.config.write_low_watermark {
             self.draining[ch] = false;
         }
-        let use_writes = if self.draining[ch] {
-            !self.writes[ch].is_empty()
-        } else if self.reads[ch].is_empty() {
-            !self.writes[ch].is_empty()
-        } else {
-            false
-        };
+        let use_writes =
+            (self.draining[ch] || self.reads[ch].is_empty()) && !self.writes[ch].is_empty();
         let queue = if use_writes {
             &mut self.writes[ch]
         } else {
@@ -274,10 +273,7 @@ mod tests {
         }
         let served = sched.drain();
         // The victim must be served within starvation_rounds+2 slots.
-        let victim_pos = served
-            .iter()
-            .position(|(_, r)| r.addr == 1 << 12)
-            .unwrap();
+        let victim_pos = served.iter().position(|(_, r)| r.addr == 1 << 12).unwrap();
         assert!(victim_pos <= 4, "victim served at slot {victim_pos}");
         assert!(sched.stats().starvation_promotions > 0);
     }

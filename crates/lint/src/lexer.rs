@@ -1,0 +1,457 @@
+//! A minimal Rust lexer: just enough to walk token streams for the lint
+//! rules without a full parser.
+//!
+//! The lexer understands the parts of the grammar that would otherwise
+//! produce false matches inside non-code text: line and (nested) block
+//! comments, string literals (including raw and byte strings), character
+//! literals vs. lifetimes, and numeric literals with exponents and type
+//! suffixes. Everything else becomes single-character punctuation.
+
+/// Token categories the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (integer or float, any base).
+    Number,
+    /// String / byte-string literal (escapes unresolved).
+    Str,
+    /// Character / byte-character literal.
+    Char,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Category.
+    pub kind: TokKind,
+    /// Raw text (for `Str`, without quotes resolved; for `Punct`, one char).
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// A lexing failure with its source line.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    /// 1-indexed line of the offending construct.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated comments or literals.
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = c.peek() {
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                while let Some(b) = c.peek() {
+                    if b == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                loop {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'*'), Some(b'/')) => {
+                            c.bump();
+                            c.bump();
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        (Some(b'/'), Some(b'*')) => {
+                            c.bump();
+                            c.bump();
+                            depth += 1;
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => {
+                            return Err(LexError {
+                                line,
+                                msg: "unterminated block comment".into(),
+                            })
+                        }
+                    }
+                }
+            }
+            b'"' => out.push(lex_string(&mut c, line)?),
+            b'\'' => out.push(lex_char_or_lifetime(&mut c, line)?),
+            b'r' | b'b' if starts_string_prefix(&c) => out.push(lex_prefixed_string(&mut c, line)?),
+            _ if is_ident_start(b) => {
+                let start = c.pos;
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                out.push(Tok {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => out.push(lex_number(&mut c, line)),
+            _ => {
+                c.bump();
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Whether the cursor sits on a raw/byte string prefix (`r"`, `r#"`,
+/// `b"`, `b'`, `br"`, `br#"`) rather than a plain identifier.
+fn starts_string_prefix(c: &Cursor<'_>) -> bool {
+    let rest = &c.src[c.pos..];
+    let after = |skip: usize| rest.get(skip).copied();
+    match rest.first() {
+        Some(b'r') => {
+            matches!(after(1), Some(b'"') | Some(b'#')) && raw_hashes_lead_to_quote(rest, 1)
+        }
+        Some(b'b') => match after(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => raw_hashes_lead_to_quote(rest, 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn raw_hashes_lead_to_quote(rest: &[u8], mut i: usize) -> bool {
+    while rest.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    rest.get(i) == Some(&b'"')
+}
+
+fn lex_string(c: &mut Cursor<'_>, line: u32) -> Result<Tok, LexError> {
+    c.bump(); // opening quote
+    let start = c.pos;
+    loop {
+        match c.peek() {
+            Some(b'\\') => {
+                c.bump();
+                c.bump();
+            }
+            Some(b'"') => {
+                let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+                c.bump();
+                return Ok(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+            }
+            Some(_) => {
+                c.bump();
+            }
+            None => {
+                return Err(LexError {
+                    line,
+                    msg: "unterminated string literal".into(),
+                })
+            }
+        }
+    }
+}
+
+fn lex_prefixed_string(c: &mut Cursor<'_>, line: u32) -> Result<Tok, LexError> {
+    // Consume the `r` / `b` / `br` prefix.
+    if c.peek() == Some(b'b') {
+        c.bump();
+    }
+    if c.peek() == Some(b'r') {
+        c.bump();
+        let mut hashes = 0usize;
+        while c.peek() == Some(b'#') {
+            c.bump();
+            hashes += 1;
+        }
+        if c.peek() != Some(b'"') {
+            return Err(LexError {
+                line,
+                msg: "malformed raw string prefix".into(),
+            });
+        }
+        c.bump();
+        let start = c.pos;
+        loop {
+            match c.peek() {
+                Some(b'"') => {
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if c.peek_at(1 + i) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+                        c.bump();
+                        for _ in 0..hashes {
+                            c.bump();
+                        }
+                        return Ok(Tok {
+                            kind: TokKind::Str,
+                            text,
+                            line,
+                        });
+                    }
+                    c.bump();
+                }
+                Some(_) => {
+                    c.bump();
+                }
+                None => {
+                    return Err(LexError {
+                        line,
+                        msg: "unterminated raw string literal".into(),
+                    })
+                }
+            }
+        }
+    }
+    // Plain byte string or byte char after the `b` prefix.
+    match c.peek() {
+        Some(b'"') => lex_string(c, line),
+        Some(b'\'') => lex_char_or_lifetime(c, line),
+        _ => Err(LexError {
+            line,
+            msg: "malformed byte literal prefix".into(),
+        }),
+    }
+}
+
+fn lex_char_or_lifetime(c: &mut Cursor<'_>, line: u32) -> Result<Tok, LexError> {
+    c.bump(); // opening quote
+              // Lifetime: 'ident not followed by a closing quote.
+    if c.peek().is_some_and(is_ident_start) {
+        let mut i = 1;
+        while c.peek_at(i).is_some_and(is_ident_continue) {
+            i += 1;
+        }
+        if c.peek_at(i) != Some(b'\'') {
+            let start = c.pos;
+            for _ in 0..i {
+                c.bump();
+            }
+            return Ok(Tok {
+                kind: TokKind::Lifetime,
+                text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                line,
+            });
+        }
+    }
+    let start = c.pos;
+    loop {
+        match c.peek() {
+            Some(b'\\') => {
+                c.bump();
+                c.bump();
+            }
+            Some(b'\'') => {
+                let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+                c.bump();
+                return Ok(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                });
+            }
+            Some(_) => {
+                c.bump();
+            }
+            None => {
+                return Err(LexError {
+                    line,
+                    msg: "unterminated character literal".into(),
+                })
+            }
+        }
+    }
+}
+
+fn lex_number(c: &mut Cursor<'_>, line: u32) -> Tok {
+    let start = c.pos;
+    while let Some(b) = c.peek() {
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            c.bump();
+            // Signed exponent: `1e-3`, `2.5E+6`.
+            if (b == b'e' || b == b'E')
+                && !c.src[start..c.pos].starts_with(b"0x")
+                && matches!(c.peek(), Some(b'+') | Some(b'-'))
+                && c.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                c.bump();
+            }
+        } else if b == b'.' {
+            // A dot continues the number only when followed by a digit
+            // (`1.5`) or end-of-number (`1.`): `0..4` and `1.max(2)` stop.
+            match c.peek_at(1) {
+                Some(d) if d.is_ascii_digit() => {
+                    c.bump();
+                }
+                Some(b'.') => break,
+                Some(d) if is_ident_start(d) => break,
+                _ => {
+                    c.bump();
+                    break;
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    Tok {
+        kind: TokKind::Number,
+        text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+        line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("a // unwrap()\n/* pub fn /* nested */ */ b");
+        assert_eq!(
+            toks,
+            vec![(TokKind::Ident, "a".into()), (TokKind::Ident, "b".into())]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r##"x = "fn unwrap()"; y = r#"raw "quote" inside"# ;"##);
+        assert!(toks.iter().all(|(_, t)| t != "unwrap"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        let toks = kinds("273.15 1.75e6 1e-3 0x1F 2.4f64 0..4 1.max(2)");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            nums,
+            vec!["273.15", "1.75e6", "1e-3", "0x1F", "2.4f64", "0", "4", "1", "2"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc").expect("lexes");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("let s = \"oops").is_err());
+        assert!(lex("/* never closed").is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! `xylem-lint`: a workspace static-analysis pass for the Xylem crates.
+//!
+//! Walks every `.rs` file in the workspace (skipping `target/` and
+//! `vendor/`) and enforces three invariants that `rustc` cannot:
+//!
+//! 1. **`f64-param`** — public API functions of `xylem-thermal`,
+//!    `xylem-power`, and `xylem-core` must not take a raw `f64` where the
+//!    parameter name indicates a physical quantity; use the newtypes in
+//!    `xylem_thermal::units` instead. Bulk `&[f64]` kernel interfaces are
+//!    deliberately out of scope.
+//! 2. **`unwrap`** — library code (crate `src/` trees, excluding binary
+//!    targets and `#[cfg(test)]` items) must not contain `.unwrap()` or
+//!    message-free `panic!()`-family macros.
+//! 3. **`magic-float`** — float literals matching known physical-constant
+//!    magnitudes (the Celsius offset, material conductivities and heat
+//!    capacities) must live in `thermal/src/material.rs` or
+//!    `power/src/blocks.rs`, not inline.
+//!
+//! Known-good exceptions go in an optional `xylem-lint.allow` file at the
+//! workspace root, one entry per line: `<rule> <path-suffix> <symbol>`
+//! (symbol `*` matches anything; `#` starts a comment).
+//!
+//! Run with `cargo run -p xylem-lint` from the workspace root; the binary
+//! prints `path:line: [rule] message` per finding and exits non-zero if
+//! any survive the allowlist.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier (`f64-param`, `unwrap`, `magic-float`, `lex`).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// The offending symbol (`fn.param`, macro name, or literal text) —
+    /// what an allowlist entry must name.
+    pub symbol: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Parsed `xylem-lint.allow` entries.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct AllowEntry {
+    rule: String,
+    path_suffix: String,
+    symbol: String,
+}
+
+impl Allowlist {
+    /// Parses allowlist text: one `<rule> <path-suffix> <symbol>` entry
+    /// per line, `#` comments, blank lines ignored. Malformed lines are
+    /// reported as errors rather than silently dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the 1-indexed line numbers of malformed entries.
+    pub fn parse(text: &str) -> Result<Self, Vec<usize>> {
+        let mut entries = Vec::new();
+        let mut bad = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or_default().trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(path_suffix), Some(symbol), None) => {
+                    entries.push(AllowEntry {
+                        rule: rule.to_string(),
+                        path_suffix: path_suffix.to_string(),
+                        symbol: symbol.to_string(),
+                    });
+                }
+                _ => bad.push(idx + 1),
+            }
+        }
+        if bad.is_empty() {
+            Ok(Self { entries })
+        } else {
+            Err(bad)
+        }
+    }
+
+    /// Whether a finding of `rule` at `path` on `symbol` is allowlisted.
+    pub fn permits(&self, rule: &str, path: &str, symbol: &str) -> bool {
+        self.entries.iter().any(|e| {
+            e.rule == rule
+                && path.ends_with(&e.path_suffix)
+                && (e.symbol == "*" || e.symbol == symbol)
+        })
+    }
+}
+
+/// Runs every rule over one source file. Pure: no filesystem access, so
+/// fixtures can be checked in-memory.
+pub fn check_source(relpath: &str, src: &str, allow: &Allowlist) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = match lexer::lex(src) {
+        Ok(toks) => toks,
+        Err(e) => {
+            out.push(Diagnostic {
+                rule: "lex",
+                path: relpath.to_string(),
+                line: e.line,
+                symbol: "lex-error".to_string(),
+                message: e.msg,
+            });
+            return out;
+        }
+    };
+    let mask = rules::test_mask(&toks);
+    rules::check_f64_params(relpath, &toks, &mask, allow, &mut out);
+    rules::check_panics(relpath, &toks, &mask, allow, &mut out);
+    rules::check_magic_floats(relpath, &toks, &mask, allow, &mut out);
+    out
+}
+
+/// Collects every `.rs` file under `root`, skipping `target/`, `vendor/`,
+/// and dot-directories. Paths are returned workspace-relative and sorted.
+///
+/// # Errors
+///
+/// Returns an I/O error description if a directory cannot be read.
+pub fn collect_rust_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == "vendor" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| format!("path {} not under root: {e}", path.display()))?;
+                files.push(rel.to_path_buf());
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Loads the optional `xylem-lint.allow` at `root`.
+///
+/// # Errors
+///
+/// Returns a description of malformed allowlist lines.
+pub fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
+    let path = root.join("xylem-lint.allow");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Allowlist::parse(&text).map_err(|lines| {
+            format!(
+                "{}: malformed entries on lines {:?} (expected `<rule> <path-suffix> <symbol>`)",
+                path.display(),
+                lines
+            )
+        }),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// Checks every `.rs` file under `root` and returns all findings.
+///
+/// # Errors
+///
+/// Returns a description of filesystem or allowlist-format problems.
+pub fn check_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let allow = load_allowlist(root)?;
+    let mut out = Vec::new();
+    for rel in collect_rust_files(root)? {
+        let abs = root.join(&rel);
+        let src = std::fs::read_to_string(&abs)
+            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        let relpath = rel.to_string_lossy().replace('\\', "/");
+        out.extend(check_source(&relpath, &src, &allow));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_parses_and_matches() {
+        let a = Allowlist::parse(
+            "# comment\n\
+             f64-param thermal/src/grid.rs scale.temp_c\n\
+             unwrap core/src/response.rs *  # trailing comment\n",
+        )
+        .expect("parses");
+        assert!(a.permits("f64-param", "crates/thermal/src/grid.rs", "scale.temp_c"));
+        assert!(!a.permits("f64-param", "crates/thermal/src/grid.rs", "other.temp_c"));
+        assert!(a.permits("unwrap", "crates/core/src/response.rs", "anything"));
+        assert!(!a.permits("unwrap", "crates/core/src/dtm.rs", "anything"));
+    }
+
+    #[test]
+    fn malformed_allowlist_lines_are_reported() {
+        let err = Allowlist::parse("f64-param only-two\n").expect_err("rejects");
+        assert_eq!(err, vec![1]);
+    }
+
+    #[test]
+    fn check_source_reports_lex_errors_as_diagnostics() {
+        let d = check_source(
+            "crates/core/src/x.rs",
+            "let s = \"open",
+            &Allowlist::default(),
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "lex");
+    }
+
+    #[test]
+    fn allowlisted_findings_are_suppressed() {
+        let allow = Allowlist::parse("f64-param thermal/src/foo.rs set_ambient.ambient_c\n")
+            .expect("parses");
+        let src = "pub fn set_ambient(ambient_c: f64) {}";
+        assert!(check_source("crates/thermal/src/foo.rs", src, &allow).is_empty());
+        assert_eq!(
+            check_source("crates/thermal/src/foo.rs", src, &Allowlist::default()).len(),
+            1
+        );
+    }
+}

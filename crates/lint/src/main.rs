@@ -1,0 +1,55 @@
+//! CLI entry point: `cargo run -p xylem-lint [workspace-root]`.
+//!
+//! Prints one `path:line: [rule] message` per finding and exits with
+//! status 1 if any survive the allowlist, 2 on usage/IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args_os().skip(1);
+    let root = match (args.next(), args.next()) {
+        (None, _) => default_root(),
+        (Some(p), None) => PathBuf::from(p),
+        (Some(_), Some(_)) => {
+            eprintln!("usage: xylem-lint [workspace-root]");
+            return ExitCode::from(2);
+        }
+    };
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "xylem-lint: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    match xylem_lint::check_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xylem-lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for d in &findings {
+                println!("{d}");
+            }
+            println!(
+                "xylem-lint: {} finding(s); fix them or add entries to xylem-lint.allow",
+                findings.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xylem-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Default to the workspace root two levels above this crate's manifest,
+/// so `cargo run -p xylem-lint` works from any directory.
+fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}

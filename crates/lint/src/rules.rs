@@ -1,0 +1,524 @@
+//! The three lint rules, operating on the lexer's token stream.
+//!
+//! * `f64-param` — public API functions of the physics crates must not take
+//!   a raw `f64` where the parameter name says it is a physical quantity.
+//! * `unwrap` — library code must not contain `.unwrap()` or message-free
+//!   `panic!()`-family macros.
+//! * `magic-float` — float literals matching known physical-constant
+//!   magnitudes must live in the material/blocks tables, not inline.
+
+use crate::lexer::{Tok, TokKind};
+use crate::{Allowlist, Diagnostic};
+
+/// Crate sub-trees whose public API surface is units-checked (rule 1).
+const UNITS_CHECKED_PREFIXES: &[&str] = &[
+    "crates/thermal/src/",
+    "crates/power/src/",
+    "crates/core/src/",
+];
+
+/// Parameter-name fragments that indicate a physical quantity.
+const QUANTITY_FRAGMENTS: &[&str] = &[
+    "temp",
+    "celsius",
+    "kelvin",
+    "watt",
+    "power",
+    "conductivity",
+    "heat_capacity",
+    "ambient",
+    "hotspot",
+];
+
+/// Parameter-name suffixes that indicate a physical quantity with an
+/// encoded unit (`..._c`, `..._k`, `..._w`).
+const QUANTITY_SUFFIXES: &[&str] = &["_c", "_k", "_w"];
+
+/// Known physical-constant magnitudes that must not appear as inline
+/// literals outside the material tables (rule 3): the Celsius offset,
+/// copper and silicon bulk conductivities, and the volumetric heat
+/// capacities used by the stack materials.
+const MAGIC_MAGNITUDES: &[f64] = &[273.15, 120.0, 400.0, 1.75e6, 3.4e6, 2.0e6, 3.0e6, 4.0e6];
+
+/// Files exempt from rule 3: the canonical homes of physical constants.
+const MAGIC_EXEMPT_SUFFIXES: &[&str] = &[
+    "thermal/src/material.rs",
+    "power/src/blocks.rs",
+    "thermal/src/units.rs",
+];
+
+/// Whether `relpath` (normalized with `/`) is library source: under a
+/// crate's `src/`, not a binary target, not the lint crate itself.
+fn is_library_source(relpath: &str) -> bool {
+    relpath.starts_with("crates/")
+        && relpath.contains("/src/")
+        && !relpath.contains("/bin/")
+        && !relpath.starts_with("crates/lint/")
+}
+
+/// Marks every token inside a `#[cfg(test)]`-gated item so the rules can
+/// skip test code. Returns a per-token mask (`true` = skip).
+fn cfg_test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_attr = toks[i].is_punct('#')
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct('(')
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is_punct(')')
+            && toks[i + 6].is_punct(']');
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        // Skip from the attribute to the end of the item it gates: either
+        // a `;` (e.g. a gated `use`) or the matching close of the first
+        // top-level `{`.
+        let start = i;
+        let mut j = i + 7;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(';') {
+                break;
+            } else if depth == 0 && t.is_punct('{') {
+                let mut braces = 1i32;
+                j += 1;
+                while j < toks.len() && braces > 0 {
+                    if toks[j].is_punct('{') {
+                        braces += 1;
+                    } else if toks[j].is_punct('}') {
+                        braces -= 1;
+                    }
+                    j += 1;
+                }
+                j -= 1;
+                break;
+            }
+            j += 1;
+        }
+        let end = j.min(toks.len() - 1);
+        for m in &mut mask[start..=end] {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Rule 1: raw `f64` parameters named like physical quantities in public
+/// function signatures of the units-checked crates.
+pub fn check_f64_params(
+    relpath: &str,
+    toks: &[Tok],
+    mask: &[bool],
+    allow: &Allowlist,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !UNITS_CHECKED_PREFIXES
+        .iter()
+        .any(|p| relpath.starts_with(p))
+        || relpath.contains("/bin/")
+    {
+        return;
+    }
+    let mut i = 0;
+    while i < toks.len() {
+        if mask[i] || !toks[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // `pub(crate)` / `pub(super)` are not public API.
+        if j < toks.len() && toks[j].is_punct('(') {
+            i += 1;
+            continue;
+        }
+        // Skip fn qualifiers: `const`, `unsafe`, `async`, `extern "C"`.
+        while j < toks.len()
+            && (toks[j].is_ident("const")
+                || toks[j].is_ident("unsafe")
+                || toks[j].is_ident("async")
+                || toks[j].is_ident("extern")
+                || toks[j].kind == TokKind::Str)
+        {
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        j += 1;
+        let Some(name_tok) = toks.get(j) else { break };
+        if name_tok.kind != TokKind::Ident {
+            i = j;
+            continue;
+        }
+        let fn_name = name_tok.text.clone();
+        j += 1;
+        // Skip generic parameters `<...>`, minding `->` arrows inside
+        // closure-trait bounds.
+        if j < toks.len() && toks[j].is_punct('<') {
+            let mut angle = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct('<') {
+                    angle += 1;
+                } else if toks[j].is_punct('>') && !(j > 0 && toks[j - 1].is_punct('-')) {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if j >= toks.len() || !toks[j].is_punct('(') {
+            i = j;
+            continue;
+        }
+        // Collect the parameter list up to the matching `)`.
+        let open = j;
+        let mut paren = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct('(') {
+                paren += 1;
+            } else if toks[j].is_punct(')') {
+                paren -= 1;
+                if paren == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let params = &toks[open + 1..j.min(toks.len())];
+        for param in split_params(params) {
+            check_one_param(relpath, &fn_name, param, allow, out);
+        }
+        i = j + 1;
+    }
+}
+
+/// Splits a parameter token slice on top-level commas (tracking paren,
+/// bracket, and angle depth; `->` arrows do not close angles).
+fn split_params(params: &[Tok]) -> Vec<&[Tok]> {
+    let mut groups = Vec::new();
+    let (mut paren, mut bracket, mut angle) = (0i32, 0i32, 0i32);
+    let mut start = 0;
+    for (k, t) in params.iter().enumerate() {
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !(k > 0 && params[k - 1].is_punct('-')) {
+            angle = (angle - 1).max(0);
+        } else if t.is_punct(',') && paren == 0 && bracket == 0 && angle == 0 {
+            groups.push(&params[start..k]);
+            start = k + 1;
+        }
+    }
+    if start < params.len() {
+        groups.push(&params[start..]);
+    }
+    groups
+}
+
+fn check_one_param(
+    relpath: &str,
+    fn_name: &str,
+    param: &[Tok],
+    allow: &Allowlist,
+    out: &mut Vec<Diagnostic>,
+) {
+    if param.is_empty() || param.iter().any(|t| t.is_ident("self")) {
+        return;
+    }
+    let Some(colon) = param.iter().position(|t| t.is_punct(':')) else {
+        return;
+    };
+    let Some(name_tok) = param[..colon]
+        .iter()
+        .rev()
+        .find(|t| t.kind == TokKind::Ident)
+    else {
+        return;
+    };
+    let ty = &param[colon + 1..];
+    let is_bare_f64 = ty.len() == 1 && ty[0].is_ident("f64");
+    if !is_bare_f64 {
+        return;
+    }
+    let name = name_tok.text.to_ascii_lowercase();
+    let is_quantity = QUANTITY_FRAGMENTS.iter().any(|f| name.contains(f))
+        || QUANTITY_SUFFIXES.iter().any(|s| name.ends_with(s));
+    if !is_quantity {
+        return;
+    }
+    let symbol = format!("{fn_name}.{}", name_tok.text);
+    if allow.permits("f64-param", relpath, &symbol) {
+        return;
+    }
+    out.push(Diagnostic {
+        rule: "f64-param",
+        path: relpath.to_string(),
+        line: name_tok.line,
+        symbol,
+        message: format!(
+            "public fn `{fn_name}` takes physical quantity `{}` as raw f64; use a units newtype (Celsius, Kelvin, Watts, ...)",
+            name_tok.text
+        ),
+    });
+}
+
+/// Rule 2: `.unwrap()` calls and message-free panic-family macros in
+/// library code.
+pub fn check_panics(
+    relpath: &str,
+    toks: &[Tok],
+    mask: &[bool],
+    allow: &Allowlist,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !is_library_source(relpath) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        // `.unwrap()`
+        if t.is_ident("unwrap")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+        {
+            if allow.permits("unwrap", relpath, "unwrap") {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "unwrap",
+                path: relpath.to_string(),
+                line: t.line,
+                symbol: "unwrap".to_string(),
+                message: "`.unwrap()` in library code; propagate the error or use `expect(\"<invariant>\")`".to_string(),
+            });
+        }
+        // `panic!()` / `unreachable!()` / `todo!()` / `unimplemented!()`
+        // with no message.
+        let is_panic_macro = ["panic", "unreachable", "todo", "unimplemented"]
+            .iter()
+            .any(|m| t.is_ident(m));
+        if is_panic_macro
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            if allow.permits("unwrap", relpath, &t.text) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "unwrap",
+                path: relpath.to_string(),
+                line: t.line,
+                symbol: t.text.clone(),
+                message: format!(
+                    "message-free `{}!()` in library code; state the violated invariant",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Rule 3: float literals matching known physical-constant magnitudes
+/// outside the material tables.
+pub fn check_magic_floats(
+    relpath: &str,
+    toks: &[Tok],
+    mask: &[bool],
+    allow: &Allowlist,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !is_library_source(relpath) || MAGIC_EXEMPT_SUFFIXES.iter().any(|s| relpath.ends_with(s)) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Number {
+            continue;
+        }
+        let Some(v) = parse_float_literal(&t.text) else {
+            continue;
+        };
+        let Some(hit) = MAGIC_MAGNITUDES
+            .iter()
+            .find(|&&m| (v - m).abs() <= m.abs() * 1e-12)
+        else {
+            continue;
+        };
+        if allow.permits("magic-float", relpath, &t.text) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "magic-float",
+            path: relpath.to_string(),
+            line: t.line,
+            symbol: t.text.clone(),
+            message: format!(
+                "literal `{}` matches physical-constant magnitude {hit}; reference the named constant in material.rs/blocks.rs instead",
+                t.text
+            ),
+        });
+    }
+}
+
+/// Parses a *float* literal: requires a decimal point or exponent, so
+/// integers (grid sizes, indices) never match. Returns `None` for
+/// integers and non-decimal bases.
+fn parse_float_literal(text: &str) -> Option<f64> {
+    if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+        return None;
+    }
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let cleaned = cleaned
+        .strip_suffix("f64")
+        .or_else(|| cleaned.strip_suffix("f32"))
+        .unwrap_or(&cleaned);
+    if !cleaned.contains('.') && !cleaned.contains('e') && !cleaned.contains('E') {
+        return None;
+    }
+    cleaned.parse::<f64>().ok()
+}
+
+/// Computes the cfg(test) mask for a token stream (exposed for `lib.rs`).
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    cfg_test_mask(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_all(relpath: &str, src: &str) -> Vec<Diagnostic> {
+        let toks = lex(src).expect("fixture lexes");
+        let mask = cfg_test_mask(&toks);
+        let allow = Allowlist::default();
+        let mut out = Vec::new();
+        check_f64_params(relpath, &toks, &mask, &allow, &mut out);
+        check_panics(relpath, &toks, &mask, &allow, &mut out);
+        check_magic_floats(relpath, &toks, &mask, &allow, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_raw_f64_quantity_param() {
+        let d = run_all(
+            "crates/thermal/src/foo.rs",
+            "pub fn set_ambient(ambient_c: f64) {}",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "f64-param");
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].symbol.contains("ambient_c"));
+    }
+
+    #[test]
+    fn typed_params_and_bulk_slices_pass() {
+        let d = run_all(
+            "crates/thermal/src/foo.rs",
+            "pub fn set_ambient(ambient: Celsius) {}\n\
+             pub fn temperatures(&self, temps_c: &[f64]) {}\n\
+             pub fn scale(factor: f64) {}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn pub_crate_and_private_fns_pass() {
+        let d = run_all(
+            "crates/power/src/foo.rs",
+            "pub(crate) fn t(temp_c: f64) {}\nfn u(watts_w: f64) {}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn generic_fns_are_parsed_past_their_generics() {
+        let d = run_all(
+            "crates/core/src/foo.rs",
+            "pub fn apply<F: Fn(f64) -> f64>(f: F, temp_c: f64) {}",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].symbol.contains("temp_c"));
+    }
+
+    #[test]
+    fn flags_unwrap_and_bare_panics() {
+        let d = run_all(
+            "crates/stack/src/foo.rs",
+            "fn f() { x.unwrap(); panic!(); unreachable!(); }",
+        );
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == "unwrap"));
+    }
+
+    #[test]
+    fn expect_and_panic_with_message_pass() {
+        let d = run_all(
+            "crates/stack/src/foo.rs",
+            "fn f() { x.expect(\"invariant\"); panic!(\"bad: {y}\"); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let d = run_all(
+            "crates/stack/src/foo.rs",
+            "fn ok() {}\n#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); let t = 273.15; }\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn flags_magic_floats_outside_material_tables() {
+        let d = run_all(
+            "crates/thermal/src/package.rs",
+            "fn k() -> f64 { 400.0 }\nfn off() -> f64 { 273.15 }",
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == "magic-float"));
+    }
+
+    #[test]
+    fn material_tables_and_integers_are_exempt() {
+        let d = run_all(
+            "crates/thermal/src/material.rs",
+            "pub const CU: f64 = 400.0;",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        let d = run_all("crates/thermal/src/grid.rs", "fn n() -> usize { 400 }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn tests_dirs_and_bins_are_out_of_scope() {
+        let src = "pub fn f(temp_c: f64) { x.unwrap(); let t = 273.15; }";
+        assert!(run_all("crates/thermal/tests/t.rs", src).is_empty());
+        assert!(run_all("crates/core/src/bin/xylem.rs", src).is_empty());
+        assert!(run_all("examples/quickstart.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! End-to-end tests of the `xylem-lint` binary: it must fail (with
+//! `file:line` diagnostics) on a fixture workspace that reintroduces the
+//! violations, and pass on the real workspace.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn run_lint(root: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xylem-lint"))
+        .arg(root)
+        .output()
+        .expect("lint binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().expect("exit code present"), text)
+}
+
+/// Writes a minimal fixture workspace containing one library file.
+fn write_fixture(dir: &Path, relfile: &str, src: &str) {
+    std::fs::create_dir_all(dir.join(relfile).parent().expect("file has parent"))
+        .expect("fixture dirs create");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("fixture manifest writes");
+    std::fs::write(dir.join(relfile), src).expect("fixture source writes");
+}
+
+fn fixture_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xylem-lint-fixture-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("fixture dir creates");
+    dir
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let (code, text) = run_lint(&workspace_root());
+    assert_eq!(code, 0, "expected clean workspace, got:\n{text}");
+    assert!(text.contains("workspace clean"), "{text}");
+}
+
+#[test]
+fn reintroduced_raw_f64_param_fails_with_location() {
+    let dir = fixture_dir("f64");
+    write_fixture(
+        &dir,
+        "crates/thermal/src/regress.rs",
+        "//! Regression fixture.\n\npub fn set_hotspot(hotspot_c: f64) -> f64 {\n    hotspot_c\n}\n",
+    );
+    let (code, text) = run_lint(&dir);
+    assert_ne!(code, 0, "lint must fail on raw f64 quantity param:\n{text}");
+    assert!(
+        text.contains("crates/thermal/src/regress.rs:3"),
+        "diagnostic must carry file:line, got:\n{text}"
+    );
+    assert!(text.contains("[f64-param]"), "{text}");
+    assert!(text.contains("hotspot_c"), "{text}");
+}
+
+#[test]
+fn reintroduced_library_unwrap_fails_with_location() {
+    let dir = fixture_dir("unwrap");
+    write_fixture(
+        &dir,
+        "crates/stack/src/regress.rs",
+        "fn build() -> usize {\n    let v: Option<usize> = None;\n    v.unwrap()\n}\n",
+    );
+    let (code, text) = run_lint(&dir);
+    assert_ne!(code, 0, "lint must fail on library unwrap:\n{text}");
+    assert!(
+        text.contains("crates/stack/src/regress.rs:3"),
+        "diagnostic must carry file:line, got:\n{text}"
+    );
+    assert!(text.contains("[unwrap]"), "{text}");
+}
+
+#[test]
+fn magic_constant_outside_tables_fails() {
+    let dir = fixture_dir("magic");
+    write_fixture(
+        &dir,
+        "crates/thermal/src/regress.rs",
+        "pub fn to_kelvin_inline(c: f64) -> f64 {\n    c + 273.15\n}\n",
+    );
+    let (code, text) = run_lint(&dir);
+    assert_ne!(code, 0, "lint must fail on inline 273.15:\n{text}");
+    assert!(text.contains("crates/thermal/src/regress.rs:2"), "{text}");
+    assert!(text.contains("[magic-float]"), "{text}");
+}
+
+#[test]
+fn allowlist_suppresses_fixture_finding() {
+    let dir = fixture_dir("allow");
+    write_fixture(
+        &dir,
+        "crates/thermal/src/regress.rs",
+        "pub fn set_hotspot(hotspot_c: f64) -> f64 {\n    hotspot_c\n}\n",
+    );
+    std::fs::write(
+        dir.join("xylem-lint.allow"),
+        "f64-param thermal/src/regress.rs set_hotspot.hotspot_c\n",
+    )
+    .expect("allowlist writes");
+    let (code, text) = run_lint(&dir);
+    assert_eq!(code, 0, "allowlisted finding must pass:\n{text}");
+}
+
+#[test]
+fn missing_root_is_a_usage_error() {
+    let dir = std::env::temp_dir().join("xylem-lint-no-such-root");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (code, _) = run_lint(&dir);
+    assert_eq!(code, 2);
+}

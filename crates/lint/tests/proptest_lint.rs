@@ -1,0 +1,80 @@
+//! Property tests for the lint lexer, plus the whole-workspace
+//! parseability check the ISSUE asks for: xylem-lint must be able to lex
+//! every `.rs` file in the workspace.
+
+use proptest::prelude::*;
+
+use xylem_lint::lexer::lex;
+use xylem_lint::{check_source, collect_rust_files, Allowlist};
+
+#[test]
+fn every_workspace_file_lexes() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let files = collect_rust_files(&root).expect("workspace walks");
+    assert!(
+        files.len() > 30,
+        "workspace walk looks wrong: only {} .rs files",
+        files.len()
+    );
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel)).expect("file reads");
+        assert!(
+            lex(&src).is_ok(),
+            "{} does not lex: {:?}",
+            rel.display(),
+            lex(&src).err()
+        );
+    }
+}
+
+/// Alphabet biased toward the lexer's tricky constructs: quotes, hashes,
+/// escapes, comment delimiters, dots, exponents.
+const ALPHABET: &[u8] = b"abr#\"'\\/*.0123456789eE_<>(){}!,:; \n-+xf";
+
+fn to_source(bytes: &[u8]) -> String {
+    bytes
+        .iter()
+        .map(|&b| ALPHABET[b as usize % ALPHABET.len()] as char)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // The lexer must never panic: every input either tokenizes or yields
+    // a LexError with a line number.
+    fn lexer_total_on_adversarial_input(bytes in collection::vec(any::<u8>(), 0..200)) {
+        let src = to_source(&bytes);
+        match lex(&src) {
+            Ok(toks) => {
+                for t in &toks {
+                    prop_assert!(t.line >= 1);
+                }
+            }
+            Err(e) => prop_assert!(e.line >= 1),
+        }
+    }
+
+    // check_source is equally total: any input yields diagnostics (possibly
+    // a single `lex` diagnostic), never a panic.
+    fn check_source_total(bytes in collection::vec(any::<u8>(), 0..200)) {
+        let src = to_source(&bytes);
+        let ds = check_source("crates/thermal/src/fuzz.rs", &src, &Allowlist::default());
+        for d in &ds {
+            prop_assert!(d.line >= 1);
+        }
+    }
+
+    // Token lines are monotonically non-decreasing in source order.
+    fn token_lines_monotone(bytes in collection::vec(any::<u8>(), 0..200)) {
+        let src = to_source(&bytes);
+        if let Ok(toks) = lex(&src) {
+            for w in toks.windows(2) {
+                prop_assert!(w[0].line <= w[1].line);
+            }
+        }
+    }
+}

@@ -56,8 +56,8 @@ pub fn dynamic_fractions(memory_intensity: f64) -> [f64; 9] {
     );
     let mut out = [0.0; 9];
     for i in 0..9 {
-        out[i] =
-            (1.0 - memory_intensity) * COMPUTE_FRACTIONS[i] + memory_intensity * MEMORY_FRACTIONS[i];
+        out[i] = (1.0 - memory_intensity) * COMPUTE_FRACTIONS[i]
+            + memory_intensity * MEMORY_FRACTIONS[i];
     }
     out
 }

@@ -20,8 +20,7 @@ impl OperatingPoint {
     /// Dynamic-power scale factor relative to a reference point:
     /// `(f/f_ref) * (V/V_ref)^2`.
     pub fn dynamic_scale(&self, reference: &OperatingPoint) -> f64 {
-        (self.frequency_ghz / reference.frequency_ghz)
-            * (self.voltage / reference.voltage).powi(2)
+        (self.frequency_ghz / reference.frequency_ghz) * (self.voltage / reference.voltage).powi(2)
     }
 
     /// Leakage scale factor relative to a reference point: `V/V_ref`
@@ -102,11 +101,11 @@ impl DvfsTable {
 
     /// Voltage at `frequency_ghz` (linear interpolation, clamped).
     pub fn voltage_at(&self, frequency_ghz: f64) -> f64 {
-        if self.f_max_ghz == self.f_min_ghz {
+        if self.f_max_ghz <= self.f_min_ghz {
             return self.v_max;
         }
-        let t = ((frequency_ghz - self.f_min_ghz) / (self.f_max_ghz - self.f_min_ghz))
-            .clamp(0.0, 1.0);
+        let t =
+            ((frequency_ghz - self.f_min_ghz) / (self.f_max_ghz - self.f_min_ghz)).clamp(0.0, 1.0);
         self.v_min + t * (self.v_max - self.v_min)
     }
 

@@ -24,5 +24,9 @@ pub mod blocks;
 pub mod dvfs;
 pub mod processor;
 
+/// Physical-quantity newtypes used in this crate's public API
+/// (re-exported from `xylem-thermal`).
+pub use xylem_thermal::units;
+
 pub use dvfs::{DvfsTable, OperatingPoint};
 pub use processor::{CoreActivity, ProcessorPowerModel, UncoreActivity};

@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use xylem_thermal::units::{Celsius, Watts};
+
 use crate::blocks::{dynamic_fractions, CORE_BLOCKS, LEAKAGE_FRACTION};
 use crate::dvfs::{DvfsTable, OperatingPoint};
 
@@ -102,25 +104,25 @@ impl ProcessorPowerModel {
         &self.dvfs
     }
 
-    /// Leakage multiplier at `temp_c` (linearized exponential).
-    pub fn leakage_temp_factor(&self, temp_c: f64) -> f64 {
-        (1.0 + self.leakage_temp_coeff * (temp_c - self.reference_temp)).max(0.5)
+    /// Leakage multiplier at `temp` (linearized exponential).
+    pub fn leakage_temp_factor(&self, temp: Celsius) -> f64 {
+        (1.0 + self.leakage_temp_coeff * (temp.get() - self.reference_temp)).max(0.5)
     }
 
-    /// Power of one core, split `(dynamic, leakage)`, W.
-    pub fn core_power(&self, core: &CoreActivity, temp_c: f64) -> (f64, f64) {
+    /// Power of one core, split `(dynamic, leakage)`.
+    pub fn core_power(&self, core: &CoreActivity, temp: Celsius) -> (Watts, Watts) {
         let reference = self.dvfs.reference();
         let dyn_w = self.core_dynamic_ref
             * core.activity.clamp(0.0, 1.0)
             * core.point.dynamic_scale(&reference);
         let leak_w = self.core_leakage_ref
             * core.point.leakage_scale(&reference)
-            * self.leakage_temp_factor(temp_c);
-        (dyn_w, leak_w)
+            * self.leakage_temp_factor(temp);
+        (Watts::new(dyn_w), Watts::new(leak_w))
     }
 
     /// Named block powers for the whole die: 8 cores x 9 blocks plus the
-    /// uncore blocks. `temp_c` drives leakage (use the previous iteration's
+    /// uncore blocks. `temp` drives leakage (use the previous iteration's
     /// hotspot estimate, or the ambient for a cold start).
     ///
     /// # Panics
@@ -130,56 +132,56 @@ impl ProcessorPowerModel {
         &self,
         cores: &[CoreActivity],
         uncore: &UncoreActivity,
-        temp_c: f64,
-    ) -> Vec<(String, f64)> {
+        temp: Celsius,
+    ) -> Vec<(String, Watts)> {
         assert_eq!(cores.len(), NUM_CORES, "expected {NUM_CORES} cores");
         let reference = self.dvfs.reference();
         let mut out = Vec::with_capacity(NUM_CORES * CORE_BLOCKS.len() + 9);
 
         for (i, core) in cores.iter().enumerate() {
             let id = i + 1;
-            let (dyn_w, leak_w) = self.core_power(core, temp_c);
+            let (dyn_w, leak_w) = self.core_power(core, temp);
             let fr = dynamic_fractions(core.memory_intensity.clamp(0.0, 1.0));
             for (bi, block) in CORE_BLOCKS.iter().enumerate() {
-                let w = dyn_w * fr[bi] + leak_w * LEAKAGE_FRACTION;
-                out.push((format!("core{id}_{block}"), w));
+                let w = dyn_w.get() * fr[bi] + leak_w.get() * LEAKAGE_FRACTION;
+                out.push((format!("core{id}_{block}"), Watts::new(w)));
             }
         }
 
         let up = &uncore.point;
         let dyn_scale = up.dynamic_scale(&reference);
-        let leak_scale = up.leakage_scale(&reference) * self.leakage_temp_factor(temp_c);
+        let leak_scale = up.leakage_scale(&reference) * self.leakage_temp_factor(temp);
         let llc = self.llc_dynamic_ref * uncore.llc.clamp(0.0, 1.0) * dyn_scale
             + self.llc_leakage_ref * leak_scale;
-        out.push(("llc_top".into(), llc / 2.0));
-        out.push(("llc_bot".into(), llc / 2.0));
+        out.push(("llc_top".into(), Watts::new(llc / 2.0)));
+        out.push(("llc_bot".into(), Watts::new(llc / 2.0)));
         let mut mc_util_sum = 0.0;
         for (i, &util) in uncore.mc.iter().enumerate() {
             let w = self.mc_dynamic_ref * util.clamp(0.0, 1.0) * dyn_scale
                 + self.mc_leakage_ref * leak_scale;
             mc_util_sum += util.clamp(0.0, 1.0);
-            out.push((format!("mc{i}"), w));
+            out.push((format!("mc{i}"), Watts::new(w)));
         }
         let noc = self.noc_dynamic_ref * uncore.noc.clamp(0.0, 1.0) * dyn_scale;
-        out.push(("noc0".into(), noc / 2.0));
-        out.push(("noc1".into(), noc / 2.0));
+        out.push(("noc0".into(), Watts::new(noc / 2.0)));
+        out.push(("noc1".into(), Watts::new(noc / 2.0)));
         out.push((
             "tsv_bus".into(),
-            self.bus_io_ref * (mc_util_sum / 4.0) * dyn_scale,
+            Watts::new(self.bus_io_ref * (mc_util_sum / 4.0) * dyn_scale),
         ));
         out
     }
 
-    /// Total die power for the given inputs, W.
+    /// Total die power for the given inputs.
     pub fn total_power(
         &self,
         cores: &[CoreActivity],
         uncore: &UncoreActivity,
-        temp_c: f64,
-    ) -> f64 {
-        self.block_powers(cores, uncore, temp_c)
+        temp: Celsius,
+    ) -> Watts {
+        self.block_powers(cores, uncore, temp)
             .iter()
-            .map(|(_, w)| w)
+            .map(|&(_, w)| w)
             .sum()
     }
 }
@@ -212,9 +214,21 @@ mod tests {
     fn envelope_matches_paper_8_to_24_w() {
         let m = ProcessorPowerModel::paper_default();
         let p = m.dvfs().reference();
-        let hot = m.total_power(&all_cores(1.0, 0.1, p), &uncore(0.6, 0.3, p), 95.0);
+        let hot = m
+            .total_power(
+                &all_cores(1.0, 0.1, p),
+                &uncore(0.6, 0.3, p),
+                Celsius::new(95.0),
+            )
+            .get();
         assert!((20.0..25.0).contains(&hot), "compute-bound {hot} W");
-        let cold = m.total_power(&all_cores(0.22, 0.9, p), &uncore(0.5, 0.8, p), 75.0);
+        let cold = m
+            .total_power(
+                &all_cores(0.22, 0.9, p),
+                &uncore(0.5, 0.8, p),
+                Celsius::new(75.0),
+            )
+            .get();
         assert!((7.0..12.0).contains(&cold), "memory-bound {cold} W");
     }
 
@@ -226,10 +240,10 @@ mod tests {
             let w = m.total_power(
                 &all_cores(0.8, 0.3, point),
                 &uncore(0.5, 0.4, point),
-                80.0,
+                Celsius::new(80.0),
             );
             assert!(w > prev, "{w} at {point:?}");
-            prev = w;
+            prev = w.get();
         }
     }
 
@@ -238,8 +252,8 @@ mod tests {
         let m = ProcessorPowerModel::paper_default();
         let p = m.dvfs().reference();
         let idle = all_cores(0.0, 0.0, p);
-        let w_cool = m.total_power(&idle, &uncore(0.0, 0.0, p), 50.0);
-        let w_hot = m.total_power(&idle, &uncore(0.0, 0.0, p), 100.0);
+        let w_cool = m.total_power(&idle, &uncore(0.0, 0.0, p), Celsius::new(50.0));
+        let w_hot = m.total_power(&idle, &uncore(0.0, 0.0, p), Celsius::new(100.0));
         assert!(w_hot > w_cool);
     }
 
@@ -250,22 +264,31 @@ mod tests {
         let fast = m.dvfs().point_at(3.5);
         let mut cores = all_cores(0.8, 0.2, base);
         cores[2].point = fast;
-        let powers = m.block_powers(&cores, &uncore(0.5, 0.3, base), 80.0);
+        let powers = m.block_powers(&cores, &uncore(0.5, 0.3, base), Celsius::new(80.0));
         let sum_core = |id: usize| -> f64 {
             powers
                 .iter()
                 .filter(|(n, _)| n.starts_with(&format!("core{id}_")))
-                .map(|(_, w)| w)
+                .map(|(_, w)| w.get())
                 .sum()
         };
-        assert!(sum_core(3) > 1.5 * sum_core(1), "{} vs {}", sum_core(3), sum_core(1));
+        assert!(
+            sum_core(3) > 1.5 * sum_core(1),
+            "{} vs {}",
+            sum_core(3),
+            sum_core(1)
+        );
     }
 
     #[test]
     fn block_names_match_floorplan_vocabulary() {
         let m = ProcessorPowerModel::paper_default();
         let p = m.dvfs().reference();
-        let powers = m.block_powers(&all_cores(0.5, 0.5, p), &uncore(0.5, 0.5, p), 80.0);
+        let powers = m.block_powers(
+            &all_cores(0.5, 0.5, p),
+            &uncore(0.5, 0.5, p),
+            Celsius::new(80.0),
+        );
         assert_eq!(powers.len(), 8 * 9 + 2 + 4 + 2 + 1);
         assert!(powers.iter().any(|(n, _)| n == "core8_fpu"));
         assert!(powers.iter().any(|(n, _)| n == "tsv_bus"));
@@ -278,12 +301,16 @@ mod tests {
     fn compute_bound_fpu_is_hotter_than_memory_bound() {
         let m = ProcessorPowerModel::paper_default();
         let p = m.dvfs().reference();
-        let get = |mi: f64| -> f64 {
-            m.block_powers(&all_cores(0.9, mi, p), &uncore(0.5, 0.5, p), 80.0)
-                .iter()
-                .find(|(n, _)| n == "core1_fpu")
-                .unwrap()
-                .1
+        let get = |mi: f64| -> Watts {
+            m.block_powers(
+                &all_cores(0.9, mi, p),
+                &uncore(0.5, 0.5, p),
+                Celsius::new(80.0),
+            )
+            .iter()
+            .find(|(n, _)| n == "core1_fpu")
+            .expect("core1_fpu present in block powers")
+            .1
         };
         assert!(get(0.0) > get(1.0));
     }

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 
+use xylem_power::units::{Celsius, Watts};
 use xylem_power::{CoreActivity, ProcessorPowerModel, UncoreActivity};
 
 fn cores(activity: f64, mi: f64, f: f64, m: &ProcessorPowerModel) -> Vec<CoreActivity> {
@@ -38,13 +39,13 @@ proptest! {
         t in 40.0f64..110.0,
     ) {
         let m = ProcessorPowerModel::paper_default();
-        let blocks = m.block_powers(&cores(activity, mi, f, &m), &uncore(u, f, &m), t);
-        let mut sum = 0.0;
+        let blocks = m.block_powers(&cores(activity, mi, f, &m), &uncore(u, f, &m), Celsius::new(t));
+        let mut sum = Watts::ZERO;
         for (name, w) in &blocks {
             prop_assert!(*w >= 0.0, "{name} = {w}");
-            sum += w;
+            sum = sum + *w;
         }
-        let total = m.total_power(&cores(activity, mi, f, &m), &uncore(u, f, &m), t);
+        let total = m.total_power(&cores(activity, mi, f, &m), &uncore(u, f, &m), Celsius::new(t));
         prop_assert!((sum - total).abs() < 1e-9);
     }
 
@@ -57,12 +58,12 @@ proptest! {
         t in 40.0f64..100.0,
     ) {
         let m = ProcessorPowerModel::paper_default();
-        let base = m.total_power(&cores(a1, 0.3, f, &m), &uncore(0.3, f, &m), t);
-        let more_active = m.total_power(&cores(a1 + da, 0.3, f, &m), &uncore(0.3, f, &m), t);
+        let base = m.total_power(&cores(a1, 0.3, f, &m), &uncore(0.3, f, &m), Celsius::new(t));
+        let more_active = m.total_power(&cores(a1 + da, 0.3, f, &m), &uncore(0.3, f, &m), Celsius::new(t));
         prop_assert!(more_active > base);
-        let faster = m.total_power(&cores(a1, 0.3, f + 0.1, &m), &uncore(0.3, f + 0.1, &m), t);
+        let faster = m.total_power(&cores(a1, 0.3, f + 0.1, &m), &uncore(0.3, f + 0.1, &m), Celsius::new(t));
         prop_assert!(faster > base);
-        let hotter = m.total_power(&cores(a1, 0.3, f, &m), &uncore(0.3, f, &m), t + 5.0);
+        let hotter = m.total_power(&cores(a1, 0.3, f, &m), &uncore(0.3, f, &m), Celsius::new(t + 5.0));
         prop_assert!(hotter > base);
     }
 
@@ -76,10 +77,10 @@ proptest! {
     ) {
         let m = ProcessorPowerModel::paper_default();
         let sum_cores = |mi: f64| -> f64 {
-            m.block_powers(&cores(activity, mi, 2.4, &m), &uncore(0.0, 2.4, &m), 70.0)
+            m.block_powers(&cores(activity, mi, 2.4, &m), &uncore(0.0, 2.4, &m), Celsius::new(70.0))
                 .iter()
                 .filter(|(n, _)| n.starts_with("core"))
-                .map(|(_, w)| w)
+                .map(|(_, w)| w.get())
                 .sum()
         };
         prop_assert!((sum_cores(mi1) - sum_cores(mi2)).abs() < 1e-9);
@@ -90,8 +91,8 @@ proptest! {
     #[test]
     fn idle_floor(f in 2.4f64..3.5, a in 0.05f64..1.0) {
         let m = ProcessorPowerModel::paper_default();
-        let idle = m.total_power(&cores(0.0, 0.0, f, &m), &uncore(0.0, f, &m), 70.0);
-        let busy = m.total_power(&cores(a, 0.5, f, &m), &uncore(0.2, f, &m), 70.0);
+        let idle = m.total_power(&cores(0.0, 0.0, f, &m), &uncore(0.0, f, &m), Celsius::new(70.0));
+        let busy = m.total_power(&cores(a, 0.5, f, &m), &uncore(0.2, f, &m), Celsius::new(70.0));
         prop_assert!(idle < busy);
         prop_assert!(idle > 0.0); // leakage never disappears
     }

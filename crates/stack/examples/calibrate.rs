@@ -5,6 +5,7 @@ use xylem_stack::proc_die::ProcDieGeometry;
 use xylem_stack::scheme::XylemScheme;
 use xylem_thermal::grid::GridSpec;
 use xylem_thermal::power::PowerMap;
+use xylem_thermal::units::Watts;
 
 fn main() {
     let grid = GridSpec::new(64, 64);
@@ -27,17 +28,20 @@ fn main() {
         let pm = built.proc_metal_layer();
         for core in 1..=8 {
             for b in ProcDieGeometry::core_block_names(core) {
-                p.add_block_power(&model, pm, &b, 2.2 / 9.0).unwrap();
+                p.add_block_power(&model, pm, &b, Watts::new(2.2 / 9.0))
+                    .unwrap();
             }
         }
-        p.add_block_power(&model, pm, "llc_top", 1.0).unwrap();
-        p.add_block_power(&model, pm, "llc_bot", 1.0).unwrap();
+        p.add_block_power(&model, pm, "llc_top", Watts::new(1.0))
+            .unwrap();
+        p.add_block_power(&model, pm, "llc_bot", Watts::new(1.0))
+            .unwrap();
         for mc in ["mc0", "mc1", "mc2", "mc3"] {
-            p.add_block_power(&model, pm, mc, 0.1).unwrap();
+            p.add_block_power(&model, pm, mc, Watts::new(0.1)).unwrap();
         }
         // DRAM: 0.4 W per die.
         for &l in built.dram_metal_layers() {
-            p.add_uniform_layer_power(l, 0.4);
+            p.add_uniform_layer_power(l, Watts::new(0.4));
         }
         let t = model.steady_state(&p).unwrap();
         let hot = t.max_of_layer(pm);

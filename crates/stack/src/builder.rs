@@ -132,12 +132,9 @@ impl StackConfig {
 
         // Per-layer constructors shared by the two organizations.
         let dram_si = |die: usize| -> Result<Layer, ThermalError> {
-            let mut si = Layer::uniform(
-                format!("dram{die}_si"),
-                self.die_thickness,
-                SILICON.clone(),
-            )
-            .with_floorplan(g.floorplan()?);
+            let mut si =
+                Layer::uniform(format!("dram{die}_si"), self.die_thickness, SILICON.clone())
+                    .with_floorplan(g.floorplan()?);
             si.set_block_material("tsv_bus", material::tsv_bus())?;
             if paint_si {
                 paint_ttsvs(&mut si, &sites, &tech, &COPPER)?;
@@ -159,11 +156,8 @@ impl StackConfig {
         // contribution" of electrical TSVs (Sec. 4.1). Aligned-and-shorted
         // schemes additionally gain pillar patches.
         let d2d_layer = |die: usize| -> Result<Layer, ThermalError> {
-            let mut d2d = Layer::uniform(
-                format!("d2d{die}"),
-                self.d2d_thickness,
-                D2D_AVERAGE.clone(),
-            );
+            let mut d2d =
+                Layer::uniform(format!("d2d{die}"), self.d2d_thickness, D2D_AVERAGE.clone());
             d2d.add_patch(MaterialPatch::new(
                 "electrical-bus",
                 g.tsv_bus_rect(),
@@ -190,12 +184,10 @@ impl StackConfig {
             Ok(si)
         };
         let proc_metal = || -> Result<Layer, ThermalError> {
-            Ok(Layer::uniform(
-                "proc_metal",
-                self.proc_metal_thickness,
-                PROC_METAL.clone(),
+            Ok(
+                Layer::uniform("proc_metal", self.proc_metal_thickness, PROC_METAL.clone())
+                    .with_floorplan(pg.floorplan()?),
             )
-            .with_floorplan(pg.floorplan()?))
         };
 
         let mut layers: Vec<Layer> = Vec::with_capacity(self.n_dram_dies * 3 + 2);
@@ -368,7 +360,9 @@ mod tests {
 
     #[test]
     fn paper_default_builds_26_layers() {
-        let b = StackConfig::paper_default(XylemScheme::Base).build().unwrap();
+        let b = StackConfig::paper_default(XylemScheme::Base)
+            .build()
+            .unwrap();
         assert_eq!(b.stack().len(), 26);
         assert_eq!(b.dram_metal_layers().len(), 8);
         assert_eq!(b.d2d_layers().len(), 8);
@@ -393,23 +387,32 @@ mod tests {
         // One electrical-bus patch + one patch per TTSV (33 sites, 3
         // doubled).
         assert_eq!(d2d.patches().len(), 1 + 36);
-        let prior = StackConfig::paper_default(XylemScheme::Prior).build().unwrap();
+        let prior = StackConfig::paper_default(XylemScheme::Prior)
+            .build()
+            .unwrap();
         let d2d_prior = prior.stack().layer(prior.d2d_layers()[0]).unwrap();
         assert_eq!(d2d_prior.patches().len(), 1); // bus only, no pillars
-        // ... but prior does paint the silicon.
+                                                  // ... but prior does paint the silicon.
         let si_prior = prior.stack().layer(prior.dram_si_layers()[0]).unwrap();
         assert!(!si_prior.patches().is_empty());
     }
 
     #[test]
     fn base_paints_no_ttsvs() {
-        let b = StackConfig::paper_default(XylemScheme::Base).build().unwrap();
+        let b = StackConfig::paper_default(XylemScheme::Base)
+            .build()
+            .unwrap();
         // Silicon layers untouched; D2D layers carry only the
         // electrical-bus patch shared by every scheme.
         for &l in b.dram_si_layers() {
             assert!(b.stack().layer(l).unwrap().patches().is_empty());
         }
-        assert!(b.stack().layer(b.proc_si_layer()).unwrap().patches().is_empty());
+        assert!(b
+            .stack()
+            .layer(b.proc_si_layer())
+            .unwrap()
+            .patches()
+            .is_empty());
         for &l in b.d2d_layers() {
             assert_eq!(b.stack().layer(l).unwrap().patches().len(), 1);
         }
@@ -418,7 +421,9 @@ mod tests {
 
     #[test]
     fn prior_reports_no_high_conductivity_sites() {
-        let b = StackConfig::paper_default(XylemScheme::Prior).build().unwrap();
+        let b = StackConfig::paper_default(XylemScheme::Prior)
+            .build()
+            .unwrap();
         assert!(!b.sites().is_empty());
         assert!(b.high_conductivity_sites().is_empty());
         let banke = StackConfig::paper_default(XylemScheme::BankEnhanced)
@@ -460,24 +465,33 @@ mod tests {
         // No TSVs in the processor die.
         assert!(b.stack().layer(0).unwrap().patches().is_empty());
         // DRAM silicon still carries the TTSVs.
-        assert!(!b.stack().layer(b.dram_si_layers()[0]).unwrap().patches().is_empty());
+        assert!(!b
+            .stack()
+            .layer(b.dram_si_layers()[0])
+            .unwrap()
+            .patches()
+            .is_empty());
     }
 
     #[test]
     fn processor_on_top_runs_cooler() {
         use xylem_thermal::grid::GridSpec;
         use xylem_thermal::power::PowerMap;
+        use xylem_thermal::units::Watts;
         let hotspot = |org: Organization| {
             let mut c = StackConfig::paper_default(XylemScheme::Base);
             c.organization = org;
             let b = c.build().unwrap();
             let m = b.stack().discretize(GridSpec::new(16, 16)).unwrap();
             let mut p = PowerMap::zeros(&m);
-            p.add_uniform_layer_power(b.proc_metal_layer(), 20.0);
+            p.add_uniform_layer_power(b.proc_metal_layer(), Watts::new(20.0));
             for &l in b.dram_metal_layers() {
-                p.add_uniform_layer_power(l, 0.4);
+                p.add_uniform_layer_power(l, Watts::new(0.4));
             }
-            m.steady_state(&p).unwrap().max_of_layer(b.proc_metal_layer())
+            m.steady_state(&p)
+                .unwrap()
+                .max_of_layer(b.proc_metal_layer())
+                .get()
         };
         let mem_top = hotspot(Organization::MemoryOnTop);
         let proc_top = hotspot(Organization::ProcessorOnTop);

@@ -174,14 +174,15 @@ impl DramDieGeometry {
         let m = self.margin;
         let w = self.width;
         // Horizontal full-width bands (bottom/top margins, internal strips).
-        let y_rows = [m, m + bh + self.strip_h, self.center_stripe_y0() + self.center_stripe,
-            self.height - m - 2.0 * bh - self.strip_h + bh + self.strip_h];
+        let y_rows = [
+            m,
+            m + bh + self.strip_h,
+            self.center_stripe_y0() + self.center_stripe,
+            self.height - m - 2.0 * bh - self.strip_h + bh + self.strip_h,
+        ];
         let _ = y_rows; // band math below is explicit instead
         fp.add_block("periph_s", Rect::new(0.0, 0.0, w, m))?;
-        fp.add_block(
-            "periph_h0",
-            Rect::new(0.0, m + bh, w, self.strip_h),
-        )?;
+        fp.add_block("periph_h0", Rect::new(0.0, m + bh, w, self.strip_h))?;
         fp.add_block(
             "periph_h1",
             Rect::new(0.0, self.height - m - bh - self.strip_h, w, self.strip_h),
@@ -223,10 +224,7 @@ impl DramDieGeometry {
                 (w - m, m),
             ];
             for (vi, (x, width)) in xs.iter().enumerate() {
-                fp.add_block(
-                    format!("periph_v{band}_{vi}"),
-                    Rect::new(*x, y, *width, bh),
-                )?;
+                fp.add_block(format!("periph_v{band}_{vi}"), Rect::new(*x, y, *width, bh))?;
             }
         }
 
@@ -252,7 +250,10 @@ mod tests {
         let fp = g.floorplan().unwrap();
         assert!(fp.require_full_coverage(1e-9).is_ok());
         assert_eq!(
-            fp.blocks().iter().filter(|b| b.name().starts_with("bank")).count(),
+            fp.blocks()
+                .iter()
+                .filter(|b| b.name().starts_with("bank"))
+                .count(),
             16
         );
         assert!(fp.block("tsv_bus").is_some());

@@ -134,12 +134,7 @@ impl ProcDieGeometry {
     pub fn tsv_bus_rect(&self) -> Rect {
         let len = 2.4e-3;
         let h = 0.2e-3;
-        Rect::new(
-            (self.width - len) / 2.0,
-            (self.height - h) / 2.0,
-            len,
-            h,
-        )
+        Rect::new((self.width - len) / 2.0, (self.height - h) / 2.0, len, h)
     }
 
     /// Builds the full floorplan: 8 cores x 9 sub-blocks, 4 memory

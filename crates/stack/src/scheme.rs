@@ -184,7 +184,6 @@ fn core_adjacent_sites(geom: &DramDieGeometry) -> Vec<TtsvSite> {
     sites
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,7 +220,10 @@ mod tests {
             .into_iter()
             .filter(|s| (s.y - cy).abs() < 1e-12)
             .collect();
-        assert_eq!(bank_center.iter().map(|s| s.ttsvs as usize).sum::<usize>(), 8);
+        assert_eq!(
+            bank_center.iter().map(|s| s.ttsvs as usize).sum::<usize>(),
+            8
+        );
         let iso = XylemScheme::IsoCount.sites(&g);
         for s in &bank_center {
             assert!(!iso.contains(s), "generic center site {s:?} kept");

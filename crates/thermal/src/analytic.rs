@@ -8,6 +8,7 @@
 
 use crate::package::Package;
 use crate::stack::Stack;
+use crate::units::Watts;
 
 /// Temperature drop across a slab: `q * t / lambda` where `q` is the heat
 /// flux (W/m^2), `t` the thickness (m), `lambda` the conductivity (W/m-K).
@@ -41,16 +42,16 @@ impl OneDimensionalReport {
         let p = stack.package();
         OneDimensionalReport {
             convection: p.convection_resistance(),
-            sink: p.sink_thickness() / (p.sink_material().conductivity() * area),
-            spreader: p.spreader_thickness() / (p.spreader_material().conductivity() * area),
-            tim: p.tim_thickness() / (p.tim_material().conductivity() * area),
+            sink: p.sink_thickness() / (p.sink_material().conductivity().get() * area),
+            spreader: p.spreader_thickness() / (p.spreader_material().conductivity().get() * area),
+            tim: p.tim_thickness() / (p.tim_material().conductivity().get() * area),
             layers: stack
                 .layers()
                 .iter()
                 .map(|l| {
                     (
                         l.name().to_string(),
-                        l.thickness() / (l.base_material().conductivity() * area),
+                        l.thickness() / (l.base_material().conductivity().get() * area),
                     )
                 })
                 .collect(),
@@ -83,18 +84,22 @@ impl OneDimensionalReport {
 /// Heat flows only upward from the power layer; layers below it float at
 /// the power layer's upper-path temperature (no flux below means no
 /// gradient below).
-pub fn one_dimensional_temperatures(stack: &Stack, watts: f64, power_layer: usize) -> Vec<f64> {
+pub fn one_dimensional_temperatures(stack: &Stack, watts: Watts, power_layer: usize) -> Vec<f64> {
     let report = OneDimensionalReport::for_stack(stack);
     let ambient = stack.package().ambient();
+    let w = watts.get();
     let r_source = report.resistance_to_ambient(power_layer);
     (0..stack.len())
         .map(|l| {
             if l <= power_layer {
-                ambient + watts * report.resistance_to_ambient(l.min(power_layer)).min(r_source)
+                ambient
+                    + w * report
+                        .resistance_to_ambient(l.min(power_layer))
+                        .min(r_source)
             } else {
                 // No heat flows below the source: isothermal with the source
                 // node.
-                ambient + watts * r_source
+                ambient + w * r_source
             }
         })
         .collect()
@@ -144,11 +149,11 @@ mod tests {
         let model = stack.discretize(GridSpec::new(8, 8)).unwrap();
         let mut p = PowerMap::zeros(&model);
         let watts = 20.0;
-        p.add_uniform_layer_power(2, watts);
+        p.add_uniform_layer_power(2, crate::units::Watts::new(watts));
         let temps = model.steady_state(&p).unwrap();
-        let predicted = one_dimensional_temperatures(&stack, watts, 2);
+        let predicted = one_dimensional_temperatures(&stack, Watts::new(watts), 2);
         for l in 0..3 {
-            let got = temps.mean_of_layer(l);
+            let got = temps.mean_of_layer(l).get();
             let want = predicted[l];
             assert!(
                 (got - want).abs() < 0.05,

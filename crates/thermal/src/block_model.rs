@@ -139,19 +139,19 @@ impl BlockThermalModel {
         let tim_id = nodes.len();
         nodes.push(BlockNode {
             rect: die,
-            lambda: pkg.tim_material().conductivity(),
+            lambda: pkg.tim_material().conductivity().get(),
             thickness: pkg.tim_thickness(),
         });
         let sp_id = nodes.len();
         nodes.push(BlockNode {
             rect: die, // center portion; spreading folded into convection
-            lambda: pkg.spreader_material().conductivity(),
+            lambda: pkg.spreader_material().conductivity().get(),
             thickness: pkg.spreader_thickness(),
         });
         let sink_id = nodes.len();
         nodes.push(BlockNode {
             rect: die,
-            lambda: pkg.sink_material().conductivity(),
+            lambda: pkg.sink_material().conductivity().get(),
             thickness: pkg.sink_thickness(),
         });
 
@@ -231,10 +231,7 @@ impl BlockThermalModel {
 
     /// Index of a named block within a user layer.
     pub fn block_index(&self, layer: usize, name: &str) -> Option<usize> {
-        self.block_names
-            .get(layer)?
-            .iter()
-            .position(|n| n == name)
+        self.block_names.get(layer)?.iter().position(|n| n == name)
     }
 
     /// Solves steady state for per-layer, per-block powers (W). The outer
@@ -271,8 +268,8 @@ impl BlockThermalModel {
                 b[self.layer_nodes[l][k]] += p;
             }
         }
-        for i in 0..n {
-            b[i] += self.g_ambient[i] * self.ambient;
+        for (bi, &g) in b.iter_mut().zip(&self.g_ambient) {
+            *bi += g * self.ambient;
         }
 
         // Assemble adjacency for the matvec.
@@ -282,9 +279,7 @@ impl BlockThermalModel {
             neighbors[c].push((a, g));
         }
         let diag: Vec<f64> = (0..n)
-            .map(|i| {
-                neighbors[i].iter().map(|&(_, g)| g).sum::<f64>() + self.g_ambient[i]
-            })
+            .map(|i| neighbors[i].iter().map(|&(_, g)| g).sum::<f64>() + self.g_ambient[i])
             .collect();
         if diag.iter().any(|&d| d <= 0.0) {
             return Err(ThermalError::BadStack {
@@ -324,12 +319,12 @@ fn effective_lambda(layer: &Layer, block_index: usize, rect: &Rect) -> f64 {
         .block_material(block_index)
         .unwrap_or(layer.base_material())
         .conductivity();
-    fold_patches(layer, rect, base)
+    fold_patches(layer, rect, base.get())
 }
 
 /// Effective conductivity of a floorplan-less layer over `region`.
 fn effective_lambda_unfloorplanned(layer: &Layer, region: &Rect) -> f64 {
-    fold_patches(layer, region, layer.base_material().conductivity())
+    fold_patches(layer, region, layer.base_material().conductivity().get())
 }
 
 fn fold_patches(layer: &Layer, rect: &Rect, base: f64) -> f64 {
@@ -341,7 +336,7 @@ fn fold_patches(layer: &Layer, rect: &Rect, base: f64) -> f64 {
     for patch in layer.patches() {
         let f = patch.rect().intersection_area(rect) / area;
         if f > 0.0 {
-            lambda = lambda * (1.0 - f) + f * patch.material().conductivity();
+            lambda = lambda * (1.0 - f) + f * patch.material().conductivity().get();
         }
     }
     lambda
@@ -355,8 +350,7 @@ fn lateral_g(a: &BlockNode, b: &BlockNode) -> Option<f64> {
         || (b.rect.x_max() - a.rect.x()).abs() < EPS
     {
         (a.rect.y_max().min(b.rect.y_max()) - a.rect.y().max(b.rect.y())).max(0.0)
-    } else if (a.rect.y_max() - b.rect.y()).abs() < EPS
-        || (b.rect.y_max() - a.rect.y()).abs() < EPS
+    } else if (a.rect.y_max() - b.rect.y()).abs() < EPS || (b.rect.y_max() - a.rect.y()).abs() < EPS
     {
         (a.rect.x_max().min(b.rect.x_max()) - a.rect.x().max(b.rect.x())).max(0.0)
     } else {
@@ -386,7 +380,8 @@ mod tests {
 
     fn simple_stack() -> Stack {
         let mut fp = Floorplan::new(DIE, DIE);
-        fp.add_block("left", Rect::new(0.0, 0.0, DIE / 2.0, DIE)).unwrap();
+        fp.add_block("left", Rect::new(0.0, 0.0, DIE / 2.0, DIE))
+            .unwrap();
         fp.add_block("right", Rect::new(DIE / 2.0, 0.0, DIE / 2.0, DIE))
             .unwrap();
         Stack::builder(DIE, DIE)
@@ -411,9 +406,7 @@ mod tests {
     #[test]
     fn power_raises_its_own_block_most() {
         let m = BlockThermalModel::build(&simple_stack()).unwrap();
-        let t = m
-            .steady_state(&[vec![], vec![], vec![12.0, 0.0]])
-            .unwrap();
+        let t = m.steady_state(&[vec![], vec![], vec![12.0, 0.0]]).unwrap();
         let (hot, _) = t.hotspot_of_layer(2);
         assert_eq!(hot, 0); // "left"
         assert!(t.layers[2][0] > t.layers[2][1] + 0.5);
@@ -433,10 +426,10 @@ mod tests {
             .unwrap();
         let grid = stack.discretize(GridSpec::new(16, 16)).unwrap();
         let mut p = PowerMap::zeros(&grid);
-        p.add_uniform_layer_power(2, 16.0);
+        p.add_uniform_layer_power(2, crate::units::Watts::new(16.0));
         let gt = grid.steady_state(&p).unwrap();
         let block_mean = bt.mean_of_layer(2);
-        let grid_mean = gt.mean_of_layer(2);
+        let grid_mean = gt.mean_of_layer(2).get();
         assert!(
             (block_mean - grid_mean).abs() < 5.0,
             "block {block_mean} vs grid {grid_mean}"
@@ -497,7 +490,12 @@ mod tests {
             for j in 0..4 {
                 fp.add_block(
                     format!("b{i}{j}"),
-                    Rect::new(i as f64 * DIE / 4.0, j as f64 * DIE / 4.0, DIE / 4.0, DIE / 4.0),
+                    Rect::new(
+                        i as f64 * DIE / 4.0,
+                        j as f64 * DIE / 4.0,
+                        DIE / 4.0,
+                        DIE / 4.0,
+                    ),
                 )
                 .unwrap();
             }

@@ -129,8 +129,8 @@ pub fn rasterize(
 
     let n = grid.cells();
     let base = layer.base_material();
-    let mut lambda = vec![base.conductivity(); n];
-    let mut capacity = vec![base.volumetric_heat_capacity(); n];
+    let mut lambda = vec![base.conductivity().get(); n];
+    let mut capacity = vec![base.volumetric_heat_capacity().get(); n];
     let cell_area = (width / grid.nx() as f64) * (height / grid.ny() as f64);
 
     let mut block_weights: Vec<Vec<(usize, f64)>> = Vec::new();
@@ -154,9 +154,9 @@ pub fn rasterize(
                     }
                     if let Some(m) = layer.block_material(bi) {
                         let f = inter / cell_area;
-                        lambda[ci] = lambda[ci] * (1.0 - f) + f * m.conductivity();
+                        lambda[ci] = lambda[ci] * (1.0 - f) + f * m.conductivity().get();
                         capacity[ci] =
-                            capacity[ci] * (1.0 - f) + f * m.volumetric_heat_capacity();
+                            capacity[ci] * (1.0 - f) + f * m.volumetric_heat_capacity().get();
                     }
                 }
             }
@@ -177,8 +177,8 @@ pub fn rasterize(
                 }
                 let ci = grid.index(ix, iy);
                 let f = inter / cell_area;
-                lambda[ci] = lambda[ci] * (1.0 - f) + f * m.conductivity();
-                capacity[ci] = capacity[ci] * (1.0 - f) + f * m.volumetric_heat_capacity();
+                lambda[ci] = lambda[ci] * (1.0 - f) + f * m.conductivity().get();
+                capacity[ci] = capacity[ci] * (1.0 - f) + f * m.volumetric_heat_capacity().get();
             }
         }
     }

@@ -189,7 +189,8 @@ mod tests {
 
     fn fp_2blocks() -> Floorplan {
         let mut fp = Floorplan::new(1e-2, 1e-2);
-        fp.add_block("left", Rect::new(0.0, 0.0, 5e-3, 1e-2)).unwrap();
+        fp.add_block("left", Rect::new(0.0, 0.0, 5e-3, 1e-2))
+            .unwrap();
         fp.add_block("right", Rect::new(5e-3, 0.0, 5e-3, 1e-2))
             .unwrap();
         fp

@@ -35,6 +35,7 @@
 //! use xylem_thermal::package::Package;
 //! use xylem_thermal::power::PowerMap;
 //! use xylem_thermal::stack::Stack;
+//! use xylem_thermal::units::Watts;
 //!
 //! # fn main() -> Result<(), xylem_thermal::ThermalError> {
 //! // A 10 mm x 10 mm silicon die with a single block, under a default package.
@@ -51,7 +52,7 @@
 //! let grid = GridSpec::new(16, 16);
 //! let model = stack.discretize(grid)?;
 //! let mut power = PowerMap::zeros(&model);
-//! power.add_uniform_layer_power(0, 10.0); // 10 W over the die
+//! power.add_uniform_layer_power(0, Watts::new(10.0)); // 10 W over the die
 //! let temps = model.steady_state(&power)?;
 //! assert!(temps.hotspot_of_layer(0).1 > temps.ambient());
 //! # Ok(())
@@ -75,6 +76,7 @@ pub mod report;
 pub mod solve;
 pub mod stack;
 pub mod temperature;
+pub mod units;
 
 pub use error::ThermalError;
 pub use grid::GridSpec;

@@ -1,14 +1,19 @@
 //! Thermal materials: conductivity and volumetric heat capacity.
 //!
-//! All quantities are SI: conductivity in W/(m*K), volumetric heat capacity
-//! in J/(m^3*K), lengths in meters. The constants in this module are the
-//! values used by the Xylem paper (Table 1) and its cited sources
-//! (Black et al. 2006, Emma et al. 2014, HotSpot, Loh 2008, Matsumoto 2010,
-//! Colgan 2012/13).
+//! All quantities are SI and carried in the newtypes of [`crate::units`]:
+//! conductivity as [`WattsPerMeterKelvin`], volumetric heat capacity as
+//! [`VolumetricHeatCapacity`], lengths in raw meters. The constants in this
+//! module are the values used by the Xylem paper (Table 1) and its cited
+//! sources (Black et al. 2006, Emma et al. 2014, HotSpot, Loh 2008,
+//! Matsumoto 2010, Colgan 2012/13).
+//!
+//! This file (with `power/src/blocks.rs`) is the only place physical
+//! constants are allowed to appear as numeric literals; `xylem-lint`
+//! (rule `magic-constant`) flags them anywhere else.
 
 use serde::{Deserialize, Serialize};
 
-use crate::error::ThermalError;
+use crate::units::{VolumetricHeatCapacity, WattsPerMeterKelvin};
 
 /// A homogeneous thermal material.
 ///
@@ -16,48 +21,36 @@ use crate::error::ThermalError;
 ///
 /// ```
 /// use xylem_thermal::material::Material;
-/// let si = Material::new("silicon", 120.0, 1.75e6).unwrap();
+/// use xylem_thermal::units::{VolumetricHeatCapacity, WattsPerMeterKelvin};
+/// let si = Material::new(
+///     "silicon",
+///     WattsPerMeterKelvin::new(120.0),
+///     VolumetricHeatCapacity::new(1.75e6),
+/// );
 /// assert_eq!(si.conductivity(), 120.0);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Material {
     name: String,
-    /// Thermal conductivity, W/(m*K).
-    conductivity: f64,
-    /// Volumetric heat capacity, J/(m^3*K).
-    volumetric_heat_capacity: f64,
+    conductivity: WattsPerMeterKelvin,
+    volumetric_heat_capacity: VolumetricHeatCapacity,
 }
 
 impl Material {
-    /// Creates a material from its name, conductivity (W/m-K) and volumetric
-    /// heat capacity (J/m^3-K).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ThermalError::InvalidMaterial`] if either property is not a
-    /// strictly positive finite number.
+    /// Creates a material from its name and typed properties. Validation
+    /// (finite, strictly positive) happens in the unit constructors, so
+    /// this cannot fail.
+    #[must_use]
     pub fn new(
         name: impl Into<String>,
-        conductivity: f64,
-        volumetric_heat_capacity: f64,
-    ) -> Result<Self, ThermalError> {
-        if !(conductivity.is_finite() && conductivity > 0.0) {
-            return Err(ThermalError::InvalidMaterial {
-                what: "conductivity".into(),
-                value: conductivity,
-            });
-        }
-        if !(volumetric_heat_capacity.is_finite() && volumetric_heat_capacity > 0.0) {
-            return Err(ThermalError::InvalidMaterial {
-                what: "volumetric heat capacity".into(),
-                value: volumetric_heat_capacity,
-            });
-        }
-        Ok(Material {
+        conductivity: WattsPerMeterKelvin,
+        volumetric_heat_capacity: VolumetricHeatCapacity,
+    ) -> Self {
+        Material {
             name: name.into(),
             conductivity,
             volumetric_heat_capacity,
-        })
+        }
     }
 
     /// Material name.
@@ -65,13 +58,13 @@ impl Material {
         &self.name
     }
 
-    /// Thermal conductivity in W/(m*K).
-    pub fn conductivity(&self) -> f64 {
+    /// Thermal conductivity.
+    pub fn conductivity(&self) -> WattsPerMeterKelvin {
         self.conductivity
     }
 
-    /// Volumetric heat capacity in J/(m^3*K).
-    pub fn volumetric_heat_capacity(&self) -> f64 {
+    /// Volumetric heat capacity.
+    pub fn volumetric_heat_capacity(&self) -> VolumetricHeatCapacity {
         self.volumetric_heat_capacity
     }
 
@@ -80,7 +73,7 @@ impl Material {
     ///
     /// Multiply by 1e6 to express in the paper's mm^2-K/W.
     pub fn rth_per_area(&self, thickness: f64) -> f64 {
-        thickness / self.conductivity
+        self.conductivity.rth_per_area(thickness)
     }
 
     /// Area-weighted parallel blend of two materials (the paper's rule of
@@ -99,7 +92,7 @@ impl Material {
     /// use xylem_thermal::material::{COPPER, SILICON};
     /// // The paper's TSV bus: 25% Cu (400) + 75% Si (120) = 190 W/m-K.
     /// let bus = COPPER.blend(&SILICON, 0.25, "tsv-bus");
-    /// assert!((bus.conductivity() - 190.0).abs() < 1e-9);
+    /// assert!((bus.conductivity().get() - 190.0).abs() < 1e-9);
     /// ```
     pub fn blend(&self, other: &Material, fraction_a: f64, name: impl Into<String>) -> Material {
         assert!(
@@ -109,9 +102,13 @@ impl Material {
         let fb = 1.0 - fraction_a;
         Material {
             name: name.into(),
-            conductivity: fraction_a * self.conductivity + fb * other.conductivity,
-            volumetric_heat_capacity: fraction_a * self.volumetric_heat_capacity
-                + fb * other.volumetric_heat_capacity,
+            conductivity: WattsPerMeterKelvin::new(
+                fraction_a * self.conductivity.get() + fb * other.conductivity.get(),
+            ),
+            volumetric_heat_capacity: VolumetricHeatCapacity::new(
+                fraction_a * self.volumetric_heat_capacity.get()
+                    + fb * other.volumetric_heat_capacity.get(),
+            ),
         }
     }
 }
@@ -121,8 +118,8 @@ macro_rules! const_material {
         $(#[$doc])*
         pub static $name: Material = Material {
             name: String::new(),
-            conductivity: $k,
-            volumetric_heat_capacity: $c,
+            conductivity: WattsPerMeterKelvin::new($k),
+            volumetric_heat_capacity: VolumetricHeatCapacity::new($c),
         };
     };
 }
@@ -164,6 +161,12 @@ const_material!(
     UNDERFILL, "underfill", 0.5, 2.0e6
 );
 
+/// Thickness of a Cu-pillar/solder microbump, m (Matsumoto 2010).
+const BUMP_THICKNESS: f64 = 18e-6;
+
+/// Thickness of the TTSV short / backside-metal crossing, m (Sec. 4.1.2).
+const SHORT_THICKNESS: f64 = 2e-6;
+
 /// The paper's TSV-bus composite: 25% Cu in Si, effective 190 W/m-K.
 pub fn tsv_bus() -> Material {
     COPPER.blend(&SILICON, 0.25, "tsv-bus")
@@ -177,11 +180,12 @@ pub fn tsv_bus() -> Material {
 /// conductivity of the full `d2d_thickness` slab so it can be rasterized
 /// into the D2D layer grid.
 pub fn shorted_pillar_d2d(d2d_thickness: f64) -> Material {
-    let rth = 18e-6 / MICROBUMP.conductivity + 2e-6 / COPPER.conductivity;
+    let rth = MICROBUMP.conductivity().rth_per_area(BUMP_THICKNESS)
+        + COPPER.conductivity().rth_per_area(SHORT_THICKNESS);
     Material {
         name: "d2d-shorted-pillar".into(),
-        conductivity: d2d_thickness / rth,
-        volumetric_heat_capacity: MICROBUMP.volumetric_heat_capacity,
+        conductivity: WattsPerMeterKelvin::new(d2d_thickness / rth),
+        volumetric_heat_capacity: MICROBUMP.volumetric_heat_capacity(),
     }
 }
 
@@ -195,14 +199,15 @@ pub fn shorted_pillar_d2d(d2d_thickness: f64) -> Material {
 /// is the "limited contribution" of electrical TSVs the paper notes in
 /// Sec. 4.1 — clustered at the die center, oblivious to hotspots.
 pub fn electrical_bus_d2d(d2d_thickness: f64) -> Material {
-    let rth_bump = 18e-6 / MICROBUMP.conductivity
-        + 2e-6 / COPPER.conductivity
-        + 2e-6 / 9.0; // frontside metal crossing
+    let rth_bump = MICROBUMP.conductivity().rth_per_area(BUMP_THICKNESS)
+        + COPPER.conductivity().rth_per_area(SHORT_THICKNESS)
+        + DRAM_METAL.conductivity().rth_per_area(SHORT_THICKNESS); // frontside metal crossing
     let bump_path = Material {
         name: "d2d-electrical-path".into(),
-        conductivity: d2d_thickness / rth_bump,
-        volumetric_heat_capacity: MICROBUMP.volumetric_heat_capacity,
+        conductivity: WattsPerMeterKelvin::new(d2d_thickness / rth_bump),
+        volumetric_heat_capacity: MICROBUMP.volumetric_heat_capacity(),
     };
+    // Electrical-bump density: a 17x17 bump field on a 50x50 site grid.
     let density = (17.0_f64 / 50.0) * (17.0 / 50.0);
     bump_path.blend(&D2D_AVERAGE, density, "d2d-electrical-bus")
 }
@@ -217,18 +222,25 @@ mod tests {
         assert!(bus.conductivity() > D2D_AVERAGE.conductivity());
         assert!(bus.conductivity() < shorted_pillar_d2d(20e-6).conductivity());
         // Roughly 3-4x the average D2D conductivity.
-        let ratio = bus.conductivity() / D2D_AVERAGE.conductivity();
+        let ratio = bus.conductivity().get() / D2D_AVERAGE.conductivity().get();
         assert!((2.0..5.0).contains(&ratio), "{ratio}");
     }
 
     #[test]
-    fn new_rejects_bad_values() {
-        assert!(Material::new("x", 0.0, 1.0).is_err());
-        assert!(Material::new("x", -3.0, 1.0).is_err());
-        assert!(Material::new("x", f64::NAN, 1.0).is_err());
-        assert!(Material::new("x", 1.0, 0.0).is_err());
-        assert!(Material::new("x", 1.0, f64::INFINITY).is_err());
-        assert!(Material::new("x", 1.0, 1.0).is_ok());
+    fn unit_constructors_reject_bad_values() {
+        // Validation moved into the unit newtypes: a Material can only be
+        // built from already-valid quantities.
+        assert!(WattsPerMeterKelvin::try_new(0.0).is_err());
+        assert!(WattsPerMeterKelvin::try_new(-3.0).is_err());
+        assert!(WattsPerMeterKelvin::try_new(f64::NAN).is_err());
+        assert!(VolumetricHeatCapacity::try_new(0.0).is_err());
+        assert!(VolumetricHeatCapacity::try_new(f64::INFINITY).is_err());
+        let m = Material::new(
+            "x",
+            WattsPerMeterKelvin::new(1.0),
+            VolumetricHeatCapacity::new(1.0),
+        );
+        assert_eq!(m.conductivity(), 1.0);
     }
 
     #[test]
@@ -262,7 +274,7 @@ mod tests {
 
     #[test]
     fn tsv_bus_blend() {
-        assert!((tsv_bus().conductivity() - 190.0).abs() < 1e-9);
+        assert!((tsv_bus().conductivity().get() - 190.0).abs() < 1e-9);
     }
 
     #[test]

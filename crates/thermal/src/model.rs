@@ -22,9 +22,10 @@
 use crate::error::ThermalError;
 use crate::grid::{rasterize, GridSpec};
 use crate::power::PowerMap;
-use crate::solve::{solve_cg, SolverOptions, SolveStats};
+use crate::solve::{debug_check_solution, solve_cg, SolveStats, SolverOptions};
 use crate::stack::Stack;
 use crate::temperature::TemperatureField;
+use crate::units::{Celsius, Watts};
 
 /// Index of the four package periphery sides, in storage order.
 const SIDE_W: usize = 0;
@@ -84,14 +85,14 @@ impl ThermalModel {
         let sp_m = pkg.spreader_material();
         let tim_m = pkg.tim_material();
         thickness.push(pkg.sink_thickness());
-        lambda.push(vec![sink_m.conductivity(); cells]);
-        cap_vol.push(vec![sink_m.volumetric_heat_capacity(); cells]);
+        lambda.push(vec![sink_m.conductivity().get(); cells]);
+        cap_vol.push(vec![sink_m.volumetric_heat_capacity().get(); cells]);
         thickness.push(pkg.spreader_thickness());
-        lambda.push(vec![sp_m.conductivity(); cells]);
-        cap_vol.push(vec![sp_m.volumetric_heat_capacity(); cells]);
+        lambda.push(vec![sp_m.conductivity().get(); cells]);
+        cap_vol.push(vec![sp_m.volumetric_heat_capacity().get(); cells]);
         thickness.push(pkg.tim_thickness());
-        lambda.push(vec![tim_m.conductivity(); cells]);
-        cap_vol.push(vec![tim_m.volumetric_heat_capacity(); cells]);
+        lambda.push(vec![tim_m.conductivity().get(); cells]);
+        cap_vol.push(vec![tim_m.volumetric_heat_capacity().get(); cells]);
 
         let mut block_weights = Vec::with_capacity(n_user);
         let mut block_names = Vec::with_capacity(n_user);
@@ -175,16 +176,18 @@ impl ThermalModel {
         let sk_inner = extra_base + 4;
         let sk_outer = extra_base + 8;
 
-        let lam_sp = sp_m.conductivity();
-        let lam_sk = sink_m.conductivity();
+        let lam_sp = sp_m.conductivity().get();
+        let lam_sk = sink_m.conductivity().get();
         let t_sp = pkg.spreader_thickness();
         let t_sk = pkg.sink_thickness();
 
         // Capacitances of periphery nodes.
+        let cap_sp = sp_m.volumetric_heat_capacity().get();
+        let cap_sk = sink_m.volumetric_heat_capacity().get();
         for s in 0..4 {
-            capacitance[sp_periph + s] = sp_m.volumetric_heat_capacity() * sp_side_area * t_sp;
-            capacitance[sk_inner + s] = sink_m.volumetric_heat_capacity() * sk_in_side_area * t_sk;
-            capacitance[sk_outer + s] = sink_m.volumetric_heat_capacity() * sk_out_side_area * t_sk;
+            capacitance[sp_periph + s] = cap_sp * sp_side_area * t_sp;
+            capacitance[sk_inner + s] = cap_sk * sk_in_side_area * t_sk;
+            capacitance[sk_outer + s] = cap_sk * sk_out_side_area * t_sk;
         }
 
         // Lateral edges from the die-sized center grids to periphery nodes,
@@ -231,8 +234,8 @@ impl ThermalModel {
         // its share of the total sink area.
         let sink_area_total = sk_side * sk_side;
         let g_conv_total = 1.0 / pkg.convection_resistance();
-        for i in 0..cells {
-            g_ambient[i] += g_conv_total * (cell_area / sink_area_total);
+        for g in g_ambient.iter_mut().take(cells) {
+            *g += g_conv_total * (cell_area / sink_area_total);
         }
         for s in 0..4 {
             g_ambient[sk_inner + s] += g_conv_total * (sk_in_side_area / sink_area_total);
@@ -311,9 +314,9 @@ impl ThermalModel {
         &self.user_layer_names
     }
 
-    /// Ambient temperature, deg C.
-    pub fn ambient(&self) -> f64 {
-        self.ambient
+    /// Ambient temperature.
+    pub fn ambient(&self) -> Celsius {
+        Celsius::new(self.ambient)
     }
 
     /// Total node count (grid cells of all solver layers + package nodes).
@@ -328,7 +331,10 @@ impl ThermalModel {
     /// Panics if the layer or coordinates are out of range (debug builds for
     /// coordinates).
     pub fn user_node(&self, layer: usize, ix: usize, iy: usize) -> usize {
-        assert!(layer < self.n_user_layers, "user layer {layer} out of range");
+        assert!(
+            layer < self.n_user_layers,
+            "user layer {layer} out of range"
+        );
         (3 + layer) * self.grid.cells() + self.grid.index(ix, iy)
     }
 
@@ -363,12 +369,13 @@ impl ThermalModel {
                 index: layer,
                 len: self.n_user_layers,
             })?;
-        let bi = names
-            .iter()
-            .position(|n| n == block)
-            .ok_or_else(|| ThermalError::BadFloorplan {
-                reason: format!("no block '{block}' in layer {layer}"),
-            })?;
+        let bi =
+            names
+                .iter()
+                .position(|n| n == block)
+                .ok_or_else(|| ThermalError::BadFloorplan {
+                    reason: format!("no block '{block}' in layer {layer}"),
+                })?;
         Ok(&self.block_weights[layer][bi])
     }
 
@@ -447,7 +454,21 @@ impl ThermalModel {
             &mut x,
             &self.solver_options,
         )?;
-        Ok(TemperatureField::new(self, x, stats))
+        let temps = TemperatureField::new(self, x, stats);
+        debug_check_solution(&stats, &self.solver_options, temps.raw());
+        #[cfg(debug_assertions)]
+        {
+            // Energy conservation: at steady state all injected power must
+            // leave through the ambient paths.
+            let balance = self.ambient_outflow(&temps) - power.total();
+            let scale = power.total().get().abs().max(1.0);
+            debug_assert!(
+                balance.abs() <= 1e-3 * scale,
+                "energy imbalance {balance} W for {} injected",
+                power.total()
+            );
+        }
+        Ok(temps)
     }
 
     /// Advances a transient simulation by `steps` backward-Euler steps of
@@ -499,18 +520,22 @@ impl ThermalModel {
             stats.iterations += s.iterations;
             stats.residual = s.residual;
         }
-        Ok(TemperatureField::new(self, x, stats))
+        let temps = TemperatureField::new(self, x, stats);
+        debug_check_solution(&stats, &self.solver_options, temps.raw());
+        Ok(temps)
     }
 
     /// Total heat leaving through ambient paths (convection + board) for a
-    /// temperature field, W. At steady state this equals the injected
+    /// temperature field. At steady state this equals the injected
     /// power — the conservation check used by the validation tests.
-    pub fn ambient_outflow(&self, temps: &TemperatureField) -> f64 {
-        self.g_ambient
-            .iter()
-            .zip(temps.raw())
-            .map(|(g, t)| g * (t - self.ambient))
-            .sum()
+    pub fn ambient_outflow(&self, temps: &TemperatureField) -> Watts {
+        Watts::new(
+            self.g_ambient
+                .iter()
+                .zip(temps.raw())
+                .map(|(g, t)| g * (t - self.ambient))
+                .sum(),
+        )
     }
 
     pub(crate) fn grid_cells(&self) -> usize {
@@ -563,7 +588,7 @@ mod tests {
     fn steady_state_uniform_power_is_symmetric() {
         let m = model(8);
         let mut p = PowerMap::zeros(&m);
-        p.add_uniform_layer_power(2, 10.0);
+        p.add_uniform_layer_power(2, Watts::new(10.0));
         let t = m.steady_state(&p).unwrap();
         let s = t.layer_slice(2);
         let g = m.grid();
@@ -583,20 +608,23 @@ mod tests {
     fn energy_conservation_at_steady_state() {
         let m = model(8);
         let mut p = PowerMap::zeros(&m);
-        p.add_uniform_layer_power(0, 4.0);
-        p.add_uniform_layer_power(2, 16.0);
+        p.add_uniform_layer_power(0, Watts::new(4.0));
+        p.add_uniform_layer_power(2, Watts::new(16.0));
         let t = m.steady_state(&p).unwrap();
         let out = m.ambient_outflow(&t);
-        assert!((out - 20.0).abs() < 0.02, "outflow {out} W, expected 20 W");
+        assert!(
+            (out.get() - 20.0).abs() < 0.02,
+            "outflow {out}, expected 20 W"
+        );
     }
 
     #[test]
     fn hotter_with_more_power() {
         let m = model(8);
         let mut p1 = PowerMap::zeros(&m);
-        p1.add_uniform_layer_power(2, 10.0);
+        p1.add_uniform_layer_power(2, Watts::new(10.0));
         let mut p2 = PowerMap::zeros(&m);
-        p2.add_uniform_layer_power(2, 20.0);
+        p2.add_uniform_layer_power(2, Watts::new(20.0));
         let t1 = m.steady_state(&p1).unwrap();
         let t2 = m.steady_state(&p2).unwrap();
         assert!(t2.hotspot_of_layer(2).1 > t1.hotspot_of_layer(2).1);
@@ -607,16 +635,16 @@ mod tests {
         // T(a+b) - Tamb == (T(a)-Tamb) + (T(b)-Tamb) for a linear model.
         let m = model(6);
         let mut pa = PowerMap::zeros(&m);
-        pa.add_cell_power(2, 1, 1, 3.0);
+        pa.add_cell_power(2, 1, 1, Watts::new(3.0));
         let mut pb = PowerMap::zeros(&m);
-        pb.add_cell_power(2, 4, 4, 5.0);
+        pb.add_cell_power(2, 4, 4, Watts::new(5.0));
         let mut pab = PowerMap::zeros(&m);
-        pab.add_cell_power(2, 1, 1, 3.0);
-        pab.add_cell_power(2, 4, 4, 5.0);
+        pab.add_cell_power(2, 1, 1, Watts::new(3.0));
+        pab.add_cell_power(2, 4, 4, Watts::new(5.0));
         let ta = m.steady_state(&pa).unwrap();
         let tb = m.steady_state(&pb).unwrap();
         let tab = m.steady_state(&pab).unwrap();
-        let amb = m.ambient();
+        let amb = m.ambient().get();
         for i in 0..m.node_count() {
             let lhs = tab.raw()[i] - amb;
             let rhs = (ta.raw()[i] - amb) + (tb.raw()[i] - amb);
@@ -628,7 +656,7 @@ mod tests {
     fn transient_approaches_steady_state() {
         let m = model(6);
         let mut p = PowerMap::zeros(&m);
-        p.add_uniform_layer_power(2, 12.0);
+        p.add_uniform_layer_power(2, Watts::new(12.0));
         let steady = m.steady_state(&p).unwrap();
         let init = TemperatureField::uniform(&m, m.ambient());
         // Long integration: 3000 x 0.1 s = 300 s >> the sink's ~40 s time
@@ -646,7 +674,7 @@ mod tests {
     fn transient_monotone_heating_from_ambient() {
         let m = model(6);
         let mut p = PowerMap::zeros(&m);
-        p.add_uniform_layer_power(2, 12.0);
+        p.add_uniform_layer_power(2, Watts::new(12.0));
         let t0 = TemperatureField::uniform(&m, m.ambient());
         let t1 = m.transient(&p, &t0, 1e-3, 10).unwrap();
         let t2 = m.transient(&p, &t1, 1e-3, 10).unwrap();

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::ThermalError;
 use crate::material::{Material, COPPER, TIM};
+use crate::units::Celsius;
 
 /// Default ambient (local air) temperature inside the case, deg C.
 pub const DEFAULT_AMBIENT_C: f64 = 43.0;
@@ -131,15 +132,17 @@ impl Package {
 
     /// Sets the total convection (sink-to-air) resistance, K/W.
     pub fn with_convection_resistance(mut self, r: f64) -> Self {
-        assert!(r.is_finite() && r > 0.0, "convection resistance must be > 0");
+        assert!(
+            r.is_finite() && r > 0.0,
+            "convection resistance must be > 0"
+        );
         self.convection_resistance = r;
         self
     }
 
-    /// Sets the ambient temperature, deg C.
-    pub fn with_ambient(mut self, ambient_c: f64) -> Self {
-        assert!(ambient_c.is_finite(), "ambient must be finite");
-        self.ambient = ambient_c;
+    /// Sets the ambient temperature.
+    pub fn with_ambient(mut self, ambient: Celsius) -> Self {
+        self.ambient = ambient.get();
         self
     }
 
@@ -243,7 +246,7 @@ mod tests {
     fn builders_update_fields() {
         let p = Package::default_for_die(8e-3, 8e-3)
             .with_convection_resistance(0.2)
-            .with_ambient(40.0)
+            .with_ambient(Celsius::new(40.0))
             .with_board_resistance(None);
         assert_eq!(p.convection_resistance(), 0.2);
         assert_eq!(p.ambient(), 40.0);

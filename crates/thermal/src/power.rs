@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::ThermalError;
 use crate::grid::GridSpec;
 use crate::model::ThermalModel;
+use crate::units::Watts;
 
 /// Watts per cell, for every user layer of a model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,33 +52,33 @@ impl PowerMap {
         &self.data[layer * c..(layer + 1) * c]
     }
 
-    /// Adds `watts` uniformly over all cells of `layer`.
+    /// Adds `power` uniformly over all cells of `layer`.
     ///
     /// # Panics
     ///
     /// Panics if `layer` is out of range.
-    pub fn add_uniform_layer_power(&mut self, layer: usize, watts: f64) {
+    pub fn add_uniform_layer_power(&mut self, layer: usize, power: Watts) {
         assert!(layer < self.n_layers, "layer {layer} out of range");
         let c = self.cells();
-        let per_cell = watts / c as f64;
+        let per_cell = power.get() / c as f64;
         for v in &mut self.data[layer * c..(layer + 1) * c] {
             *v += per_cell;
         }
     }
 
-    /// Adds `watts` to a single cell.
+    /// Adds `power` to a single cell.
     ///
     /// # Panics
     ///
     /// Panics if out of range.
-    pub fn add_cell_power(&mut self, layer: usize, ix: usize, iy: usize, watts: f64) {
+    pub fn add_cell_power(&mut self, layer: usize, ix: usize, iy: usize, power: Watts) {
         assert!(layer < self.n_layers, "layer {layer} out of range");
         let c = self.cells();
         let i = self.grid.index(ix, iy);
-        self.data[layer * c + i] += watts;
+        self.data[layer * c + i] += power.get();
     }
 
-    /// Adds `watts` to a named floorplan block of `layer`, spread over the
+    /// Adds `power` to a named floorplan block of `layer`, spread over the
     /// block's cells in proportion to area.
     ///
     /// # Errors
@@ -88,12 +89,12 @@ impl PowerMap {
         model: &ThermalModel,
         layer: usize,
         block: &str,
-        watts: f64,
+        power: Watts,
     ) -> Result<(), ThermalError> {
         let weights = model.block_weights(layer, block)?;
         let c = self.cells();
         for &(cell, w) in weights {
-            self.data[layer * c + cell] += watts * w;
+            self.data[layer * c + cell] += power.get() * w;
         }
         Ok(())
     }
@@ -123,18 +124,18 @@ impl PowerMap {
         Ok(())
     }
 
-    /// Total power over all layers, W.
-    pub fn total(&self) -> f64 {
-        self.data.iter().sum()
+    /// Total power over all layers.
+    pub fn total(&self) -> Watts {
+        Watts::new(self.data.iter().sum())
     }
 
-    /// Total power of one layer, W.
+    /// Total power of one layer.
     ///
     /// # Panics
     ///
     /// Panics if `layer` is out of range.
-    pub fn layer_total(&self, layer: usize) -> f64 {
-        self.layer_slice(layer).iter().sum()
+    pub fn layer_total(&self, layer: usize) -> Watts {
+        Watts::new(self.layer_slice(layer).iter().sum())
     }
 }
 
@@ -164,17 +165,17 @@ mod tests {
     fn uniform_power_totals() {
         let m = model_with_blocks();
         let mut p = PowerMap::zeros(&m);
-        p.add_uniform_layer_power(0, 12.0);
-        assert!((p.total() - 12.0).abs() < 1e-12);
-        assert!((p.layer_total(0) - 12.0).abs() < 1e-12);
+        p.add_uniform_layer_power(0, Watts::new(12.0));
+        assert!((p.total().get() - 12.0).abs() < 1e-12);
+        assert!((p.layer_total(0).get() - 12.0).abs() < 1e-12);
     }
 
     #[test]
     fn block_power_spreads_over_block_cells_only() {
         let m = model_with_blocks();
         let mut p = PowerMap::zeros(&m);
-        p.add_block_power(&m, 0, "left", 8.0).unwrap();
-        assert!((p.total() - 8.0).abs() < 1e-12);
+        p.add_block_power(&m, 0, "left", Watts::new(8.0)).unwrap();
+        assert!((p.total().get() - 8.0).abs() < 1e-12);
         let g = m.grid();
         let s = p.layer_slice(0);
         for iy in 0..8 {
@@ -193,19 +194,19 @@ mod tests {
     fn unknown_block_rejected() {
         let m = model_with_blocks();
         let mut p = PowerMap::zeros(&m);
-        assert!(p.add_block_power(&m, 0, "nope", 1.0).is_err());
+        assert!(p.add_block_power(&m, 0, "nope", Watts::new(1.0)).is_err());
     }
 
     #[test]
     fn scale_and_accumulate() {
         let m = model_with_blocks();
         let mut a = PowerMap::zeros(&m);
-        a.add_uniform_layer_power(0, 10.0);
+        a.add_uniform_layer_power(0, Watts::new(10.0));
         a.scale(0.5);
-        assert!((a.total() - 5.0).abs() < 1e-12);
+        assert!((a.total().get() - 5.0).abs() < 1e-12);
         let mut b = PowerMap::zeros(&m);
-        b.add_uniform_layer_power(0, 1.0);
+        b.add_uniform_layer_power(0, Watts::new(1.0));
         a.accumulate(&b).unwrap();
-        assert!((a.total() - 6.0).abs() < 1e-12);
+        assert!((a.total().get() - 6.0).abs() < 1e-12);
     }
 }

@@ -43,8 +43,8 @@ impl StackThermalReport {
         let mut layers = Vec::with_capacity(model.n_user_layers());
         let mut prev_mean: Option<f64> = None;
         for (l, name) in model.user_layer_names().iter().enumerate() {
-            let mean = temps.mean_of_layer(l);
-            let max = temps.max_of_layer(l);
+            let mean = temps.mean_of_layer(l).get();
+            let max = temps.max_of_layer(l).get();
             layers.push(LayerReportEntry {
                 name: name.clone(),
                 mean_c: mean,
@@ -55,7 +55,7 @@ impl StackThermalReport {
         }
         StackThermalReport {
             layers,
-            ambient_c: model.ambient(),
+            ambient_c: model.ambient().get(),
         }
     }
 
@@ -129,7 +129,7 @@ mod tests {
             .unwrap();
         let m = stack.discretize(GridSpec::new(8, 8)).unwrap();
         let mut p = PowerMap::zeros(&m);
-        p.add_uniform_layer_power(3, 15.0);
+        p.add_uniform_layer_power(3, crate::units::Watts::new(15.0));
         let t = m.steady_state(&p).unwrap();
         (m, t)
     }

@@ -136,6 +136,29 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
+/// Debug-build sanity checks on a converged solution: the reported
+/// residual must respect the requested tolerance (with slack for the
+/// final-iteration overshoot) and every temperature must be a physically
+/// meaningful number (finite, not below absolute zero).
+///
+/// Compiled to nothing in release builds.
+pub fn debug_check_solution(stats: &SolveStats, options: &SolverOptions, temps_c: &[f64]) {
+    debug_assert!(
+        stats.residual.is_finite() && stats.residual <= options.tolerance * 10.0,
+        "solver reported residual {} above tolerance {}",
+        stats.residual,
+        options.tolerance
+    );
+    if cfg!(debug_assertions) {
+        for (i, &t) in temps_c.iter().enumerate() {
+            debug_assert!(
+                t.is_finite() && t >= crate::units::ABSOLUTE_ZERO_C,
+                "node {i}: unphysical temperature {t} degC"
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,8 +178,14 @@ mod tests {
         let diag = vec![2.0, 4.0];
         let b = vec![2.0, 8.0];
         let mut x = vec![0.0, 0.0];
-        let stats = solve_cg(dense_matvec(&a), &diag, &b, &mut x, &SolverOptions::default())
-            .unwrap();
+        let stats = solve_cg(
+            dense_matvec(&a),
+            &diag,
+            &b,
+            &mut x,
+            &SolverOptions::default(),
+        )
+        .unwrap();
         assert!((x[0] - 1.0).abs() < 1e-9);
         assert!((x[1] - 2.0).abs() < 1e-9);
         assert!(stats.residual <= 1e-9);
@@ -173,7 +202,14 @@ mod tests {
         let diag = vec![4.0, 3.0, 2.0];
         let b = vec![1.0, 2.0, 3.0];
         let mut x = vec![0.0; 3];
-        solve_cg(dense_matvec(&a), &diag, &b, &mut x, &SolverOptions::default()).unwrap();
+        solve_cg(
+            dense_matvec(&a),
+            &diag,
+            &b,
+            &mut x,
+            &SolverOptions::default(),
+        )
+        .unwrap();
         // Check residual directly.
         let mut ax = vec![0.0; 3];
         dense_matvec(&a)(&x, &mut ax);
@@ -188,8 +224,14 @@ mod tests {
         let diag = vec![2.0, 2.0];
         let b = vec![0.0, 0.0];
         let mut x = vec![5.0, -3.0];
-        let stats =
-            solve_cg(dense_matvec(&a), &diag, &b, &mut x, &SolverOptions::default()).unwrap();
+        let stats = solve_cg(
+            dense_matvec(&a),
+            &diag,
+            &b,
+            &mut x,
+            &SolverOptions::default(),
+        )
+        .unwrap();
         assert_eq!(x, vec![0.0, 0.0]);
         assert_eq!(stats.iterations, 0);
     }

@@ -6,6 +6,7 @@ use crate::error::ThermalError;
 use crate::grid::GridSpec;
 use crate::model::ThermalModel;
 use crate::solve::SolveStats;
+use crate::units::Celsius;
 
 /// Temperatures (deg C) for every node of a model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -25,7 +26,7 @@ impl TemperatureField {
             grid: model.grid(),
             n_user_layers: model.n_user_layers(),
             user_offset: 3 * model.grid_cells(),
-            ambient: model.ambient(),
+            ambient: model.ambient().get(),
             temps,
             stats,
         }
@@ -33,13 +34,13 @@ impl TemperatureField {
 
     /// A field at a uniform temperature — the usual transient initial
     /// condition.
-    pub fn uniform(model: &ThermalModel, temperature_c: f64) -> Self {
+    pub fn uniform(model: &ThermalModel, temperature: Celsius) -> Self {
         TemperatureField {
             grid: model.grid(),
             n_user_layers: model.n_user_layers(),
             user_offset: 3 * model.grid_cells(),
-            ambient: model.ambient(),
-            temps: vec![temperature_c; model.node_count()],
+            ambient: model.ambient().get(),
+            temps: vec![temperature.get(); model.node_count()],
             stats: SolveStats::default(),
         }
     }
@@ -54,9 +55,9 @@ impl TemperatureField {
         self.temps.len()
     }
 
-    /// Ambient temperature used by the solve, deg C.
-    pub fn ambient(&self) -> f64 {
-        self.ambient
+    /// Ambient temperature used by the solve.
+    pub fn ambient(&self) -> Celsius {
+        Celsius::new(self.ambient)
     }
 
     /// Solver statistics.
@@ -86,8 +87,8 @@ impl TemperatureField {
     /// # Panics
     ///
     /// Panics if out of range.
-    pub fn cell(&self, layer: usize, ix: usize, iy: usize) -> f64 {
-        self.layer_slice(layer)[self.grid.index(ix, iy)]
+    pub fn cell(&self, layer: usize, ix: usize, iy: usize) -> Celsius {
+        Celsius::new(self.layer_slice(layer)[self.grid.index(ix, iy)])
     }
 
     /// Hottest cell of a user layer: `((ix, iy), temperature)`.
@@ -95,7 +96,7 @@ impl TemperatureField {
     /// # Panics
     ///
     /// Panics if `layer` is out of range.
-    pub fn hotspot_of_layer(&self, layer: usize) -> ((usize, usize), f64) {
+    pub fn hotspot_of_layer(&self, layer: usize) -> ((usize, usize), Celsius) {
         let s = self.layer_slice(layer);
         let (mut best_i, mut best_t) = (0, f64::NEG_INFINITY);
         for (i, &t) in s.iter().enumerate() {
@@ -104,28 +105,30 @@ impl TemperatureField {
                 best_i = i;
             }
         }
-        (self.grid.coords(best_i), best_t)
+        (self.grid.coords(best_i), Celsius::new(best_t))
     }
 
-    /// Maximum temperature of a user layer, deg C.
-    pub fn max_of_layer(&self, layer: usize) -> f64 {
+    /// Maximum temperature of a user layer.
+    pub fn max_of_layer(&self, layer: usize) -> Celsius {
         self.hotspot_of_layer(layer).1
     }
 
-    /// Area-weighted mean temperature of a user layer, deg C (cells have
+    /// Area-weighted mean temperature of a user layer (cells have
     /// equal area, so this is the plain mean).
-    pub fn mean_of_layer(&self, layer: usize) -> f64 {
+    pub fn mean_of_layer(&self, layer: usize) -> Celsius {
         let s = self.layer_slice(layer);
-        s.iter().sum::<f64>() / s.len() as f64
+        Celsius::new(s.iter().sum::<f64>() / s.len() as f64)
     }
 
     /// Hottest cell across all user layers: `(layer, (ix, iy), temperature)`.
-    pub fn global_hotspot(&self) -> (usize, (usize, usize), f64) {
-        let mut best = (0, (0, 0), f64::NEG_INFINITY);
+    pub fn global_hotspot(&self) -> (usize, (usize, usize), Celsius) {
+        let mut best = (0, (0, 0), Celsius::new(self.ambient));
+        let mut found = false;
         for l in 0..self.n_user_layers {
             let ((ix, iy), t) = self.hotspot_of_layer(l);
-            if t > best.2 {
+            if !found || t > best.2 {
                 best = (l, (ix, iy), t);
+                found = true;
             }
         }
         best
@@ -142,13 +145,15 @@ impl TemperatureField {
         model: &ThermalModel,
         layer: usize,
         block: &str,
-    ) -> Result<f64, ThermalError> {
+    ) -> Result<Celsius, ThermalError> {
         let weights = model.block_weights(layer, block)?;
         let s = self.layer_slice(layer);
-        Ok(weights
-            .iter()
-            .map(|&(c, _)| s[c])
-            .fold(f64::NEG_INFINITY, f64::max))
+        Ok(Celsius::new(
+            weights
+                .iter()
+                .map(|&(c, _)| s[c])
+                .fold(f64::NEG_INFINITY, f64::max),
+        ))
     }
 
     /// Area-weighted mean temperature of a named block.
@@ -161,7 +166,7 @@ impl TemperatureField {
         model: &ThermalModel,
         layer: usize,
         block: &str,
-    ) -> Result<f64, ThermalError> {
+    ) -> Result<Celsius, ThermalError> {
         let weights = model.block_weights(layer, block)?;
         let s = self.layer_slice(layer);
         let mut acc = 0.0;
@@ -170,7 +175,7 @@ impl TemperatureField {
             acc += s[c] * w;
             tot += w;
         }
-        Ok(acc / tot.max(1e-30))
+        Ok(Celsius::new(acc / tot.max(1e-30)))
     }
 }
 
@@ -181,6 +186,7 @@ mod tests {
     use crate::material::SILICON;
     use crate::power::PowerMap;
     use crate::stack::Stack;
+    use crate::units::Watts;
 
     fn model() -> ThermalModel {
         let die = 8e-3;
@@ -195,7 +201,7 @@ mod tests {
     #[test]
     fn uniform_field_queries() {
         let m = model();
-        let t = TemperatureField::uniform(&m, 50.0);
+        let t = TemperatureField::uniform(&m, Celsius::new(50.0));
         assert_eq!(t.max_of_layer(0), 50.0);
         assert_eq!(t.mean_of_layer(1), 50.0);
         assert_eq!(t.cell(0, 3, 3), 50.0);
@@ -206,7 +212,7 @@ mod tests {
     fn hotspot_tracks_power_location() {
         let m = model();
         let mut p = PowerMap::zeros(&m);
-        p.add_cell_power(1, 6, 2, 5.0);
+        p.add_cell_power(1, 6, 2, Watts::new(5.0));
         let t = m.steady_state(&p).unwrap();
         let ((ix, iy), _) = t.hotspot_of_layer(1);
         assert_eq!((ix, iy), (6, 2));
@@ -218,7 +224,7 @@ mod tests {
     fn mean_below_max() {
         let m = model();
         let mut p = PowerMap::zeros(&m);
-        p.add_cell_power(1, 4, 4, 3.0);
+        p.add_cell_power(1, 4, 4, Watts::new(3.0));
         let t = m.steady_state(&p).unwrap();
         assert!(t.mean_of_layer(1) < t.max_of_layer(1));
         assert!(t.mean_of_layer(1) > t.ambient());

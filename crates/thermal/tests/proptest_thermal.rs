@@ -9,6 +9,7 @@ use xylem_thermal::material::{D2D_AVERAGE, SILICON};
 use xylem_thermal::package::Package;
 use xylem_thermal::power::PowerMap;
 use xylem_thermal::stack::Stack;
+use xylem_thermal::units::Watts;
 use xylem_thermal::ThermalModel;
 
 const DIE: f64 = 8e-3;
@@ -36,12 +37,12 @@ proptest! {
         let m = small_model();
         let mut p = PowerMap::zeros(&m);
         for &(l, ix, iy, w) in &cells {
-            p.add_cell_power(l, ix, iy, w);
+            p.add_cell_power(l, ix, iy, Watts::new(w));
         }
         let t = m.steady_state(&p).unwrap();
         let outflow = m.ambient_outflow(&t);
         let total = p.total();
-        prop_assert!((outflow - total).abs() < 1e-3 * total.max(1.0),
+        prop_assert!((outflow - total).abs() < 1e-3 * total.get().max(1.0),
             "outflow {outflow} vs injected {total}");
     }
 
@@ -56,10 +57,10 @@ proptest! {
     ) {
         let m = small_model();
         let mut p = PowerMap::zeros(&m);
-        p.add_cell_power(layer, ix, iy, watts);
+        p.add_cell_power(layer, ix, iy, Watts::new(watts));
         let t = m.steady_state(&p).unwrap();
         let min = t.raw().iter().cloned().fold(f64::INFINITY, f64::min);
-        prop_assert!(min >= m.ambient() - 1e-6, "min {min} < ambient");
+        prop_assert!(min >= m.ambient().get() - 1e-6, "min {min} < ambient");
     }
 
     /// Scaling the power map scales the temperature rise (linearity).
@@ -73,7 +74,7 @@ proptest! {
     ) {
         let m = small_model();
         let mut p1 = PowerMap::zeros(&m);
-        p1.add_cell_power(layer, ix, iy, watts);
+        p1.add_cell_power(layer, ix, iy, Watts::new(watts));
         let mut p2 = p1.clone();
         p2.scale(k);
         let t1 = m.steady_state(&p1).unwrap();
@@ -93,9 +94,9 @@ proptest! {
     ) {
         let m = small_model();
         let mut pa = PowerMap::zeros(&m);
-        pa.add_cell_power(l1, x1, y1, 3.0);
+        pa.add_cell_power(l1, x1, y1, Watts::new(3.0));
         let mut pb = pa.clone();
-        pb.add_cell_power(l2, x2, y2, 2.0);
+        pb.add_cell_power(l2, x2, y2, Watts::new(2.0));
         let ta = m.steady_state(&pa).unwrap();
         let tb = m.steady_state(&pb).unwrap();
         for (a, b) in ta.raw().iter().zip(tb.raw()) {
@@ -141,7 +142,7 @@ proptest! {
             .unwrap();
         let m = stack.discretize(GridSpec::new(9, 9)).unwrap();
         let mut p = PowerMap::zeros(&m);
-        p.add_block_power(&m, 0, "b", watts).unwrap();
-        prop_assert!((p.total() - watts).abs() < 1e-9 * watts);
+        p.add_block_power(&m, 0, "b", Watts::new(watts)).unwrap();
+        prop_assert!((p.total().get() - watts).abs() < 1e-9 * watts);
     }
 }

@@ -104,13 +104,11 @@ impl PhasedWorkload {
         let phase = self.phases[i];
         let base = self.benchmark.profile();
         let mut p = base;
-        p.instructions =
-            ((base.instructions as f64) * phase.weight).round().max(1.0) as u64;
+        p.instructions = ((base.instructions as f64) * phase.weight).round().max(1.0) as u64;
         p.activity_peak = (base.activity_peak * phase.activity_scale).clamp(0.0, 1.0);
         p.l1d_mpki = base.l1d_mpki * phase.memory_scale;
         p.l2_mpki = (base.l2_mpki * phase.memory_scale).min(p.l1d_mpki);
-        p.memory_intensity =
-            (base.memory_intensity * phase.memory_scale).clamp(0.0, 1.0);
+        p.memory_intensity = (base.memory_intensity * phase.memory_scale).clamp(0.0, 1.0);
         p
     }
 

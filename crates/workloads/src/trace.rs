@@ -113,7 +113,10 @@ impl TraceGenerator {
             None
         };
 
-        TraceEvent { pc: self.pc, access }
+        TraceEvent {
+            pc: self.pc,
+            access,
+        }
     }
 
     /// Generates `n` instruction slots.
@@ -142,7 +145,12 @@ mod tests {
         let p = Benchmark::Blackscholes.profile();
         let a = TraceGenerator::new(p, 0, 1).take_events(5000);
         let b = TraceGenerator::new(p, 1, 1).take_events(5000);
-        let max_a = a.iter().filter_map(|e| e.access).map(|(x, _)| x).max().unwrap();
+        let max_a = a
+            .iter()
+            .filter_map(|e| e.access)
+            .map(|(x, _)| x)
+            .max()
+            .unwrap();
         let min_b = b
             .iter()
             .filter_map(|e| e.access)

@@ -31,13 +31,18 @@ fn hotspot(mut make: impl FnMut(&mut StackConfig)) -> Result<f64, Box<dyn std::e
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Baseline reference.
     let mut base = XylemSystem::new(explore_config(XylemScheme::Base))?;
-    let t_base = base.evaluate_uniform(Benchmark::Barnes, 2.4)?.proc_hotspot_c;
+    let t_base = base
+        .evaluate_uniform(Benchmark::Barnes, 2.4)?
+        .proc_hotspot_c;
     println!("base @2.4 GHz (Barnes): {t_base:.2} C\n");
 
     println!("pillar footprint sweep (banke):");
     for um in [100.0, 250.0, 450.0, 600.0] {
         let t = hotspot(|s| s.pillar_footprint = um * 1e-6)?;
-        println!("  {um:>5.0} um cluster: {t:6.2} C  (saves {:5.2} C)", t_base - t);
+        println!(
+            "  {um:>5.0} um cluster: {t:6.2} C  (saves {:5.2} C)",
+            t_base - t
+        );
     }
 
     println!("\ndie thickness sweep (banke, paper Fig. 18 axis):");

@@ -27,14 +27,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let app = args
         .get(1)
-        .and_then(|n| Benchmark::ALL.iter().find(|b| b.name().eq_ignore_ascii_case(n)))
+        .and_then(|n| {
+            Benchmark::ALL
+                .iter()
+                .find(|b| b.name().eq_ignore_ascii_case(n))
+        })
         .copied()
         .unwrap_or(Benchmark::Cholesky);
     let duration: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2.0);
     let policy = DtmPolicy::paper_default();
     let grid = GridSpec::new(24, 24);
 
-    println!("requesting 3.5 GHz for {duration:.1} s of {app}; DTM trips at {} C", policy.trip_c);
+    println!(
+        "requesting 3.5 GHz for {duration:.1} s of {app}; DTM trips at {}",
+        policy.trip
+    );
     for scheme in [XylemScheme::Base, XylemScheme::BankEnhanced] {
         let sys = XylemSystem::new(SystemConfig::paper_default(scheme))?;
         let r = dtm_transient(&sys, app, 3.5, duration, &policy, grid)?;
@@ -43,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scheme.name(),
             r.mean_f_ghz(),
             r.throttle_events,
-            r.peak_hotspot_c()
+            r.peak_hotspot().get()
         );
         println!("  f(t) [0=2.4 .. 9=3.5 GHz]: {}", strip(&r.samples));
     }

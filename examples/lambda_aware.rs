@@ -21,12 +21,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // core to the high-conductivity (aligned & shorted) sites.
     let sites = sys.built().high_conductivity_sites();
     let geom = ProcDieGeometry::paper_default();
-    println!("mean distance to the {} high-conductivity sites:", sites.len());
+    println!(
+        "mean distance to the {} high-conductivity sites:",
+        sites.len()
+    );
     for id in 1..=8 {
         let d = geom.mean_distance_to_sites(id, &sites);
         println!(
             "  core {id} ({}): {:.2} mm",
-            if ProcDieGeometry::is_inner_core(id) { "inner" } else { "outer" },
+            if ProcDieGeometry::is_inner_core(id) {
+                "inner"
+            } else {
+                "outer"
+            },
             d * 1e3
         );
     }

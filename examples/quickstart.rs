@@ -8,6 +8,7 @@
 use xylem::headroom::max_frequency_at_iso_temperature;
 use xylem::system::{SystemConfig, XylemSystem};
 use xylem_stack::XylemScheme;
+use xylem_thermal::units::Celsius;
 use xylem_workloads::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,8 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Spend the headroom: raise the DVFS point until the hotspot is
     //    back at the baseline temperature.
-    let boost = max_frequency_at_iso_temperature(&mut banke, app, reference.proc_hotspot_c)?
-        .expect("banke admits at least the base frequency");
+    let boost =
+        max_frequency_at_iso_temperature(&mut banke, app, Celsius::new(reference.proc_hotspot_c))?
+            .expect("banke admits at least the base frequency");
     let gain = reference.exec_time_s() / boost.evaluation.exec_time_s() - 1.0;
     println!(
         "banke boosted:   {:.1} GHz at {:.1} C -> {:.1}% faster at iso-temperature",

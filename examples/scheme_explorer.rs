@@ -18,12 +18,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let app = args
         .get(1)
-        .and_then(|n| Benchmark::ALL.iter().find(|b| b.name().eq_ignore_ascii_case(n)))
+        .and_then(|n| {
+            Benchmark::ALL
+                .iter()
+                .find(|b| b.name().eq_ignore_ascii_case(n))
+        })
         .copied()
         .unwrap_or(Benchmark::Barnes);
     let f_ghz: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2.4);
 
-    println!("workload: {} ({}, input {})", app, suite_name(app), app.input());
+    println!(
+        "workload: {} ({}, input {})",
+        app,
+        suite_name(app),
+        app.input()
+    );
     println!("frequency: {f_ghz:.1} GHz\n");
 
     let geom = DramDieGeometry::paper_default();
@@ -52,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ASCII thermal map of the processor die under banke.
     let mut sys = XylemSystem::new(SystemConfig::paper_default(XylemScheme::BankEnhanced))?;
     let e = sys.evaluate_uniform(app, f_ghz)?;
-    println!("\nprocessor-die thermal map (banke, {} @ {f_ghz:.1} GHz):", app.name());
+    println!(
+        "\nprocessor-die thermal map (banke, {} @ {f_ghz:.1} GHz):",
+        app.name()
+    );
     print_map(sys.response(), &e);
     Ok(())
 }
@@ -89,14 +101,13 @@ fn print_map(response: &ThermalResponse, _e: &xylem::Evaluation) {
             } else {
                 0
             };
-            line.push_str(&format!(
-                "[{} core{} {:5.1}C ]",
-                shades[idx.min(9)],
-                id,
-                t
-            ));
+            line.push_str(&format!("[{} core{} {:5.1}C ]", shades[idx.min(9)], id, t));
         }
         println!("{line}");
     }
-    println!("  die hotspot: {:.1} C on core {}", e.proc_hotspot_c, e.hottest_core());
+    println!(
+        "  die hotspot: {:.1} C on core {}",
+        e.proc_hotspot_c,
+        e.hottest_core()
+    );
 }

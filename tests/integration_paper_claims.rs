@@ -7,6 +7,7 @@ use xylem::system::{SystemConfig, XylemSystem};
 use xylem_stack::area::{AreaOverhead, SAMSUNG_WIDE_IO_DIE_AREA};
 use xylem_stack::dram_die::DramDieGeometry;
 use xylem_stack::XylemScheme;
+use xylem_thermal::units::Celsius;
 use xylem_workloads::Benchmark;
 
 fn system(scheme: XylemScheme) -> XylemSystem {
@@ -48,11 +49,11 @@ fn claim_frequency_boosts_have_paper_shape() {
     let mut banke_gains = Vec::new();
     for app in APPS {
         let reference = base.evaluate_uniform(app, 2.4).unwrap().proc_hotspot_c;
-        let fb = max_frequency_at_iso_temperature(&mut bank, app, reference)
+        let fb = max_frequency_at_iso_temperature(&mut bank, app, Celsius::new(reference))
             .unwrap()
             .unwrap()
             .f_ghz;
-        let fe = max_frequency_at_iso_temperature(&mut banke, app, reference)
+        let fe = max_frequency_at_iso_temperature(&mut banke, app, Celsius::new(reference))
             .unwrap()
             .unwrap()
             .f_ghz;
@@ -79,7 +80,7 @@ fn claim_performance_gains_track_boost_and_memory_boundedness() {
     let mut banke = system(XylemScheme::BankEnhanced);
     let gain = |app: Benchmark, base: &mut XylemSystem, banke: &mut XylemSystem| {
         let e0 = base.evaluate_uniform(app, 2.4).unwrap();
-        let b = max_frequency_at_iso_temperature(banke, app, e0.proc_hotspot_c)
+        let b = max_frequency_at_iso_temperature(banke, app, Celsius::new(e0.proc_hotspot_c))
             .unwrap()
             .unwrap();
         (

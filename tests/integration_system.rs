@@ -5,6 +5,7 @@ use xylem::headroom::{max_frequency_at_iso_temperature, max_frequency_under_limi
 use xylem::placement::ThreadPlacement;
 use xylem::system::{Instance, RunSpec, SystemConfig, XylemSystem};
 use xylem_stack::XylemScheme;
+use xylem_thermal::units::Celsius;
 use xylem_workloads::Benchmark;
 
 fn system(scheme: XylemScheme) -> XylemSystem {
@@ -37,12 +38,7 @@ fn scheme_ordering_holds_end_to_end() {
     // For every scheme pair the paper orders, the full chain agrees:
     // banke <= isoCount <= bank <= prior ~= base (hotspot at 2.4 GHz).
     let app = Benchmark::Radiosity;
-    let mut temp = |s: XylemScheme| {
-        system(s)
-            .evaluate_uniform(app, 2.4)
-            .unwrap()
-            .proc_hotspot_c
-    };
+    let temp = |s: XylemScheme| system(s).evaluate_uniform(app, 2.4).unwrap().proc_hotspot_c;
     let base = temp(XylemScheme::Base);
     let bank = temp(XylemScheme::BankSurround);
     let banke = temp(XylemScheme::BankEnhanced);
@@ -60,9 +56,10 @@ fn iso_temperature_boost_chain() {
     let mut base = system(XylemScheme::Base);
     let reference = base.evaluate_uniform(app, 2.4).unwrap();
     let mut banke = system(XylemScheme::BankEnhanced);
-    let boost = max_frequency_at_iso_temperature(&mut banke, app, reference.proc_hotspot_c)
-        .unwrap()
-        .expect("banke admits 2.4");
+    let boost =
+        max_frequency_at_iso_temperature(&mut banke, app, Celsius::new(reference.proc_hotspot_c))
+            .unwrap()
+            .expect("banke admits 2.4");
     assert!(boost.f_ghz > 2.4);
     // Boosted run is faster but not hotter than the reference.
     assert!(boost.evaluation.exec_time_s() < reference.exec_time_s());

@@ -5,6 +5,7 @@ use xylem_stack::builder::StackConfig;
 use xylem_stack::XylemScheme;
 use xylem_thermal::grid::GridSpec;
 use xylem_thermal::power::PowerMap;
+use xylem_thermal::units::Watts;
 
 const GRID: usize = 24;
 
@@ -12,14 +13,14 @@ fn solve_hotspot(scheme: XylemScheme, watts_proc: f64) -> (f64, f64) {
     let built = StackConfig::paper_default(scheme).build().unwrap();
     let model = built.stack().discretize(GridSpec::new(GRID, GRID)).unwrap();
     let mut p = PowerMap::zeros(&model);
-    p.add_uniform_layer_power(built.proc_metal_layer(), watts_proc);
+    p.add_uniform_layer_power(built.proc_metal_layer(), Watts::new(watts_proc));
     for &l in built.dram_metal_layers() {
-        p.add_uniform_layer_power(l, 0.35);
+        p.add_uniform_layer_power(l, Watts::new(0.35));
     }
     let t = model.steady_state(&p).unwrap();
     (
-        t.max_of_layer(built.proc_metal_layer()),
-        t.max_of_layer(built.bottom_dram_metal_layer()),
+        t.max_of_layer(built.proc_metal_layer()).get(),
+        t.max_of_layer(built.bottom_dram_metal_layer()).get(),
     )
 }
 
@@ -44,18 +45,20 @@ fn prior_without_shorting_is_ineffective() {
 fn temperature_gradient_down_the_stack() {
     // Processor (farthest from sink) is hottest; every DRAM die going up
     // is cooler.
-    let built = StackConfig::paper_default(XylemScheme::Base).build().unwrap();
+    let built = StackConfig::paper_default(XylemScheme::Base)
+        .build()
+        .unwrap();
     let model = built.stack().discretize(GridSpec::new(GRID, GRID)).unwrap();
     let mut p = PowerMap::zeros(&model);
-    p.add_uniform_layer_power(built.proc_metal_layer(), 18.0);
+    p.add_uniform_layer_power(built.proc_metal_layer(), Watts::new(18.0));
     for &l in built.dram_metal_layers() {
-        p.add_uniform_layer_power(l, 0.35);
+        p.add_uniform_layer_power(l, Watts::new(0.35));
     }
     let t = model.steady_state(&p).unwrap();
-    let proc = t.mean_of_layer(built.proc_metal_layer());
+    let proc = t.mean_of_layer(built.proc_metal_layer()).get();
     let mut prev = proc;
     for &l in built.dram_metal_layers().iter().rev() {
-        let cur = t.mean_of_layer(l);
+        let cur = t.mean_of_layer(l).get();
         assert!(cur < prev + 1e-6, "die layer {l}: {cur} vs below {prev}");
         prev = cur;
     }
@@ -66,10 +69,12 @@ fn d2d_layers_carry_the_largest_drops() {
     // The mean temperature drop across any D2D layer exceeds the drop
     // across the adjacent silicon layers — the Sec. 2.5 claim, measured
     // on the solved field.
-    let built = StackConfig::paper_default(XylemScheme::Base).build().unwrap();
+    let built = StackConfig::paper_default(XylemScheme::Base)
+        .build()
+        .unwrap();
     let model = built.stack().discretize(GridSpec::new(GRID, GRID)).unwrap();
     let mut p = PowerMap::zeros(&model);
-    p.add_uniform_layer_power(built.proc_metal_layer(), 18.0);
+    p.add_uniform_layer_power(built.proc_metal_layer(), Watts::new(18.0));
     let t = model.steady_state(&p).unwrap();
     // Drop across the bottom D2D (between proc si and the die above).
     let below = t.mean_of_layer(built.proc_si_layer());
@@ -96,8 +101,13 @@ fn grid_refinement_changes_hotspot_mildly() {
     for n in [16usize, 32] {
         let model = built.stack().discretize(GridSpec::new(n, n)).unwrap();
         let mut p = PowerMap::zeros(&model);
-        p.add_uniform_layer_power(built.proc_metal_layer(), 20.0);
-        hot.push(model.steady_state(&p).unwrap().max_of_layer(built.proc_metal_layer()));
+        p.add_uniform_layer_power(built.proc_metal_layer(), Watts::new(20.0));
+        hot.push(
+            model
+                .steady_state(&p)
+                .unwrap()
+                .max_of_layer(built.proc_metal_layer()),
+        );
     }
     assert!((hot[0] - hot[1]).abs() < 3.5, "{hot:?}");
 }
@@ -111,15 +121,15 @@ fn die_count_monotonically_heats_processor() {
         let built = cfg.build().unwrap();
         let model = built.stack().discretize(GridSpec::new(16, 16)).unwrap();
         let mut p = PowerMap::zeros(&model);
-        p.add_uniform_layer_power(built.proc_metal_layer(), 18.0);
+        p.add_uniform_layer_power(built.proc_metal_layer(), Watts::new(18.0));
         for &l in built.dram_metal_layers() {
-            p.add_uniform_layer_power(l, 0.35);
+            p.add_uniform_layer_power(l, Watts::new(0.35));
         }
         let hot = model
             .steady_state(&p)
             .unwrap()
             .max_of_layer(built.proc_metal_layer());
         assert!(hot > prev, "{n} dies: {hot} vs {prev}");
-        prev = hot;
+        prev = hot.get();
     }
 }

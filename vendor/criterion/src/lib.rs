@@ -1,0 +1,111 @@
+//! Offline stand-in for `criterion` (no crates.io access; see
+//! `vendor/README.md`).
+//!
+//! Provides the `Criterion`/`BenchmarkGroup`/`Bencher` surface the
+//! workspace's benches use. Instead of criterion's statistical engine it
+//! runs a short warmup plus a fixed number of timed iterations and prints
+//! the mean wall time per iteration — enough to compare runs by eye.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifier for one parameterized benchmark case.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the parameter value, like criterion's.
+    #[must_use]
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+}
+
+/// Times closures handed to it.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        let per_iter = start.elapsed() / u32::try_from(self.iters).unwrap_or(u32::MAX);
+        println!("    {per_iter:>12.2?} / iter ({} iters)", self.iters);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with the given input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("bench {}/{}", self.name, id.0);
+        let mut b = Bencher { iters: 10 };
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group (no-op; matches criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Entry point, mirroring criterion's `Criterion` driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _c: self,
+        }
+    }
+
+    /// Benchmarks a single closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("bench {name}");
+        let mut b = Bencher { iters: 10 };
+        f(&mut b);
+        self
+    }
+}
+
+/// Declares a group runner function, like criterion's macro of the same
+/// name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

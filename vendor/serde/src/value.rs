@@ -1,0 +1,101 @@
+//! The JSON-like value tree the stub serializes through.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Field map of an object. `BTreeMap` gives stable (sorted) key order,
+/// which keeps serialized output deterministic across runs.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number, kept in its native width to avoid precision loss on
+/// `u64`/`i64` round-trips (the workspace serializes 64-bit counters).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy for huge integers, like serde_json's
+    /// `as_f64`).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::I64(x) => x as f64,
+            Number::U64(x) => x as f64,
+            Number::F64(x) => x,
+        }
+    }
+
+    /// Checked conversion into any primitive integer type.
+    pub fn try_as<T: TryFrom<i64> + TryFrom<u64>>(self) -> Option<T> {
+        match self {
+            Number::I64(x) => T::try_from(x).ok(),
+            Number::U64(x) => T::try_from(x).ok(),
+            // Accept floats that are exactly integral (serde_json is
+            // stricter, but this only ever sees our own output).
+            Number::F64(x) if x.fract() == 0.0 && x.abs() < 9.1e18 => T::try_from(x as i64).ok(),
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::I64(x) => write!(f, "{x}"),
+            Number::U64(x) => write!(f, "{x}"),
+            Number::F64(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// Short kind name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
