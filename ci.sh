@@ -2,10 +2,17 @@
 # Workspace CI gate. Run from the repository root:
 #
 #   ./ci.sh          # format check, clippy, xylem-lint, full test suite
+#   ./ci.sh bench    # regenerate BENCH_thermal.json (solver smoke numbers)
 #
 # Each stage fails fast; the whole script passing is the merge bar.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "bench" ]]; then
+  echo "==> solver smoke bench (BENCH_thermal.json)"
+  cargo run --release -q -p xylem-bench --bin bench_thermal_smoke
+  exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

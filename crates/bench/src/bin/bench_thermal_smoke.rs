@@ -1,0 +1,153 @@
+//! Solver smoke benchmark: regenerates `BENCH_thermal.json` at the
+//! workspace root (run via `./ci.sh bench`).
+//!
+//! Measures, per grid size, the steady-state solve over the CSR+AMG
+//! path and the seed-era adjacency Jacobi-CG path (wall time and CG
+//! iteration counts), plus the warm- vs cold-started CG cost of one DTM
+//! control-period step. The checked-in JSON is the reference record of
+//! the solver-core speedup; regenerate it on solver changes and eyeball
+//! the diff.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use xylem_stack::{StackConfig, XylemScheme};
+use xylem_thermal::grid::GridSpec;
+use xylem_thermal::power::PowerMap;
+use xylem_thermal::temperature::TemperatureField;
+use xylem_thermal::units::Watts;
+use xylem_thermal::SolverWorkspace;
+
+#[derive(Serialize)]
+struct SteadyRow {
+    grid: usize,
+    nodes: usize,
+    nnz: usize,
+    csr_amg_ms: f64,
+    csr_amg_iters: usize,
+    seed_adjacency_ms: f64,
+    seed_adjacency_iters: usize,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct DtmStep {
+    grid: usize,
+    dt_s: f64,
+    warm_iters: usize,
+    cold_iters: usize,
+    warm_ms: f64,
+    cold_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    description: &'static str,
+    scheme: &'static str,
+    steady_state: Vec<SteadyRow>,
+    dtm_step: DtmStep,
+}
+
+fn time_ms<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn main() {
+    let built = StackConfig::paper_default(XylemScheme::BankEnhanced)
+        .build()
+        .expect("paper-default stack builds");
+
+    let mut steady = Vec::new();
+    for grid in [16usize, 32, 64] {
+        let model = built
+            .stack()
+            .discretize(GridSpec::new(grid, grid))
+            .expect("grid discretizes");
+        let mut p = PowerMap::zeros(&model);
+        p.add_uniform_layer_power(built.proc_metal_layer(), Watts::new(20.0));
+        for &l in built.dram_metal_layers() {
+            p.add_uniform_layer_power(l, Watts::new(0.4));
+        }
+        let reps = if grid == 64 { 3 } else { 10 };
+        let mut ws = SolverWorkspace::new();
+        let amg_field = model
+            .steady_state_from(&p, None, &mut ws)
+            .expect("csr+amg solve");
+        let csr_amg_ms = time_ms(reps, || {
+            model.steady_state_from(&p, None, &mut ws).expect("solve")
+        });
+        let adj_field = model.steady_state_adjacency(&p).expect("adjacency solve");
+        let seed_adjacency_ms = time_ms(reps, || model.steady_state_adjacency(&p).expect("solve"));
+        steady.push(SteadyRow {
+            grid,
+            nodes: model.node_count(),
+            nnz: model.csr().nnz(),
+            csr_amg_ms,
+            csr_amg_iters: amg_field.stats().iterations,
+            seed_adjacency_ms,
+            seed_adjacency_iters: adj_field.stats().iterations,
+            speedup: seed_adjacency_ms / csr_amg_ms,
+        });
+    }
+
+    // One DTM control-period step at the operating point: warm seeds CG
+    // with the current field (the dtm_transient stepping pattern), cold
+    // forces the iterate back to ambient.
+    let model = built
+        .stack()
+        .discretize(GridSpec::new(32, 32))
+        .expect("grid discretizes");
+    let mut p = PowerMap::zeros(&model);
+    p.add_uniform_layer_power(built.proc_metal_layer(), Watts::new(20.0));
+    for &l in built.dram_metal_layers() {
+        p.add_uniform_layer_power(l, Watts::new(0.4));
+    }
+    let mut ws = SolverWorkspace::new();
+    let near_ss = model
+        .steady_state_from(&p, None, &mut ws)
+        .expect("steady state");
+    let ambient = TemperatureField::uniform(&model, model.ambient());
+    let dt = 1e-3;
+    let warm = model
+        .transient_with(&p, &near_ss, dt, 1, None, &mut ws)
+        .expect("warm step");
+    let warm_ms = time_ms(20, || {
+        model
+            .transient_with(&p, &near_ss, dt, 1, None, &mut ws)
+            .expect("warm step")
+    });
+    let cold = model
+        .transient_with(&p, &near_ss, dt, 1, Some(&ambient), &mut ws)
+        .expect("cold step");
+    let cold_ms = time_ms(20, || {
+        model
+            .transient_with(&p, &near_ss, dt, 1, Some(&ambient), &mut ws)
+            .expect("cold step")
+    });
+    let dtm_step = DtmStep {
+        grid: 32,
+        dt_s: dt,
+        warm_iters: warm.stats().iterations,
+        cold_iters: cold.stats().iterations,
+        warm_ms,
+        cold_ms,
+    };
+
+    let report = Report {
+        description: "Solver smoke numbers: CSR+AMG steady state vs the seed adjacency \
+                      Jacobi-CG path, and warm- vs cold-started DTM steps. Regenerate \
+                      with ./ci.sh bench.",
+        scheme: "BankEnhanced",
+        steady_state: steady,
+        dtm_step,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_thermal.json");
+    std::fs::write(path, format!("{json}\n")).expect("write BENCH_thermal.json");
+    println!("{json}");
+    println!("[wrote {path}]");
+}

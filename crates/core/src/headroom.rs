@@ -13,9 +13,12 @@
 
 use serde::{Deserialize, Serialize};
 
+use xylem_thermal::grid::GridSpec;
 use xylem_thermal::units::Celsius;
+use xylem_thermal::SolverWorkspace;
 use xylem_workloads::Benchmark;
 
+use crate::dtm::dvfs_power_maps;
 use crate::evaluation::Evaluation;
 use crate::system::{RunSpec, XylemSystem};
 use crate::Result;
@@ -130,6 +133,76 @@ pub fn max_frequency_under_limits(
     })
 }
 
+/// Result of a [`max_frequency_direct`] search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DirectBoostOutcome {
+    /// Highest admissible frequency, GHz.
+    pub f_ghz: f64,
+    /// Processor hotspot at that frequency.
+    pub proc_hotspot: Celsius,
+    /// Bottom-DRAM hotspot at that frequency.
+    pub dram_hotspot: Celsius,
+    /// Total CG iterations across all frequencies scanned. Each solve
+    /// warm-starts from the previous (slightly cooler) frequency's
+    /// field, so the whole scan costs little more than one cold solve.
+    pub cg_iterations: usize,
+}
+
+/// Frequency search by *direct* steady-state solves instead of the
+/// superposed response cache: scans the DVFS table bottom-up, solving
+/// the full thermal system at each point and warm-starting each solve
+/// from the previous frequency's temperature field. Cross-validates the
+/// response-cache search (same model, no superposition error) and is
+/// the natural consumer of the solver's warm-start contract — adjacent
+/// DVFS points differ by a few degrees, so each subsequent solve
+/// converges in a fraction of the cold iteration count.
+///
+/// Returns `None` if even the lowest point violates `limits`.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn max_frequency_direct(
+    system: &XylemSystem,
+    benchmark: Benchmark,
+    limits: ThermalLimits,
+    grid: GridSpec,
+) -> Result<Option<DirectBoostOutcome>> {
+    let built = system.built();
+    let model = built.stack().discretize(grid)?;
+    let pm_layer = built.proc_metal_layer();
+    let bd_layer = built.bottom_dram_metal_layer();
+    let (points, maps) = dvfs_power_maps(system, benchmark, f64::INFINITY, &model)?;
+
+    let mut ws = SolverWorkspace::new();
+    let mut prev: Option<xylem_thermal::TemperatureField> = None;
+    let mut best: Option<DirectBoostOutcome> = None;
+    let mut cg_iterations = 0usize;
+    for (f, map) in points.iter().zip(&maps) {
+        let field = model.steady_state_from(map, prev.as_ref(), &mut ws)?;
+        cg_iterations += field.stats().iterations;
+        let proc_hot = field.max_of_layer(pm_layer);
+        let dram_hot = field.max_of_layer(bd_layer);
+        let admitted = proc_hot.get() <= limits.proc.get() + 1e-9
+            && limits.dram.is_none_or(|d| dram_hot.get() <= d.get() + 1e-9);
+        if admitted {
+            best = Some(DirectBoostOutcome {
+                f_ghz: *f,
+                proc_hotspot: proc_hot,
+                dram_hotspot: dram_hot,
+                cg_iterations,
+            });
+        } else {
+            break; // temperature is monotone in frequency
+        }
+        prev = Some(field);
+    }
+    if let Some(b) = &mut best {
+        b.cg_iterations = cg_iterations;
+    }
+    Ok(best)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +249,66 @@ mod tests {
         .unwrap()
         .expect("the reference point itself is admissible");
         assert!((boost.f_ghz - 2.4).abs() < 1e-9, "{}", boost.f_ghz);
+    }
+
+    #[test]
+    fn direct_search_tracks_the_cached_search() {
+        let mut s = system(XylemScheme::BankEnhanced);
+        let cached = max_frequency_under_limits(&mut s, Benchmark::Is)
+            .unwrap()
+            .unwrap();
+        let direct = max_frequency_direct(
+            &s,
+            Benchmark::Is,
+            ThermalLimits::paper_dtm(),
+            GridSpec::new(16, 16),
+        )
+        .unwrap()
+        .unwrap();
+        // Same model, different grid resolution than the cached path
+        // (SystemConfig::fast) -> allow one DVFS step of disagreement.
+        let points: Vec<f64> = s
+            .power_model()
+            .dvfs()
+            .points()
+            .map(|p| p.frequency_ghz)
+            .collect();
+        let ci = points.iter().position(|&f| f == cached.f_ghz).unwrap();
+        let di = points.iter().position(|&f| f == direct.f_ghz).unwrap();
+        assert!(ci.abs_diff(di) <= 1, "{} vs {}", cached.f_ghz, direct.f_ghz);
+        assert!(direct.proc_hotspot.get() <= 100.0 + 1e-9);
+        assert!(direct.cg_iterations > 0);
+    }
+
+    #[test]
+    fn warm_started_scan_beats_cold_solves() {
+        // The direct search's warm-start chain must use fewer CG
+        // iterations than solving every scanned point from ambient.
+        let s = system(XylemScheme::BankEnhanced);
+        let grid = GridSpec::new(16, 16);
+        let direct = max_frequency_direct(&s, Benchmark::Is, ThermalLimits::paper_dtm(), grid)
+            .unwrap()
+            .unwrap();
+        let built = s.built();
+        let model = built.stack().discretize(grid).unwrap();
+        let (points, maps) = dvfs_power_maps(&s, Benchmark::Is, f64::INFINITY, &model).unwrap();
+        let mut ws = xylem_thermal::SolverWorkspace::new();
+        let mut cold = 0usize;
+        for (f, map) in points.iter().zip(&maps) {
+            // The search visits the admissible prefix plus the first
+            // violator; replicate exactly that set of solves.
+            let field = model.steady_state_from(map, None, &mut ws).unwrap();
+            cold += field.stats().iterations;
+            if *f > direct.f_ghz {
+                break;
+            }
+        }
+        assert!(
+            direct.cg_iterations < cold,
+            "warm {} vs cold {}",
+            direct.cg_iterations,
+            cold
+        );
     }
 
     #[test]

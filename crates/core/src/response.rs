@@ -75,10 +75,16 @@ impl ThermalResponse {
         let ambient_c = model.ambient().get();
         let unit = Watts::new(1.0);
 
+        // One workspace for all ~91 unit solves, each warm-started from
+        // the previous source's field: neighbouring blocks produce
+        // similar unit responses, so the chain converges in a fraction
+        // of the cold per-solve iteration count.
+        let mut ws = xylem_thermal::SolverWorkspace::new();
+        let mut prev: Option<xylem_thermal::TemperatureField> = None;
         for block in &proc_blocks {
             let mut p = PowerMap::zeros(&model);
             p.add_block_power(&model, pm_layer, block, unit)?;
-            let t = model.steady_state(&p)?;
+            let t = model.steady_state_from(&p, prev.as_ref(), &mut ws)?;
             proc_response.push(
                 t.layer_slice(pm_layer)
                     .iter()
@@ -91,11 +97,12 @@ impl ThermalResponse {
                     .map(|x| x - ambient_c)
                     .collect(),
             );
+            prev = Some(t);
         }
         for &die_layer in built.dram_metal_layers() {
             let mut p = PowerMap::zeros(&model);
             p.add_uniform_layer_power(die_layer, unit);
-            let t = model.steady_state(&p)?;
+            let t = model.steady_state_from(&p, prev.as_ref(), &mut ws)?;
             proc_response.push(
                 t.layer_slice(pm_layer)
                     .iter()
@@ -108,6 +115,7 @@ impl ThermalResponse {
                     .map(|x| x - ambient_c)
                     .collect(),
             );
+            prev = Some(t);
         }
 
         // Core cell sets for per-core hotspot queries.
@@ -171,7 +179,10 @@ impl ThermalResponse {
     /// Bump when solver numerics or derived geometry (anything not
     /// captured by the config serialization, e.g. scheme site-placement
     /// logic) change, so stale caches are never served.
-    const CACHE_VERSION: u32 = 2;
+    // v3: CSR solver core with AMG preconditioning and warm-started
+    // unit solves — numerically equivalent within tolerance, but not
+    // bit-identical to v2 fields.
+    const CACHE_VERSION: u32 = 3;
 
     fn cache_path(dir: &Path, built: &BuiltStack, grid: GridSpec) -> PathBuf {
         let mut h = DefaultHasher::new();

@@ -20,7 +20,7 @@
 use crate::error::ThermalError;
 use crate::floorplan::Rect;
 use crate::layer::Layer;
-use crate::solve::{solve_cg, SolverOptions};
+use crate::solve::{solve_cg_reference, SolverOptions};
 use crate::stack::Stack;
 
 /// A solved block-mode temperature result.
@@ -295,8 +295,10 @@ impl BlockThermalModel {
                 y[i] = acc;
             }
         };
+        // The block model is a few dozen nodes; the closure-based
+        // reference CG is plenty and avoids a CSR lowering here.
         let mut x = vec![self.ambient; n];
-        solve_cg(matvec, &diag, &b, &mut x, &self.options)?;
+        solve_cg_reference(matvec, &diag, &b, &mut x, &self.options)?;
 
         let layers = self
             .layer_nodes

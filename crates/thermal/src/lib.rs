@@ -62,8 +62,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod amg;
 pub mod analytic;
 pub mod block_model;
+pub mod csr;
 pub mod error;
 pub mod floorplan;
 pub mod grid;
@@ -78,10 +80,12 @@ pub mod stack;
 pub mod temperature;
 pub mod units;
 
+pub use csr::CsrMatrix;
 pub use error::ThermalError;
 pub use grid::GridSpec;
 pub use model::ThermalModel;
 pub use power::PowerMap;
+pub use solve::{PreconditionerKind, SolverOptions, SolverWorkspace};
 pub use stack::Stack;
 pub use temperature::TemperatureField;
 

@@ -19,10 +19,16 @@
 //! a node: convection enters the diagonal and the right-hand side, which
 //! keeps the system symmetric positive definite.
 
+use std::sync::Mutex;
+
+use crate::csr::CsrMatrix;
 use crate::error::ThermalError;
 use crate::grid::{rasterize, GridSpec};
 use crate::power::PowerMap;
-use crate::solve::{debug_check_solution, solve_cg, SolveStats, SolverOptions};
+use crate::solve::{
+    debug_check_solution, solve_cg, solve_cg_reference, Preconditioner, PreconditionerKind,
+    SolveStats, SolverOptions, SolverWorkspace,
+};
 use crate::stack::Stack;
 use crate::temperature::TemperatureField;
 use crate::units::{Celsius, Watts};
@@ -42,7 +48,9 @@ pub struct ThermalModel {
     n_user_layers: usize,
     user_layer_names: Vec<String>,
     /// Adjacency list: `neighbors[i]` holds `(j, G_ij)`, stored for both
-    /// endpoints.
+    /// endpoints. Retained as the reference lowering the CSR matrix is
+    /// checked against (property tests) and as the seed-era solver path
+    /// ([`ThermalModel::steady_state_adjacency`]).
     neighbors: Vec<Vec<(u32, f64)>>,
     /// Conductance to ambient per node (convection + board path), W/K.
     g_ambient: Vec<f64>,
@@ -50,12 +58,45 @@ pub struct ThermalModel {
     capacitance: Vec<f64>,
     /// Diagonal of the conductance matrix (sum of incident G + G_ambient).
     diagonal: Vec<f64>,
+    /// The conductance matrix lowered to flat CSR at build time; all
+    /// production solves run over this.
+    csr: CsrMatrix,
+    /// Preconditioner built for `csr` per the current solver options.
+    prec: Preconditioner,
+    /// Cached backward-Euler operator `G + C/dt` (+ its preconditioner),
+    /// rebuilt only when `dt` or the preconditioner kind changes.
+    transient_cache: TransientCache,
     ambient: f64,
     /// Per user layer, per block: `(cell, fraction of block area)`.
     block_weights: Vec<Vec<Vec<(usize, f64)>>>,
     /// Block names per user layer (parallel to `block_weights`).
     block_names: Vec<Vec<String>>,
     solver_options: SolverOptions,
+}
+
+/// Lazily built backward-Euler operator for one `dt`.
+#[derive(Debug)]
+struct TransientOp {
+    dt: f64,
+    kind: PreconditionerKind,
+    a: CsrMatrix,
+    prec: Preconditioner,
+}
+
+/// Interior-mutable one-slot cache for [`TransientOp`], so transient
+/// stepping under `&self` pays the `A + C/dt` assembly (and its
+/// preconditioner factorization) once per distinct `dt` instead of once
+/// per call. DTM control loops re-solve with the same control period
+/// thousands of times.
+#[derive(Debug, Default)]
+struct TransientCache(Mutex<Option<TransientOp>>);
+
+impl Clone for TransientCache {
+    /// Clones start empty: the cache is a pure memoization and rebuilding
+    /// it is always correct.
+    fn clone(&self) -> Self {
+        TransientCache::default()
+    }
 }
 
 impl ThermalModel {
@@ -272,6 +313,12 @@ impl ThermalModel {
             });
         }
 
+        // Lower the node graph into flat CSR and build the steady-state
+        // preconditioner once; every solve afterwards reuses both.
+        let solver_options = SolverOptions::default();
+        let csr = CsrMatrix::from_adjacency(&neighbors, &diagonal);
+        let prec = Preconditioner::build(&csr, solver_options.preconditioner);
+
         Ok(ThermalModel {
             grid,
             width: w,
@@ -282,10 +329,13 @@ impl ThermalModel {
             g_ambient,
             capacitance,
             diagonal,
+            csr,
+            prec,
+            transient_cache: TransientCache::default(),
             ambient: pkg.ambient(),
             block_weights,
             block_names,
-            solver_options: SolverOptions::default(),
+            solver_options,
         })
     }
 
@@ -380,9 +430,20 @@ impl ThermalModel {
     }
 
     /// Replaces the solver options used by [`ThermalModel::steady_state`]
-    /// and the transient integrator.
+    /// and the transient integrator. Rebuilds the preconditioner if the
+    /// kind changed and drops the cached transient operator.
     pub fn set_solver_options(&mut self, options: SolverOptions) {
+        if options.preconditioner != self.solver_options.preconditioner {
+            self.prec = Preconditioner::build(&self.csr, options.preconditioner);
+            self.transient_cache = TransientCache::default();
+        }
         self.solver_options = options;
+    }
+
+    /// The conductance matrix in flat CSR form (convection on the
+    /// diagonal, as lowered at build time).
+    pub fn csr(&self) -> &CsrMatrix {
+        &self.csr
     }
 
     /// Current solver options.
@@ -390,8 +451,10 @@ impl ThermalModel {
         &self.solver_options
     }
 
-    /// `y = G x` (conductance matrix including convection on the diagonal).
-    fn matvec(&self, x: &[f64], y: &mut [f64]) {
+    /// `y = G x` computed directly off the adjacency list — the reference
+    /// lowering the CSR matvec is property-tested against, and the inner
+    /// loop of the seed-era solver path.
+    pub fn matvec_adjacency(&self, x: &[f64], y: &mut [f64]) {
         for i in 0..x.len() {
             let mut acc = self.diagonal[i] * x[i];
             for &(j, g) in &self.neighbors[i] {
@@ -401,20 +464,9 @@ impl ThermalModel {
         }
     }
 
-    /// `y = (G + C/dt) x`, the backward-Euler operator.
-    fn matvec_transient(&self, dt: f64, x: &[f64], y: &mut [f64]) {
-        for i in 0..x.len() {
-            let mut acc = (self.diagonal[i] + self.capacitance[i] / dt) * x[i];
-            for &(j, g) in &self.neighbors[i] {
-                acc -= g * x[j as usize];
-            }
-            y[i] = acc;
-        }
-    }
-
     /// Right-hand side for the steady-state system: power plus ambient
-    /// injection.
-    fn assemble_rhs(&self, power: &PowerMap) -> Result<Vec<f64>, ThermalError> {
+    /// injection, written into a caller buffer.
+    fn assemble_rhs_into(&self, power: &PowerMap, b: &mut Vec<f64>) -> Result<(), ThermalError> {
         let n = self.node_count();
         if power.n_layers() != self.n_user_layers || power.cells() != self.grid.cells() {
             return Err(ThermalError::PowerMapMismatch {
@@ -422,7 +474,8 @@ impl ThermalModel {
                 model_nodes: self.n_user_layers * self.grid.cells(),
             });
         }
-        let mut b = vec![0.0; n];
+        b.clear();
+        b.resize(n, 0.0);
         for (i, g) in self.g_ambient.iter().enumerate() {
             b[i] = g * self.ambient;
         }
@@ -434,10 +487,13 @@ impl ThermalModel {
                 b[base + c] += lp[c];
             }
         }
-        Ok(b)
+        Ok(())
     }
 
-    /// Solves the steady-state system `G T = P` for the given power map.
+    /// Solves the steady-state system `G T = P` for the given power map,
+    /// cold-starting from ambient with a throwaway workspace. Convenience
+    /// wrapper over [`ThermalModel::steady_state_from`]; sweeps that solve
+    /// repeatedly should hold a [`SolverWorkspace`] and call that instead.
     ///
     /// # Errors
     ///
@@ -445,15 +501,58 @@ impl ThermalModel {
     /// [`ThermalError::NoConvergence`] if CG stalls (raise
     /// [`SolverOptions::max_iterations`]).
     pub fn steady_state(&self, power: &PowerMap) -> Result<TemperatureField, ThermalError> {
-        let b = self.assemble_rhs(power)?;
-        let mut x = vec![self.ambient; self.node_count()];
-        let stats = solve_cg(
-            |v, out| self.matvec(v, out),
-            &self.diagonal,
-            &b,
-            &mut x,
-            &self.solver_options,
-        )?;
+        let mut ws = SolverWorkspace::new();
+        self.steady_state_from(power, None, &mut ws)
+    }
+
+    /// Solves the steady-state system with an optional warm-start guess
+    /// and a caller-owned workspace.
+    ///
+    /// `guess` seeds the CG iteration (a field near the solution — e.g.
+    /// the previous solve of a sweep — directly cuts iterations); `None`
+    /// cold-starts from uniform ambient. Either way the solve converges
+    /// to the same solution within the configured tolerance. Beyond the
+    /// returned field itself, repeated solves through one `ws` perform no
+    /// per-solve allocation.
+    ///
+    /// # Errors
+    ///
+    /// As [`ThermalModel::steady_state`]; additionally rejects a `guess`
+    /// whose node count does not match.
+    pub fn steady_state_from(
+        &self,
+        power: &PowerMap,
+        guess: Option<&TemperatureField>,
+        ws: &mut SolverWorkspace,
+    ) -> Result<TemperatureField, ThermalError> {
+        let n = self.node_count();
+        let mut rhs = std::mem::take(&mut ws.rhs);
+        let result = (|| -> Result<_, ThermalError> {
+            self.assemble_rhs_into(power, &mut rhs)?;
+            let mut x = match guess {
+                Some(g) => {
+                    if g.node_count() != n {
+                        return Err(ThermalError::PowerMapMismatch {
+                            map_nodes: g.node_count(),
+                            model_nodes: n,
+                        });
+                    }
+                    g.raw().to_vec()
+                }
+                None => vec![self.ambient; n],
+            };
+            let stats = solve_cg(
+                &self.csr,
+                &self.prec,
+                &rhs,
+                &mut x,
+                ws,
+                &self.solver_options,
+            )?;
+            Ok((x, stats))
+        })();
+        ws.rhs = rhs;
+        let (x, stats) = result?;
         let temps = TemperatureField::new(self, x, stats);
         debug_check_solution(&stats, &self.solver_options, temps.raw());
         #[cfg(debug_assertions)]
@@ -471,8 +570,39 @@ impl ThermalModel {
         Ok(temps)
     }
 
+    /// The seed's steady-state path — Jacobi CG over the adjacency-list
+    /// matvec, allocating per call — kept as the measured baseline the
+    /// CSR solver's speedup is quoted against (see
+    /// `benches/criterion_thermal.rs`).
+    ///
+    /// # Errors
+    ///
+    /// As [`ThermalModel::steady_state`].
+    #[doc(hidden)]
+    pub fn steady_state_adjacency(
+        &self,
+        power: &PowerMap,
+    ) -> Result<TemperatureField, ThermalError> {
+        let mut b = Vec::new();
+        self.assemble_rhs_into(power, &mut b)?;
+        let mut x = vec![self.ambient; self.node_count()];
+        let stats = solve_cg_reference(
+            |v, out| self.matvec_adjacency(v, out),
+            &self.diagonal,
+            &b,
+            &mut x,
+            &self.solver_options,
+        )?;
+        let temps = TemperatureField::new(self, x, stats);
+        debug_check_solution(&stats, &self.solver_options, temps.raw());
+        Ok(temps)
+    }
+
     /// Advances a transient simulation by `steps` backward-Euler steps of
-    /// `dt` seconds under constant `power`, starting from `initial`.
+    /// `dt` seconds under constant `power`, starting from `initial`, with
+    /// a throwaway workspace. Convenience wrapper over
+    /// [`ThermalModel::transient_with`]; control loops stepping every
+    /// period should hold a [`SolverWorkspace`] and call that instead.
     ///
     /// # Errors
     ///
@@ -485,10 +615,43 @@ impl ThermalModel {
         dt: f64,
         steps: usize,
     ) -> Result<TemperatureField, ThermalError> {
+        let mut ws = SolverWorkspace::new();
+        self.transient_with(power, initial, dt, steps, None, &mut ws)
+    }
+
+    /// Backward-Euler transient stepping with a caller-owned workspace
+    /// and an explicit CG warm-start policy.
+    ///
+    /// The `A + C/dt` operator and its preconditioner come from a
+    /// one-slot cache keyed on `dt` (bitwise) and preconditioner kind, so
+    /// control loops stepping with a fixed period pay assembly and
+    /// factorization once, not per call.
+    ///
+    /// `guess` seeds the **first** step's CG iterate: `None` (the
+    /// default, and what [`ThermalModel::transient`] uses) starts from
+    /// `initial` — the physically-warm choice, since the previous state
+    /// is close to the next solution for any reasonable `dt`. Passing
+    /// e.g. a uniform-ambient field instead forces a cold start, which
+    /// exists so the warm-start benefit can be measured; the converged
+    /// solution is the same either way. Steps after the first always
+    /// iterate from the evolving state.
+    ///
+    /// # Errors
+    ///
+    /// As [`ThermalModel::transient`]; additionally rejects a `guess`
+    /// whose node count does not match.
+    pub fn transient_with(
+        &self,
+        power: &PowerMap,
+        initial: &TemperatureField,
+        dt: f64,
+        steps: usize,
+        guess: Option<&TemperatureField>,
+        ws: &mut SolverWorkspace,
+    ) -> Result<TemperatureField, ThermalError> {
         if !(dt.is_finite() && dt > 0.0) {
             return Err(ThermalError::InvalidTimeStep { dt });
         }
-        let b0 = self.assemble_rhs(power)?;
         let n = self.node_count();
         if initial.node_count() != n {
             return Err(ThermalError::PowerMapMismatch {
@@ -496,30 +659,61 @@ impl ThermalModel {
                 model_nodes: n,
             });
         }
-        let mut x = initial.raw().to_vec();
-        let mut b = vec![0.0; n];
-        // Precompute backward-Euler diagonal for the preconditioner.
-        let diag_be: Vec<f64> = self
-            .diagonal
-            .iter()
-            .zip(&self.capacitance)
-            .map(|(d, c)| d + c / dt)
-            .collect();
-        let mut stats = SolveStats::default();
-        for _ in 0..steps {
-            for i in 0..n {
-                b[i] = b0[i] + self.capacitance[i] / dt * x[i];
+        if let Some(g) = guess {
+            if g.node_count() != n {
+                return Err(ThermalError::PowerMapMismatch {
+                    map_nodes: g.node_count(),
+                    model_nodes: n,
+                });
             }
-            let s = solve_cg(
-                |v, out| self.matvec_transient(dt, v, out),
-                &diag_be,
-                &b,
-                &mut x,
-                &self.solver_options,
-            )?;
-            stats.iterations += s.iterations;
-            stats.residual = s.residual;
         }
+
+        let kind = self.solver_options.preconditioner;
+        let mut cache = self
+            .transient_cache
+            .0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let hit = matches!(
+            &*cache,
+            Some(op) if op.dt.to_bits() == dt.to_bits() && op.kind == kind
+        );
+        if !hit {
+            let patch: Vec<f64> = self.capacitance.iter().map(|c| c / dt).collect();
+            let a = self.csr.with_diagonal_added(&patch);
+            let prec = Preconditioner::build(&a, kind);
+            *cache = Some(TransientOp { dt, kind, a, prec });
+        }
+        let op = cache.as_ref().expect("transient operator just ensured");
+
+        let mut rhs = std::mem::take(&mut ws.rhs);
+        let mut rhs0 = std::mem::take(&mut ws.rhs0);
+        let result = (|| -> Result<_, ThermalError> {
+            self.assemble_rhs_into(power, &mut rhs0)?;
+            rhs.clear();
+            rhs.resize(n, 0.0);
+            // The state the BE right-hand side is formed from; also the CG
+            // iterate, except on the first step when `guess` overrides it.
+            let mut x = initial.raw().to_vec();
+            let mut stats = SolveStats::default();
+            for step in 0..steps {
+                for i in 0..n {
+                    rhs[i] = rhs0[i] + self.capacitance[i] / dt * x[i];
+                }
+                if step == 0 {
+                    if let Some(g) = guess {
+                        x.copy_from_slice(g.raw());
+                    }
+                }
+                let s = solve_cg(&op.a, &op.prec, &rhs, &mut x, ws, &self.solver_options)?;
+                stats.iterations += s.iterations;
+                stats.residual = s.residual;
+            }
+            Ok((x, stats))
+        })();
+        ws.rhs = rhs;
+        ws.rhs0 = rhs0;
+        let (x, stats) = result?;
         let temps = TemperatureField::new(self, x, stats);
         debug_check_solution(&stats, &self.solver_options, temps.raw());
         Ok(temps)
@@ -680,6 +874,90 @@ mod tests {
         let t2 = m.transient(&p, &t1, 1e-3, 10).unwrap();
         assert!(t1.hotspot_of_layer(2).1 > m.ambient());
         assert!(t2.hotspot_of_layer(2).1 > t1.hotspot_of_layer(2).1);
+    }
+
+    #[test]
+    fn csr_and_adjacency_solvers_agree() {
+        let m = model(8);
+        let mut p = PowerMap::zeros(&m);
+        p.add_uniform_layer_power(2, Watts::new(15.0));
+        p.add_cell_power(0, 2, 5, Watts::new(1.5));
+        let csr = m.steady_state(&p).unwrap();
+        let adj = m.steady_state_adjacency(&p).unwrap();
+        for (a, b) in csr.raw().iter().zip(adj.raw()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn warm_started_steady_state_matches_cold() {
+        let mut m = model(8);
+        // Jacobi: on a model this small the default AMG solve is
+        // already near the iteration floor cold, leaving no headroom
+        // for the warm start to show up in the count.
+        m.set_solver_options(SolverOptions {
+            preconditioner: crate::solve::PreconditionerKind::Jacobi,
+            ..*m.solver_options()
+        });
+        let mut p = PowerMap::zeros(&m);
+        p.add_uniform_layer_power(2, Watts::new(10.0));
+        let mut ws = crate::solve::SolverWorkspace::new();
+        let cold = m.steady_state_from(&p, None, &mut ws).unwrap();
+        // Warm-start a slightly different load from the first solution.
+        let mut p2 = PowerMap::zeros(&m);
+        p2.add_uniform_layer_power(2, Watts::new(11.0));
+        let warm = m.steady_state_from(&p2, Some(&cold), &mut ws).unwrap();
+        let scratch = m.steady_state(&p2).unwrap();
+        assert!(warm.stats().iterations < cold.stats().iterations);
+        for (a, b) in warm.raw().iter().zip(scratch.raw()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn transient_cold_guess_matches_warm_solution() {
+        let m = model(6);
+        let mut p = PowerMap::zeros(&m);
+        p.add_uniform_layer_power(2, Watts::new(12.0));
+        let init = m.steady_state(&p).unwrap();
+        let ambient = TemperatureField::uniform(&m, m.ambient());
+        let mut ws = crate::solve::SolverWorkspace::new();
+        let warm = m.transient_with(&p, &init, 1e-3, 1, None, &mut ws).unwrap();
+        let cold = m
+            .transient_with(&p, &init, 1e-3, 1, Some(&ambient), &mut ws)
+            .unwrap();
+        // Same linear system either way; the guess only changes the
+        // iteration count, not the converged step. The BE right-hand side
+        // carries the large C/dt terms, so the relative CG tolerance is
+        // looser in absolute degrees than for steady state.
+        assert!(warm.stats().iterations <= cold.stats().iterations);
+        for (a, b) in warm.raw().iter().zip(cold.raw()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn preconditioner_choice_does_not_change_solution() {
+        use crate::solve::PreconditionerKind;
+        let mut m = model(6);
+        let mut p = PowerMap::zeros(&m);
+        p.add_uniform_layer_power(2, Watts::new(9.0));
+        let mut fields = Vec::new();
+        for kind in [
+            PreconditionerKind::Jacobi,
+            PreconditionerKind::Ssor,
+            PreconditionerKind::Ic0,
+        ] {
+            let mut opts = *m.solver_options();
+            opts.preconditioner = kind;
+            m.set_solver_options(opts);
+            fields.push(m.steady_state(&p).unwrap());
+        }
+        for f in &fields[1..] {
+            for (a, b) in f.raw().iter().zip(fields[0].raw()) {
+                assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            }
+        }
     }
 
     #[test]

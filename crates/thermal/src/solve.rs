@@ -2,21 +2,86 @@
 //!
 //! The conductance matrix is symmetric positive definite (pure conduction
 //! plus grounding convection terms on the diagonal), so the steady-state
-//! and backward-Euler systems are solved with Jacobi-preconditioned
-//! conjugate gradient.
+//! and backward-Euler systems are solved with preconditioned conjugate
+//! gradient over the flat [`CsrMatrix`] the model lowers its node graph
+//! into.
+//!
+//! # Kernel design
+//!
+//! All vector kernels work in fixed chunks of [`ROW_CHUNK`] elements:
+//! each chunk accumulates serially, per-chunk partials land in a
+//! workspace buffer, and a fixed pairwise tree folds the partials.
+//! Because the chunk boundaries — not the thread count — define every
+//! summation order, the parallel (rayon row-chunked) and serial paths
+//! produce **bit-identical** residual histories; runs are reproducible on
+//! any machine. Dot products fuse into the passes that produce their
+//! operands (`x += alpha p` / `r -= alpha ap` yields `||r||^2` as a
+//! by-product), so a CG iteration makes no separate pass over `r` just to
+//! measure it.
+//!
+//! # Convergence criterion
+//!
+//! Iteration stops when `||r_k|| <= tolerance * ||b||`, where `r_k` is
+//! the **recurrence residual** (`r_{k+1} = r_k - alpha_k A p_k`), whose
+//! squared norm falls out of the fused update pass. The recurrence
+//! residual can drift from the true residual `b - A x_k` by rounding at
+//! the 1e-15 relative scale — orders of magnitude below the default 1e-9
+//! tolerance — and [`debug_check_solution`] cross-checks the reported
+//! residual in debug builds.
+//!
+//! # Preconditioners
+//!
+//! [`PreconditionerKind`] selects between Jacobi (diagonal scaling; the
+//! historical default), SSOR (symmetric Gauss-Seidel sweeps, no setup
+//! cost), IC(0) (incomplete Cholesky with zero fill), and an
+//! aggregation-based algebraic multigrid V-cycle (the default; see
+//! [`crate::amg`]). On the RC network's strongly anisotropic
+//! conductance structure Jacobi needs ~400 iterations at 64x64,
+//! SSOR/IC(0) cut that to ~180 but pay ~3 matvec-equivalents per apply
+//! in serial triangular sweeps, and AMG lands at a few dozen iterations
+//! for a similar per-apply cost — the only option that beats Jacobi in
+//! wall time on a single core. The triangular sweeps of SSOR/IC(0) are
+//! serial by nature; the matvec and vector kernels around them still
+//! parallelize.
 
 use serde::{Deserialize, Serialize};
 
+use crate::csr::{CsrMatrix, PAR_MIN_ROWS, ROW_CHUNK};
 use crate::error::ThermalError;
+
+/// Preconditioner selection for [`SolverOptions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PreconditionerKind {
+    /// Diagonal (Jacobi) scaling: cheapest per iteration, most
+    /// iterations.
+    Jacobi,
+    /// Symmetric successive over-relaxation at `omega = 1` (symmetric
+    /// Gauss-Seidel): no setup cost, roughly one extra matvec-equivalent
+    /// per iteration.
+    Ssor,
+    /// Incomplete Cholesky with zero fill-in. One-time factorization at
+    /// model build; good iteration counts on the RC network's strongly
+    /// anisotropic (vertical >> lateral) conductance structure, but the
+    /// serial triangular sweeps make each apply cost ~3 matvecs.
+    Ic0,
+    /// Aggregation-based algebraic multigrid V-cycle (the default).
+    /// One-time hierarchy setup at model build; an order of magnitude
+    /// fewer CG iterations than Jacobi at a few matvec-equivalents per
+    /// apply. See [`crate::amg`].
+    Amg,
+}
 
 /// Options controlling the iterative solver.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SolverOptions {
     /// Relative residual tolerance: converged when
-    /// `||b - A x|| <= tolerance * ||b||`.
+    /// `||b - A x|| <= tolerance * ||b||` (recurrence residual; see the
+    /// module docs).
     pub tolerance: f64,
     /// Iteration cap before [`ThermalError::NoConvergence`].
     pub max_iterations: usize,
+    /// Which preconditioner to build and apply.
+    pub preconditioner: PreconditionerKind,
 }
 
 impl Default for SolverOptions {
@@ -24,6 +89,7 @@ impl Default for SolverOptions {
         SolverOptions {
             tolerance: 1e-9,
             max_iterations: 20_000,
+            preconditioner: PreconditionerKind::Amg,
         }
     }
 }
@@ -38,17 +104,529 @@ pub struct SolveStats {
     pub residual: f64,
 }
 
-/// Solves `A x = b` by Jacobi-preconditioned CG.
+/// Reusable solver buffers. Owned by the caller so repeated solves
+/// (steady-state sweeps, transient stepping) allocate nothing per solve:
+/// buffers grow to the model's node count on first use and are reused
+/// verbatim afterwards.
 ///
-/// * `matvec(v, out)` computes `out = A v`;
-/// * `diag` is the diagonal of `A` (the Jacobi preconditioner);
-/// * `x` holds the initial guess on entry and the solution on exit.
+/// The `rhs`/`rhs0` staging buffers are for *callers* assembling
+/// right-hand sides ([`solve_cg`] itself never touches them); take them
+/// with `std::mem::take` for the duration of a solve and put them back.
+#[derive(Debug, Clone, Default)]
+pub struct SolverWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    partials: Vec<f64>,
+    /// Right-hand-side staging buffer (caller-owned; untouched by the
+    /// solver).
+    pub rhs: Vec<f64>,
+    /// Second staging buffer for transient stepping (the constant part
+    /// of the backward-Euler right-hand side).
+    pub rhs0: Vec<f64>,
+}
+
+impl SolverWorkspace {
+    /// An empty workspace; buffers are sized on first solve.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.r.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.ap.resize(n, 0.0);
+        self.partials.resize(n.div_ceil(ROW_CHUNK), 0.0);
+    }
+}
+
+/// A built preconditioner for one matrix. Rebuilt whenever the matrix
+/// changes (e.g. the backward-Euler diagonal patch for a new `dt`).
+#[derive(Debug, Clone)]
+pub enum Preconditioner {
+    /// Reciprocal diagonal.
+    Jacobi {
+        /// `1 / a_ii` per row.
+        inv_diag: Vec<f64>,
+    },
+    /// Symmetric Gauss-Seidel sweeps read the matrix itself; only the
+    /// diagonal is cached.
+    Ssor {
+        /// `a_ii` per row.
+        diag: Vec<f64>,
+    },
+    /// Incomplete Cholesky factor `L` (lower triangular, diagonal last
+    /// per row) and its transpose (diagonal first per row), both in flat
+    /// CSR arrays.
+    Ic0(Box<Ic0Factor>),
+    /// Aggregation AMG hierarchy; one apply is a symmetric V(1,1) cycle.
+    Amg(Box<crate::amg::AmgHierarchy>),
+}
+
+/// The IC(0) factor storage; split out to keep [`Preconditioner`] small.
+#[derive(Debug, Clone)]
+pub struct Ic0Factor {
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+    /// `1 / l_ii` per row: the sweeps multiply instead of divide.
+    inv_diag: Vec<f64>,
+    t_row_ptr: Vec<u32>,
+    t_col_idx: Vec<u32>,
+    t_values: Vec<f64>,
+}
+
+impl Preconditioner {
+    /// Builds the selected preconditioner for `a`.
+    #[must_use]
+    pub fn build(a: &CsrMatrix, kind: PreconditionerKind) -> Self {
+        match kind {
+            PreconditionerKind::Jacobi => Preconditioner::Jacobi {
+                inv_diag: a.diagonal().iter().map(|d| 1.0 / d).collect(),
+            },
+            PreconditionerKind::Ssor => Preconditioner::Ssor { diag: a.diagonal() },
+            PreconditionerKind::Ic0 => Preconditioner::Ic0(Box::new(Ic0Factor::factor(a))),
+            PreconditionerKind::Amg => {
+                Preconditioner::Amg(Box::new(crate::amg::AmgHierarchy::build(a)))
+            }
+        }
+    }
+
+    /// `z = M^-1 r` as a standalone call — benchmark/diagnostic entry
+    /// point for measuring preconditioner apply cost in isolation.
+    #[doc(hidden)]
+    pub fn apply_timed(&self, a: &CsrMatrix, r: &[f64], z: &mut [f64]) {
+        let mut partials = vec![0.0; r.len().div_ceil(ROW_CHUNK)];
+        let _ = self.apply(a, r, z, &mut partials);
+    }
+
+    /// `z = M^-1 r`. Returns `dot(r, z)` (deterministically chunked)
+    /// when it falls out of the pass for free (Jacobi), else `None`.
+    fn apply(&self, a: &CsrMatrix, r: &[f64], z: &mut [f64], partials: &mut [f64]) -> Option<f64> {
+        match self {
+            Preconditioner::Jacobi { inv_diag } => {
+                // Fused: z = D^-1 r and rz = dot(r, z) in one pass.
+                for (k, ((rc, zc), dc)) in r
+                    .chunks(ROW_CHUNK)
+                    .zip(z.chunks_mut(ROW_CHUNK))
+                    .zip(inv_diag.chunks(ROW_CHUNK))
+                    .enumerate()
+                {
+                    let mut acc = 0.0;
+                    for ((ri, zi), di) in rc.iter().zip(zc.iter_mut()).zip(dc) {
+                        *zi = ri * di;
+                        acc += ri * *zi;
+                    }
+                    partials[k] = acc;
+                }
+                Some(reduce_pairwise(partials))
+            }
+            Preconditioner::Ssor { diag } => {
+                // Symmetric Gauss-Seidel: M = (D+L) D^-1 (D+U).
+                // Forward solve (D+L) y = r, writing y into z.
+                let n = a.n();
+                for i in 0..n {
+                    let (cols, vals) = a.row(i);
+                    let dp = a.diag_pos(i);
+                    let mut acc = r[i];
+                    for k in 0..dp {
+                        acc -= vals[k] * z[cols[k] as usize];
+                    }
+                    z[i] = acc / diag[i];
+                }
+                // Scale: w = D y (in place), then backward solve
+                // (D+U) z = w in place: position i reads w_i before
+                // overwriting it, and only final z_j for j > i.
+                for i in 0..n {
+                    z[i] *= diag[i];
+                }
+                for i in (0..n).rev() {
+                    let (cols, vals) = a.row(i);
+                    let dp = a.diag_pos(i);
+                    let mut acc = z[i];
+                    for k in dp + 1..cols.len() {
+                        acc -= vals[k] * z[cols[k] as usize];
+                    }
+                    z[i] = acc / diag[i];
+                }
+                None
+            }
+            Preconditioner::Ic0(f) => {
+                f.solve(r, z);
+                None
+            }
+            Preconditioner::Amg(h) => {
+                h.apply(a, r, z);
+                None
+            }
+        }
+    }
+}
+
+impl Ic0Factor {
+    /// Up-looking IC(0) factorization on the sparsity of `lower(a)`.
+    /// The matrix is an M-matrix (positive diagonal, non-positive
+    /// off-diagonals, diagonally dominant via the ambient grounding), so
+    /// the factorization cannot break down; the defensive clamp below
+    /// only guards pathological inputs from tests.
+    fn factor(a: &CsrMatrix) -> Self {
+        let n = a.n();
+        // Lower-triangular pattern (columns < i, then the diagonal last).
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0u32);
+        let mut col_idx: Vec<u32> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        for i in 0..n {
+            let (cols, vals) = a.row(i);
+            let dp = a.diag_pos(i);
+            for k in 0..dp {
+                col_idx.push(cols[k]);
+                values.push(vals[k]);
+            }
+            col_idx.push(i as u32);
+            values.push(vals[dp]);
+            row_ptr.push(col_idx.len() as u32);
+        }
+
+        // Factor in place. When row i is processed, rows < i are final
+        // and within row i every entry left of the current one is final.
+        for i in 0..n {
+            let lo = row_ptr[i] as usize;
+            let hi = row_ptr[i + 1] as usize; // diag at hi-1
+            for e in lo..hi - 1 {
+                let k = col_idx[e] as usize;
+                // values[e] currently holds a_ik; subtract
+                // sum_m l_im * l_km over shared columns m < k.
+                let klo = row_ptr[k] as usize;
+                let khi = row_ptr[k + 1] as usize - 1; // k's diag excluded
+                let mut s = values[e];
+                let (mut x, mut y) = (lo, klo);
+                while x < e && y < khi {
+                    match col_idx[x].cmp(&col_idx[y]) {
+                        std::cmp::Ordering::Less => x += 1,
+                        std::cmp::Ordering::Greater => y += 1,
+                        std::cmp::Ordering::Equal => {
+                            s -= values[x] * values[y];
+                            x += 1;
+                            y += 1;
+                        }
+                    }
+                }
+                // l_kk is final (row k < i).
+                values[e] = s / values[khi];
+            }
+            let mut d = values[hi - 1];
+            for v in &values[lo..hi - 1] {
+                d -= v * v;
+            }
+            // M-matrix => d > 0; clamp defensively rather than emit NaN.
+            values[hi - 1] = d.max(f64::MIN_POSITIVE).sqrt();
+        }
+        let inv_diag: Vec<f64> = (0..n)
+            .map(|i| 1.0 / values[row_ptr[i + 1] as usize - 1])
+            .collect();
+
+        // Transpose (rows of L^T = upper triangular, diagonal first).
+        let nnz = col_idx.len();
+        let mut t_counts = vec![0u32; n];
+        for &j in &col_idx {
+            t_counts[j as usize] += 1;
+        }
+        let mut t_row_ptr = Vec::with_capacity(n + 1);
+        t_row_ptr.push(0u32);
+        let mut acc = 0u32;
+        for &c in &t_counts {
+            acc += c;
+            t_row_ptr.push(acc);
+        }
+        let mut t_col_idx = vec![0u32; nnz];
+        let mut t_values = vec![0.0f64; nnz];
+        let mut cursor: Vec<u32> = t_row_ptr[..n].to_vec();
+        for i in 0..n {
+            // Rows scanned in order, so each transpose row's columns come
+            // out ascending: the diagonal (j == i) lands first.
+            for e in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+                let j = col_idx[e] as usize;
+                let slot = cursor[j] as usize;
+                t_col_idx[slot] = i as u32;
+                t_values[slot] = values[e];
+                cursor[j] += 1;
+            }
+        }
+
+        Ic0Factor {
+            row_ptr,
+            col_idx,
+            values,
+            inv_diag,
+            t_row_ptr,
+            t_col_idx,
+            t_values,
+        }
+    }
+
+    /// `z = (L L^T)^-1 r`: forward then backward substitution, the
+    /// backward sweep in place.
+    fn solve(&self, r: &[f64], z: &mut [f64]) {
+        let n = r.len();
+        for i in 0..n {
+            let lo = self.row_ptr[i] as usize;
+            let hi = self.row_ptr[i + 1] as usize;
+            let mut acc = r[i];
+            for e in lo..hi - 1 {
+                acc -= self.values[e] * z[self.col_idx[e] as usize];
+            }
+            z[i] = acc * self.inv_diag[i];
+        }
+        for i in (0..n).rev() {
+            let lo = self.t_row_ptr[i] as usize;
+            let hi = self.t_row_ptr[i + 1] as usize;
+            // Diagonal first, strictly-upper entries after it.
+            let mut acc = z[i];
+            for e in lo + 1..hi {
+                acc -= self.t_values[e] * z[self.t_col_idx[e] as usize];
+            }
+            z[i] = acc * self.inv_diag[i];
+        }
+    }
+}
+
+/// Fixed pairwise tree fold over chunk partials. The reduction order
+/// depends only on the number of chunks, never on the thread count.
+fn reduce_pairwise(p: &mut [f64]) -> f64 {
+    let mut len = p.len();
+    if len == 0 {
+        return 0.0;
+    }
+    while len > 1 {
+        let half = len.div_ceil(2);
+        for i in 0..len / 2 {
+            p[i] = p[2 * i] + p[2 * i + 1];
+        }
+        if len % 2 == 1 {
+            p[half - 1] = p[len - 1];
+        }
+        len = half;
+    }
+    p[0]
+}
+
+/// Deterministic chunked dot product: serial accumulation within
+/// [`ROW_CHUNK`]-sized chunks, pairwise fold across them.
+fn dot_chunked(a: &[f64], b: &[f64], partials: &mut [f64], par: bool) -> f64 {
+    if par {
+        rayon::scope(|s| {
+            for ((pk, ca), cb) in partials
+                .iter_mut()
+                .zip(a.chunks(ROW_CHUNK))
+                .zip(b.chunks(ROW_CHUNK))
+            {
+                s.spawn(move |_| {
+                    *pk = chunk_dot(ca, cb);
+                });
+            }
+        });
+    } else {
+        for ((pk, ca), cb) in partials
+            .iter_mut()
+            .zip(a.chunks(ROW_CHUNK))
+            .zip(b.chunks(ROW_CHUNK))
+        {
+            *pk = chunk_dot(ca, cb);
+        }
+    }
+    reduce_pairwise(partials)
+}
+
+#[inline]
+fn chunk_dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Fused CG update: `x += alpha p`, `r -= alpha ap`, returning the new
+/// `||r||^2` as a by-product of the same pass (no separate `dot(r, r)`
+/// sweep). Chunked like every other reduction, so serial and parallel
+/// agree bitwise.
+fn fused_xr_update(
+    x: &mut [f64],
+    r: &mut [f64],
+    p: &[f64],
+    ap: &[f64],
+    alpha: f64,
+    partials: &mut [f64],
+    par: bool,
+) -> f64 {
+    let run = |k: usize, xc: &mut [f64], rc: &mut [f64]| -> f64 {
+        let base = k * ROW_CHUNK;
+        let pc = &p[base..base + xc.len()];
+        let apc = &ap[base..base + xc.len()];
+        let mut acc = 0.0;
+        for ((xi, ri), (pi, api)) in xc.iter_mut().zip(rc.iter_mut()).zip(pc.iter().zip(apc)) {
+            *xi += alpha * pi;
+            *ri -= alpha * api;
+            acc += *ri * *ri;
+        }
+        acc
+    };
+    if par {
+        rayon::scope(|s| {
+            for ((k, (xc, rc)), pk) in x
+                .chunks_mut(ROW_CHUNK)
+                .zip(r.chunks_mut(ROW_CHUNK))
+                .enumerate()
+                .zip(partials.iter_mut())
+            {
+                s.spawn(move |_| {
+                    *pk = run(k, xc, rc);
+                });
+            }
+        });
+    } else {
+        for ((k, (xc, rc)), pk) in x
+            .chunks_mut(ROW_CHUNK)
+            .zip(r.chunks_mut(ROW_CHUNK))
+            .enumerate()
+            .zip(partials.iter_mut())
+        {
+            *pk = run(k, xc, rc);
+        }
+    }
+    reduce_pairwise(partials)
+}
+
+/// `p = z + beta p`, chunk-parallel.
+fn fused_p_update(p: &mut [f64], z: &[f64], beta: f64, par: bool) {
+    let run = |k: usize, pc: &mut [f64]| {
+        let zc = &z[k * ROW_CHUNK..k * ROW_CHUNK + pc.len()];
+        for (pi, zi) in pc.iter_mut().zip(zc) {
+            *pi = zi + beta * *pi;
+        }
+    };
+    if par {
+        rayon::scope(|s| {
+            for (k, pc) in p.chunks_mut(ROW_CHUNK).enumerate() {
+                s.spawn(move |_| run(k, pc));
+            }
+        });
+    } else {
+        for (k, pc) in p.chunks_mut(ROW_CHUNK).enumerate() {
+            run(k, pc);
+        }
+    }
+}
+
+/// Solves `A x = b` by preconditioned conjugate gradient over CSR
+/// storage.
+///
+/// * `prec` must have been built for exactly this `a`
+///   ([`Preconditioner::build`]);
+/// * `x` holds the initial guess on entry (warm starts welcome — a guess
+///   near the solution directly cuts iterations) and the solution on
+///   exit;
+/// * `ws` provides every work vector; no allocation happens per solve
+///   once the workspace has grown to `a.n()`.
 ///
 /// # Errors
 ///
 /// [`ThermalError::NoConvergence`] if the relative residual does not fall
 /// below `options.tolerance` within `options.max_iterations`.
+///
+/// # Panics
+///
+/// Debug-asserts matching dimensions.
 pub fn solve_cg(
+    a: &CsrMatrix,
+    prec: &Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    ws: &mut SolverWorkspace,
+    options: &SolverOptions,
+) -> Result<SolveStats, ThermalError> {
+    let n = b.len();
+    debug_assert_eq!(a.n(), n);
+    debug_assert_eq!(x.len(), n);
+    ws.resize(n);
+    let par = n >= PAR_MIN_ROWS && rayon::current_num_threads() > 1;
+
+    let norm_b = dot_chunked(b, b, &mut ws.partials, par).sqrt();
+    if norm_b == 0.0 {
+        x.iter_mut().for_each(|v| *v = 0.0);
+        return Ok(SolveStats {
+            iterations: 0,
+            residual: 0.0,
+        });
+    }
+
+    // r = b - A x.
+    a.matvec(x, &mut ws.r);
+    for (ri, bi) in ws.r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    let mut rr = dot_chunked(&ws.r, &ws.r, &mut ws.partials, par);
+    let mut rz = match prec.apply(a, &ws.r, &mut ws.z, &mut ws.partials) {
+        Some(rz) => rz,
+        None => dot_chunked(&ws.r, &ws.z, &mut ws.partials, par),
+    };
+    ws.p.copy_from_slice(&ws.z);
+
+    for it in 0..options.max_iterations {
+        let res = rr.sqrt() / norm_b;
+        if res <= options.tolerance {
+            return Ok(SolveStats {
+                iterations: it,
+                residual: res,
+            });
+        }
+        a.matvec(&ws.p, &mut ws.ap);
+        let pap = dot_chunked(&ws.p, &ws.ap, &mut ws.partials, par);
+        if pap <= 0.0 || !pap.is_finite() {
+            // Matrix not SPD along p (should not happen); bail out.
+            return Err(ThermalError::NoConvergence {
+                iterations: it,
+                residual: res,
+                tolerance: options.tolerance,
+            });
+        }
+        let alpha = rz / pap;
+        rr = fused_xr_update(x, &mut ws.r, &ws.p, &ws.ap, alpha, &mut ws.partials, par);
+        let rz_next = match prec.apply(a, &ws.r, &mut ws.z, &mut ws.partials) {
+            Some(rz) => rz,
+            None => dot_chunked(&ws.r, &ws.z, &mut ws.partials, par),
+        };
+        let beta = rz_next / rz;
+        rz = rz_next;
+        fused_p_update(&mut ws.p, &ws.z, beta, par);
+    }
+
+    let res = rr.sqrt() / norm_b;
+    if res <= options.tolerance {
+        Ok(SolveStats {
+            iterations: options.max_iterations,
+            residual: res,
+        })
+    } else {
+        Err(ThermalError::NoConvergence {
+            iterations: options.max_iterations,
+            residual: res,
+            tolerance: options.tolerance,
+        })
+    }
+}
+
+/// The seed's Jacobi-CG over a caller-supplied matvec closure, kept
+/// verbatim as the comparison baseline for the solver-scaling benchmarks
+/// and the CSR-equivalence property tests. Allocates its work vectors
+/// per call and re-measures `dot(r, r)` every iteration — exactly the
+/// costs the CSR path was built to shed.
+#[doc(hidden)]
+pub fn solve_cg_reference(
     mut matvec: impl FnMut(&[f64], &mut [f64]),
     diag: &[f64],
     b: &[f64],
@@ -59,7 +637,7 @@ pub fn solve_cg(
     debug_assert_eq!(x.len(), n);
     debug_assert_eq!(diag.len(), n);
 
-    let norm_b = dot(b, b).sqrt();
+    let norm_b = dot_naive(b, b).sqrt();
     if norm_b == 0.0 {
         x.iter_mut().for_each(|v| *v = 0.0);
         return Ok(SolveStats {
@@ -81,10 +659,10 @@ pub fn solve_cg(
         z[i] = r[i] / diag[i];
     }
     p.copy_from_slice(&z);
-    let mut rz = dot(&r, &z);
+    let mut rz = dot_naive(&r, &z);
 
     for it in 0..options.max_iterations {
-        let res = dot(&r, &r).sqrt() / norm_b;
+        let res = dot_naive(&r, &r).sqrt() / norm_b;
         if res <= options.tolerance {
             return Ok(SolveStats {
                 iterations: it,
@@ -92,9 +670,8 @@ pub fn solve_cg(
             });
         }
         matvec(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        let pap = dot_naive(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
-            // Matrix not SPD along p (should not happen); bail out.
             return Err(ThermalError::NoConvergence {
                 iterations: it,
                 residual: res,
@@ -109,7 +686,7 @@ pub fn solve_cg(
         for i in 0..n {
             z[i] = r[i] / diag[i];
         }
-        let rz_next = dot(&r, &z);
+        let rz_next = dot_naive(&r, &z);
         let beta = rz_next / rz;
         rz = rz_next;
         for i in 0..n {
@@ -117,7 +694,7 @@ pub fn solve_cg(
         }
     }
 
-    let res = dot(&r, &r).sqrt() / norm_b;
+    let res = dot_naive(&r, &r).sqrt() / norm_b;
     if res <= options.tolerance {
         Ok(SolveStats {
             iterations: options.max_iterations,
@@ -132,7 +709,7 @@ pub fn solve_cg(
     }
 }
 
-fn dot(a: &[f64], b: &[f64]) -> f64 {
+fn dot_naive(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
@@ -163,102 +740,218 @@ pub fn debug_check_solution(stats: &SolveStats, options: &SolverOptions, temps_c
 mod tests {
     use super::*;
 
-    /// Dense symmetric matvec for testing.
-    fn dense_matvec(a: &[Vec<f64>]) -> impl FnMut(&[f64], &mut [f64]) + '_ {
-        move |x, y| {
-            for (i, row) in a.iter().enumerate() {
-                y[i] = row.iter().zip(x).map(|(m, v)| m * v).sum();
+    fn solve(
+        a: &CsrMatrix,
+        b: &[f64],
+        x: &mut [f64],
+        kind: PreconditionerKind,
+    ) -> Result<SolveStats, ThermalError> {
+        let prec = Preconditioner::build(a, kind);
+        let mut ws = SolverWorkspace::new();
+        let options = SolverOptions {
+            preconditioner: kind,
+            ..SolverOptions::default()
+        };
+        solve_cg(a, &prec, b, x, &mut ws, &options)
+    }
+
+    const ALL_KINDS: [PreconditionerKind; 4] = [
+        PreconditionerKind::Jacobi,
+        PreconditionerKind::Ssor,
+        PreconditionerKind::Ic0,
+        PreconditionerKind::Amg,
+    ];
+
+    #[test]
+    fn solves_diagonal_system() {
+        let a = CsrMatrix::from_triplets(2, &[(0, 0, 2.0), (1, 1, 4.0)]);
+        for kind in ALL_KINDS {
+            let mut x = vec![0.0, 0.0];
+            let stats = solve(&a, &[2.0, 8.0], &mut x, kind).unwrap();
+            assert!((x[0] - 1.0).abs() < 1e-9, "{kind:?}");
+            assert!((x[1] - 2.0).abs() < 1e-9, "{kind:?}");
+            assert!(stats.residual <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn solves_spd_system_with_every_preconditioner() {
+        let a = CsrMatrix::from_triplets(
+            3,
+            &[
+                (0, 0, 4.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (2, 2, 2.0),
+            ],
+        );
+        let b = vec![1.0, 2.0, 3.0];
+        for kind in ALL_KINDS {
+            let mut x = vec![0.0; 3];
+            solve(&a, &b, &mut x, kind).unwrap();
+            let mut ax = vec![0.0; 3];
+            a.matvec_serial(&x, &mut ax);
+            for i in 0..3 {
+                assert!((ax[i] - b[i]).abs() < 1e-8, "{kind:?}: {x:?}");
             }
         }
     }
 
     #[test]
-    fn solves_diagonal_system() {
-        let a = vec![vec![2.0, 0.0], vec![0.0, 4.0]];
-        let diag = vec![2.0, 4.0];
-        let b = vec![2.0, 8.0];
-        let mut x = vec![0.0, 0.0];
-        let stats = solve_cg(
-            dense_matvec(&a),
-            &diag,
-            &b,
-            &mut x,
-            &SolverOptions::default(),
-        )
-        .unwrap();
-        assert!((x[0] - 1.0).abs() < 1e-9);
-        assert!((x[1] - 2.0).abs() < 1e-9);
-        assert!(stats.residual <= 1e-9);
-    }
-
-    #[test]
-    fn solves_spd_system() {
-        // SPD 3x3.
-        let a = vec![
-            vec![4.0, 1.0, 0.0],
-            vec![1.0, 3.0, 1.0],
-            vec![0.0, 1.0, 2.0],
-        ];
-        let diag = vec![4.0, 3.0, 2.0];
-        let b = vec![1.0, 2.0, 3.0];
-        let mut x = vec![0.0; 3];
-        solve_cg(
-            dense_matvec(&a),
-            &diag,
-            &b,
-            &mut x,
-            &SolverOptions::default(),
-        )
-        .unwrap();
-        // Check residual directly.
-        let mut ax = vec![0.0; 3];
-        dense_matvec(&a)(&x, &mut ax);
-        for i in 0..3 {
-            assert!((ax[i] - b[i]).abs() < 1e-8, "{:?}", x);
-        }
-    }
-
-    #[test]
     fn zero_rhs_gives_zero() {
-        let a = vec![vec![2.0, 0.0], vec![0.0, 2.0]];
-        let diag = vec![2.0, 2.0];
-        let b = vec![0.0, 0.0];
+        let a = CsrMatrix::from_triplets(2, &[(0, 0, 2.0), (1, 1, 2.0)]);
         let mut x = vec![5.0, -3.0];
-        let stats = solve_cg(
-            dense_matvec(&a),
-            &diag,
-            &b,
-            &mut x,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let stats = solve(&a, &[0.0, 0.0], &mut x, PreconditionerKind::Ic0).unwrap();
         assert_eq!(x, vec![0.0, 0.0]);
         assert_eq!(stats.iterations, 0);
     }
 
     #[test]
     fn iteration_cap_reported() {
-        // An SPD system with a tight cap.
+        // A 1D Laplacian chain with a tight cap.
         let n = 50;
-        let mut a = vec![vec![0.0; n]; n];
+        let mut t = Vec::new();
         for i in 0..n {
-            a[i][i] = 2.0;
+            t.push((i, i, 2.0));
             if i + 1 < n {
-                a[i][i + 1] = -1.0;
-                a[i + 1][i] = -1.0;
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
             }
         }
-        let diag: Vec<f64> = (0..n).map(|i| a[i][i]).collect();
+        let a = CsrMatrix::from_triplets(n, &t);
+        let prec = Preconditioner::build(&a, PreconditionerKind::Jacobi);
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
+        let mut ws = SolverWorkspace::new();
         let opts = SolverOptions {
             tolerance: 1e-14,
             max_iterations: 2,
+            preconditioner: PreconditionerKind::Jacobi,
         };
-        let err = solve_cg(dense_matvec(&a), &diag, &b, &mut x, &opts).unwrap_err();
+        let err = solve_cg(&a, &prec, &b, &mut x, &mut ws, &opts).unwrap_err();
         match err {
             ThermalError::NoConvergence { iterations, .. } => assert_eq!(iterations, 2),
             other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn warm_start_converges_in_fewer_iterations() {
+        // A chain large enough that CG takes real iterations.
+        let n = 400;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.5));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, &t);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos()).collect();
+        let mut cold = vec![0.0; n];
+        let cold_stats = solve(&a, &b, &mut cold, PreconditionerKind::Ic0).unwrap();
+        // Warm start from the solution itself: ~0 iterations.
+        let mut warm = cold.clone();
+        let warm_stats = solve(&a, &b, &mut warm, PreconditionerKind::Ic0).unwrap();
+        assert!(warm_stats.iterations < cold_stats.iterations);
+        assert!(warm_stats.iterations <= 1, "{}", warm_stats.iterations);
+        for (w, c) in warm.iter().zip(&cold) {
+            assert!((w - c).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn ic0_factor_of_diagonal_matrix_is_sqrt() {
+        let a = CsrMatrix::from_triplets(3, &[(0, 0, 4.0), (1, 1, 9.0), (2, 2, 16.0)]);
+        let f = Ic0Factor::factor(&a);
+        let mut z = vec![0.0; 3];
+        f.solve(&[4.0, 9.0, 16.0], &mut z);
+        assert_eq!(z, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn ic0_is_exact_for_tridiagonal() {
+        // IC(0) of a tridiagonal SPD matrix is the exact Cholesky factor,
+        // so PCG converges in one iteration.
+        let n = 60;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 3.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, &t);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = solve(&a, &b, &mut x, PreconditionerKind::Ic0).unwrap();
+        assert!(stats.iterations <= 2, "{}", stats.iterations);
+    }
+
+    #[test]
+    fn chunked_dot_is_chunk_order_invariant() {
+        // The deterministic-reduction contract: partials may be produced
+        // in any order (any thread interleaving) without changing the
+        // result, because each partial's value and the fold tree are
+        // fixed by the chunk boundaries alone.
+        let n = 3 * ROW_CHUNK + 517;
+        let a: Vec<f64> = (0..n)
+            .map(|i| ((i * 37) % 101) as f64 * 1e-3 - 0.05)
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i * 53) % 97) as f64 * 1e-3 + 0.01)
+            .collect();
+        let mut partials = vec![0.0; n.div_ceil(ROW_CHUNK)];
+        let forward = dot_chunked(&a, &b, &mut partials, false);
+
+        // Recompute the partials in reverse chunk order, then fold with
+        // the same tree: must agree bitwise.
+        let mut rev: Vec<f64> = vec![0.0; partials.len()];
+        for k in (0..rev.len()).rev() {
+            let lo = k * ROW_CHUNK;
+            let hi = (lo + ROW_CHUNK).min(n);
+            rev[k] = chunk_dot(&a[lo..hi], &b[lo..hi]);
+        }
+        let backward = reduce_pairwise(&mut rev);
+        assert_eq!(forward.to_bits(), backward.to_bits());
+    }
+
+    #[test]
+    fn reference_and_csr_solvers_agree() {
+        let n = 120;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+            if i + 10 < n {
+                t.push((i, i + 10, -0.5));
+                t.push((i + 10, i, -0.5));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, &t);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mut x_new = vec![0.0; n];
+        solve(&a, &b, &mut x_new, PreconditionerKind::Ic0).unwrap();
+        let diag = a.diagonal();
+        let mut x_ref = vec![0.0; n];
+        solve_cg_reference(
+            |v, out| a.matvec_serial(v, out),
+            &diag,
+            &b,
+            &mut x_ref,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        for (p, q) in x_new.iter().zip(&x_ref) {
+            assert!((p - q).abs() < 1e-7, "{p} vs {q}");
         }
     }
 }

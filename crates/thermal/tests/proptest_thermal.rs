@@ -10,7 +10,7 @@ use xylem_thermal::package::Package;
 use xylem_thermal::power::PowerMap;
 use xylem_thermal::stack::Stack;
 use xylem_thermal::units::Watts;
-use xylem_thermal::ThermalModel;
+use xylem_thermal::{SolverWorkspace, ThermalModel};
 
 const DIE: f64 = 8e-3;
 
@@ -123,6 +123,71 @@ proptest! {
         let m = stack.discretize(GridSpec::new(n, n)).unwrap();
         let sum: f64 = m.block_weights(0, "b").unwrap().iter().map(|&(_, w)| w).sum();
         prop_assert!((sum - 1.0).abs() < 1e-9, "{sum}");
+    }
+
+    /// The flat CSR matvec agrees with the adjacency-list reference
+    /// lowering on arbitrary stacks and grids.
+    #[test]
+    fn csr_matvec_matches_adjacency(
+        layers in 1usize..5,
+        nx in 3usize..10,
+        ny in 3usize..10,
+        thickness_um in 40.0f64..200.0,
+        seed in 0u64..1000,
+    ) {
+        let mut b = Stack::builder(DIE, DIE).package(Package::default_for_die(DIE, DIE));
+        for l in 0..layers {
+            let mat = if l % 2 == 0 { SILICON.clone() } else { D2D_AVERAGE.clone() };
+            b = b.layer(Layer::uniform(format!("l{l}"), thickness_um * 1e-6, mat));
+        }
+        let m = b.build().unwrap().discretize(GridSpec::new(nx, ny)).unwrap();
+        let n = m.node_count();
+        // Deterministic pseudo-random input vector from the seed.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let x: Vec<f64> = (0..n).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        }).collect();
+        let mut y_adj = vec![0.0; n];
+        let mut y_csr = vec![0.0; n];
+        m.matvec_adjacency(&x, &mut y_adj);
+        m.csr().matvec_serial(&x, &mut y_csr);
+        for (a, c) in y_adj.iter().zip(&y_csr) {
+            prop_assert!((a - c).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {c}");
+        }
+        // The auto-dispatching matvec is bit-identical to the serial one.
+        let mut y_auto = vec![0.0; n];
+        m.csr().matvec(&x, &mut y_auto);
+        for (c, au) in y_csr.iter().zip(&y_auto) {
+            prop_assert!(c.to_bits() == au.to_bits());
+        }
+    }
+
+    /// A warm-started CG solve lands on the same solution as a cold
+    /// start, for arbitrary injections and an arbitrary (wrong) guess
+    /// scale.
+    #[test]
+    fn warm_start_matches_cold_start_solution(
+        cells in proptest::collection::vec((0usize..3, 0usize..6, 0usize..6, 0.1f64..5.0), 1..6),
+        guess_cells in proptest::collection::vec((0usize..3, 0usize..6, 0usize..6, 0.1f64..8.0), 1..4),
+    ) {
+        let m = small_model();
+        let mut p = PowerMap::zeros(&m);
+        for &(l, ix, iy, w) in &cells {
+            p.add_cell_power(l, ix, iy, Watts::new(w));
+        }
+        let mut ws = SolverWorkspace::new();
+        let cold = m.steady_state_from(&p, None, &mut ws).unwrap();
+        // Guess: the solution of an unrelated power map.
+        let mut pg = PowerMap::zeros(&m);
+        for &(l, ix, iy, w) in &guess_cells {
+            pg.add_cell_power(l, ix, iy, Watts::new(w));
+        }
+        let guess = m.steady_state_from(&pg, None, &mut ws).unwrap();
+        let warm = m.steady_state_from(&p, Some(&guess), &mut ws).unwrap();
+        for (c, w) in cold.raw().iter().zip(warm.raw()) {
+            prop_assert!((c - w).abs() < 1e-5, "{c} vs {w}");
+        }
     }
 
     /// A power map built from block power conserves the block total.

@@ -18,6 +18,12 @@ impl BenchmarkId {
     pub fn from_parameter<P: Display>(p: P) -> Self {
         BenchmarkId(p.to_string())
     }
+
+    /// A `function_name/parameter` id, like criterion's.
+    #[must_use]
+    pub fn new<S: Into<String>, P: Display>(function_name: S, p: P) -> Self {
+        BenchmarkId(format!("{}/{p}", function_name.into()))
+    }
 }
 
 /// Times closures handed to it.

@@ -1,0 +1,311 @@
+//! Offline stand-in for `rayon` (no crates.io access; see
+//! `vendor/README.md`).
+//!
+//! Provides the structured-parallelism surface the workspace's numeric
+//! kernels use — [`scope`]/[`Scope::spawn`], [`join`], and
+//! [`current_num_threads`] — backed by one persistent global thread pool,
+//! so repeated kernel launches (a conjugate-gradient iteration issues
+//! several per step) never pay thread-spawn latency.
+//!
+//! Semantics mirror real rayon where it matters to callers:
+//!
+//! * `scope` does not return until every task spawned on it (including
+//!   nested spawns) has finished, which is what makes borrowing stack
+//!   data from tasks sound;
+//! * a panic inside a task is captured and re-thrown from `scope`;
+//! * the pool size honours `RAYON_NUM_THREADS`, defaulting to
+//!   [`std::thread::available_parallelism`];
+//! * on a single-threaded pool, tasks run inline on the caller — same
+//!   observable behaviour, no channel traffic, and no possibility of the
+//!   lone worker deadlocking on a nested `scope`.
+//!
+//! Parallel iterators are intentionally absent: the workspace's kernels
+//! chunk their slices explicitly (deterministic reduction boundaries are
+//! part of their contract), so `scope` is the whole story.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    sender: Mutex<mpsc::Sender<Job>>,
+    threads: usize,
+}
+
+impl Pool {
+    fn submit(&self, job: Job) {
+        let guard = self
+            .sender
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // Workers only exit when the sender is dropped, and the pool is a
+        // process-lifetime static, so the send cannot fail.
+        guard.send(job).expect("rayon stub: worker pool shut down");
+    }
+}
+
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads = configured_threads();
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        // With one thread, everything runs inline on the caller; don't
+        // spawn a worker that would never receive a job.
+        if threads > 1 {
+            for i in 0..threads {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("rayon-stub-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = receiver
+                                .lock()
+                                .unwrap_or_else(|poisoned| poisoned.into_inner());
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("rayon stub: failed to spawn worker thread");
+            }
+        }
+        Pool {
+            sender: Mutex::new(sender),
+            threads,
+        }
+    })
+}
+
+/// Number of threads in the global pool (1 means callers should expect
+/// inline execution).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    pool().threads
+}
+
+/// Countdown latch: `scope` blocks on it until every spawned task has
+/// run; tasks that panicked mark it poisoned so the panic surfaces on the
+/// scope owner's thread.
+struct Latch {
+    state: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            state: Mutex::new(0),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn increment(&self) {
+        let mut n = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *n += 1;
+    }
+
+    fn decrement(&self) {
+        let mut n = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *n -= 1;
+        if *n == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut n = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        while *n != 0 {
+            n = self
+                .done
+                .wait(n)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// A fork-join scope handed to [`scope`]'s closure; spawn tasks that may
+/// borrow anything outliving the scope.
+pub struct Scope<'scope> {
+    latch: Arc<Latch>,
+    inline: bool,
+    _marker: std::marker::PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Runs `f` on the pool (or inline on a single-threaded pool). The
+    /// enclosing [`scope`] call waits for it.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        if self.inline {
+            let nested = Scope {
+                latch: Arc::clone(&self.latch),
+                inline: true,
+                _marker: std::marker::PhantomData,
+            };
+            f(&nested);
+            return;
+        }
+        self.latch.increment();
+        let latch = Arc::clone(&self.latch);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let nested = Scope {
+                latch: Arc::clone(&latch),
+                inline: false,
+                _marker: std::marker::PhantomData,
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| f(&nested)));
+            if result.is_err() {
+                latch.panicked.store(true, Ordering::SeqCst);
+            }
+            latch.decrement();
+        });
+        // SAFETY: `scope` blocks on the latch until this task (and every
+        // task it spawns, which share the latch) has finished, so all
+        // `'scope` borrows the closure captured strictly outlive its
+        // execution. The lifetime is erased only to cross the channel.
+        let task: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(task) };
+        pool().submit(task);
+    }
+}
+
+/// Creates a fork-join scope: tasks spawned on it may borrow from the
+/// caller's stack; all of them complete before `scope` returns.
+///
+/// # Panics
+///
+/// Re-throws (as a new panic) if any spawned task panicked.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        latch: Arc::new(Latch::new()),
+        inline: pool().threads <= 1,
+        _marker: std::marker::PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&s)));
+    s.latch.wait();
+    if s.latch.panicked.load(Ordering::SeqCst) {
+        panic!("a task spawned in rayon::scope panicked");
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb: Option<RB> = None;
+    let ra = scope(|s| {
+        s.spawn(|_| {
+            rb = Some(b());
+        });
+        a()
+    });
+    // `scope` waited for the spawned task, so `rb` is always populated.
+    (ra, rb.expect("rayon stub: join task did not run"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_runs_all_tasks_and_allows_borrows() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn scope_supports_disjoint_mutable_chunks() {
+        let mut data = vec![0u64; 1000];
+        scope(|s| {
+            for (k, chunk) in data.chunks_mut(100).enumerate() {
+                s.spawn(move |_| {
+                    for (i, v) in chunk.iter_mut().enumerate() {
+                        *v = (k * 100 + i) as u64;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_scope_returns() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_propagates_task_panics() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+        }));
+        assert!(caught.is_err());
+    }
+}
