@@ -3,6 +3,8 @@
 #
 #   ./ci.sh          # format check, clippy, xylem-lint, full test suite
 #   ./ci.sh bench    # regenerate BENCH_thermal.json (solver smoke numbers)
+#   ./ci.sh faults   # fault-injection sweep: seeded sensor faults, forced
+#                    # solver failures, checkpoint/resume bit-identity
 #
 # Each stage fails fast; the whole script passing is the merge bar.
 set -euo pipefail
@@ -11,6 +13,15 @@ cd "$(dirname "$0")"
 if [[ "${1:-}" == "bench" ]]; then
   echo "==> solver smoke bench (BENCH_thermal.json)"
   cargo run --release -q -p xylem-bench --bin bench_thermal_smoke
+  exit 0
+fi
+
+if [[ "${1:-}" == "faults" ]]; then
+  echo "==> fault-injection sweep (50 seeded scenarios + checkpoint/resume)"
+  cargo test -q -p xylem-core --test fault_injection
+  echo "==> DTM fault/checkpoint property tests"
+  cargo test -q -p xylem-core --test proptest_dtm
+  echo "Fault sweep green."
   exit 0
 fi
 

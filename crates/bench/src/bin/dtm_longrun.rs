@@ -1,0 +1,138 @@
+//! Long-running DTM transient with periodic checkpointing — the
+//! fault-tolerance story end to end on a realistic run length.
+//!
+//! ```text
+//! dtm_longrun [--scheme base] [--app "LU(NAS)"] [--freq 3.5]
+//!             [--duration 10.0] [--grid 24]
+//!             [--checkpoint PATH] [--every 200] [--resume]
+//! ```
+//!
+//! With `--checkpoint` the full controller state is atomically written
+//! every `--every` control steps; kill the process mid-run and re-invoke
+//! with `--resume` to continue from the last file — the completed run is
+//! bit-identical to an uninterrupted one.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xylem::dtm::{dtm_transient_configured, CheckpointConfig, DtmPolicy, DtmRunConfig};
+use xylem::sensor::SensorModel;
+use xylem::system::{SystemConfig, XylemSystem};
+use xylem_stack::XylemScheme;
+use xylem_thermal::grid::GridSpec;
+use xylem_workloads::Benchmark;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            // A flag followed by another flag (or nothing) is boolean.
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                out.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                out.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_flags(&args);
+
+    let scheme_name = opts.get("scheme").map(String::as_str).unwrap_or("base");
+    let scheme = XylemScheme::ALL
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(scheme_name))
+        .ok_or_else(|| format!("unknown scheme '{scheme_name}'"))?;
+    let app_name = opts.get("app").map(String::as_str).unwrap_or("LU(NAS)");
+    let app = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(app_name))
+        .ok_or_else(|| format!("unknown application '{app_name}'"))?;
+    let freq: f64 = match opts.get("freq") {
+        None => 3.5,
+        Some(s) => s.parse().map_err(|_| format!("bad --freq '{s}'"))?,
+    };
+    let duration: f64 = match opts.get("duration") {
+        None => 10.0,
+        Some(s) => s.parse().map_err(|_| format!("bad --duration '{s}'"))?,
+    };
+    let grid: usize = match opts.get("grid") {
+        None => 24,
+        Some(s) => s.parse().map_err(|_| format!("bad --grid '{s}'"))?,
+    };
+    let every: usize = match opts.get("every") {
+        None => 200,
+        Some(s) => s.parse().map_err(|_| format!("bad --every '{s}'"))?,
+    };
+    let resume = opts.contains_key("resume");
+    let checkpoint = opts.get("checkpoint").map(PathBuf::from);
+    if resume && checkpoint.is_none() {
+        return Err("--resume needs --checkpoint PATH".to_string());
+    }
+
+    let sys = XylemSystem::new(SystemConfig::paper_default(scheme)).map_err(|e| e.to_string())?;
+    let policy = DtmPolicy::paper_default();
+    let grid_spec = GridSpec::new(grid, grid);
+    let run = DtmRunConfig {
+        sensors: Some(SensorModel::default_array(grid, grid, 1)),
+        checkpoint: checkpoint.clone().map(|path| CheckpointConfig {
+            path,
+            every_steps: every,
+            resume,
+        }),
+        ..DtmRunConfig::new(policy)
+    };
+
+    println!(
+        "{app} on {scheme}: {freq:.1} GHz requested for {duration:.1} s \
+         ({} steps of {:.0} us){}",
+        (duration / policy.control_period_s).round() as usize,
+        policy.control_period_s * 1e6,
+        match &checkpoint {
+            Some(p) if resume => format!(", resuming from {}", p.display()),
+            Some(p) => format!(", checkpointing to {} every {every} steps", p.display()),
+            None => String::new(),
+        }
+    );
+    let r = dtm_transient_configured(&sys, app, freq, duration, &run, grid_spec)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "  effective {:.2} GHz, final {:.1} GHz, {} throttle steps, peak {:.1} C",
+        r.mean_f_ghz(),
+        r.final_f_ghz,
+        r.throttle_events,
+        r.peak_hotspot().get(),
+    );
+    println!(
+        "  {:.1}% of time above trip, {} fail-safe periods, {} CG iterations",
+        r.time_above_trip * 100.0,
+        r.failsafe_events,
+        r.cg_iterations
+    );
+    if !r.recovery.is_empty() {
+        println!(
+            "  solver ladder: {} escalations, {} recovered",
+            r.recovery.attempts, r.recovery.recoveries
+        );
+    }
+    Ok(())
+}

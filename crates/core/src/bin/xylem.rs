@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use xylem::dtm::{dtm_transient, DtmPolicy};
+use xylem::dtm::{dtm_transient_configured, CheckpointConfig, DtmPolicy, DtmRunConfig};
 use xylem::headroom::max_frequency_at_iso_temperature;
 use xylem::system::{SystemConfig, XylemSystem};
 use xylem_stack::area::{AreaOverhead, SAMSUNG_WIDE_IO_DIE_AREA};
@@ -70,7 +70,8 @@ fn usage() {
            schemes                                  list TTSV schemes and overheads\n\
          \n\
          schemes: base bank banke isoCount prior;  apps: FFT Cholesky ... (paper names)\n\
-         optional: --grid N (default 64)"
+         optional: --grid N (default 64)\n\
+         dtm only: --checkpoint PATH [--every N] [--resume]   save/restore the run state"
     );
 }
 
@@ -79,11 +80,13 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            if i + 1 < args.len() {
+            // A flag followed by another flag (or nothing) is boolean.
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
                 out.insert(key.to_string(), args[i + 1].clone());
                 i += 2;
                 continue;
             }
+            out.insert(key.to_string(), "true".to_string());
         }
         i += 1;
     }
@@ -263,15 +266,26 @@ fn dtm(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| format!("bad --duration '{s}'")))
         .transpose()?
         .unwrap_or(2.0);
-    let r = dtm_transient(
-        &sys,
-        app,
-        f,
-        duration,
-        &DtmPolicy::paper_default(),
-        GridSpec::new(24, 24),
-    )
-    .map_err(|e| e.to_string())?;
+    let every: usize = opts
+        .get("every")
+        .map(|s| s.parse().map_err(|_| format!("bad --every '{s}'")))
+        .transpose()?
+        .unwrap_or(200);
+    let resume = opts.contains_key("resume");
+    let checkpoint = opts.get("checkpoint").map(std::path::PathBuf::from);
+    if resume && checkpoint.is_none() {
+        return Err("--resume needs --checkpoint PATH".to_string());
+    }
+    let run = DtmRunConfig {
+        checkpoint: checkpoint.map(|path| CheckpointConfig {
+            path,
+            every_steps: every,
+            resume,
+        }),
+        ..DtmRunConfig::new(DtmPolicy::paper_default())
+    };
+    let r = dtm_transient_configured(&sys, app, f, duration, &run, GridSpec::new(24, 24))
+        .map_err(|e| e.to_string())?;
     println!(
         "{} on {}: requested {f:.1} GHz for {duration:.1} s",
         app,
@@ -286,6 +300,12 @@ fn dtm(opts: &HashMap<String, String>) -> Result<(), String> {
         r.peak_hotspot().get(),
         r.time_above_trip * 100.0
     );
+    if r.failsafe_events > 0 || !r.recovery.is_empty() {
+        println!(
+            "  {} fail-safe periods; solver ladder: {} escalations, {} recovered",
+            r.failsafe_events, r.recovery.attempts, r.recovery.recoveries
+        );
+    }
     // A coarse frequency-over-time strip.
     let stride = (r.samples.len() / 60).max(1);
     let glyphs: String = r

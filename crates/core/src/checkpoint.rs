@@ -1,0 +1,333 @@
+//! Versioned, checksummed checkpoint files for long transient runs.
+//!
+//! A multi-hour DTM sweep must survive being killed: the loop
+//! periodically serializes its full state — temperature field,
+//! controller state, sensor delay lines, accumulated trace — and a
+//! `--resume` run picks up from the last good file. The format is
+//! paranoid by design:
+//!
+//! * an outer envelope carries a magic string, a format **version**,
+//!   and an FNV-1a **checksum** over the serialized payload, so a
+//!   truncated or bit-flipped file is rejected before deserialization;
+//! * the payload embeds the **grid shape**, **time step**, and a
+//!   **config hash** of the run parameters; resuming under a different
+//!   configuration is a [`CheckpointError::Mismatch`], not a silently
+//!   wrong answer.
+//!
+//! JSON floats round-trip exactly (shortest-representation printing),
+//! so a resumed run continues from bit-identical state — the
+//! fault-injection suite asserts resume equals an uninterrupted run.
+//! Writes go to a temporary sibling file first and are renamed into
+//! place, so a crash mid-write never corrupts the previous checkpoint.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dtm::DtmSample;
+use crate::error::CheckpointError;
+use crate::sensor::SensorArray;
+use xylem_thermal::RecoveryReport;
+
+/// First bytes of every checkpoint file.
+pub const CHECKPOINT_MAGIC: &str = "xylem-checkpoint";
+
+/// Current format version; bumped on any payload layout change.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Outer envelope: everything needed to reject a bad file before
+/// touching the payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Envelope {
+    magic: String,
+    version: u64,
+    /// FNV-1a 64-bit hash of `payload`, hex.
+    checksum: String,
+    /// The serialized [`DtmCheckpoint`], nested as a string so the
+    /// checksum covers exactly the bytes that will be deserialized.
+    payload: String,
+}
+
+/// Complete mid-run state of a DTM transient loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DtmCheckpoint {
+    /// Control steps completed.
+    pub step: usize,
+    /// Grid cells in x of the run that wrote the file.
+    pub grid_nx: usize,
+    /// Grid cells in y.
+    pub grid_ny: usize,
+    /// Control period (= transient dt), s.
+    pub dt: f64,
+    /// FNV-1a hash (hex) of the serialized run configuration.
+    pub config_hash: String,
+    /// Raw node temperatures at `step`.
+    pub temps: Vec<f64>,
+    /// Controller DVFS level index.
+    pub level: usize,
+    /// Downward frequency steps so far.
+    pub throttle_events: usize,
+    /// Samples above trip so far.
+    pub above: usize,
+    /// Fail-safe activations so far.
+    pub failsafe_events: usize,
+    /// CG iterations so far.
+    pub cg_iterations: usize,
+    /// Controller trace so far.
+    pub samples: Vec<DtmSample>,
+    /// Sensor delay-line state (None for a perfect-telemetry run).
+    pub sensors: Option<SensorArray>,
+    /// Solver recoveries so far.
+    pub recovery: RecoveryReport,
+}
+
+/// FNV-1a 64-bit hash.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Hash of a run configuration's canonical JSON, as stored in
+/// [`DtmCheckpoint::config_hash`].
+#[must_use]
+pub fn config_hash(config_json: &str) -> String {
+    format!("{:016x}", fnv1a(config_json.as_bytes()))
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        path: path.display().to_string(),
+        source,
+    }
+}
+
+/// Serializes `ckpt` to `path` atomically (temp file + rename).
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] on filesystem failures;
+/// [`CheckpointError::Corrupt`] if the state cannot be serialized
+/// (non-finite temperatures — JSON has no NaN).
+pub fn save(path: &Path, ckpt: &DtmCheckpoint) -> Result<(), CheckpointError> {
+    if let Some(node) = ckpt.temps.iter().position(|t| !t.is_finite()) {
+        return Err(CheckpointError::Corrupt {
+            reason: format!("refusing to write non-finite temperature at node {node}"),
+        });
+    }
+    let payload = serde_json::to_string(ckpt).map_err(|e| CheckpointError::Corrupt {
+        reason: format!("payload serialization failed: {e}"),
+    })?;
+    let envelope = Envelope {
+        magic: CHECKPOINT_MAGIC.to_owned(),
+        version: CHECKPOINT_VERSION,
+        checksum: format!("{:016x}", fnv1a(payload.as_bytes())),
+        payload,
+    };
+    let text = serde_json::to_string(&envelope).map_err(|e| CheckpointError::Corrupt {
+        reason: format!("envelope serialization failed: {e}"),
+    })?;
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, text).map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}
+
+/// Loads and validates a checkpoint file (magic, version, checksum,
+/// payload shape). Run-compatibility checks are the caller's job via
+/// [`DtmCheckpoint::validate_against`].
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] if the file cannot be read;
+/// [`CheckpointError::Corrupt`] for a damaged or foreign file;
+/// [`CheckpointError::Mismatch`] for an unsupported version.
+pub fn load(path: &Path) -> Result<DtmCheckpoint, CheckpointError> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    let envelope: Envelope = serde_json::from_str(&text).map_err(|e| CheckpointError::Corrupt {
+        reason: format!("envelope parse failed: {e}"),
+    })?;
+    if envelope.magic != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::Corrupt {
+            reason: format!("bad magic {:?}", envelope.magic),
+        });
+    }
+    if envelope.version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::Mismatch {
+            what: "format version",
+            expected: CHECKPOINT_VERSION.to_string(),
+            found: envelope.version.to_string(),
+        });
+    }
+    let sum = format!("{:016x}", fnv1a(envelope.payload.as_bytes()));
+    if sum != envelope.checksum {
+        return Err(CheckpointError::Corrupt {
+            reason: format!(
+                "checksum mismatch: stored {}, computed {sum}",
+                envelope.checksum
+            ),
+        });
+    }
+    serde_json::from_str(&envelope.payload).map_err(|e| CheckpointError::Corrupt {
+        reason: format!("payload parse failed: {e}"),
+    })
+}
+
+impl DtmCheckpoint {
+    /// Confirms the checkpoint belongs to the resuming run.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Mismatch`] naming the first field (grid
+    /// shape, dt, config hash) that disagrees.
+    pub fn validate_against(
+        &self,
+        grid_nx: usize,
+        grid_ny: usize,
+        dt: f64,
+        config_hash: &str,
+    ) -> Result<(), CheckpointError> {
+        if (self.grid_nx, self.grid_ny) != (grid_nx, grid_ny) {
+            return Err(CheckpointError::Mismatch {
+                what: "grid shape",
+                expected: format!("{grid_nx}x{grid_ny}"),
+                found: format!("{}x{}", self.grid_nx, self.grid_ny),
+            });
+        }
+        if self.dt.to_bits() != dt.to_bits() {
+            return Err(CheckpointError::Mismatch {
+                what: "time step",
+                expected: format!("{dt:e}"),
+                found: format!("{:e}", self.dt),
+            });
+        }
+        if self.config_hash != config_hash {
+            return Err(CheckpointError::Mismatch {
+                what: "config hash",
+                expected: config_hash.to_owned(),
+                found: self.config_hash.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> DtmCheckpoint {
+        DtmCheckpoint {
+            step: 17,
+            grid_nx: 12,
+            grid_ny: 12,
+            dt: 1e-3,
+            config_hash: config_hash("{\"policy\":1}"),
+            temps: vec![45.0, 46.25, 47.5],
+            level: 2,
+            throttle_events: 3,
+            above: 1,
+            failsafe_events: 0,
+            cg_iterations: 512,
+            samples: Vec::new(),
+            sensors: None,
+            recovery: RecoveryReport::default(),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let dir = std::env::temp_dir().join("xylem-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.ckpt");
+        let mut ckpt = sample_checkpoint();
+        // Awkward floats that must survive bit-exactly.
+        ckpt.temps = vec![0.1 + 0.2, 1.0 / 3.0, f64::MIN_POSITIVE, 95.000_000_1];
+        save(&path, &ckpt).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(ckpt, back);
+        for (a, b) in ckpt.temps.iter().zip(&back.temps) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = std::env::temp_dir().join("xylem-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.ckpt");
+        save(&path, &sample_checkpoint()).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Flip a digit inside the payload without breaking the JSON.
+        let pos = text.find("45.0").unwrap();
+        text.replace_range(pos..pos + 4, "54.0");
+        std::fs::write(&path, text).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let dir = std::env::temp_dir().join("xylem-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.ckpt");
+        save(&path, &sample_checkpoint()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(load(&path).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load(Path::new("/nonexistent/xylem.ckpt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io { .. }));
+    }
+
+    #[test]
+    fn mismatched_run_is_rejected_field_by_field() {
+        let c = sample_checkpoint();
+        assert!(c.validate_against(12, 12, 1e-3, &c.config_hash).is_ok());
+        assert!(matches!(
+            c.validate_against(16, 16, 1e-3, &c.config_hash),
+            Err(CheckpointError::Mismatch {
+                what: "grid shape",
+                ..
+            })
+        ));
+        assert!(matches!(
+            c.validate_against(12, 12, 2e-3, &c.config_hash),
+            Err(CheckpointError::Mismatch {
+                what: "time step",
+                ..
+            })
+        ));
+        assert!(matches!(
+            c.validate_against(12, 12, 1e-3, "deadbeef"),
+            Err(CheckpointError::Mismatch {
+                what: "config hash",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn non_finite_state_refuses_to_serialize() {
+        let dir = std::env::temp_dir().join("xylem-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nan.ckpt");
+        let mut ckpt = sample_checkpoint();
+        ckpt.temps[1] = f64::NAN;
+        assert!(save(&path, &ckpt).is_err());
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171F73967E8);
+    }
+}

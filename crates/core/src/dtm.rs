@@ -7,6 +7,16 @@
 //! every control period during a transient simulation and steps the DVFS
 //! point down when the trip temperature is exceeded (up again below the
 //! release temperature, with hysteresis).
+//!
+//! Beyond the seed's perfect-telemetry loop, [`dtm_transient_configured`]
+//! runs the controller against an imperfect [`SensorModel`] with
+//! injectable faults, throttles to the DVFS floor when no sensor reading
+//! is credible (fail-safe), survives solver trouble through the fallback
+//! ladder (the per-field [`RecoveryReport`]s are aggregated into
+//! [`DtmResult::recovery`]), and periodically checkpoints its full state
+//! so a killed run resumes bit-identically (see [`crate::checkpoint`]).
+
+use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
 
@@ -14,10 +24,14 @@ use xylem_power::{CoreActivity, UncoreActivity};
 use xylem_thermal::grid::GridSpec;
 use xylem_thermal::model::ThermalModel;
 use xylem_thermal::power::PowerMap;
+use xylem_thermal::temperature::TemperatureField;
 use xylem_thermal::units::{Celsius, Watts};
-use xylem_thermal::SolverWorkspace;
+use xylem_thermal::{RecoveryReport, SolverOptions, SolverWorkspace};
 use xylem_workloads::Benchmark;
 
+use crate::checkpoint::{self, DtmCheckpoint};
+use crate::error::{CheckpointError, ConfigError};
+use crate::sensor::{SensorArray, SensorFault, SensorModel};
 use crate::system::XylemSystem;
 use crate::Result;
 
@@ -49,6 +63,44 @@ impl DtmPolicy {
             control_period_s: 1e-3,
         }
     }
+
+    /// Checks the policy is physically meaningful: finite temperatures,
+    /// `release <= trip` (the hysteresis band must not invert), and a
+    /// positive, finite control period.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> std::result::Result<(), ConfigError> {
+        if !self.trip.get().is_finite() || !self.release.get().is_finite() {
+            return Err(ConfigError::new(
+                "trip/release",
+                format!(
+                    "temperatures must be finite, got trip {} release {}",
+                    self.trip, self.release
+                ),
+            ));
+        }
+        if self.release > self.trip {
+            return Err(ConfigError::new(
+                "release",
+                format!(
+                    "release {} must not exceed trip {} (inverted hysteresis)",
+                    self.release, self.trip
+                ),
+            ));
+        }
+        if !(self.control_period_s.is_finite() && self.control_period_s > 0.0) {
+            return Err(ConfigError::new(
+                "control_period_s",
+                format!(
+                    "control period {} s must be positive and finite",
+                    self.control_period_s
+                ),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// One controller sample.
@@ -78,6 +130,13 @@ pub struct DtmResult {
     /// far below `samples * cold_iterations`; benchmarks use it to
     /// quantify the warm-start saving.
     pub cg_iterations: usize,
+    /// Control periods where no sensor reading was credible and the
+    /// controller fail-safed to the DVFS floor. Always 0 for a
+    /// perfect-telemetry run.
+    pub failsafe_events: usize,
+    /// Solver fallback-ladder activity aggregated over every transient
+    /// step. Empty when every solve converged on the configured path.
+    pub recovery: RecoveryReport,
 }
 
 impl DtmResult {
@@ -101,18 +160,85 @@ impl DtmResult {
     }
 }
 
+/// Periodic checkpointing of a DTM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// File the state is written to (atomically replaced each time).
+    pub path: PathBuf,
+    /// Save every this many control steps (0 disables saving).
+    pub every_steps: usize,
+    /// If the file already exists and matches this run's configuration,
+    /// continue from it instead of starting cold.
+    pub resume: bool,
+}
+
+/// Full configuration of a fault-tolerant DTM run. The seed behavior —
+/// perfect telemetry, no checkpointing, the model's own solver options —
+/// is [`DtmRunConfig::new`] with everything else left default.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DtmRunConfig {
+    /// Controller policy.
+    pub policy: DtmPolicy,
+    /// Sensor array the controller reads through; `None` reads the true
+    /// hotspot directly.
+    pub sensors: Option<SensorModel>,
+    /// Faults injected into the sensors (ignored without `sensors`).
+    pub faults: Vec<SensorFault>,
+    /// Solver options override for the transient model (e.g. to force
+    /// ladder escalations in fault drills).
+    pub solver: Option<SolverOptions>,
+    /// Periodic checkpoint/resume.
+    pub checkpoint: Option<CheckpointConfig>,
+}
+
+impl Default for DtmPolicy {
+    fn default() -> Self {
+        DtmPolicy::paper_default()
+    }
+}
+
+impl DtmRunConfig {
+    /// A plain run under `policy`: perfect telemetry, no faults, no
+    /// checkpointing.
+    #[must_use]
+    pub fn new(policy: DtmPolicy) -> Self {
+        DtmRunConfig {
+            policy,
+            sensors: None,
+            faults: Vec::new(),
+            solver: None,
+            checkpoint: None,
+        }
+    }
+}
+
+/// The run parameters a checkpoint must agree on before a resume is
+/// accepted; serialized canonically and hashed into
+/// [`DtmCheckpoint::config_hash`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RunFingerprint {
+    benchmark: String,
+    requested_f_ghz: f64,
+    duration_s: f64,
+    policy: DtmPolicy,
+    sensors: Option<SensorModel>,
+    faults: Vec<SensorFault>,
+    solver_tolerance: f64,
+    solver_max_iterations: usize,
+    grid_nx: usize,
+    grid_ny: usize,
+}
+
 /// Runs `benchmark` (8 threads) for `duration_s` starting from a cold
 /// die, requesting `requested_f_ghz`; the DTM controller throttles as
 /// needed. The transient runs on `grid` (coarser than the steady-state
-/// experiments).
+/// experiments). Equivalent to [`dtm_transient_configured`] with a plain
+/// [`DtmRunConfig`].
 ///
 /// # Errors
 ///
-/// Propagates model errors.
-///
-/// # Panics
-///
-/// Panics on a degenerate duration/policy.
+/// [`crate::XylemError::Config`] for a degenerate duration or policy;
+/// otherwise propagates model errors.
 pub fn dtm_transient(
     system: &XylemSystem,
     benchmark: Benchmark,
@@ -121,48 +247,199 @@ pub fn dtm_transient(
     policy: &DtmPolicy,
     grid: GridSpec,
 ) -> Result<DtmResult> {
-    assert!(duration_s > 0.0 && policy.control_period_s > 0.0);
-    assert!(policy.release <= policy.trip);
+    dtm_transient_configured(
+        system,
+        benchmark,
+        requested_f_ghz,
+        duration_s,
+        &DtmRunConfig::new(*policy),
+        grid,
+    )
+}
+
+/// The fault-tolerant DTM engine: [`dtm_transient`] plus sensor-driven
+/// control, fail-safe throttling, solver-recovery aggregation, and
+/// checkpoint/resume, all selected through `run`.
+///
+/// Controller input: with `run.sensors` set, each period samples the
+/// array (noise, quantization, latency, injected faults) and fuses the
+/// delivered frame; if no reading is credible the controller assumes
+/// the worst and drops to the DVFS floor, counting a
+/// [`DtmResult::failsafe_events`]. The recorded
+/// [`DtmSample::hotspot`] is always the **true** hotspot, so
+/// [`DtmResult::time_above_trip`] measures physical reality, not sensor
+/// belief.
+///
+/// Checkpointing: with `run.checkpoint` set, the loop atomically writes
+/// its full state every `every_steps` periods, and with `resume` starts
+/// from a matching existing file. Counter-based sensor noise and the
+/// deterministic CG core make a resumed run bit-identical to an
+/// uninterrupted one — the fault-injection suite asserts exactly that.
+///
+/// # Errors
+///
+/// [`crate::XylemError::Config`] for invalid policy/sensor/duration
+/// configuration; [`crate::XylemError::Checkpoint`] for an unreadable,
+/// corrupt, or mismatched checkpoint; thermal errors only if the solver
+/// fallback ladder itself is exhausted.
+pub fn dtm_transient_configured(
+    system: &XylemSystem,
+    benchmark: Benchmark,
+    requested_f_ghz: f64,
+    duration_s: f64,
+    run: &DtmRunConfig,
+    grid: GridSpec,
+) -> Result<DtmResult> {
+    run.policy.validate()?;
+    if !(duration_s.is_finite() && duration_s > 0.0) {
+        return Err(ConfigError::new(
+            "duration_s",
+            format!("duration {duration_s} s must be positive and finite"),
+        )
+        .into());
+    }
+    if let Some(sm) = &run.sensors {
+        sm.validate(grid.nx(), grid.ny())?;
+    }
+
     let built = system.built();
-    let model = built.stack().discretize(grid)?;
+    let mut model = built.stack().discretize(grid)?;
+    if let Some(opts) = run.solver {
+        model.set_solver_options(opts);
+    }
     let pm_layer = built.proc_metal_layer();
     let (points, maps) = dvfs_power_maps(system, benchmark, requested_f_ghz, &model)?;
 
+    let dt = run.policy.control_period_s;
+    let steps = (duration_s / dt).round() as usize;
+    let opts = model.solver_options();
+    let fingerprint = RunFingerprint {
+        benchmark: format!("{benchmark:?}"),
+        requested_f_ghz,
+        duration_s,
+        policy: run.policy,
+        sensors: run.sensors.clone(),
+        faults: run.faults.clone(),
+        solver_tolerance: opts.tolerance,
+        solver_max_iterations: opts.max_iterations,
+        grid_nx: grid.nx(),
+        grid_ny: grid.ny(),
+    };
+    let cfg_hash = checkpoint::config_hash(
+        &serde_json::to_string(&fingerprint)
+            .map_err(|e| ConfigError::new("fingerprint", format!("serialization failed: {e}")))?,
+    );
+
+    let mut field = TemperatureField::uniform(&model, model.ambient());
     let mut level = maps.len() - 1; // start at the requested point
-    let mut field = xylem_thermal::temperature::TemperatureField::uniform(&model, model.ambient());
-    let steps = (duration_s / policy.control_period_s).round() as usize;
-    let mut samples = Vec::with_capacity(steps);
+    let mut start_step = 0usize;
+    let mut samples: Vec<DtmSample> = Vec::with_capacity(steps);
     let mut throttle_events = 0usize;
     let mut above = 0usize;
-    let mut ws = SolverWorkspace::new();
+    let mut failsafe_events = 0usize;
     let mut cg_iterations = 0usize;
+    let mut recovery = RecoveryReport::default();
+    let mut sensors = run
+        .sensors
+        .as_ref()
+        .map(|sm| SensorArray::new(sm.clone(), model.ambient()));
 
-    for k in 0..steps {
+    if let Some(ck) = &run.checkpoint {
+        if ck.resume && ck.path.exists() {
+            let c = checkpoint::load(&ck.path)?;
+            c.validate_against(grid.nx(), grid.ny(), dt, &cfg_hash)?;
+            if c.level >= maps.len() || c.step > steps {
+                return Err(CheckpointError::Corrupt {
+                    reason: format!(
+                        "state out of range: level {} of {}, step {} of {steps}",
+                        c.level,
+                        maps.len(),
+                        c.step
+                    ),
+                }
+                .into());
+            }
+            field = TemperatureField::from_raw(&model, c.temps)?;
+            start_step = c.step;
+            level = c.level;
+            samples = c.samples;
+            throttle_events = c.throttle_events;
+            above = c.above;
+            failsafe_events = c.failsafe_events;
+            cg_iterations = c.cg_iterations;
+            recovery = c.recovery;
+            sensors = c.sensors;
+        }
+    }
+
+    let mut ws = SolverWorkspace::new();
+    for k in start_step..steps {
         // Each step seeds CG with the previous field (warm start) and
         // reuses the workspace + cached backward-Euler operator.
-        field = model.transient_with(
-            &maps[level],
-            &field,
-            policy.control_period_s,
-            1,
-            None,
-            &mut ws,
-        )?;
+        field = model.transient_with(&maps[level], &field, dt, 1, None, &mut ws)?;
         cg_iterations += field.stats().iterations;
-        let hot = field.max_of_layer(pm_layer);
-        samples.push(DtmSample {
-            time_s: (k + 1) as f64 * policy.control_period_s,
-            f_ghz: points[level],
-            hotspot: hot,
-        });
-        if hot > policy.trip {
-            above += 1;
-            if level > 0 {
-                level -= 1;
-                throttle_events += 1;
+        recovery.merge(field.recovery());
+        let true_hot = field.max_of_layer(pm_layer);
+        // The controller sees the die through the sensor path (if any);
+        // the recorded trace keeps the physical truth.
+        let estimate = match &mut sensors {
+            Some(arr) => {
+                let frame = arr.sample(&field, pm_layer, k, &run.faults);
+                let fused = arr.fuse(&frame, model.ambient());
+                fused.valid.then(|| Celsius::new(fused.value_c))
             }
-        } else if hot < policy.release && level + 1 < maps.len() {
-            level += 1;
+            None => Some(true_hot),
+        };
+        samples.push(DtmSample {
+            time_s: (k + 1) as f64 * dt,
+            f_ghz: points[level],
+            hotspot: true_hot,
+        });
+        if true_hot > run.policy.trip {
+            above += 1;
+        }
+        match estimate {
+            None => {
+                // Fail-safe: nothing credible to act on — assume the
+                // worst and drop to the floor until telemetry returns.
+                failsafe_events += 1;
+                if level > 0 {
+                    level = 0;
+                    throttle_events += 1;
+                }
+            }
+            Some(hot) => {
+                if hot > run.policy.trip {
+                    if level > 0 {
+                        level -= 1;
+                        throttle_events += 1;
+                    }
+                } else if hot < run.policy.release && level + 1 < maps.len() {
+                    level += 1;
+                }
+            }
+        }
+
+        if let Some(ck) = &run.checkpoint {
+            if ck.every_steps > 0 && (k + 1) % ck.every_steps == 0 {
+                let c = DtmCheckpoint {
+                    step: k + 1,
+                    grid_nx: grid.nx(),
+                    grid_ny: grid.ny(),
+                    dt,
+                    config_hash: cfg_hash.clone(),
+                    temps: field.raw().to_vec(),
+                    level,
+                    throttle_events,
+                    above,
+                    failsafe_events,
+                    cg_iterations,
+                    samples: samples.clone(),
+                    sensors: sensors.clone(),
+                    recovery: recovery.clone(),
+                };
+                checkpoint::save(&ck.path, &c)?;
+            }
         }
     }
 
@@ -172,6 +449,8 @@ pub fn dtm_transient(
         time_above_trip: above as f64 / steps.max(1) as f64,
         samples,
         cg_iterations,
+        failsafe_events,
+        recovery,
     })
 }
 
@@ -183,11 +462,8 @@ pub fn dtm_transient(
 ///
 /// # Errors
 ///
-/// Propagates model errors.
-///
-/// # Panics
-///
-/// Panics if `requested_f_ghz` is below the whole DVFS range.
+/// [`crate::XylemError::Config`] if `requested_f_ghz` is below the whole
+/// DVFS range; otherwise propagates model errors.
 pub fn dvfs_power_maps(
     system: &XylemSystem,
     benchmark: Benchmark,
@@ -202,10 +478,13 @@ pub fn dvfs_power_maps(
         .map(|p| p.frequency_ghz)
         .filter(|&f| f <= requested_f_ghz + 1e-9)
         .collect();
-    assert!(
-        !points.is_empty(),
-        "requested frequency below the DVFS range"
-    );
+    if points.is_empty() {
+        return Err(ConfigError::new(
+            "requested_f_ghz",
+            format!("requested frequency {requested_f_ghz} GHz is below the whole DVFS range"),
+        )
+        .into());
+    }
     let mut maps = Vec::with_capacity(points.len());
     for &f in &points {
         let metrics = system.machine().run(benchmark, f, 8);
@@ -256,11 +535,8 @@ pub fn dvfs_power_maps(
 ///
 /// # Errors
 ///
-/// Propagates model errors.
-///
-/// # Panics
-///
-/// Panics on degenerate duration/policy.
+/// [`crate::XylemError::Config`] for a degenerate duration or policy;
+/// otherwise propagates model errors.
 pub fn dtm_transient_phased(
     system: &XylemSystem,
     workload: &xylem_workloads::PhasedWorkload,
@@ -269,7 +545,14 @@ pub fn dtm_transient_phased(
     policy: &DtmPolicy,
     grid: GridSpec,
 ) -> Result<DtmResult> {
-    assert!(duration_s > 0.0 && policy.control_period_s > 0.0);
+    policy.validate()?;
+    if !(duration_s.is_finite() && duration_s > 0.0) {
+        return Err(ConfigError::new(
+            "duration_s",
+            format!("duration {duration_s} s must be positive and finite"),
+        )
+        .into());
+    }
     let built = system.built();
     let model = built.stack().discretize(grid)?;
     let pm_layer = built.proc_metal_layer();
@@ -279,10 +562,13 @@ pub fn dtm_transient_phased(
         .map(|p| p.frequency_ghz)
         .filter(|&f| f <= requested_f_ghz + 1e-9)
         .collect();
-    assert!(
-        !points.is_empty(),
-        "requested frequency below the DVFS range"
-    );
+    if points.is_empty() {
+        return Err(ConfigError::new(
+            "requested_f_ghz",
+            format!("requested frequency {requested_f_ghz} GHz is below the whole DVFS range"),
+        )
+        .into());
+    }
 
     // Power maps per (phase, DVFS point), built from the phase profiles.
     let mut phase_maps: Vec<Vec<PowerMap>> = Vec::new();
@@ -343,13 +629,14 @@ pub fn dtm_transient_phased(
     }
 
     let mut level = points.len() - 1;
-    let mut field = xylem_thermal::temperature::TemperatureField::uniform(&model, model.ambient());
+    let mut field = TemperatureField::uniform(&model, model.ambient());
     let steps = (duration_s / policy.control_period_s).round() as usize;
     let mut samples = Vec::with_capacity(steps);
     let mut throttle_events = 0usize;
     let mut above = 0usize;
     let mut ws = SolverWorkspace::new();
     let mut cg_iterations = 0usize;
+    let mut recovery = RecoveryReport::default();
     for k in 0..steps {
         let t = (k + 1) as f64 * policy.control_period_s;
         let phase = boundaries
@@ -365,6 +652,7 @@ pub fn dtm_transient_phased(
             &mut ws,
         )?;
         cg_iterations += field.stats().iterations;
+        recovery.merge(field.recovery());
         let hot = field.max_of_layer(pm_layer);
         samples.push(DtmSample {
             time_s: t,
@@ -388,12 +676,15 @@ pub fn dtm_transient_phased(
         time_above_trip: above as f64 / steps.max(1) as f64,
         samples,
         cg_iterations,
+        failsafe_events: 0,
+        recovery,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sensor::{FaultKind, SensorSite};
     use crate::system::SystemConfig;
     use xylem_stack::XylemScheme;
 
@@ -412,6 +703,38 @@ mod tests {
     }
 
     #[test]
+    fn policy_validation_rejects_degenerate_configs() {
+        assert!(DtmPolicy::paper_default().validate().is_ok());
+        let inverted = DtmPolicy {
+            trip: Celsius::new(90.0),
+            release: Celsius::new(95.0),
+            control_period_s: 1e-3,
+        };
+        assert!(inverted.validate().is_err());
+        let frozen = DtmPolicy {
+            control_period_s: 0.0,
+            ..DtmPolicy::paper_default()
+        };
+        assert!(frozen.validate().is_err());
+        let eternal = DtmPolicy {
+            control_period_s: f64::INFINITY,
+            ..DtmPolicy::paper_default()
+        };
+        assert!(eternal.validate().is_err());
+        // And the run entry points surface it as an error, not a panic.
+        let s = system(XylemScheme::Base);
+        let r = dtm_transient(
+            &s,
+            Benchmark::Is,
+            2.8,
+            1.0,
+            &inverted,
+            GridSpec::new(12, 12),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
     fn hot_workload_gets_throttled_on_base() {
         let s = system(XylemScheme::Base);
         let r = dtm_transient(
@@ -425,6 +748,8 @@ mod tests {
         .unwrap();
         assert!(r.throttle_events > 0, "{r:?}");
         assert!(r.final_f_ghz < 3.5);
+        assert_eq!(r.failsafe_events, 0);
+        assert!(r.recovery.is_empty(), "healthy run needs no ladder");
         // The trip level is only exceeded transiently.
         let tail = &r.samples[r.samples.len() / 2..];
         let tail_above = tail.iter().filter(|s| s.hotspot > 100.5).count();
@@ -453,8 +778,56 @@ mod tests {
     }
 
     #[test]
+    fn sensored_run_matches_perfect_telemetry_when_ideal() {
+        // An ideal sensor on every cell reads exactly the true hotspot,
+        // so the controller trace must match the perfect-telemetry loop.
+        let s = system(XylemScheme::BankEnhanced);
+        let grid = GridSpec::new(12, 12);
+        let policy = quick_policy();
+        let perfect = dtm_transient(&s, Benchmark::Is, 2.8, 1.0, &policy, grid).unwrap();
+        let sites: Vec<SensorSite> = (0..12)
+            .flat_map(|ix| (0..12).map(move |iy| SensorSite { ix, iy }))
+            .collect();
+        let run = DtmRunConfig {
+            sensors: Some(SensorModel::ideal(sites, 1)),
+            ..DtmRunConfig::new(policy)
+        };
+        let sensed = dtm_transient_configured(&s, Benchmark::Is, 2.8, 1.0, &run, grid).unwrap();
+        assert_eq!(perfect, sensed);
+    }
+
+    #[test]
+    fn dropout_of_all_sensors_failsafes_to_the_floor() {
+        let s = system(XylemScheme::BankEnhanced);
+        let grid = GridSpec::new(12, 12);
+        let policy = quick_policy();
+        let model = SensorModel::ideal(vec![SensorSite { ix: 6, iy: 6 }], 9);
+        let run = DtmRunConfig {
+            sensors: Some(model),
+            faults: vec![SensorFault {
+                sensor: 0,
+                kind: FaultKind::Dropout,
+                from_step: 10,
+                to_step: 20,
+                value_c: 0.0,
+            }],
+            ..DtmRunConfig::new(policy)
+        };
+        let r = dtm_transient_configured(&s, Benchmark::Is, 2.8, 1.0, &run, grid).unwrap();
+        assert_eq!(r.failsafe_events, 10);
+        // During the blackout the controller sits at the DVFS floor.
+        let floor = r
+            .samples
+            .iter()
+            .map(|s| s.f_ghz)
+            .fold(f64::INFINITY, f64::min);
+        assert!(r.samples[11..20].iter().all(|s| s.f_ghz == floor));
+        // Telemetry returns, the controller re-boosts.
+        assert!((r.final_f_ghz - 2.8).abs() < 1e-9, "{}", r.final_f_ghz);
+    }
+
+    #[test]
     fn dtm_warm_stepping_beats_cold_restarts() {
-        use xylem_thermal::temperature::TemperatureField;
         // A cool workload never throttles, so the DTM run is a fixed
         // power map stepped `samples` times — replicate it with the CG
         // iterate forced back to ambient each step and compare costs.

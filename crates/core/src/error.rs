@@ -1,0 +1,185 @@
+//! Workspace-level error type.
+//!
+//! Binaries and examples run whole experiment pipelines — system build,
+//! thermal solves, DTM loops, checkpoint I/O — and a single `?`-friendly
+//! error type lets their `main`s report any failure with full context
+//! instead of unwrapping. [`XylemError`] wraps the substrate errors and
+//! implements [`std::error::Error::source`] so callers can walk the
+//! chain.
+
+use std::fmt;
+
+use xylem_thermal::ThermalError;
+
+/// An invalid run or policy configuration, reported instead of panicking
+/// inside the library (see [`crate::dtm::DtmPolicy::validate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    /// Which parameter (or parameter pair) was misconfigured.
+    pub what: &'static str,
+    /// Why the value is invalid.
+    pub reason: String,
+}
+
+impl ConfigError {
+    /// Builds a configuration error for `what` with a formatted reason.
+    pub fn new(what: &'static str, reason: impl Into<String>) -> Self {
+        ConfigError {
+            what,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}: {}", self.what, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Failures of the checkpoint save/load path (see [`crate::checkpoint`]).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The file could not be read or written.
+    Io {
+        /// Path involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file exists but is not a valid checkpoint (bad magic, version,
+    /// checksum, or JSON).
+    Corrupt {
+        /// What failed to validate.
+        reason: String,
+    },
+    /// The checkpoint is internally valid but belongs to a different run
+    /// (grid shape, time step, or config hash differ).
+    Mismatch {
+        /// Which field disagreed.
+        what: &'static str,
+        /// Value the resuming run expects.
+        expected: String,
+        /// Value stored in the checkpoint.
+        found: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint I/O failed for {path}: {source}")
+            }
+            CheckpointError::Corrupt { reason } => {
+                write!(f, "corrupt checkpoint: {reason}")
+            }
+            CheckpointError::Mismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint belongs to a different run: {what} is {found}, \
+                 this run expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The workspace-level error: everything a Xylem experiment pipeline can
+/// fail with. `From` conversions make `?` work uniformly across thermal
+/// solves, configuration validation, and checkpoint I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum XylemError {
+    /// A thermal model build or solve failed.
+    Thermal(ThermalError),
+    /// A run/policy configuration was rejected.
+    Config(ConfigError),
+    /// Checkpoint save/load failed.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for XylemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XylemError::Thermal(e) => write!(f, "thermal: {e}"),
+            XylemError::Config(e) => write!(f, "config: {e}"),
+            XylemError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XylemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XylemError::Thermal(e) => Some(e),
+            XylemError::Config(e) => Some(e),
+            XylemError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<ThermalError> for XylemError {
+    fn from(e: ThermalError) -> Self {
+        XylemError::Thermal(e)
+    }
+}
+
+impl From<ConfigError> for XylemError {
+    fn from(e: ConfigError) -> Self {
+        XylemError::Config(e)
+    }
+}
+
+impl From<CheckpointError> for XylemError {
+    fn from(e: CheckpointError) -> Self {
+        XylemError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = XylemError::from(ThermalError::InvalidTimeStep { dt: -1.0 });
+        assert!(e.to_string().starts_with("thermal:"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = XylemError::from(ConfigError::new("trip", "must exceed release"));
+        assert!(e.to_string().contains("trip"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = XylemError::from(CheckpointError::Corrupt {
+            reason: "checksum mismatch".into(),
+        });
+        assert!(e.to_string().contains("checksum"));
+
+        let io = CheckpointError::Io {
+            path: "/tmp/x".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(std::error::Error::source(&io).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XylemError>();
+    }
+}

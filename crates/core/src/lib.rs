@@ -41,19 +41,23 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod dtm;
+pub mod error;
 pub mod evaluation;
 pub mod headroom;
 pub mod lambda_aware;
 pub mod migration;
 pub mod placement;
 pub mod response;
+pub mod sensor;
 pub mod system;
 
+pub use error::{CheckpointError, ConfigError, XylemError};
 pub use evaluation::Evaluation;
 pub use placement::ThreadPlacement;
 pub use response::ThermalResponse;
 pub use system::{SystemConfig, XylemSystem};
 
-/// Result alias re-using the thermal error type across the crate.
-pub type Result<T> = std::result::Result<T, xylem_thermal::ThermalError>;
+/// Result alias over the workspace-level error type.
+pub type Result<T> = std::result::Result<T, XylemError>;

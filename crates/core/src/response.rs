@@ -244,7 +244,8 @@ impl ThermalResponse {
             return Err(ThermalError::PowerMapMismatch {
                 map_nodes: proc_powers.len() + dram_powers.len(),
                 model_nodes: self.proc_blocks.len() + self.n_dram_dies,
-            });
+            }
+            .into());
         }
         let cells = self.grid_nx * self.grid_ny;
         let mut proc = vec![self.ambient_c; cells];

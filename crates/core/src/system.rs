@@ -70,7 +70,8 @@ impl RunSpec {
                 if used[c] {
                     return Err(ThermalError::BadStack {
                         reason: format!("core {c} assigned to two instances"),
-                    });
+                    }
+                    .into());
                 }
                 used[c] = true;
             }

@@ -1,0 +1,150 @@
+//! Property-based tests for the fault-tolerant DTM runtime: arbitrary
+//! sensor-fault schedules must never corrupt the simulation state, and
+//! checkpoints must round-trip bit-identically whatever they hold.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use xylem::checkpoint::{self, DtmCheckpoint};
+use xylem::dtm::{dtm_transient_configured, DtmPolicy, DtmRunConfig, DtmSample};
+use xylem::sensor::{FaultKind, SensorArray, SensorFault, SensorModel};
+use xylem::system::{SystemConfig, XylemSystem};
+use xylem_stack::XylemScheme;
+use xylem_thermal::grid::GridSpec;
+use xylem_thermal::units::Celsius;
+use xylem_thermal::RecoveryReport;
+
+const STEPS: usize = 30;
+
+/// One system for every case: building it is the dominant cost.
+fn system() -> &'static XylemSystem {
+    static SYS: OnceLock<XylemSystem> = OnceLock::new();
+    SYS.get_or_init(|| {
+        let mut cfg = SystemConfig::fast(XylemScheme::Base);
+        cfg.cache_dir = Some(std::env::temp_dir().join("xylem-system-test-cache"));
+        XylemSystem::new(cfg).unwrap()
+    })
+}
+
+fn kind_of(tag: u32) -> FaultKind {
+    match tag % 3 {
+        0 => FaultKind::StuckAt,
+        1 => FaultKind::Dropout,
+        _ => FaultKind::Spike,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// However the sensors are corrupted — any kind, any window, any
+    /// magnitude (including wildly implausible ones), even out-of-range
+    /// sensor indices — the DTM loop completes, every recorded
+    /// temperature and frequency is finite, and the accounting stays in
+    /// range.
+    #[test]
+    fn fault_schedules_never_corrupt_the_run(
+        seed in 0u64..1000,
+        noise in 0.0f64..1.0,
+        latency in 0usize..3,
+        faults in proptest::collection::vec(
+            (0usize..6, 0u32..3, 0usize..STEPS, 1usize..STEPS, -200.0f64..300.0),
+            0..4,
+        ),
+    ) {
+        let policy = DtmPolicy {
+            trip: Celsius::new(100.0),
+            release: Celsius::new(98.0),
+            control_period_s: 20e-3,
+        };
+        let mut sensors = SensorModel::default_array(12, 12, seed);
+        sensors.noise_sigma_c = noise;
+        sensors.latency_steps = latency;
+        let run = DtmRunConfig {
+            sensors: Some(sensors),
+            faults: faults
+                .iter()
+                .map(|&(sensor, tag, from, len, value_c)| SensorFault {
+                    sensor,
+                    kind: kind_of(tag),
+                    from_step: from,
+                    to_step: from + len,
+                    value_c,
+                })
+                .collect(),
+            ..DtmRunConfig::new(policy)
+        };
+        let duration = STEPS as f64 * policy.control_period_s;
+        let r = dtm_transient_configured(
+            system(),
+            xylem_workloads::Benchmark::LuNas,
+            3.5,
+            duration,
+            &run,
+            GridSpec::new(12, 12),
+        )
+        .unwrap();
+        prop_assert_eq!(r.samples.len(), STEPS);
+        for s in &r.samples {
+            prop_assert!(s.hotspot.get().is_finite(), "hotspot {:?}", s);
+            prop_assert!(s.f_ghz.is_finite() && s.f_ghz > 0.0, "f {:?}", s);
+        }
+        prop_assert!(r.time_above_trip >= 0.0 && r.time_above_trip <= 1.0,
+            "time_above_trip {}", r.time_above_trip);
+        prop_assert!(r.failsafe_events <= STEPS);
+        prop_assert!(r.mean_f_ghz().is_finite());
+    }
+
+    /// A checkpoint holding arbitrary (finite) state round-trips through
+    /// disk bit-identically — floats, nested samples, in-flight sensor
+    /// readings and all.
+    #[test]
+    fn checkpoints_round_trip_bit_identically(
+        step in 0usize..1000,
+        dt in 1e-6f64..1.0,
+        temps in proptest::collection::vec(-40.0f64..140.0, 4..40),
+        samples in proptest::collection::vec(
+            (0.0f64..10.0, 0.5f64..4.0, 20.0f64..130.0),
+            0..10,
+        ),
+        with_sensors in 0u32..2,
+    ) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let id = CASE.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("xylem-prop-ckpt-{id}.json"));
+        let sensors = (with_sensors == 1).then(|| {
+            let mut sm = SensorModel::default_array(12, 12, step as u64);
+            sm.latency_steps = 2;
+            SensorArray::new(sm, Celsius::new(45.0))
+        });
+        let ckpt = DtmCheckpoint {
+            step,
+            grid_nx: 12,
+            grid_ny: 12,
+            dt,
+            config_hash: checkpoint::config_hash(&format!("case-{id}")),
+            temps,
+            level: step % 7,
+            throttle_events: step / 2,
+            above: step / 3,
+            failsafe_events: step / 5,
+            cg_iterations: step * 11,
+            samples: samples
+                .iter()
+                .map(|&(time_s, f_ghz, hot)| DtmSample {
+                    time_s,
+                    f_ghz,
+                    hotspot: Celsius::new(hot),
+                })
+                .collect(),
+            sensors,
+            recovery: RecoveryReport::default(),
+        };
+        checkpoint::save(&path, &ckpt).unwrap();
+        let back = checkpoint::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(ckpt, back);
+    }
+}

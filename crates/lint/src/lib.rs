@@ -15,6 +15,10 @@
 //!    magnitudes (the Celsius offset, material conductivities and heat
 //!    capacities) must live in `thermal/src/material.rs` or
 //!    `power/src/blocks.rs`, not inline.
+//! 4. **`no-panic-path`** — the fault-tolerance-critical modules (the DTM
+//!    loop, the solver fallback ladder, the sensor model, checkpointing)
+//!    must not contain `.unwrap()` or `.expect()` at all: the recovery
+//!    paths must propagate every failure as a `Result`.
 //!
 //! Known-good exceptions go in an optional `xylem-lint.allow` file at the
 //! workspace root, one entry per line: `<rule> <path-suffix> <symbol>`
@@ -138,6 +142,7 @@ pub fn check_source(relpath: &str, src: &str, allow: &Allowlist) -> Vec<Diagnost
     rules::check_f64_params(relpath, &toks, &mask, allow, &mut out);
     rules::check_panics(relpath, &toks, &mask, allow, &mut out);
     rules::check_magic_floats(relpath, &toks, &mask, allow, &mut out);
+    rules::check_no_panic_paths(relpath, &toks, &mask, allow, &mut out);
     out
 }
 

@@ -1,4 +1,4 @@
-//! The three lint rules, operating on the lexer's token stream.
+//! The four lint rules, operating on the lexer's token stream.
 //!
 //! * `f64-param` — public API functions of the physics crates must not take
 //!   a raw `f64` where the parameter name says it is a physical quantity.
@@ -6,6 +6,11 @@
 //!   `panic!()`-family macros.
 //! * `magic-float` — float literals matching known physical-constant
 //!   magnitudes must live in the material/blocks tables, not inline.
+//! * `no-panic-path` — the fault-tolerance-critical modules (the DTM
+//!   loop, the solver ladder, sensors, checkpointing) must not contain
+//!   `.expect()` or `.unwrap()` at all: these are exactly the places
+//!   that run when something else already went wrong, so every failure
+//!   must propagate as a `Result`.
 
 use crate::lexer::{Tok, TokKind};
 use crate::{Allowlist, Diagnostic};
@@ -45,6 +50,16 @@ const MAGIC_EXEMPT_SUFFIXES: &[&str] = &[
     "thermal/src/material.rs",
     "power/src/blocks.rs",
     "thermal/src/units.rs",
+];
+
+/// Files where panicking escape hatches are banned outright (rule 4):
+/// the recovery paths themselves. A panic here turns a survivable fault
+/// into a crash, defeating the point of the module.
+const NO_PANIC_SUFFIXES: &[&str] = &[
+    "crates/core/src/dtm.rs",
+    "crates/core/src/sensor.rs",
+    "crates/core/src/checkpoint.rs",
+    "crates/thermal/src/solve.rs",
 ];
 
 /// Whether `relpath` (normalized with `/`) is library source: under a
@@ -343,6 +358,48 @@ pub fn check_panics(
     }
 }
 
+/// Rule 4: `.expect()` and `.unwrap()` in the fault-tolerance-critical
+/// modules. Rule 2 already bans `.unwrap()` across library code but
+/// tolerates `expect("<invariant>")`; in the recovery paths even a
+/// documented invariant panic is unacceptable — the module exists to
+/// absorb violated assumptions, not to die on them.
+pub fn check_no_panic_paths(
+    relpath: &str,
+    toks: &[Tok],
+    mask: &[bool],
+    allow: &Allowlist,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !NO_PANIC_SUFFIXES.iter().any(|s| relpath.ends_with(s)) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let is_call = (t.is_ident("expect") || t.is_ident("unwrap"))
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if !is_call {
+            continue;
+        }
+        if allow.permits("no-panic-path", relpath, &t.text) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "no-panic-path",
+            path: relpath.to_string(),
+            line: t.line,
+            symbol: t.text.clone(),
+            message: format!(
+                "`.{}()` in a fault-tolerance-critical module; recovery paths must propagate every failure as a Result",
+                t.text
+            ),
+        });
+    }
+}
+
 /// Rule 3: float literals matching known physical-constant magnitudes
 /// outside the material tables.
 pub fn check_magic_floats(
@@ -420,6 +477,7 @@ mod tests {
         check_f64_params(relpath, &toks, &mask, &allow, &mut out);
         check_panics(relpath, &toks, &mask, &allow, &mut out);
         check_magic_floats(relpath, &toks, &mask, &allow, &mut out);
+        check_no_panic_paths(relpath, &toks, &mask, &allow, &mut out);
         out
     }
 
@@ -511,6 +569,42 @@ mod tests {
         );
         assert!(d.is_empty(), "{d:?}");
         let d = run_all("crates/thermal/src/grid.rs", "fn n() -> usize { 400 }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn expect_is_banned_in_recovery_modules() {
+        // `expect("msg")` passes rule 2 everywhere else...
+        let src = "fn f() { x.expect(\"invariant\"); }";
+        assert!(run_all("crates/stack/src/foo.rs", src).is_empty());
+        // ...but not in the fault-tolerance-critical files.
+        for path in [
+            "crates/core/src/dtm.rs",
+            "crates/core/src/sensor.rs",
+            "crates/core/src/checkpoint.rs",
+            "crates/thermal/src/solve.rs",
+        ] {
+            let d = run_all(path, src);
+            assert_eq!(d.len(), 1, "{path}: {d:?}");
+            assert_eq!(d[0].rule, "no-panic-path");
+            assert_eq!(d[0].symbol, "expect");
+        }
+    }
+
+    #[test]
+    fn unwrap_in_recovery_modules_trips_both_rules() {
+        let d = run_all("crates/core/src/dtm.rs", "fn f() { x.unwrap(); }");
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|d| d.rule == "unwrap"));
+        assert!(d.iter().any(|d| d.rule == "no-panic-path"));
+    }
+
+    #[test]
+    fn recovery_module_tests_may_still_expect() {
+        let d = run_all(
+            "crates/core/src/checkpoint.rs",
+            "fn ok() {}\n#[cfg(test)]\nmod tests {\n fn f() { x.expect(\"msg\"); y.unwrap(); }\n}",
+        );
         assert!(d.is_empty(), "{d:?}");
     }
 

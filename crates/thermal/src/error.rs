@@ -62,6 +62,12 @@ pub enum ThermalError {
         /// The offending time step in seconds.
         dt: f64,
     },
+    /// A temperature vector supplied from outside the solver (e.g. a
+    /// checkpoint restore) contained a NaN or infinite entry.
+    NonFiniteTemperature {
+        /// Index of the first offending node.
+        node: usize,
+    },
 }
 
 impl fmt::Display for ThermalError {
@@ -96,6 +102,9 @@ impl fmt::Display for ThermalError {
             ),
             ThermalError::InvalidTimeStep { dt } => {
                 write!(f, "invalid time step {dt} s (must be positive and finite)")
+            }
+            ThermalError::NonFiniteTemperature { node } => {
+                write!(f, "non-finite temperature at node {node}")
             }
         }
     }
@@ -139,6 +148,7 @@ mod tests {
                 model_nodes: 2,
             },
             ThermalError::InvalidTimeStep { dt: 0.0 },
+            ThermalError::NonFiniteTemperature { node: 7 },
         ];
         for e in errors {
             let s = e.to_string();

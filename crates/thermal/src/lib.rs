@@ -85,7 +85,9 @@ pub use error::ThermalError;
 pub use grid::GridSpec;
 pub use model::ThermalModel;
 pub use power::PowerMap;
-pub use solve::{PreconditionerKind, SolverOptions, SolverWorkspace};
+pub use solve::{
+    PreconditionerKind, RecoveryEvent, RecoveryReport, SolverOptions, SolverWorkspace,
+};
 pub use stack::Stack;
 pub use temperature::TemperatureField;
 

@@ -26,8 +26,8 @@ use crate::error::ThermalError;
 use crate::grid::{rasterize, GridSpec};
 use crate::power::PowerMap;
 use crate::solve::{
-    debug_check_solution, solve_cg, solve_cg_reference, Preconditioner, PreconditionerKind,
-    SolveStats, SolverOptions, SolverWorkspace,
+    debug_check_solution, solve_cg_reference, solve_cg_resilient, Preconditioner,
+    PreconditionerKind, RecoveryReport, SolveStats, SolverOptions, SolverWorkspace,
 };
 use crate::stack::Stack;
 use crate::temperature::TemperatureField;
@@ -541,19 +541,21 @@ impl ThermalModel {
                 }
                 None => vec![self.ambient; n],
             };
-            let stats = solve_cg(
+            let mut recovery = RecoveryReport::default();
+            let stats = solve_cg_resilient(
                 &self.csr,
                 &self.prec,
                 &rhs,
                 &mut x,
                 ws,
                 &self.solver_options,
+                &mut recovery,
             )?;
-            Ok((x, stats))
+            Ok((x, stats, recovery))
         })();
         ws.rhs = rhs;
-        let (x, stats) = result?;
-        let temps = TemperatureField::new(self, x, stats);
+        let (x, stats, recovery) = result?;
+        let temps = TemperatureField::new(self, x, stats, recovery);
         debug_check_solution(&stats, &self.solver_options, temps.raw());
         #[cfg(debug_assertions)]
         {
@@ -593,7 +595,7 @@ impl ThermalModel {
             &mut x,
             &self.solver_options,
         )?;
-        let temps = TemperatureField::new(self, x, stats);
+        let temps = TemperatureField::new(self, x, stats, RecoveryReport::default());
         debug_check_solution(&stats, &self.solver_options, temps.raw());
         Ok(temps)
     }
@@ -696,6 +698,7 @@ impl ThermalModel {
             // iterate, except on the first step when `guess` overrides it.
             let mut x = initial.raw().to_vec();
             let mut stats = SolveStats::default();
+            let mut recovery = RecoveryReport::default();
             for step in 0..steps {
                 for i in 0..n {
                     rhs[i] = rhs0[i] + self.capacitance[i] / dt * x[i];
@@ -705,16 +708,26 @@ impl ThermalModel {
                         x.copy_from_slice(g.raw());
                     }
                 }
-                let s = solve_cg(&op.a, &op.prec, &rhs, &mut x, ws, &self.solver_options)?;
+                let mut step_recovery = RecoveryReport::default();
+                let s = solve_cg_resilient(
+                    &op.a,
+                    &op.prec,
+                    &rhs,
+                    &mut x,
+                    ws,
+                    &self.solver_options,
+                    &mut step_recovery,
+                )?;
+                recovery.merge(&step_recovery);
                 stats.iterations += s.iterations;
                 stats.residual = s.residual;
             }
-            Ok((x, stats))
+            Ok((x, stats, recovery))
         })();
         ws.rhs = rhs;
         ws.rhs0 = rhs0;
-        let (x, stats) = result?;
-        let temps = TemperatureField::new(self, x, stats);
+        let (x, stats, recovery) = result?;
+        let temps = TemperatureField::new(self, x, stats, recovery);
         debug_check_solution(&stats, &self.solver_options, temps.raw());
         Ok(temps)
     }
@@ -958,6 +971,57 @@ mod tests {
                 assert!((a - b).abs() < 1e-6, "{a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn transient_ladder_recovers_from_a_starved_iteration_cap() {
+        // An ill-posed solver configuration — an iteration cap far below
+        // what backward Euler needs — must not abort the transient: the
+        // fallback ladder escalates and the recovered trajectory matches
+        // a tight-tolerance reference within 1e-6.
+        let mut m = model(6);
+        let mut p = PowerMap::zeros(&m);
+        p.add_uniform_layer_power(2, Watts::new(12.0));
+        let init = TemperatureField::uniform(&m, m.ambient());
+        // The BE right-hand side carries large C/dt terms, so a relative
+        // CG tolerance is looser in absolute degrees than steady state;
+        // tighten it for both runs so 1e-6 agreement is meaningful.
+        m.set_solver_options(SolverOptions {
+            tolerance: 1e-12,
+            ..*m.solver_options()
+        });
+        let reference = m.transient(&p, &init, 1e-3, 5).unwrap();
+        assert!(
+            reference.recovery().is_empty(),
+            "healthy run needs no ladder"
+        );
+
+        m.set_solver_options(SolverOptions {
+            max_iterations: 2,
+            ..*m.solver_options()
+        });
+        let recovered = m.transient(&p, &init, 1e-3, 5).unwrap();
+        let report = recovered.recovery();
+        assert!(!report.is_empty(), "ladder should have fired");
+        assert!(report.recoveries >= 1);
+        assert!(report.events.iter().any(|e| e.recovered));
+        for (a, b) in recovered.raw().iter().zip(reference.raw()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn from_raw_validates_shape_and_finiteness() {
+        let m = model(4);
+        let good = TemperatureField::from_raw(&m, vec![m.ambient().get(); m.node_count()]);
+        assert!(good.is_ok());
+        assert!(TemperatureField::from_raw(&m, vec![0.0; 3]).is_err());
+        let mut bad = vec![m.ambient().get(); m.node_count()];
+        bad[5] = f64::NAN;
+        assert!(matches!(
+            TemperatureField::from_raw(&m, bad),
+            Err(ThermalError::NonFiniteTemperature { node: 5 })
+        ));
     }
 
     #[test]

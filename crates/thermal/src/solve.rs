@@ -82,6 +82,10 @@ pub struct SolverOptions {
     pub max_iterations: usize,
     /// Which preconditioner to build and apply.
     pub preconditioner: PreconditionerKind,
+    /// Whether [`solve_cg_resilient`] may escalate down the fallback
+    /// ladder (AMG -> IC0 -> SSOR -> Jacobi) when the configured solve
+    /// fails, instead of surfacing [`ThermalError::NoConvergence`].
+    pub fallback: bool,
 }
 
 impl Default for SolverOptions {
@@ -90,6 +94,94 @@ impl Default for SolverOptions {
             tolerance: 1e-9,
             max_iterations: 20_000,
             preconditioner: PreconditionerKind::Amg,
+            fallback: true,
+        }
+    }
+}
+
+/// Fallback escalation order: each rung is cheaper to set up and more
+/// numerically conservative than the one before it. A solve configured
+/// at rung `k` escalates through rungs `k+1..`.
+pub const FALLBACK_LADDER: [PreconditionerKind; 4] = [
+    PreconditionerKind::Amg,
+    PreconditionerKind::Ic0,
+    PreconditionerKind::Ssor,
+    PreconditionerKind::Jacobi,
+];
+
+/// Iteration budget every fallback rung gets at minimum, regardless of
+/// how tight the configured cap was: a rung exists to rescue the solve,
+/// so it must not inherit a cap that already proved too small.
+const FALLBACK_MIN_ITERATIONS: usize = 20_000;
+
+/// Cap on detailed [`RecoveryEvent`]s kept per report; totals keep
+/// counting past it (long degraded transients would otherwise grow the
+/// report without bound).
+const MAX_RECORDED_EVENTS: usize = 64;
+
+/// The relaxed first-pass tolerance a fallback rung converges to before
+/// re-tightening to the requested tolerance: three decades looser,
+/// never looser than 1e-4, never looser than the request itself allows.
+fn relaxed_tolerance(tolerance: f64) -> f64 {
+    (tolerance * 1e3).min(1e-4).max(tolerance)
+}
+
+/// One fallback-ladder recovery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Preconditioner rung the retry ran on.
+    pub rung: PreconditionerKind,
+    /// Tolerance of the relaxed first pass.
+    pub relaxed_tolerance: f64,
+    /// CG iterations this rung spent (relaxed + retightened passes).
+    pub iterations: usize,
+    /// Relative residual at the end of the rung.
+    pub residual: f64,
+    /// Whether the rung brought the solve back to the requested
+    /// tolerance.
+    pub recovered: bool,
+}
+
+/// Record of every fallback recovery a solve (or a sequence of solves)
+/// went through. An empty report means every solve converged on the
+/// configured path; a non-empty one means the caller received
+/// degraded-mode solutions that still meet the requested tolerance.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Detailed per-rung events, capped at 64 entries; `attempts` /
+    /// `recoveries` keep counting past the cap.
+    pub events: Vec<RecoveryEvent>,
+    /// Total rung attempts, recorded or not.
+    pub attempts: usize,
+    /// Total rungs that recovered the solve.
+    pub recoveries: usize,
+}
+
+impl RecoveryReport {
+    /// True when no fallback was ever needed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.attempts == 0
+    }
+
+    /// Folds `other` into `self` (respecting the event cap).
+    pub fn merge(&mut self, other: &RecoveryReport) {
+        for ev in &other.events {
+            if self.events.len() < MAX_RECORDED_EVENTS {
+                self.events.push(*ev);
+            }
+        }
+        self.attempts += other.attempts;
+        self.recoveries += other.recoveries;
+    }
+
+    fn record(&mut self, ev: RecoveryEvent) {
+        self.attempts += 1;
+        if ev.recovered {
+            self.recoveries += 1;
+        }
+        if self.events.len() < MAX_RECORDED_EVENTS {
+            self.events.push(ev);
         }
     }
 }
@@ -125,6 +217,8 @@ pub struct SolverWorkspace {
     /// Second staging buffer for transient stepping (the constant part
     /// of the backward-Euler right-hand side).
     pub rhs0: Vec<f64>,
+    /// Entry-iterate backup for [`solve_cg_resilient`] cold restarts.
+    x0: Vec<f64>,
 }
 
 impl SolverWorkspace {
@@ -620,6 +714,168 @@ pub fn solve_cg(
     }
 }
 
+/// Whether every entry of a candidate solution is a finite number. A
+/// solve that "converged" onto NaN/inf must be treated as failed.
+fn solution_is_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
+/// [`solve_cg`] wrapped in the fallback ladder: on
+/// [`ThermalError::NoConvergence`] — or a nominally converged solution
+/// containing non-finite values — the solve escalates through the
+/// [`FALLBACK_LADDER`] rungs after `options.preconditioner`, each one
+/// cold-restarting from the entry iterate, first converging to a
+/// relaxed tolerance ([`relaxed_tolerance`]) and then re-tightening to
+/// the requested one. Every rung attempt lands in `report`, so callers
+/// observe degraded-mode solves instead of hard errors.
+///
+/// With `options.fallback == false` this is exactly [`solve_cg`].
+///
+/// The returned [`SolveStats`] count iterations across the failed
+/// attempt and all rungs tried; the residual is the final (recovered)
+/// one.
+///
+/// # Errors
+///
+/// [`ThermalError::NoConvergence`] only when every rung of the ladder
+/// has failed.
+pub fn solve_cg_resilient(
+    a: &CsrMatrix,
+    prec: &Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    ws: &mut SolverWorkspace,
+    options: &SolverOptions,
+    report: &mut RecoveryReport,
+) -> Result<SolveStats, ThermalError> {
+    if !options.fallback {
+        return solve_cg(a, prec, b, x, ws, options);
+    }
+    // Back up the entry iterate so rungs can cold-restart from it. The
+    // buffer is workspace-owned: no allocation once it has grown.
+    let mut x0 = std::mem::take(&mut ws.x0);
+    x0.clear();
+    x0.extend_from_slice(x);
+
+    let mut total_iters = 0usize;
+    let first = solve_cg(a, prec, b, x, ws, options);
+    let mut last_residual = match first {
+        Ok(stats) => {
+            if solution_is_finite(x) {
+                ws.x0 = x0;
+                return Ok(stats);
+            }
+            total_iters += stats.iterations;
+            f64::INFINITY
+        }
+        Err(ThermalError::NoConvergence {
+            iterations,
+            residual,
+            ..
+        }) => {
+            total_iters += iterations;
+            residual
+        }
+        Err(other) => {
+            ws.x0 = x0;
+            return Err(other);
+        }
+    };
+
+    let start = FALLBACK_LADDER
+        .iter()
+        .position(|&k| k == options.preconditioner)
+        .map_or(0, |p| p + 1);
+    let relaxed = relaxed_tolerance(options.tolerance);
+    let rung_cap = options.max_iterations.max(FALLBACK_MIN_ITERATIONS);
+    let mut recovered_stats = None;
+    for &kind in &FALLBACK_LADDER[start..] {
+        x.copy_from_slice(&x0);
+        let rung_prec = Preconditioner::build(a, kind);
+        let mut rung_iters = 0usize;
+        let mut rung_residual = f64::INFINITY;
+        let mut rung_ok = false;
+
+        let loose = SolverOptions {
+            tolerance: relaxed,
+            max_iterations: rung_cap,
+            preconditioner: kind,
+            fallback: false,
+        };
+        match solve_cg(a, &rung_prec, b, x, ws, &loose) {
+            Ok(s) if solution_is_finite(x) => {
+                rung_iters += s.iterations;
+                // Re-tighten: continue from the relaxed solution down to
+                // the requested tolerance.
+                let tight = SolverOptions {
+                    tolerance: options.tolerance,
+                    ..loose
+                };
+                match solve_cg(a, &rung_prec, b, x, ws, &tight) {
+                    Ok(t) if solution_is_finite(x) => {
+                        rung_iters += t.iterations;
+                        rung_residual = t.residual;
+                        rung_ok = true;
+                    }
+                    Ok(t) => {
+                        rung_iters += t.iterations;
+                    }
+                    Err(ThermalError::NoConvergence {
+                        iterations,
+                        residual,
+                        ..
+                    }) => {
+                        rung_iters += iterations;
+                        rung_residual = residual;
+                    }
+                    Err(_) => {}
+                }
+            }
+            Ok(s) => {
+                rung_iters += s.iterations;
+            }
+            Err(ThermalError::NoConvergence {
+                iterations,
+                residual,
+                ..
+            }) => {
+                rung_iters += iterations;
+                rung_residual = residual;
+            }
+            Err(_) => {}
+        }
+
+        total_iters += rung_iters;
+        if rung_residual.is_finite() {
+            last_residual = rung_residual;
+        }
+        report.record(RecoveryEvent {
+            rung: kind,
+            relaxed_tolerance: relaxed,
+            iterations: rung_iters,
+            residual: rung_residual,
+            recovered: rung_ok,
+        });
+        if rung_ok {
+            recovered_stats = Some(SolveStats {
+                iterations: total_iters,
+                residual: rung_residual,
+            });
+            break;
+        }
+    }
+
+    ws.x0 = x0;
+    match recovered_stats {
+        Some(stats) => Ok(stats),
+        None => Err(ThermalError::NoConvergence {
+            iterations: total_iters,
+            residual: last_residual,
+            tolerance: options.tolerance,
+        }),
+    }
+}
+
 /// The seed's Jacobi-CG over a caller-supplied matvec closure, kept
 /// verbatim as the comparison baseline for the solver-scaling benchmarks
 /// and the CSR-equivalence property tests. Allocates its work vectors
@@ -755,6 +1011,19 @@ mod tests {
         solve_cg(a, &prec, b, x, &mut ws, &options)
     }
 
+    /// A 1D Laplacian chain: SPD, needs real CG iterations.
+    fn chain(n: usize, diag: f64) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, diag));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, &t)
+    }
+
     const ALL_KINDS: [PreconditionerKind; 4] = [
         PreconditionerKind::Jacobi,
         PreconditionerKind::Ssor,
@@ -812,30 +1081,116 @@ mod tests {
     #[test]
     fn iteration_cap_reported() {
         // A 1D Laplacian chain with a tight cap.
-        let n = 50;
-        let mut t = Vec::new();
-        for i in 0..n {
-            t.push((i, i, 2.0));
-            if i + 1 < n {
-                t.push((i, i + 1, -1.0));
-                t.push((i + 1, i, -1.0));
-            }
-        }
-        let a = CsrMatrix::from_triplets(n, &t);
+        let a = chain(50, 2.0);
         let prec = Preconditioner::build(&a, PreconditionerKind::Jacobi);
-        let b = vec![1.0; n];
-        let mut x = vec![0.0; n];
+        let b = vec![1.0; 50];
+        let mut x = vec![0.0; 50];
         let mut ws = SolverWorkspace::new();
         let opts = SolverOptions {
             tolerance: 1e-14,
             max_iterations: 2,
             preconditioner: PreconditionerKind::Jacobi,
+            fallback: false,
         };
         let err = solve_cg(&a, &prec, &b, &mut x, &mut ws, &opts).unwrap_err();
         match err {
             ThermalError::NoConvergence { iterations, .. } => assert_eq!(iterations, 2),
             other => panic!("unexpected error {other}"),
         }
+    }
+
+    #[test]
+    fn ladder_recovers_from_a_starved_iteration_cap() {
+        // An iteration cap far below what the chain needs forces the
+        // configured AMG attempt to fail; the ladder must escalate and
+        // still deliver the tight-tolerance solution.
+        let n = 300;
+        let a = chain(n, 2.02);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13) % 17) as f64 * 0.1).collect();
+
+        let mut reference = vec![0.0; n];
+        solve(&a, &b, &mut reference, PreconditionerKind::Ic0).unwrap();
+
+        let opts = SolverOptions {
+            tolerance: 1e-9,
+            max_iterations: 2,
+            preconditioner: PreconditionerKind::Amg,
+            fallback: true,
+        };
+        let prec = Preconditioner::build(&a, opts.preconditioner);
+        let mut ws = SolverWorkspace::new();
+        let mut x = vec![0.0; n];
+        let mut report = RecoveryReport::default();
+        let stats = solve_cg_resilient(&a, &prec, &b, &mut x, &mut ws, &opts, &mut report).unwrap();
+        assert!(!report.is_empty(), "ladder should have fired");
+        assert!(report.recoveries >= 1);
+        assert!(report.events.last().unwrap().recovered);
+        assert!(stats.residual <= opts.tolerance);
+        for (p, q) in x.iter().zip(&reference) {
+            assert!((p - q).abs() < 1e-6, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn resilient_path_is_transparent_when_the_solve_succeeds() {
+        let a = chain(120, 2.5);
+        let b = vec![1.0; 120];
+        let opts = SolverOptions::default();
+        let prec = Preconditioner::build(&a, opts.preconditioner);
+        let mut ws = SolverWorkspace::new();
+        let mut report = RecoveryReport::default();
+        let mut x = vec![0.0; 120];
+        let s1 = solve_cg_resilient(&a, &prec, &b, &mut x, &mut ws, &opts, &mut report).unwrap();
+        let mut y = vec![0.0; 120];
+        let s2 = solve_cg(&a, &prec, &b, &mut y, &mut ws, &opts).unwrap();
+        assert!(report.is_empty());
+        assert_eq!(s1, s2);
+        assert_eq!(x, y, "bitwise-identical to the plain path");
+    }
+
+    #[test]
+    fn ladder_gives_up_when_every_rung_fails() {
+        // A poisoned right-hand side (NaN) defeats every preconditioner:
+        // each rung bails with a non-finite residual, and the ladder must
+        // surface NoConvergence after trying all of them.
+        let a = chain(200, 2.0);
+        let mut b = vec![1.0; 200];
+        b[77] = f64::NAN;
+        let opts = SolverOptions {
+            tolerance: 1e-9,
+            max_iterations: 3,
+            preconditioner: PreconditionerKind::Amg,
+            fallback: true,
+        };
+        let prec = Preconditioner::build(&a, opts.preconditioner);
+        let mut ws = SolverWorkspace::new();
+        let mut report = RecoveryReport::default();
+        let mut x = vec![0.0; 200];
+        let err =
+            solve_cg_resilient(&a, &prec, &b, &mut x, &mut ws, &opts, &mut report).unwrap_err();
+        assert!(matches!(err, ThermalError::NoConvergence { .. }));
+        assert_eq!(report.attempts, 3, "all rungs after AMG tried");
+        assert_eq!(report.recoveries, 0);
+    }
+
+    #[test]
+    fn recovery_report_merge_respects_the_cap_and_totals() {
+        let ev = RecoveryEvent {
+            rung: PreconditionerKind::Jacobi,
+            relaxed_tolerance: 1e-6,
+            iterations: 10,
+            residual: 1e-10,
+            recovered: true,
+        };
+        let mut a = RecoveryReport::default();
+        for _ in 0..40 {
+            a.record(ev);
+        }
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.attempts, 80);
+        assert_eq!(a.recoveries, 80);
+        assert_eq!(a.events.len(), 64, "event detail capped");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::ThermalError;
 use crate::grid::GridSpec;
 use crate::model::ThermalModel;
-use crate::solve::SolveStats;
+use crate::solve::{RecoveryReport, SolveStats};
 use crate::units::Celsius;
 
 /// Temperatures (deg C) for every node of a model.
@@ -18,10 +18,16 @@ pub struct TemperatureField {
     ambient: f64,
     temps: Vec<f64>,
     stats: SolveStats,
+    recovery: RecoveryReport,
 }
 
 impl TemperatureField {
-    pub(crate) fn new(model: &ThermalModel, temps: Vec<f64>, stats: SolveStats) -> Self {
+    pub(crate) fn new(
+        model: &ThermalModel,
+        temps: Vec<f64>,
+        stats: SolveStats,
+        recovery: RecoveryReport,
+    ) -> Self {
         TemperatureField {
             grid: model.grid(),
             n_user_layers: model.n_user_layers(),
@@ -29,6 +35,7 @@ impl TemperatureField {
             ambient: model.ambient().get(),
             temps,
             stats,
+            recovery,
         }
     }
 
@@ -42,7 +49,41 @@ impl TemperatureField {
             ambient: model.ambient().get(),
             temps: vec![temperature.get(); model.node_count()],
             stats: SolveStats::default(),
+            recovery: RecoveryReport::default(),
         }
+    }
+
+    /// Rebuilds a field from raw node temperatures — the checkpoint/resume
+    /// restore path. Rejects a vector whose length does not match the
+    /// model's node count, and any non-finite entry.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::PowerMapMismatch`] on a length mismatch;
+    /// [`ThermalError::NonFiniteTemperature`] if any entry is NaN or ∞.
+    pub fn from_raw(model: &ThermalModel, temps: Vec<f64>) -> Result<Self, ThermalError> {
+        if temps.len() != model.node_count() {
+            return Err(ThermalError::PowerMapMismatch {
+                map_nodes: temps.len(),
+                model_nodes: model.node_count(),
+            });
+        }
+        if let Some(node) = temps.iter().position(|t| !t.is_finite()) {
+            return Err(ThermalError::NonFiniteTemperature { node });
+        }
+        Ok(TemperatureField::new(
+            model,
+            temps,
+            SolveStats::default(),
+            RecoveryReport::default(),
+        ))
+    }
+
+    /// Solver degraded-mode recovery report for the solve(s) that produced
+    /// this field. Empty when every solve converged on the configured
+    /// preconditioner.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// All node temperatures (solver ordering).

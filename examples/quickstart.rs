@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    back at the baseline temperature.
     let boost =
         max_frequency_at_iso_temperature(&mut banke, app, Celsius::new(reference.proc_hotspot_c))?
-            .expect("banke admits at least the base frequency");
+            .ok_or("banke should admit at least the base frequency")?;
     let gain = reference.exec_time_s() / boost.evaluation.exec_time_s() - 1.0;
     println!(
         "banke boosted:   {:.1} GHz at {:.1} C -> {:.1}% faster at iso-temperature",
