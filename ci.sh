@@ -5,6 +5,8 @@
 #   ./ci.sh bench    # regenerate BENCH_thermal.json (solver smoke numbers)
 #   ./ci.sh faults   # fault-injection sweep: seeded sensor faults, forced
 #                    # solver failures, checkpoint/resume bit-identity
+#   ./ci.sh golden   # fast paper-claims suite (EXPERIMENTS.md ✅ rows) +
+#                    # observability invariants, in release mode
 #
 # Each stage fails fast; the whole script passing is the merge bar.
 set -euo pipefail
@@ -22,6 +24,17 @@ if [[ "${1:-}" == "faults" ]]; then
   echo "==> DTM fault/checkpoint property tests"
   cargo test -q -p xylem-core --test proptest_dtm
   echo "Fault sweep green."
+  exit 0
+fi
+
+if [[ "${1:-}" == "golden" ]]; then
+  echo "==> golden paper-claims suite (EXPERIMENTS.md rows, 32x32, release)"
+  cargo test -q --release -p xylem-core --test golden_paper_claims
+  echo "==> thread-count determinism (bit-identical runs, 1 vs 4 threads)"
+  cargo test -q --release -p xylem-core --test thread_determinism
+  echo "==> xylem-obs unit + property tests"
+  cargo test -q --release -p xylem-obs
+  echo "Golden suite green."
   exit 0
 fi
 

@@ -162,7 +162,29 @@ impl Table {
                 row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
             );
         }
-        let _ = std::fs::write(dir.join(format!("{name}.csv")), csv);
+        let _ = std::fs::write(dir.join(format!("{name}.csv")), &csv);
+        // Provenance: a manifest rides along with every CSV so a result
+        // file can be traced back to the exact table that produced it
+        // (and, when a metrics sink is live, lands in the JSONL too).
+        let manifest = self.manifest(name, &csv);
+        let _ = std::fs::write(
+            dir.join(format!("{name}.manifest.json")),
+            format!("{}\n", manifest.to_value()),
+        );
+        manifest.emit();
+    }
+
+    /// The provenance manifest for this table: title, shape, and an
+    /// FNV-1a hash of the rendered CSV bytes.
+    fn manifest(&self, name: &str, csv: &str) -> xylem_obs::RunManifest {
+        xylem_obs::RunManifest::new("xylem-bench", name)
+            .with("title", &self.title)
+            .with("rows", self.rows.len())
+            .with("cols", self.headers.len())
+            .with(
+                "csv_fnv1a",
+                format!("{:016x}", xylem_obs::fnv1a(csv.as_bytes())),
+            )
     }
 
     /// Prints and saves in one step.

@@ -12,7 +12,9 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use xylem::dtm::{dtm_transient_configured, CheckpointConfig, DtmPolicy, DtmRunConfig};
+use xylem::dtm::{
+    dtm_transient_configured, frequency_strip, CheckpointConfig, DtmPolicy, DtmRunConfig,
+};
 use xylem::headroom::max_frequency_at_iso_temperature;
 use xylem::system::{SystemConfig, XylemSystem};
 use xylem_stack::area::{AreaOverhead, SAMSUNG_WIDE_IO_DIE_AREA};
@@ -31,6 +33,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let opts = parse_flags(&args[1..]);
+    let metrics = match install_metrics(cmd, &opts) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match cmd.as_str() {
         "evaluate" => evaluate(&opts),
         "boost" => boost(&opts),
@@ -47,6 +56,19 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command '{other}'")),
     };
+    // End-of-run summary: always for the closed-loop dtm command, and
+    // for any command that wrote a metrics file.
+    if result.is_ok() && (metrics || cmd == "dtm") {
+        let report = xylem_obs::RunReport::capture();
+        report.emit();
+        print!("{report}");
+    }
+    if metrics {
+        xylem_obs::shutdown();
+        if let Some(path) = opts.get("metrics-out") {
+            println!("[metrics written to {path}]");
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -55,6 +77,27 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Installs the JSONL metrics sink when `--metrics-out PATH` is given
+/// and opens the file with a run manifest (tool, command, flags, and
+/// their FNV-1a config hash). Returns whether a sink is live.
+fn install_metrics(cmd: &str, opts: &HashMap<String, String>) -> Result<bool, String> {
+    let Some(path) = opts.get("metrics-out") else {
+        return Ok(false);
+    };
+    xylem_obs::install_file(std::path::Path::new(path))
+        .map_err(|e| format!("cannot open metrics file '{path}': {e}"))?;
+    let mut manifest = xylem_obs::RunManifest::new("xylem", cmd);
+    let mut keys: Vec<&String> = opts.keys().collect();
+    keys.sort();
+    for key in keys {
+        if key != "metrics-out" {
+            manifest = manifest.with(key, &opts[key]);
+        }
+    }
+    manifest.emit();
+    Ok(true)
 }
 
 fn usage() {
@@ -71,6 +114,8 @@ fn usage() {
          \n\
          schemes: base bank banke isoCount prior;  apps: FFT Cholesky ... (paper names)\n\
          optional: --grid N (default 64)\n\
+                   --metrics-out PATH   write JSONL metrics (manifest, per-step/per-solve\n\
+                                        events, run report) and print the run summary\n\
          dtm only: --checkpoint PATH [--every N] [--resume]   save/restore the run state"
     );
 }
@@ -307,17 +352,10 @@ fn dtm(opts: &HashMap<String, String>) -> Result<(), String> {
         );
     }
     // A coarse frequency-over-time strip.
-    let stride = (r.samples.len() / 60).max(1);
-    let glyphs: String = r
-        .samples
-        .iter()
-        .step_by(stride)
-        .map(|s| {
-            let t = ((s.f_ghz - 2.4) / 1.1 * 9.0).round() as u32;
-            char::from_digit(t.min(9), 10).unwrap_or('?')
-        })
-        .collect();
-    println!("  f(t) [0=2.4GHz..9=3.5GHz]: {glyphs}");
+    println!(
+        "  f(t) [0=2.4GHz..9=3.5GHz]: {}",
+        frequency_strip(&r.samples, 60)
+    );
     Ok(())
 }
 

@@ -160,6 +160,26 @@ impl DtmResult {
     }
 }
 
+/// Renders a coarse frequency-over-time strip for a controller trace:
+/// one digit per sampled step, `0` = 2.4 GHz (DVFS floor) up to `9` =
+/// 3.5 GHz (design point), at most `width` glyphs. Shared by the CLI
+/// `dtm` command and the `dtm_trace` example so the two render the same
+/// format.
+#[must_use]
+pub fn frequency_strip(samples: &[DtmSample], width: usize) -> String {
+    const F_FLOOR_GHZ: f64 = 2.4;
+    const F_RANGE_GHZ: f64 = 1.1;
+    let stride = (samples.len() / width.max(1)).max(1);
+    samples
+        .iter()
+        .step_by(stride)
+        .map(|s| {
+            let t = ((s.f_ghz - F_FLOOR_GHZ) / F_RANGE_GHZ * 9.0).round() as u32;
+            char::from_digit(t.min(9), 10).unwrap_or('?')
+        })
+        .collect()
+}
+
 /// Periodic checkpointing of a DTM run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckpointConfig {
@@ -374,16 +394,23 @@ pub fn dtm_transient_configured(
 
     let mut ws = SolverWorkspace::new();
     for k in start_step..steps {
+        // Step latency (solve + sense + decide) lands in the DtmStepMs
+        // histogram; checkpoint I/O below is deliberately excluded.
+        let step_span = xylem_obs::span("dtm_step", Some(xylem_obs::Hist::DtmStepMs));
+        let f_step = points[level];
         // Each step seeds CG with the previous field (warm start) and
         // reuses the workspace + cached backward-Euler operator.
         field = model.transient_with(&maps[level], &field, dt, 1, None, &mut ws)?;
-        cg_iterations += field.stats().iterations;
+        let step_iters = field.stats().iterations;
+        cg_iterations += step_iters;
         recovery.merge(field.recovery());
         let true_hot = field.max_of_layer(pm_layer);
         // The controller sees the die through the sensor path (if any);
         // the recorded trace keeps the physical truth.
         let estimate = match &mut sensors {
             Some(arr) => {
+                let _fuse_span =
+                    xylem_obs::span("sensor_fuse", Some(xylem_obs::Hist::SensorFuseMs));
                 let frame = arr.sample(&field, pm_layer, k, &run.faults);
                 let fused = arr.fuse(&frame, model.ambient());
                 fused.valid.then(|| Celsius::new(fused.value_c))
@@ -392,33 +419,64 @@ pub fn dtm_transient_configured(
         };
         samples.push(DtmSample {
             time_s: (k + 1) as f64 * dt,
-            f_ghz: points[level],
+            f_ghz: f_step,
             hotspot: true_hot,
         });
         if true_hot > run.policy.trip {
             above += 1;
         }
-        match estimate {
+        let action = match estimate {
             None => {
                 // Fail-safe: nothing credible to act on — assume the
                 // worst and drop to the floor until telemetry returns.
                 failsafe_events += 1;
+                xylem_obs::incr(xylem_obs::Counter::FailsafeEvents);
                 if level > 0 {
                     level = 0;
                     throttle_events += 1;
+                    xylem_obs::incr(xylem_obs::Counter::ThrottleEvents);
                 }
+                "failsafe"
             }
             Some(hot) => {
                 if hot > run.policy.trip {
                     if level > 0 {
                         level -= 1;
                         throttle_events += 1;
+                        xylem_obs::incr(xylem_obs::Counter::ThrottleEvents);
+                        "throttle"
+                    } else {
+                        "hold"
                     }
                 } else if hot < run.policy.release && level + 1 < maps.len() {
                     level += 1;
+                    xylem_obs::incr(xylem_obs::Counter::BoostEvents);
+                    "boost"
+                } else {
+                    "hold"
                 }
             }
+        };
+        xylem_obs::incr(xylem_obs::Counter::DtmSteps);
+        xylem_obs::set_gauge(xylem_obs::Gauge::DtmFreqGhz, points[level]);
+        xylem_obs::set_gauge(xylem_obs::Gauge::DtmMaxTempC, true_hot.get());
+        if xylem_obs::enabled() {
+            let mut ev = xylem_obs::event("dtm_step")
+                .u64("step", k as u64)
+                .f64("f_ghz", f_step)
+                .f64("t_c", true_hot.get())
+                .u64("iters", step_iters as u64)
+                .f64("residual", field.stats().residual)
+                .u64("recovery_attempts", recovery.attempts as u64)
+                .str("action", action)
+                .u64("level", level as u64);
+            ev = match estimate {
+                Some(hot) => ev.f64("est_c", hot.get()),
+                None => ev.bool("est_lost", true),
+            };
+            ev.emit();
         }
+        drop(step_span);
 
         if let Some(ck) = &run.checkpoint {
             if ck.every_steps > 0 && (k + 1) % ck.every_steps == 0 {
@@ -439,6 +497,12 @@ pub fn dtm_transient_configured(
                     recovery: recovery.clone(),
                 };
                 checkpoint::save(&ck.path, &c)?;
+                xylem_obs::incr(xylem_obs::Counter::CheckpointsWritten);
+                if xylem_obs::enabled() {
+                    xylem_obs::event("checkpoint")
+                        .u64("step", (k + 1) as u64)
+                        .emit();
+                }
             }
         }
     }

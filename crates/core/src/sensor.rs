@@ -269,6 +269,7 @@ impl SensorArray {
         faults: &[SensorFault],
     ) -> Vec<SensorReading> {
         let mut frame = Vec::with_capacity(self.model.sites.len());
+        let mut faulted = 0usize;
         for (i, site) in self.model.sites.iter().enumerate() {
             let truth = field.cell(layer, site.ix, site.iy).get();
             let mut reading = SensorReading {
@@ -287,6 +288,7 @@ impl SensorArray {
             }
             for fault in faults {
                 if fault.active(i, step) {
+                    faulted += 1;
                     match fault.kind {
                         FaultKind::StuckAt => reading.value_c = fault.value_c,
                         FaultKind::Dropout => {
@@ -301,6 +303,13 @@ impl SensorArray {
             queue.push(reading);
             let delivered = queue.remove(0);
             frame.push(delivered);
+        }
+        xylem_obs::add(xylem_obs::Counter::SensorSamples, frame.len() as u64);
+        if faulted > 0 && xylem_obs::enabled() {
+            xylem_obs::event("sensor_fault")
+                .u64("step", step as u64)
+                .u64("active_faults", faulted as u64)
+                .emit();
         }
         frame
     }
@@ -324,6 +333,13 @@ impl SensorArray {
                 best = best.max(r.value_c);
                 used += 1;
             }
+        }
+        xylem_obs::add(
+            xylem_obs::Counter::SensorRejected,
+            (frame.len() - used) as u64,
+        );
+        if used > 0 {
+            xylem_obs::set_gauge(xylem_obs::Gauge::SensorFusedC, best);
         }
         FusedReading {
             value_c: if used > 0 { best } else { 0.0 },

@@ -95,6 +95,12 @@ proptest! {
             "time_above_trip {}", r.time_above_trip);
         prop_assert!(r.failsafe_events <= STEPS);
         prop_assert!(r.mean_f_ghz().is_finite());
+        // Observability lock: however hostile the injected readings
+        // (NaN-adjacent spikes, dropouts, stuck sensors), no gauge in
+        // the metrics registry ever holds a non-finite value.
+        for (label, value) in xylem_obs::gauges_snapshot() {
+            prop_assert!(value.is_finite(), "gauge {label} non-finite: {value}");
+        }
     }
 
     /// A checkpoint holding arbitrary (finite) state round-trips through

@@ -1,0 +1,143 @@
+//! Thread-count determinism: two identical `dtm_transient_configured`
+//! runs (same seed, same faults) must produce bit-identical temperature
+//! trajectories AND identical metric counter totals regardless of how
+//! many threads the solver uses.
+//!
+//! The vendored thread pool is sized once per process from
+//! `RAYON_NUM_THREADS`, so the two runs must live in separate
+//! processes: the test re-executes itself (filtered to this one test)
+//! with the env var set to 1 and then 4, and each child writes a
+//! digest of its run — FNV-1a over every sample's raw f64 bits, plus
+//! every deterministic observability counter. The parent asserts the
+//! two digests are byte-identical.
+//!
+//! This is the lock on xylem-obs design rule 2 (counters count
+//! deterministic quantities, never wall-clock) and on the solver's
+//! deterministic parallel reductions.
+
+use std::fmt::Write as _;
+use std::process::Command;
+
+use xylem::dtm::{dtm_transient_configured, DtmPolicy, DtmRunConfig};
+use xylem::sensor::{FaultKind, SensorFault, SensorModel};
+use xylem::system::{SystemConfig, XylemSystem};
+use xylem_obs::fnv1a;
+use xylem_stack::XylemScheme;
+use xylem_thermal::grid::GridSpec;
+use xylem_workloads::Benchmark;
+
+const CHILD_ENV: &str = "XYLEM_DETERMINISM_CHILD_OUT";
+/// 32x32 keeps the node count (~30k) above the solver's parallel
+/// threshold, so the multi-threaded child really exercises the
+/// parallel CSR path.
+const GRID: usize = 32;
+
+fn run_child(out_path: &str) {
+    // Per-thread-count cache dir: both children must do the *same*
+    // response-cache work (build or load), or solve_calls would differ
+    // for cache-warming reasons rather than thread-count ones.
+    let threads = std::env::var("RAYON_NUM_THREADS").unwrap_or_default();
+    let mut cfg = SystemConfig::fast(XylemScheme::Base);
+    cfg.cache_dir = Some(std::env::temp_dir().join(format!("xylem-determinism-cache-{threads}")));
+    let sys = XylemSystem::new(cfg).expect("system builds");
+    let run = DtmRunConfig {
+        policy: DtmPolicy::paper_default(),
+        sensors: Some(SensorModel::default_array(GRID, GRID, 42)),
+        faults: vec![
+            SensorFault {
+                sensor: 0,
+                kind: FaultKind::Dropout,
+                from_step: 10,
+                to_step: 20,
+                value_c: 0.0,
+            },
+            SensorFault {
+                sensor: 2,
+                kind: FaultKind::Spike,
+                from_step: 25,
+                to_step: 30,
+                value_c: 40.0,
+            },
+        ],
+        solver: None,
+        checkpoint: None,
+    };
+    let policy = DtmPolicy::paper_default();
+    let duration = 50.0 * policy.control_period_s;
+    let r = dtm_transient_configured(
+        &sys,
+        Benchmark::Cholesky,
+        3.5,
+        duration,
+        &run,
+        GridSpec::new(GRID, GRID),
+    )
+    .expect("dtm run succeeds");
+
+    // Digest every bit the run produced: the sampled trajectory (time,
+    // frequency, hotspot temperature) and the run-level aggregates.
+    let mut bytes = Vec::new();
+    for s in &r.samples {
+        bytes.extend_from_slice(&s.time_s.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&s.f_ghz.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&s.hotspot.get().to_bits().to_le_bytes());
+    }
+    bytes.extend_from_slice(&r.final_f_ghz.to_bits().to_le_bytes());
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "samples={} digest={:016x}",
+        r.samples.len(),
+        fnv1a(&bytes)
+    );
+    let _ = writeln!(
+        text,
+        "cg_iterations={} throttles={} failsafes={}",
+        r.cg_iterations, r.throttle_events, r.failsafe_events
+    );
+    // Every counter is deterministic by design (obs rule 2); latency
+    // histograms are wall-clock and deliberately excluded.
+    for (label, value) in xylem_obs::counters_snapshot() {
+        let _ = writeln!(text, "counter {label}={value}");
+    }
+    for (label, value) in xylem_obs::gauges_snapshot() {
+        let _ = writeln!(text, "gauge {label}={:016x}", value.to_bits());
+    }
+    std::fs::write(out_path, text).expect("child writes digest");
+}
+
+#[test]
+fn dtm_run_is_bit_identical_across_thread_counts() {
+    if let Ok(out) = std::env::var(CHILD_ENV) {
+        run_child(&out);
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let dir = std::env::temp_dir();
+    let mut digests = Vec::new();
+    for threads in ["1", "4"] {
+        let out = dir.join(format!("xylem-determinism-{threads}.txt"));
+        let status = Command::new(&exe)
+            .args([
+                "dtm_run_is_bit_identical_across_thread_counts",
+                "--exact",
+                "--test-threads=1",
+            ])
+            .env(CHILD_ENV, &out)
+            .env("RAYON_NUM_THREADS", threads)
+            .status()
+            .expect("child spawns");
+        assert!(status.success(), "child with {threads} threads failed");
+        let digest = std::fs::read_to_string(&out).expect("child digest readable");
+        // Sanity: the child actually solved something and counted it.
+        assert!(digest.contains("counter cg_iterations="), "{digest}");
+        assert!(!digest.contains("cg_iterations=0\n"), "{digest}");
+        digests.push((threads, digest));
+    }
+    assert_eq!(
+        digests[0].1, digests[1].1,
+        "1-thread and 4-thread runs diverged:\n--- 1 thread ---\n{}\n--- 4 threads ---\n{}",
+        digests[0].1, digests[1].1
+    );
+}

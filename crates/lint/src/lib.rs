@@ -1,7 +1,7 @@
 //! `xylem-lint`: a workspace static-analysis pass for the Xylem crates.
 //!
 //! Walks every `.rs` file in the workspace (skipping `target/` and
-//! `vendor/`) and enforces three invariants that `rustc` cannot:
+//! `vendor/`) and enforces five invariants that `rustc` cannot:
 //!
 //! 1. **`f64-param`** — public API functions of `xylem-thermal`,
 //!    `xylem-power`, and `xylem-core` must not take a raw `f64` where the
@@ -19,6 +19,11 @@
 //!    loop, the solver fallback ladder, the sensor model, checkpointing)
 //!    must not contain `.unwrap()` or `.expect()` at all: the recovery
 //!    paths must propagate every failure as a `Result`.
+//! 5. **`no-println`** — modules instrumented with `xylem-obs` (the DTM
+//!    loop, sensors, checkpointing, the solver, the bench harness, and
+//!    the obs crate itself) must not use print-family macros; structured
+//!    output goes through the observability sink so `--metrics-out`
+//!    JSONL streams stay parseable.
 //!
 //! Known-good exceptions go in an optional `xylem-lint.allow` file at the
 //! workspace root, one entry per line: `<rule> <path-suffix> <symbol>`
@@ -143,6 +148,7 @@ pub fn check_source(relpath: &str, src: &str, allow: &Allowlist) -> Vec<Diagnost
     rules::check_panics(relpath, &toks, &mask, allow, &mut out);
     rules::check_magic_floats(relpath, &toks, &mask, allow, &mut out);
     rules::check_no_panic_paths(relpath, &toks, &mask, allow, &mut out);
+    rules::check_no_println(relpath, &toks, &mask, allow, &mut out);
     out
 }
 

@@ -1,4 +1,4 @@
-//! The four lint rules, operating on the lexer's token stream.
+//! The five lint rules, operating on the lexer's token stream.
 //!
 //! * `f64-param` — public API functions of the physics crates must not take
 //!   a raw `f64` where the parameter name says it is a physical quantity.
@@ -11,6 +11,11 @@
 //!   `.expect()` or `.unwrap()` at all: these are exactly the places
 //!   that run when something else already went wrong, so every failure
 //!   must propagate as a `Result`.
+//! * `no-println` — the modules instrumented with `xylem-obs` (and the
+//!   obs crate itself) must not write to stdout/stderr directly: ad-hoc
+//!   prints bypass the structured sink, corrupt piped JSONL output, and
+//!   dodge the overhead accounting. Emit an event or record a metric
+//!   instead; CLI binaries and examples keep their prints.
 
 use crate::lexer::{Tok, TokKind};
 use crate::{Allowlist, Diagnostic};
@@ -61,6 +66,25 @@ const NO_PANIC_SUFFIXES: &[&str] = &[
     "crates/core/src/checkpoint.rs",
     "crates/thermal/src/solve.rs",
 ];
+
+/// Library modules instrumented with `xylem-obs` (rule 5): everything
+/// that emits structured events or metrics. A stray `println!` here
+/// writes around the sink — invisible to `--metrics-out` consumers and
+/// free to interleave with (and corrupt) piped JSONL streams.
+const INSTRUMENTED_SUFFIXES: &[&str] = &[
+    "crates/core/src/dtm.rs",
+    "crates/core/src/sensor.rs",
+    "crates/core/src/checkpoint.rs",
+    "crates/thermal/src/solve.rs",
+    "crates/bench/src/harness.rs",
+];
+
+/// Whole instrumented sub-trees (rule 5). The obs crate owns the sink;
+/// it must never print around itself.
+const INSTRUMENTED_PREFIXES: &[&str] = &["crates/obs/src/"];
+
+/// Print-family macros banned by rule 5.
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
 
 /// Whether `relpath` (normalized with `/`) is library source: under a
 /// crate's `src/`, not a binary target, not the lint crate itself.
@@ -400,6 +424,50 @@ pub fn check_no_panic_paths(
     }
 }
 
+/// Rule 5: print-family macros in the obs-instrumented library modules.
+/// Structured output must go through the `xylem-obs` sink (an event or a
+/// metric), never straight to stdout/stderr.
+pub fn check_no_println(
+    relpath: &str,
+    toks: &[Tok],
+    mask: &[bool],
+    allow: &Allowlist,
+    out: &mut Vec<Diagnostic>,
+) {
+    let instrumented = INSTRUMENTED_SUFFIXES.iter().any(|s| relpath.ends_with(s))
+        || INSTRUMENTED_PREFIXES.iter().any(|p| relpath.starts_with(p));
+    if !instrumented {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let is_print = PRINT_MACROS.iter().any(|m| t.is_ident(m))
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            // Not a method/field access like `writer.print!...` cannot
+            // occur, but `.println` as an identifier path segment can:
+            // require the macro position (no leading `.` or `::`).
+            && !(i > 0 && toks[i - 1].is_punct('.'));
+        if !is_print {
+            continue;
+        }
+        if allow.permits("no-println", relpath, &t.text) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "no-println",
+            path: relpath.to_string(),
+            line: t.line,
+            symbol: t.text.clone(),
+            message: format!(
+                "`{}!` in an obs-instrumented module; emit a structured event or metric through the xylem-obs sink instead",
+                t.text
+            ),
+        });
+    }
+}
+
 /// Rule 3: float literals matching known physical-constant magnitudes
 /// outside the material tables.
 pub fn check_magic_floats(
@@ -478,6 +546,7 @@ mod tests {
         check_panics(relpath, &toks, &mask, &allow, &mut out);
         check_magic_floats(relpath, &toks, &mask, &allow, &mut out);
         check_no_panic_paths(relpath, &toks, &mask, &allow, &mut out);
+        check_no_println(relpath, &toks, &mask, &allow, &mut out);
         out
     }
 
@@ -606,6 +675,27 @@ mod tests {
             "fn ok() {}\n#[cfg(test)]\nmod tests {\n fn f() { x.expect(\"msg\"); y.unwrap(); }\n}",
         );
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn prints_are_banned_in_instrumented_modules() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y = {y}\"); dbg!(z); }";
+        for path in [
+            "crates/core/src/dtm.rs",
+            "crates/thermal/src/solve.rs",
+            "crates/obs/src/sink.rs",
+            "crates/bench/src/harness.rs",
+        ] {
+            let d = run_all(path, src);
+            assert_eq!(d.len(), 3, "{path}: {d:?}");
+            assert!(d.iter().all(|d| d.rule == "no-println"), "{d:?}");
+        }
+        // Uninstrumented library code, CLI binaries, and tests keep
+        // their prints.
+        assert!(run_all("crates/stack/src/builder.rs", src).is_empty());
+        assert!(run_all("crates/core/src/bin/xylem.rs", src).is_empty());
+        let gated = "fn ok() {}\n#[cfg(test)]\nmod tests {\n fn f() { println!(\"t\"); }\n}";
+        assert!(run_all("crates/core/src/dtm.rs", gated).is_empty());
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Structured events: a small builder over [`crate::json::Value`] that
+//! serialises to one JSONL line.
+
+use crate::json::Value;
+use crate::sink;
+
+/// A structured event under construction. Build with [`crate::event`],
+/// add typed fields, then [`Event::emit`].
+///
+/// Field setters on a disabled sink still record into the builder (the
+/// cost has already been paid by constructing it); callers on hot paths
+/// should gate on [`crate::enabled`] before constructing.
+#[derive(Debug, Clone)]
+#[must_use = "an Event does nothing until .emit() is called"]
+pub struct Event {
+    fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Starts an event named `name` (the `ev` field), stamped with the
+    /// process-relative timestamp `t_ms`.
+    pub fn new(name: &str) -> Self {
+        Event {
+            fields: vec![
+                ("ev".to_owned(), Value::Str(name.to_owned())),
+                ("t_ms".to_owned(), Value::F64(sink::elapsed_ms())),
+            ],
+        }
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, v: u64) -> Self {
+        self.fields.push((key.to_owned(), Value::U64(v)));
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(mut self, key: &str, v: i64) -> Self {
+        self.fields.push((key.to_owned(), Value::I64(v)));
+        self
+    }
+
+    /// Adds a float field. Non-finite values are stored as JSON `null`.
+    pub fn f64(mut self, key: &str, v: f64) -> Self {
+        let value = if v.is_finite() {
+            Value::F64(v)
+        } else {
+            Value::Null
+        };
+        self.fields.push((key.to_owned(), value));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        self.fields.push((key.to_owned(), Value::Str(v.to_owned())));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, v: bool) -> Self {
+        self.fields.push((key.to_owned(), Value::Bool(v)));
+        self
+    }
+
+    /// Adds an array of floats (e.g. a residual curve). Non-finite
+    /// entries are stored as `null`.
+    pub fn f64_array(mut self, key: &str, vs: &[f64]) -> Self {
+        let items = vs
+            .iter()
+            .map(|&v| {
+                if v.is_finite() {
+                    Value::F64(v)
+                } else {
+                    Value::Null
+                }
+            })
+            .collect();
+        self.fields.push((key.to_owned(), Value::Array(items)));
+        self
+    }
+
+    /// Adds a pre-built JSON value field.
+    pub fn value(mut self, key: &str, v: Value) -> Self {
+        self.fields.push((key.to_owned(), v));
+        self
+    }
+
+    /// The event as a JSON object value.
+    pub fn to_value(&self) -> Value {
+        Value::Object(self.fields.clone())
+    }
+
+    /// Serialises the event and writes it to the installed sink (no-op
+    /// when the sink is disabled).
+    pub fn emit(self) {
+        if !sink::enabled() {
+            return;
+        }
+        sink::write_line(&Value::Object(self.fields).to_string());
+    }
+}
+
+/// Starts building an event named `name`.
+pub fn event(name: &str) -> Event {
+    Event::new(name)
+}

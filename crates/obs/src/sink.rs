@@ -1,0 +1,140 @@
+//! The process-global JSONL event sink.
+//!
+//! Disabled (the default) the fast path is a single relaxed atomic load:
+//! every `emit` site checks [`enabled`] before building an event, so
+//! instrumentation compiles to near-no-ops until a sink is installed.
+//! Enabled, events are serialised to one JSON object per line behind a
+//! mutex (event rates are low — one per solve / control step — so the
+//! lock is uncontended in practice).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::{incr, Counter};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn lock_sink() -> MutexGuard<'static, Option<Box<dyn Write + Send>>> {
+    // A panic while holding the sink lock only interrupts log output;
+    // recover the guard rather than poisoning observability forever.
+    match SINK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// True when a sink is installed. Emit sites check this before building
+/// event payloads so the disabled cost is one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Milliseconds since the first observability call in this process.
+/// Monotonic; used as the `t_ms` field on every event.
+pub fn elapsed_ms() -> f64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_secs_f64() * 1.0e3
+}
+
+/// Installs an arbitrary writer as the sink, replacing any previous one
+/// (the old writer is flushed and dropped).
+pub fn install_writer(writer: Box<dyn Write + Send>) {
+    EPOCH.get_or_init(Instant::now);
+    let mut guard = lock_sink();
+    if let Some(mut old) = guard.take() {
+        let _ = old.flush();
+    }
+    *guard = Some(writer);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Opens (truncating) `path` and installs it as a buffered JSONL sink.
+pub fn install_file(path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    install_writer(Box::new(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Shared in-memory buffer sink, for tests.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink(Arc<Mutex<Vec<u8>>>);
+
+impl MemorySink {
+    /// Contents written so far, as UTF-8.
+    pub fn contents(&self) -> String {
+        let buf = match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        String::from_utf8_lossy(&buf).into_owned()
+    }
+
+    /// Non-empty JSONL lines written so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.contents()
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(str::to_owned)
+            .collect()
+    }
+}
+
+impl Write for MemorySink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut guard = match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Installs an in-memory sink and returns a handle for reading it back.
+pub fn install_memory() -> MemorySink {
+    let sink = MemorySink::default();
+    install_writer(Box::new(sink.clone()));
+    sink
+}
+
+/// Flushes and removes the sink; [`enabled`] returns false afterwards.
+pub fn shutdown() {
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut guard = lock_sink();
+    if let Some(mut old) = guard.take() {
+        let _ = old.flush();
+    }
+}
+
+/// Flushes the sink without removing it.
+pub fn flush() {
+    let mut guard = lock_sink();
+    if let Some(w) = guard.as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Writes one already-serialised JSONL line. Internal: use
+/// [`crate::Event::emit`] instead.
+pub(crate) fn write_line(line: &str) {
+    if !enabled() {
+        return;
+    }
+    let mut guard = lock_sink();
+    if let Some(w) = guard.as_mut() {
+        if writeln!(w, "{line}").is_ok() {
+            incr(Counter::EventsEmitted);
+        }
+    }
+}

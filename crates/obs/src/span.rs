@@ -1,0 +1,97 @@
+//! RAII span timers: measure a scope, record its latency into a
+//! histogram on drop, and (when the sink is enabled) emit a `span` event
+//! carrying the nesting depth.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::event::event;
+use crate::metrics::{record_ns, Hist};
+use crate::sink;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Current span nesting depth on this thread (0 outside any span).
+pub fn span_depth() -> usize {
+    DEPTH.with(Cell::get)
+}
+
+/// A running span. Created by [`span`]; records on drop.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    hist: Option<Hist>,
+    start: Instant,
+    /// Depth of this span (parent count); captured at entry so the
+    /// exit-time invariant `depth_at_exit == depth_at_entry` is checkable.
+    depth: usize,
+}
+
+/// Opens a span named `name`. If `hist` is given, the elapsed time is
+/// recorded there on drop. Spans nest: each thread tracks a depth that
+/// increments on entry and decrements on (strictly LIFO) exit.
+pub fn span(name: &'static str, hist: Option<Hist>) -> Span {
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    Span {
+        name,
+        hist,
+        start: Instant::now(),
+        depth,
+    }
+}
+
+impl Span {
+    /// Elapsed time since the span opened, in nanoseconds.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The depth this span was opened at.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = self.elapsed_ns();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if let Some(h) = self.hist {
+            record_ns(h, ns);
+        }
+        if sink::enabled() {
+            event("span")
+                .str("name", self.name)
+                .u64("depth", self.depth as u64)
+                .f64("ms", ns as f64 / 1.0e6)
+                .emit();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_tracks_lifo_nesting() {
+        assert_eq!(span_depth(), 0);
+        let outer = span("outer", None);
+        assert_eq!(outer.depth(), 0);
+        assert_eq!(span_depth(), 1);
+        {
+            let inner = span("inner", None);
+            assert_eq!(inner.depth(), 1);
+            assert_eq!(span_depth(), 2);
+        }
+        assert_eq!(span_depth(), 1);
+        drop(outer);
+        assert_eq!(span_depth(), 0);
+    }
+}

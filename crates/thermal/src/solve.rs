@@ -273,7 +273,31 @@ pub struct Ic0Factor {
     t_values: Vec<f64>,
 }
 
+impl PreconditionerKind {
+    /// Stable lowercase label used in metrics/event output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PreconditionerKind::Jacobi => "jacobi",
+            PreconditionerKind::Ssor => "ssor",
+            PreconditionerKind::Ic0 => "ic0",
+            PreconditionerKind::Amg => "amg",
+        }
+    }
+}
+
 impl Preconditioner {
+    /// Which [`PreconditionerKind`] this built preconditioner is.
+    #[must_use]
+    pub fn kind(&self) -> PreconditionerKind {
+        match self {
+            Preconditioner::Jacobi { .. } => PreconditionerKind::Jacobi,
+            Preconditioner::Ssor { .. } => PreconditionerKind::Ssor,
+            Preconditioner::Ic0(_) => PreconditionerKind::Ic0,
+            Preconditioner::Amg(_) => PreconditionerKind::Amg,
+        }
+    }
+
     /// Builds the selected preconditioner for `a`.
     #[must_use]
     pub fn build(a: &CsrMatrix, kind: PreconditionerKind) -> Self {
@@ -643,6 +667,72 @@ pub fn solve_cg(
     ws: &mut SolverWorkspace,
     options: &SolverOptions,
 ) -> Result<SolveStats, ThermalError> {
+    // Observability wrapper: counters/histogram always record (a few
+    // atomic ops per solve); the residual curve and the per-solve event
+    // are only built when a sink is installed.
+    let obs = xylem_obs::enabled();
+    let mut curve: Vec<f64> = Vec::new();
+    let start = std::time::Instant::now();
+    let result = solve_cg_raw(a, prec, b, x, ws, options, obs.then_some(&mut curve));
+    let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let (iterations, residual, converged) = match &result {
+        Ok(s) => (s.iterations, s.residual, true),
+        Err(ThermalError::NoConvergence {
+            iterations,
+            residual,
+            ..
+        }) => (*iterations, *residual, false),
+        Err(_) => (0, f64::NAN, false),
+    };
+    xylem_obs::incr(xylem_obs::Counter::SolveCalls);
+    xylem_obs::add(xylem_obs::Counter::CgIterations, iterations as u64);
+    xylem_obs::set_gauge(xylem_obs::Gauge::LastResidual, residual);
+    xylem_obs::record_ns(xylem_obs::Hist::SolveMs, elapsed_ns);
+    if obs {
+        xylem_obs::event("solve")
+            .str("prec", prec.kind().label())
+            .u64("n", a.n() as u64)
+            .u64("iters", iterations as u64)
+            .f64("residual", residual)
+            .bool("converged", converged)
+            .f64("ms", elapsed_ns as f64 / 1.0e6)
+            .f64_array("residual_curve", &downsample_curve(&curve))
+            .emit();
+    }
+    result
+}
+
+/// Cap on residual-curve points kept per solve while iterating.
+const CURVE_CAP: usize = 4096;
+/// Cap on residual-curve points emitted per solve event.
+const CURVE_EMIT: usize = 64;
+
+/// Thins a per-iteration residual curve to at most [`CURVE_EMIT`] points
+/// (always keeping the final one) so long solves do not bloat the JSONL.
+fn downsample_curve(curve: &[f64]) -> Vec<f64> {
+    if curve.len() <= CURVE_EMIT {
+        return curve.to_vec();
+    }
+    let stride = curve.len().div_ceil(CURVE_EMIT);
+    let mut out: Vec<f64> = curve.iter().copied().step_by(stride).collect();
+    if !(curve.len() - 1).is_multiple_of(stride) {
+        if let Some(&last) = curve.last() {
+            out.push(last);
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_cg_raw(
+    a: &CsrMatrix,
+    prec: &Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    ws: &mut SolverWorkspace,
+    options: &SolverOptions,
+    mut curve: Option<&mut Vec<f64>>,
+) -> Result<SolveStats, ThermalError> {
     let n = b.len();
     debug_assert_eq!(a.n(), n);
     debug_assert_eq!(x.len(), n);
@@ -672,6 +762,11 @@ pub fn solve_cg(
 
     for it in 0..options.max_iterations {
         let res = rr.sqrt() / norm_b;
+        if let Some(c) = curve.as_mut() {
+            if c.len() < CURVE_CAP {
+                c.push(res);
+            }
+        }
         if res <= options.tolerance {
             return Ok(SolveStats {
                 iterations: it,
@@ -848,6 +943,20 @@ pub fn solve_cg_resilient(
         total_iters += rung_iters;
         if rung_residual.is_finite() {
             last_residual = rung_residual;
+        }
+        xylem_obs::incr(xylem_obs::Counter::SolveFallbacks);
+        if rung_ok {
+            xylem_obs::incr(xylem_obs::Counter::SolveRecoveries);
+        }
+        if xylem_obs::enabled() {
+            xylem_obs::event("solve_fallback")
+                .str("from", options.preconditioner.label())
+                .str("rung", kind.label())
+                .f64("relaxed_tolerance", relaxed)
+                .u64("iters", rung_iters as u64)
+                .f64("residual", rung_residual)
+                .bool("recovered", rung_ok)
+                .emit();
         }
         report.record(RecoveryEvent {
             rung: kind,

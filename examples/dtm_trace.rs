@@ -1,27 +1,20 @@
 //! Closed-loop DTM demo: request the design frequency (3.5 GHz) on the
 //! base stack vs the banke stack and watch the controller throttle.
 //!
+//! The per-step trace goes through the `xylem-obs` sink (the same JSONL
+//! stream `xylem dtm --metrics-out` writes) instead of an ad-hoc format:
+//! every control step, solve, and recovery event lands in the metrics
+//! file, and the run ends with a `RunReport` summary.
+//!
 //! ```text
-//! cargo run --release --example dtm_trace [app] [seconds]
+//! cargo run --release --example dtm_trace [app] [seconds] [metrics.jsonl]
 //! ```
 
-use xylem::dtm::{dtm_transient, dtm_transient_phased, DtmPolicy};
+use xylem::dtm::{dtm_transient, dtm_transient_phased, frequency_strip, DtmPolicy};
 use xylem::system::{SystemConfig, XylemSystem};
 use xylem_stack::XylemScheme;
 use xylem_thermal::grid::GridSpec;
 use xylem_workloads::{Benchmark, PhasedWorkload};
-
-fn strip(samples: &[xylem::dtm::DtmSample]) -> String {
-    let stride = (samples.len() / 64).max(1);
-    samples
-        .iter()
-        .step_by(stride)
-        .map(|s| {
-            let t = ((s.f_ghz - 2.4) / 1.1 * 9.0).round() as u32;
-            char::from_digit(t.min(9), 10).unwrap_or('?')
-        })
-        .collect()
-}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -35,8 +28,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .copied()
         .unwrap_or(Benchmark::Cholesky);
     let duration: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2.0);
+    let metrics_path = args
+        .get(3)
+        .cloned()
+        .unwrap_or_else(|| "dtm_trace.jsonl".to_string());
     let policy = DtmPolicy::paper_default();
     let grid = GridSpec::new(24, 24);
+
+    xylem_obs::install_file(std::path::Path::new(&metrics_path))?;
+    xylem_obs::RunManifest::new("dtm_trace", app.name())
+        .with("duration_s", duration)
+        .with("grid", "24x24")
+        .with("trip_c", policy.trip)
+        .emit();
 
     println!(
         "requesting 3.5 GHz for {duration:.1} s of {app}; DTM trips at {}",
@@ -52,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.throttle_events,
             r.peak_hotspot().get()
         );
-        println!("  f(t) [0=2.4 .. 9=3.5 GHz]: {}", strip(&r.samples));
+        println!(
+            "  f(t) [0=2.4 .. 9=3.5 GHz]: {}",
+            frequency_strip(&r.samples, 64)
+        );
     }
 
     // Phased view on base: the warm-up phase runs at full speed, the
@@ -65,6 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.mean_f_ghz(),
         r.throttle_events
     );
-    println!("  f(t): {}", strip(&r.samples));
+    println!("  f(t): {}", frequency_strip(&r.samples, 64));
+
+    let report = xylem_obs::RunReport::capture();
+    report.emit();
+    xylem_obs::shutdown();
+    println!("\n{report}[metrics written to {metrics_path}]");
     Ok(())
 }

@@ -1,0 +1,330 @@
+//! Golden paper-claims suite: the ✅ rows of EXPERIMENTS.md as an
+//! executable regression suite, on a 32x32 grid with tolerances inline.
+//!
+//! EXPERIMENTS.md graduates from a manually-refreshed document to CI:
+//! each test names the row it locks in, and a failure means a shape
+//! claim drifted — fix the regression or update the doc *and* the test
+//! together. Runs via `./ci.sh golden` (release) and with the normal
+//! workspace test suite.
+//!
+//! Rows covered (10): Table 1, Table 2, Table 3, §7.1 area overheads,
+//! §2.5 Rth ratios, Fig. 7 (prior ≈ base, pillars cooler), Fig. 10
+//! geomean-gain ordering, Fig. 13 DRAM-below-processor, Fig. 18 die
+//! thickness, Fig. 19 memory-die count.
+
+use xylem::headroom::max_frequency_at_iso_temperature;
+use xylem::system::{SystemConfig, XylemSystem};
+use xylem_stack::area::{AreaOverhead, SAMSUNG_WIDE_IO_DIE_AREA};
+use xylem_stack::dram_die::DramDieGeometry;
+use xylem_stack::{StackConfig, XylemScheme};
+use xylem_thermal::grid::GridSpec;
+use xylem_thermal::power::PowerMap;
+use xylem_thermal::units::{Celsius, Watts};
+use xylem_workloads::Benchmark;
+
+/// All headroom/evaluation tests run on this grid (the ISSUE-4 golden
+/// contract): small enough for seconds-scale solves, large enough to
+/// engage the parallel CSR path.
+const GRID: usize = 32;
+
+/// A system at the golden grid with a persistent response cache shared
+/// across tests and runs (first use per scheme+config pays ~89 unit
+/// solves; everything after loads from disk).
+fn system(scheme: XylemScheme) -> XylemSystem {
+    let mut cfg = SystemConfig::paper_default(scheme);
+    cfg.grid = GridSpec::new(GRID, GRID);
+    cfg.cache_dir = Some(std::env::temp_dir().join("xylem-golden-cache"));
+    XylemSystem::new(cfg).expect("system builds")
+}
+
+/// Reduced benchmark set spanning the compute/memory spectrum (the full
+/// 17-app sweep lives in the bench harness).
+const APPS: [Benchmark; 6] = [
+    Benchmark::LuNas,
+    Benchmark::Cholesky,
+    Benchmark::Fft,
+    Benchmark::Mg,
+    Benchmark::Ft,
+    Benchmark::Is,
+];
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+// ---------------------------------------------------------------------
+// EXPERIMENTS.md row: "Table 1 layers/λ — identical by construction".
+// ---------------------------------------------------------------------
+#[test]
+fn golden_table1_layer_dimensions() {
+    let built = StackConfig::paper_default(XylemScheme::Base)
+        .build()
+        .expect("stack builds");
+    let cfg = built.config();
+    // Table 1 dimensions, exact.
+    assert!((cfg.die_thickness - 100e-6).abs() < 1e-12, "die 100 um");
+    assert!((cfg.d2d_thickness - 20e-6).abs() < 1e-12, "D2D 20 um");
+    assert!(
+        (cfg.dram_metal_thickness - 2e-6).abs() < 1e-12,
+        "DRAM metal 2 um"
+    );
+    assert!(
+        (cfg.proc_metal_thickness - 12e-6).abs() < 1e-12,
+        "proc metal 12 um"
+    );
+    assert_eq!(cfg.n_dram_dies, 8, "8 DRAM dies");
+    let p = built.stack().package();
+    assert!((p.sink_side() - 6e-2).abs() < 1e-12, "sink 6 cm side");
+    assert!((p.spreader_side() - 3e-2).abs() < 1e-12, "IHS 3 cm side");
+    assert!((p.tim_thickness() - 50e-6).abs() < 1e-12, "TIM 50 um");
+    // The stack must really carry one si + metal + d2d triplet per die.
+    assert_eq!(built.dram_metal_layers().len(), 8);
+}
+
+// ---------------------------------------------------------------------
+// EXPERIMENTS.md row: "Table 2 schemes — 0/28/36/28/36 TTSVs".
+// ---------------------------------------------------------------------
+#[test]
+fn golden_table2_ttsv_counts() {
+    let g = DramDieGeometry::paper_default();
+    let expected = [
+        (XylemScheme::Base, 0usize, false),
+        (XylemScheme::BankSurround, 28, true),
+        (XylemScheme::BankEnhanced, 36, true),
+        (XylemScheme::IsoCount, 28, true),
+        (XylemScheme::Prior, 36, false),
+    ];
+    for (scheme, count, aligned) in expected {
+        assert_eq!(scheme.ttsv_count(&g), count, "{scheme} TTSV count");
+        assert_eq!(
+            scheme.aligned_and_shorted(),
+            aligned,
+            "{scheme} aligned+shorted"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// EXPERIMENTS.md row: "Table 3 arch — identical".
+// ---------------------------------------------------------------------
+#[test]
+fn golden_table3_arch_parameters() {
+    let c = xylem_archsim::ArchConfig::paper_default();
+    assert_eq!(c.cores, 8);
+    assert_eq!(c.issue_width, 4);
+    assert_eq!(c.l1i.size, 32 * 1024);
+    assert_eq!(c.l1d.size, 32 * 1024);
+    assert_eq!(c.l2.size, 256 * 1024);
+    assert_eq!(c.l2.ways, 8);
+    assert_eq!(c.bus_width_bits, 512);
+    assert!((c.t_j_max - 100.0).abs() < 1e-12, "T_j,max 100 C");
+    assert!((c.t_dram_max - 95.0).abs() < 1e-12, "T_dram,max 95 C");
+}
+
+// ---------------------------------------------------------------------
+// EXPERIMENTS.md row: "§7.1 area overhead — exactly 0.4032 mm2 / 0.63%,
+// 0.5184 mm2 / 0.81%".
+// ---------------------------------------------------------------------
+#[test]
+fn golden_area_overheads_exact() {
+    let g = DramDieGeometry::paper_default();
+    let bank = AreaOverhead::for_scheme(XylemScheme::BankSurround, &g, SAMSUNG_WIDE_IO_DIE_AREA);
+    let banke = AreaOverhead::for_scheme(XylemScheme::BankEnhanced, &g, SAMSUNG_WIDE_IO_DIE_AREA);
+    assert!((bank.total_area * 1e6 - 0.4032).abs() < 5e-4, "bank mm2");
+    assert!((bank.percent() - 0.63).abs() < 0.01, "bank %");
+    assert!((banke.total_area * 1e6 - 0.5184).abs() < 5e-4, "banke mm2");
+    assert!((banke.percent() - 0.81).abs() < 0.01, "banke %");
+}
+
+// ---------------------------------------------------------------------
+// EXPERIMENTS.md row: "§2.5 Rth — D2D 13.33 mm2K/W; ≈16x Si, ≈13x
+// metal; pillar 0.46 (≈30x lower)".
+// ---------------------------------------------------------------------
+#[test]
+fn golden_rth_ratios() {
+    use xylem_thermal::material::{shorted_pillar_d2d, D2D_AVERAGE, PROC_METAL, SILICON};
+    let d2d = D2D_AVERAGE.rth_per_area(20e-6) * 1e6;
+    assert!((d2d - 13.33).abs() < 0.01, "D2D Rth {d2d}");
+    let ratio_si = d2d / (SILICON.rth_per_area(100e-6) * 1e6);
+    let ratio_metal = d2d / (PROC_METAL.rth_per_area(12e-6) * 1e6);
+    assert!((ratio_si - 16.0).abs() < 0.5, "vs Si {ratio_si}");
+    assert!((ratio_metal - 13.33).abs() < 0.5, "vs metal {ratio_metal}");
+    let pillar = shorted_pillar_d2d(20e-6).rth_per_area(20e-6) * 1e6;
+    assert!((pillar - 0.46).abs() < 0.02, "pillar Rth {pillar}");
+    assert!(d2d / pillar > 25.0, "pillar advantage {}", d2d / pillar);
+}
+
+// ---------------------------------------------------------------------
+// EXPERIMENTS.md row: "Fig. 7 — bank/banke clearly cooler at every f;
+// prior ≈ base" (steady hotspots at 2.4 GHz).
+// ---------------------------------------------------------------------
+#[test]
+fn golden_fig7_prior_matches_base_and_pillars_cool() {
+    let mut base = system(XylemScheme::Base);
+    let mut prior = system(XylemScheme::Prior);
+    let mut banke = system(XylemScheme::BankEnhanced);
+    for app in [Benchmark::LuNas, Benchmark::Is] {
+        let tb = base
+            .evaluate_uniform(app, 2.4)
+            .expect("base evaluates")
+            .proc_hotspot_c;
+        let tp = prior
+            .evaluate_uniform(app, 2.4)
+            .expect("prior evaluates")
+            .proc_hotspot_c;
+        let te = banke
+            .evaluate_uniform(app, 2.4)
+            .expect("banke evaluates")
+            .proc_hotspot_c;
+        // Unaligned/unshorted TTSVs buy nothing: within 0.5 C of base.
+        assert!((tp - tb).abs() < 0.5, "{app}: prior {tp} vs base {tb}");
+        // Aligned+shorted pillars clearly cool: >= 2 C below base.
+        assert!(te < tb - 2.0, "{app}: banke {te} vs base {tb}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// EXPERIMENTS.md row: "Fig. 10 perf gain — bank +14.2%, banke +16.6%
+// geomean" (ordering base < bank < banke; magnitudes are loose).
+// ---------------------------------------------------------------------
+#[test]
+fn golden_fig10_geomean_gain_ordering() {
+    let mut base = system(XylemScheme::Base);
+    let mut bank = system(XylemScheme::BankSurround);
+    let mut banke = system(XylemScheme::BankEnhanced);
+    let mut gains_bank = Vec::new();
+    let mut gains_banke = Vec::new();
+    for app in APPS {
+        let e0 = base.evaluate_uniform(app, 2.4).expect("base evaluates");
+        let reference = Celsius::new(e0.proc_hotspot_c);
+        let boosted = |sys: &mut XylemSystem| -> f64 {
+            let b = max_frequency_at_iso_temperature(sys, app, reference)
+                .expect("search runs")
+                .expect("cooler schemes admit 2.4 GHz");
+            e0.exec_time_s() / b.evaluation.exec_time_s()
+        };
+        gains_bank.push(boosted(&mut bank));
+        gains_banke.push(boosted(&mut banke));
+    }
+    let g_bank = geomean(&gains_bank);
+    let g_banke = geomean(&gains_banke);
+    // Paper: +11% / +18%. Golden contract: both schemes gain >= 2%, and
+    // banke's geomean gain is at least bank's (ordering bank < banke,
+    // with a 0.1% float guard).
+    assert!(g_bank > 1.02, "bank geomean {g_bank}");
+    assert!(g_banke > 1.02, "banke geomean {g_banke}");
+    assert!(
+        g_banke >= g_bank - 0.001,
+        "ordering: banke {g_banke} < bank {g_bank}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// EXPERIMENTS.md row: "Fig. 13 bottom DRAM — 6-9 C below the processor;
+// bank/banke reduce it".
+// ---------------------------------------------------------------------
+#[test]
+fn golden_fig13_dram_below_processor() {
+    let mut base = system(XylemScheme::Base);
+    let mut banke = system(XylemScheme::BankEnhanced);
+    for app in [Benchmark::Cholesky, Benchmark::Ft] {
+        let eb = base.evaluate_uniform(app, 2.4).expect("base evaluates");
+        let ee = banke.evaluate_uniform(app, 2.4).expect("banke evaluates");
+        assert!(
+            eb.dram_hotspot_c < eb.proc_hotspot_c - 2.0,
+            "{app}: DRAM {} not below proc {}",
+            eb.dram_hotspot_c,
+            eb.proc_hotspot_c
+        );
+        // Pillars cool the DRAM too (>= 1 C at 2.4 GHz).
+        assert!(
+            ee.dram_hotspot_c < eb.dram_hotspot_c - 1.0,
+            "{app}: banke DRAM {} vs base {}",
+            ee.dram_hotspot_c,
+            eb.dram_hotspot_c
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// EXPERIMENTS.md row: "Fig. 18 die thickness — 50 um hottest (headline
+// trend: thinner = hotter)". 100 vs 200 um is within 1 C in our
+// reproduction and deliberately not ordered here.
+// ---------------------------------------------------------------------
+#[test]
+fn golden_fig18_die_thickness_thinner_is_hotter() {
+    let hotspot = |t_um: f64| -> f64 {
+        let mut cfg = SystemConfig::paper_default(XylemScheme::Base);
+        cfg.grid = GridSpec::new(GRID, GRID);
+        cfg.cache_dir = Some(std::env::temp_dir().join("xylem-golden-cache"));
+        cfg.stack.die_thickness = t_um * 1e-6;
+        let mut sys = XylemSystem::new(cfg).expect("system builds");
+        sys.evaluate_uniform(Benchmark::LuNas, 2.4)
+            .expect("evaluates")
+            .proc_hotspot_c
+    };
+    let t50 = hotspot(50.0);
+    let t100 = hotspot(100.0);
+    let t200 = hotspot(200.0);
+    assert!(t50 > t100, "50 um {t50} not hotter than 100 um {t100}");
+    assert!(t50 > t200, "50 um {t50} not hotter than 200 um {t200}");
+    // And the sweep stays physical: all within the plausible die range.
+    for t in [t50, t100, t200] {
+        assert!((40.0..150.0).contains(&t), "hotspot {t} out of range");
+    }
+}
+
+// ---------------------------------------------------------------------
+// EXPERIMENTS.md row: "Fig. 19 memory dies — more dies = hotter
+// (4 < 8 < 12); Xylem flattens the slope". Direct steady solves with
+// per-die power: the trend needs no archsim loop.
+// ---------------------------------------------------------------------
+#[test]
+fn golden_fig19_more_memory_dies_run_hotter() {
+    let hotspot = |scheme: XylemScheme, n: usize| -> f64 {
+        let mut cfg = StackConfig::paper_default(scheme);
+        cfg.n_dram_dies = n;
+        let built = cfg.build().expect("stack builds");
+        let model = built
+            .stack()
+            .discretize(GridSpec::new(GRID, GRID))
+            .expect("discretizes");
+        let mut p = PowerMap::zeros(&model);
+        p.add_uniform_layer_power(built.proc_metal_layer(), Watts::new(20.0));
+        for &l in built.dram_metal_layers() {
+            p.add_uniform_layer_power(l, Watts::new(0.4));
+        }
+        model
+            .steady_state(&p)
+            .expect("solves")
+            .max_of_layer(built.proc_metal_layer())
+            .get()
+    };
+    let base: Vec<f64> = [4, 8, 12]
+        .iter()
+        .map(|&n| hotspot(XylemScheme::Base, n))
+        .collect();
+    assert!(
+        base[0] < base[1] - 0.5,
+        "base 4 {} vs 8 {}",
+        base[0],
+        base[1]
+    );
+    assert!(
+        base[1] < base[2] - 0.5,
+        "base 8 {} vs 12 {}",
+        base[1],
+        base[2]
+    );
+    // Xylem flattens the slope: banke's 4->12 rise is smaller than base's.
+    let banke: Vec<f64> = [4, 8, 12]
+        .iter()
+        .map(|&n| hotspot(XylemScheme::BankEnhanced, n))
+        .collect();
+    let slope_base = base[2] - base[0];
+    let slope_banke = banke[2] - banke[0];
+    assert!(
+        slope_banke < slope_base * 0.95,
+        "banke slope {slope_banke} not flatter than base {slope_base}"
+    );
+}
