@@ -7,6 +7,8 @@
 #                    # solver failures, checkpoint/resume bit-identity
 #   ./ci.sh golden   # fast paper-claims suite (EXPERIMENTS.md ✅ rows) +
 #                    # observability invariants, in release mode
+#   ./ci.sh adaptive # adaptive-stepping convergence vs fixed-step reference
+#                    # + 50-scenario divergence-injection sweep, release mode
 #
 # Each stage fails fast; the whole script passing is the merge bar.
 set -euo pipefail
@@ -24,6 +26,17 @@ if [[ "${1:-}" == "faults" ]]; then
   echo "==> DTM fault/checkpoint property tests"
   cargo test -q -p xylem-core --test proptest_dtm
   echo "Fault sweep green."
+  exit 0
+fi
+
+if [[ "${1:-}" == "adaptive" ]]; then
+  echo "==> adaptive convergence (error vs rtol, solve-count saving)"
+  cargo test -q --release -p xylem-thermal --test adaptive_convergence
+  echo "==> divergence injection (50 seeded scenarios, rollback/hold/budget)"
+  cargo test -q --release -p xylem-thermal --test adaptive_divergence
+  echo "==> adaptive DTM integration (summary, v1 compat, bit-identical resume)"
+  cargo test -q --release -p xylem-core --test adaptive_dtm
+  echo "Adaptive suite green."
   exit 0
 fi
 

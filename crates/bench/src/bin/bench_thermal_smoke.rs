@@ -11,12 +11,14 @@
 use std::time::Instant;
 
 use serde::Serialize;
+use xylem::system::{SystemConfig, XylemSystem};
 use xylem_stack::{StackConfig, XylemScheme};
 use xylem_thermal::grid::GridSpec;
 use xylem_thermal::power::PowerMap;
 use xylem_thermal::temperature::TemperatureField;
 use xylem_thermal::units::Watts;
-use xylem_thermal::SolverWorkspace;
+use xylem_thermal::{AdaptiveController, AdaptiveOptions, SolverWorkspace};
+use xylem_workloads::Benchmark;
 
 #[derive(Serialize)]
 struct SteadyRow {
@@ -49,11 +51,30 @@ struct ObsOverhead {
 }
 
 #[derive(Serialize)]
+struct AdaptiveCompare {
+    grid: usize,
+    horizon_s: f64,
+    chunk_s: f64,
+    rtol: f64,
+    reference_dt_s: f64,
+    reference_solves: usize,
+    fixed_dt_s: f64,
+    fixed_solves: usize,
+    fixed_dev_k: f64,
+    adaptive_solves: usize,
+    adaptive_dev_k: f64,
+    adaptive_rejected: usize,
+    solve_saving_vs_reference: f64,
+    solve_saving_vs_fixed: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     description: &'static str,
     scheme: &'static str,
     steady_state: Vec<SteadyRow>,
     dtm_step: DtmStep,
+    adaptive: AdaptiveCompare,
     obs_overhead: ObsOverhead,
 }
 
@@ -146,6 +167,80 @@ fn main() {
         cold_ms,
     };
 
+    // Fixed vs adaptive stepping on the dtm_longrun workload (LU(NAS)
+    // at 3.5 GHz on the base scheme, 24x24 grid): heat the die for one
+    // second in 10 ms control chunks with a persistent controller — the
+    // DTM usage pattern — and compare against a fixed-step reference 10x
+    // finer than the 1 ms baseline. The accuracy/steps bar (<= 0.1 K at
+    // rtol 1e-3 with >= 2x fewer BE solves) is the adaptive engine's
+    // headline claim; EXPERIMENTS.md records this row.
+    let adaptive = {
+        let sys = XylemSystem::new(SystemConfig::paper_default(XylemScheme::Base))
+            .expect("base system builds");
+        let grid = 24usize;
+        let model = sys
+            .built()
+            .stack()
+            .discretize(GridSpec::new(grid, grid))
+            .expect("grid discretizes");
+        let (_, maps) = xylem::dtm::dvfs_power_maps(&sys, Benchmark::LuNas, 3.5, &model)
+            .expect("power maps build");
+        let power = maps.last().expect("at least one DVFS point");
+        let initial = TemperatureField::uniform(&model, model.ambient());
+        let horizon_s: f64 = 1.0;
+        let chunk_s: f64 = 10e-3;
+        let fixed_dt_s: f64 = 1e-3;
+        let reference_dt_s = fixed_dt_s / 10.0;
+        let mut ws = SolverWorkspace::new();
+
+        let ref_steps = (horizon_s / reference_dt_s).round() as usize;
+        let reference = model
+            .transient_with(power, &initial, reference_dt_s, ref_steps, None, &mut ws)
+            .expect("reference run");
+        let fixed_steps = (horizon_s / fixed_dt_s).round() as usize;
+        let fixed = model
+            .transient_with(power, &initial, fixed_dt_s, fixed_steps, None, &mut ws)
+            .expect("fixed run");
+
+        let mut ctrl = AdaptiveController::new(AdaptiveOptions {
+            rtol: 1e-3,
+            atol: 1e-3,
+            dt_min: 1e-5,
+            dt_max: chunk_s,
+            dt_init: 1e-3,
+            ..AdaptiveOptions::default()
+        })
+        .expect("adaptive options validate");
+        let chunks = (horizon_s / chunk_s).round() as usize;
+        let mut state = initial;
+        for _ in 0..chunks {
+            state = model
+                .transient_adaptive(power, &state, chunk_s, &mut ctrl, &mut ws)
+                .expect("adaptive chunk");
+        }
+        let summary = ctrl.summary();
+
+        let max_of =
+            |f: &TemperatureField| f.raw().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let ref_max = max_of(&reference);
+        AdaptiveCompare {
+            grid,
+            horizon_s,
+            chunk_s,
+            rtol: 1e-3,
+            reference_dt_s,
+            reference_solves: ref_steps,
+            fixed_dt_s,
+            fixed_solves: fixed_steps,
+            fixed_dev_k: (max_of(&fixed) - ref_max).abs(),
+            adaptive_solves: summary.be_solves as usize,
+            adaptive_dev_k: (max_of(&state) - ref_max).abs(),
+            adaptive_rejected: summary.rejected as usize,
+            solve_saving_vs_reference: ref_steps as f64 / summary.be_solves as f64,
+            solve_saving_vs_fixed: fixed_steps as f64 / summary.be_solves as f64,
+        }
+    };
+
     // Observability overhead on the same 32x32 steady solve: the
     // xylem-obs budget is < 5% with a live JSONL sink (DESIGN.md §14).
     // Interleaved rounds with min aggregation: on a shared single-core
@@ -175,11 +270,14 @@ fn main() {
 
     let report = Report {
         description: "Solver smoke numbers: CSR+AMG steady state vs the seed adjacency \
-                      Jacobi-CG path, warm- vs cold-started DTM steps, and the \
-                      enabled-sink observability overhead. Regenerate with ./ci.sh bench.",
+                      Jacobi-CG path, warm- vs cold-started DTM steps, fixed- vs \
+                      adaptive-stepping accuracy/solve-count on the dtm_longrun workload, \
+                      and the enabled-sink observability overhead. Regenerate with \
+                      ./ci.sh bench.",
         scheme: "BankEnhanced",
         steady_state: steady,
         dtm_step,
+        adaptive,
         obs_overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -5,6 +5,8 @@
 //! dtm_longrun [--scheme base] [--app "LU(NAS)"] [--freq 3.5]
 //!             [--duration 10.0] [--grid 24]
 //!             [--checkpoint PATH] [--every 200] [--resume]
+//!             [--adaptive] [--rtol 1e-3]
+//!             [--budget-cg N] [--budget-wall-s S] [--budget-rejects N]
 //! ```
 //!
 //! With `--checkpoint` the full controller state is atomically written
@@ -21,6 +23,7 @@ use xylem::sensor::SensorModel;
 use xylem::system::{SystemConfig, XylemSystem};
 use xylem_stack::XylemScheme;
 use xylem_thermal::grid::GridSpec;
+use xylem_thermal::AdaptiveOptions;
 use xylem_workloads::Benchmark;
 
 fn main() -> ExitCode {
@@ -90,7 +93,28 @@ fn run() -> Result<(), String> {
     }
 
     let sys = XylemSystem::new(SystemConfig::paper_default(scheme)).map_err(|e| e.to_string())?;
-    let policy = DtmPolicy::paper_default();
+    let mut policy = DtmPolicy::paper_default();
+    if opts.contains_key("adaptive") {
+        let mut a = AdaptiveOptions::default();
+        if let Some(s) = opts.get("rtol") {
+            a.rtol = s.parse().map_err(|_| format!("bad --rtol '{s}'"))?;
+        }
+        if let Some(s) = opts.get("budget-cg") {
+            a.max_cg_iterations = Some(s.parse().map_err(|_| format!("bad --budget-cg '{s}'"))?);
+        }
+        if let Some(s) = opts.get("budget-wall-s") {
+            a.max_wall_s = Some(
+                s.parse()
+                    .map_err(|_| format!("bad --budget-wall-s '{s}'"))?,
+            );
+        }
+        if let Some(s) = opts.get("budget-rejects") {
+            a.max_reject_streak = s
+                .parse()
+                .map_err(|_| format!("bad --budget-rejects '{s}'"))?;
+        }
+        policy = policy.with_adaptive(a);
+    }
     let grid_spec = GridSpec::new(grid, grid);
     let run = DtmRunConfig {
         sensors: Some(SensorModel::default_array(grid, grid, 1)),
@@ -132,6 +156,19 @@ fn run() -> Result<(), String> {
         println!(
             "  solver ladder: {} escalations, {} recovered",
             r.recovery.attempts, r.recovery.recoveries
+        );
+    }
+    if let Some(a) = &r.adaptive {
+        println!(
+            "  adaptive: {} BE solves, {} accepted ({} forced), {} rejected, {} held, \
+             final dt {:.2e} s{}",
+            a.be_solves,
+            a.accepted,
+            a.forced,
+            a.rejected,
+            a.holds,
+            a.final_dt_s,
+            if a.economy { " [economy mode]" } else { "" }
         );
     }
     Ok(())

@@ -24,6 +24,7 @@ use xylem_thermal::grid::GridSpec;
 use xylem_thermal::power::PowerMap;
 use xylem_thermal::report::StackThermalReport;
 use xylem_thermal::units::{Celsius, Watts};
+use xylem_thermal::AdaptiveOptions;
 use xylem_workloads::Benchmark;
 
 fn main() -> ExitCode {
@@ -116,7 +117,10 @@ fn usage() {
          optional: --grid N (default 64)\n\
                    --metrics-out PATH   write JSONL metrics (manifest, per-step/per-solve\n\
                                         events, run report) and print the run summary\n\
-         dtm only: --checkpoint PATH [--every N] [--resume]   save/restore the run state"
+         dtm only: --checkpoint PATH [--every N] [--resume]   save/restore the run state\n\
+                   --adaptive [--rtol R]   error-controlled adaptive sub-stepping\n\
+                   --budget-cg N / --budget-wall-s S / --budget-rejects N   run budgets\n\
+                                        (exhaustion degrades to economy stepping, never aborts)"
     );
 }
 
@@ -321,13 +325,35 @@ fn dtm(opts: &HashMap<String, String>) -> Result<(), String> {
     if resume && checkpoint.is_none() {
         return Err("--resume needs --checkpoint PATH".to_string());
     }
+    let mut policy = DtmPolicy::paper_default();
+    if opts.contains_key("adaptive") {
+        let mut a = AdaptiveOptions::default();
+        if let Some(s) = opts.get("rtol") {
+            a.rtol = s.parse().map_err(|_| format!("bad --rtol '{s}'"))?;
+        }
+        if let Some(s) = opts.get("budget-cg") {
+            a.max_cg_iterations = Some(s.parse().map_err(|_| format!("bad --budget-cg '{s}'"))?);
+        }
+        if let Some(s) = opts.get("budget-wall-s") {
+            a.max_wall_s = Some(
+                s.parse()
+                    .map_err(|_| format!("bad --budget-wall-s '{s}'"))?,
+            );
+        }
+        if let Some(s) = opts.get("budget-rejects") {
+            a.max_reject_streak = s
+                .parse()
+                .map_err(|_| format!("bad --budget-rejects '{s}'"))?;
+        }
+        policy = policy.with_adaptive(a);
+    }
     let run = DtmRunConfig {
         checkpoint: checkpoint.map(|path| CheckpointConfig {
             path,
             every_steps: every,
             resume,
         }),
-        ..DtmRunConfig::new(DtmPolicy::paper_default())
+        ..DtmRunConfig::new(policy)
     };
     let r = dtm_transient_configured(&sys, app, f, duration, &run, GridSpec::new(24, 24))
         .map_err(|e| e.to_string())?;
@@ -349,6 +375,23 @@ fn dtm(opts: &HashMap<String, String>) -> Result<(), String> {
         println!(
             "  {} fail-safe periods; solver ladder: {} escalations, {} recovered",
             r.failsafe_events, r.recovery.attempts, r.recovery.recoveries
+        );
+    }
+    if let Some(a) = &r.adaptive {
+        println!(
+            "  adaptive stepping: {} BE solves, {} accepted ({} forced), {} rejected, \
+             {} held, final dt {:.2e} s{}",
+            a.be_solves,
+            a.accepted,
+            a.forced,
+            a.rejected,
+            a.holds,
+            a.final_dt_s,
+            if a.economy {
+                " [budget exhausted: economy mode]"
+            } else {
+                ""
+            }
         );
     }
     // A coarse frequency-over-time strip.

@@ -27,13 +27,22 @@ use serde::{Deserialize, Serialize};
 use crate::dtm::DtmSample;
 use crate::error::CheckpointError;
 use crate::sensor::SensorArray;
-use xylem_thermal::RecoveryReport;
+use xylem_thermal::{AdaptiveController, RecoveryReport};
 
 /// First bytes of every checkpoint file.
 pub const CHECKPOINT_MAGIC: &str = "xylem-checkpoint";
 
 /// Current format version; bumped on any payload layout change.
-pub const CHECKPOINT_VERSION: u64 = 1;
+///
+/// History: v1 = fixed-step only; v2 adds the optional adaptive
+/// controller state ([`DtmCheckpoint::adaptive`]).
+pub const CHECKPOINT_VERSION: u64 = 2;
+
+/// Oldest format version [`load`] still accepts. A v1 payload simply
+/// lacks the `adaptive` key, which deserializes to `None` — exactly the
+/// state of a fixed-step run, so fixed-step resumes from v1 files keep
+/// working unchanged.
+pub const CHECKPOINT_MIN_VERSION: u64 = 1;
 
 /// Outer envelope: everything needed to reject a bad file before
 /// touching the payload.
@@ -79,6 +88,11 @@ pub struct DtmCheckpoint {
     pub sensors: Option<SensorArray>,
     /// Solver recoveries so far.
     pub recovery: RecoveryReport,
+    /// Adaptive step-size controller state (None for a fixed-step run,
+    /// and for every pre-adaptive v1 file). Serialized bit-exactly so a
+    /// resumed adaptive run continues with the same dt, PI history, and
+    /// budget accounting as an uninterrupted one.
+    pub adaptive: Option<AdaptiveController>,
 }
 
 /// FNV-1a 64-bit hash.
@@ -155,10 +169,10 @@ pub fn load(path: &Path) -> Result<DtmCheckpoint, CheckpointError> {
             reason: format!("bad magic {:?}", envelope.magic),
         });
     }
-    if envelope.version != CHECKPOINT_VERSION {
+    if !(CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION).contains(&envelope.version) {
         return Err(CheckpointError::Mismatch {
             what: "format version",
-            expected: CHECKPOINT_VERSION.to_string(),
+            expected: format!("{CHECKPOINT_MIN_VERSION}..={CHECKPOINT_VERSION}"),
             found: envelope.version.to_string(),
         });
     }
@@ -235,6 +249,7 @@ mod tests {
             samples: Vec::new(),
             sensors: None,
             recovery: RecoveryReport::default(),
+            adaptive: None,
         }
     }
 

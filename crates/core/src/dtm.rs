@@ -26,7 +26,10 @@ use xylem_thermal::model::ThermalModel;
 use xylem_thermal::power::PowerMap;
 use xylem_thermal::temperature::TemperatureField;
 use xylem_thermal::units::{Celsius, Watts};
-use xylem_thermal::{RecoveryReport, SolverOptions, SolverWorkspace};
+use xylem_thermal::{
+    AdaptiveController, AdaptiveOptions, AdaptiveSummary, RecoveryReport, SolverOptions,
+    SolverWorkspace,
+};
 use xylem_workloads::Benchmark;
 
 use crate::checkpoint::{self, DtmCheckpoint};
@@ -43,8 +46,58 @@ const LEAKAGE_TEMP_ESTIMATE: Celsius = Celsius::new(95.0);
 /// energy model (the paper's T_dram,max operating corner).
 const DRAM_TEMP_ESTIMATE_C: f64 = 85.0;
 
+/// Transient stepping mode of the DTM control loop.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SteppingMode {
+    /// One fixed backward-Euler step per control period — the historical
+    /// behavior, and bit-compatible with pre-adaptive runs.
+    #[default]
+    Fixed,
+    /// Error-controlled adaptive sub-stepping within each control period
+    /// (see [`xylem_thermal::adaptive`]): the engine step-doubles,
+    /// rejects over-tolerance or diverging steps, and refines the step
+    /// after every DVFS level change so control decisions land on
+    /// accurately resolved temperatures.
+    Adaptive(AdaptiveOptions),
+}
+
+impl SteppingMode {
+    /// True for the fixed (pre-adaptive) mode.
+    pub fn is_fixed(&self) -> bool {
+        matches!(self, SteppingMode::Fixed)
+    }
+}
+
+// The vendored serde stub cannot derive data-carrying enums or skip
+// fields, so `SteppingMode` and `DtmPolicy` serialize by hand. The
+// `stepping` key is omitted entirely for fixed runs: the serialized
+// policy — and therefore every run fingerprint and config hash a
+// pre-adaptive (format v1) checkpoint recorded — stays byte-identical.
+impl Serialize for SteppingMode {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            SteppingMode::Fixed => serde::Value::String("fixed".to_owned()),
+            SteppingMode::Adaptive(o) => o.to_value(),
+        }
+    }
+}
+
+impl Deserialize for SteppingMode {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Null => Ok(SteppingMode::Fixed),
+            serde::Value::String(s) if s == "fixed" => Ok(SteppingMode::Fixed),
+            serde::Value::Object(_) => AdaptiveOptions::from_value(v).map(SteppingMode::Adaptive),
+            other => Err(serde::DeError::new(format!(
+                "expected stepping mode, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 /// Reactive DTM policy parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DtmPolicy {
     /// Throttle when the hotspot exceeds this (paper: T_j,max = 100 C).
     pub trip: Celsius,
@@ -52,6 +105,43 @@ pub struct DtmPolicy {
     pub release: Celsius,
     /// Controller sampling period, s.
     pub control_period_s: f64,
+    /// How the thermal state advances across each control period.
+    pub stepping: SteppingMode,
+}
+
+impl Serialize for DtmPolicy {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("trip".to_owned(), self.trip.to_value());
+        m.insert("release".to_owned(), self.release.to_value());
+        m.insert(
+            "control_period_s".to_owned(),
+            self.control_period_s.to_value(),
+        );
+        if !self.stepping.is_fixed() {
+            m.insert("stepping".to_owned(), self.stepping.to_value());
+        }
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for DtmPolicy {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let o = v.as_object().ok_or_else(|| {
+            serde::DeError::new(format!("expected object for DtmPolicy, got {}", v.kind()))
+        })?;
+        let null = serde::Value::Null;
+        Ok(DtmPolicy {
+            trip: Deserialize::from_value(o.get("trip").unwrap_or(&null))
+                .map_err(|e| e.in_field("trip"))?,
+            release: Deserialize::from_value(o.get("release").unwrap_or(&null))
+                .map_err(|e| e.in_field("release"))?,
+            control_period_s: Deserialize::from_value(o.get("control_period_s").unwrap_or(&null))
+                .map_err(|e| e.in_field("control_period_s"))?,
+            stepping: Deserialize::from_value(o.get("stepping").unwrap_or(&null))
+                .map_err(|e| e.in_field("stepping"))?,
+        })
+    }
 }
 
 impl DtmPolicy {
@@ -61,7 +151,15 @@ impl DtmPolicy {
             trip: Celsius::new(100.0),
             release: Celsius::new(98.0),
             control_period_s: 1e-3,
+            stepping: SteppingMode::Fixed,
         }
+    }
+
+    /// This policy with adaptive stepping enabled under `opts`.
+    #[must_use]
+    pub fn with_adaptive(mut self, opts: AdaptiveOptions) -> Self {
+        self.stepping = SteppingMode::Adaptive(opts);
+        self
     }
 
     /// Checks the policy is physically meaningful: finite temperatures,
@@ -98,6 +196,11 @@ impl DtmPolicy {
                     self.control_period_s
                 ),
             ));
+        }
+        if let SteppingMode::Adaptive(o) = &self.stepping {
+            if let Err(e) = o.validate() {
+                return Err(ConfigError::new("stepping", e.to_string()));
+            }
         }
         Ok(())
     }
@@ -137,6 +240,9 @@ pub struct DtmResult {
     /// Solver fallback-ladder activity aggregated over every transient
     /// step. Empty when every solve converged on the configured path.
     pub recovery: RecoveryReport,
+    /// Adaptive-stepping summary (accept/reject/hold counts, BE solves,
+    /// final step size). `None` for fixed-step runs.
+    pub adaptive: Option<AdaptiveSummary>,
 }
 
 impl DtmResult {
@@ -363,10 +469,30 @@ pub fn dtm_transient_configured(
         .sensors
         .as_ref()
         .map(|sm| SensorArray::new(sm.clone(), model.ambient()));
+    let mut adaptive = match run.policy.stepping {
+        SteppingMode::Fixed => None,
+        SteppingMode::Adaptive(o) => Some(AdaptiveController::new(o)?),
+    };
 
     if let Some(ck) = &run.checkpoint {
         if ck.resume && ck.path.exists() {
             let c = checkpoint::load(&ck.path)?;
+            // An adaptive run cannot resume a pre-adaptive (format v1)
+            // checkpoint: the controller state it needs was never saved.
+            // Catch this before the config-hash comparison so the error
+            // names the real incompatibility instead of a hash mismatch.
+            if adaptive.is_some() && c.adaptive.is_none() {
+                return Err(CheckpointError::Mismatch {
+                    what: "stepping mode",
+                    expected: "adaptive controller state (a checkpoint written by an \
+                               adaptive-stepping run)"
+                        .to_string(),
+                    found: "a fixed-step checkpoint without controller state; rerun without \
+                            --adaptive to resume it, or restart the adaptive run cold"
+                        .to_string(),
+                }
+                .into());
+            }
             c.validate_against(grid.nx(), grid.ny(), dt, &cfg_hash)?;
             if c.level >= maps.len() || c.step > steps {
                 return Err(CheckpointError::Corrupt {
@@ -389,6 +515,9 @@ pub fn dtm_transient_configured(
             cg_iterations = c.cg_iterations;
             recovery = c.recovery;
             sensors = c.sensors;
+            if let Some(ctrl) = c.adaptive {
+                adaptive = Some(ctrl);
+            }
         }
     }
 
@@ -399,8 +528,11 @@ pub fn dtm_transient_configured(
         let step_span = xylem_obs::span("dtm_step", Some(xylem_obs::Hist::DtmStepMs));
         let f_step = points[level];
         // Each step seeds CG with the previous field (warm start) and
-        // reuses the workspace + cached backward-Euler operator.
-        field = model.transient_with(&maps[level], &field, dt, 1, None, &mut ws)?;
+        // reuses the workspace + cached backward-Euler operators.
+        field = match adaptive.as_mut() {
+            Some(ctrl) => model.transient_adaptive(&maps[level], &field, dt, ctrl, &mut ws)?,
+            None => model.transient_with(&maps[level], &field, dt, 1, None, &mut ws)?,
+        };
         let step_iters = field.stats().iterations;
         cg_iterations += step_iters;
         recovery.merge(field.recovery());
@@ -425,6 +557,7 @@ pub fn dtm_transient_configured(
         if true_hot > run.policy.trip {
             above += 1;
         }
+        let level_before = level;
         let action = match estimate {
             None => {
                 // Fail-safe: nothing credible to act on — assume the
@@ -457,6 +590,14 @@ pub fn dtm_transient_configured(
                 }
             }
         };
+        if level != level_before {
+            // A DVFS transition is a power-input discontinuity: refine
+            // the adaptive step back to its initial rung so the first
+            // periods after the change are resolved accurately.
+            if let Some(ctrl) = adaptive.as_mut() {
+                ctrl.notify_discontinuity();
+            }
+        }
         xylem_obs::incr(xylem_obs::Counter::DtmSteps);
         xylem_obs::set_gauge(xylem_obs::Gauge::DtmFreqGhz, points[level]);
         xylem_obs::set_gauge(xylem_obs::Gauge::DtmMaxTempC, true_hot.get());
@@ -495,6 +636,7 @@ pub fn dtm_transient_configured(
                     samples: samples.clone(),
                     sensors: sensors.clone(),
                     recovery: recovery.clone(),
+                    adaptive: adaptive.clone(),
                 };
                 checkpoint::save(&ck.path, &c)?;
                 xylem_obs::incr(xylem_obs::Counter::CheckpointsWritten);
@@ -515,6 +657,7 @@ pub fn dtm_transient_configured(
         cg_iterations,
         failsafe_events,
         recovery,
+        adaptive: adaptive.as_ref().map(|c| c.summary()),
     })
 }
 
@@ -742,6 +885,7 @@ pub fn dtm_transient_phased(
         cg_iterations,
         failsafe_events: 0,
         recovery,
+        adaptive: None,
     })
 }
 
@@ -763,6 +907,7 @@ mod tests {
             trip: Celsius::new(100.0),
             release: Celsius::new(98.0),
             control_period_s: 20e-3,
+            stepping: SteppingMode::Fixed,
         }
     }
 
@@ -773,8 +918,14 @@ mod tests {
             trip: Celsius::new(90.0),
             release: Celsius::new(95.0),
             control_period_s: 1e-3,
+            stepping: SteppingMode::Fixed,
         };
         assert!(inverted.validate().is_err());
+        let bad_adaptive = DtmPolicy::paper_default().with_adaptive(AdaptiveOptions {
+            rtol: -1.0,
+            ..AdaptiveOptions::default()
+        });
+        assert!(bad_adaptive.validate().is_err());
         let frozen = DtmPolicy {
             control_period_s: 0.0,
             ..DtmPolicy::paper_default()

@@ -41,6 +41,7 @@ fn policy() -> DtmPolicy {
         trip: Celsius::new(100.0),
         release: Celsius::new(98.0),
         control_period_s: 20e-3,
+        ..DtmPolicy::paper_default()
     }
 }
 

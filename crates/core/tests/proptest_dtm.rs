@@ -58,6 +58,7 @@ proptest! {
             trip: Celsius::new(100.0),
             release: Celsius::new(98.0),
             control_period_s: 20e-3,
+            ..DtmPolicy::paper_default()
         };
         let mut sensors = SensorModel::default_array(12, 12, seed);
         sensors.noise_sigma_c = noise;
@@ -147,6 +148,7 @@ proptest! {
                 .collect(),
             sensors,
             recovery: RecoveryReport::default(),
+            adaptive: None,
         };
         checkpoint::save(&path, &ckpt).unwrap();
         let back = checkpoint::load(&path).unwrap();

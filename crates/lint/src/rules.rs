@@ -65,6 +65,8 @@ const NO_PANIC_SUFFIXES: &[&str] = &[
     "crates/core/src/sensor.rs",
     "crates/core/src/checkpoint.rs",
     "crates/thermal/src/solve.rs",
+    "crates/thermal/src/model.rs",
+    "crates/thermal/src/adaptive.rs",
 ];
 
 /// Library modules instrumented with `xylem-obs` (rule 5): everything
@@ -76,6 +78,8 @@ const INSTRUMENTED_SUFFIXES: &[&str] = &[
     "crates/core/src/sensor.rs",
     "crates/core/src/checkpoint.rs",
     "crates/thermal/src/solve.rs",
+    "crates/thermal/src/model.rs",
+    "crates/thermal/src/adaptive.rs",
     "crates/bench/src/harness.rs",
 ];
 
@@ -652,6 +656,8 @@ mod tests {
             "crates/core/src/sensor.rs",
             "crates/core/src/checkpoint.rs",
             "crates/thermal/src/solve.rs",
+            "crates/thermal/src/model.rs",
+            "crates/thermal/src/adaptive.rs",
         ] {
             let d = run_all(path, src);
             assert_eq!(d.len(), 1, "{path}: {d:?}");

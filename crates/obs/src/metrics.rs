@@ -61,6 +61,16 @@ metric_enum!(
         SensorRejected => "sensor_rejected",
         /// DTM checkpoints written.
         CheckpointsWritten => "checkpoints_written",
+        /// Adaptive transient steps accepted (including forced accepts).
+        AdaptiveAccepts => "adaptive_accepts",
+        /// Adaptive transient steps rejected and rolled back.
+        AdaptiveRejects => "adaptive_rejects",
+        /// Adaptive hold steps (state carried unchanged across an
+        /// unsolvable interval).
+        AdaptiveHolds => "adaptive_holds",
+        /// Adaptive run-budget exhaustions (CG iterations, wall clock,
+        /// or rejection streak).
+        BudgetExhaustions => "budget_exhaustions",
         /// JSONL events written to the sink (zero when disabled).
         EventsEmitted => "events_emitted",
     }
@@ -79,6 +89,11 @@ metric_enum!(
         DtmMaxTempC => "dtm_max_temp_c",
         /// Most recent fused sensor temperature (°C).
         SensorFusedC => "sensor_fused_c",
+        /// Current adaptive time step (s).
+        AdaptiveDtS => "adaptive_dt_s",
+        /// WRMS local-truncation-error estimate of the latest adaptive
+        /// step (1.0 = at tolerance).
+        AdaptiveLte => "adaptive_lte",
     }
 );
 

@@ -68,6 +68,14 @@ pub enum ThermalError {
         /// Index of the first offending node.
         node: usize,
     },
+    /// An adaptive-stepping option was out of range (see
+    /// [`crate::adaptive::AdaptiveOptions::validate`]).
+    InvalidAdaptiveConfig {
+        /// Which option was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ThermalError {
@@ -105,6 +113,9 @@ impl fmt::Display for ThermalError {
             }
             ThermalError::NonFiniteTemperature { node } => {
                 write!(f, "non-finite temperature at node {node}")
+            }
+            ThermalError::InvalidAdaptiveConfig { what, value } => {
+                write!(f, "invalid adaptive option {what} = {value}")
             }
         }
     }
@@ -149,6 +160,10 @@ mod tests {
             },
             ThermalError::InvalidTimeStep { dt: 0.0 },
             ThermalError::NonFiniteTemperature { node: 7 },
+            ThermalError::InvalidAdaptiveConfig {
+                what: "rtol",
+                value: -1.0,
+            },
         ];
         for e in errors {
             let s = e.to_string();

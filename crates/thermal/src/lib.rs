@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adaptive;
 pub mod amg;
 pub mod analytic;
 pub mod block_model;
@@ -80,6 +81,7 @@ pub mod stack;
 pub mod temperature;
 pub mod units;
 
+pub use adaptive::{AdaptiveController, AdaptiveOptions, AdaptiveSummary, BudgetKind};
 pub use csr::CsrMatrix;
 pub use error::ThermalError;
 pub use grid::GridSpec;

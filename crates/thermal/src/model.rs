@@ -21,6 +21,9 @@
 
 use std::sync::Mutex;
 
+use xylem_obs::{Counter, Gauge};
+
+use crate::adaptive::AdaptiveController;
 use crate::csr::CsrMatrix;
 use crate::error::ThermalError;
 use crate::grid::{rasterize, GridSpec};
@@ -83,13 +86,20 @@ struct TransientOp {
     prec: Preconditioner,
 }
 
-/// Interior-mutable one-slot cache for [`TransientOp`], so transient
+/// Slots in the keyed transient-operator cache. Adaptive step-doubling
+/// alternates `dt` and `dt/2` every step, and a horizon-clamped
+/// remainder step adds one or two more distinct values; four slots hold
+/// the working set of any stepping mode without an eviction storm.
+const TRANSIENT_CACHE_SLOTS: usize = 4;
+
+/// Interior-mutable keyed LRU cache for [`TransientOp`]s, so transient
 /// stepping under `&self` pays the `A + C/dt` assembly (and its
 /// preconditioner factorization) once per distinct `dt` instead of once
 /// per call. DTM control loops re-solve with the same control period
-/// thousands of times.
+/// thousands of times, and the adaptive engine cycles through a small
+/// set of power-of-two step sizes.
 #[derive(Debug, Default)]
-struct TransientCache(Mutex<Option<TransientOp>>);
+struct TransientCache(Mutex<Vec<TransientOp>>);
 
 impl Clone for TransientCache {
     /// Clones start empty: the cache is a pure memoization and rebuilding
@@ -624,8 +634,8 @@ impl ThermalModel {
     /// Backward-Euler transient stepping with a caller-owned workspace
     /// and an explicit CG warm-start policy.
     ///
-    /// The `A + C/dt` operator and its preconditioner come from a
-    /// one-slot cache keyed on `dt` (bitwise) and preconditioner kind, so
+    /// The `A + C/dt` operator and its preconditioner come from a small
+    /// LRU cache keyed on `dt` (bitwise) and preconditioner kind, so
     /// control loops stepping with a fixed period pay assembly and
     /// factorization once, not per call.
     ///
@@ -670,27 +680,9 @@ impl ThermalModel {
             }
         }
 
-        let kind = self.solver_options.preconditioner;
-        let mut cache = self
-            .transient_cache
-            .0
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let hit = matches!(
-            &*cache,
-            Some(op) if op.dt.to_bits() == dt.to_bits() && op.kind == kind
-        );
-        if !hit {
-            let patch: Vec<f64> = self.capacitance.iter().map(|c| c / dt).collect();
-            let a = self.csr.with_diagonal_added(&patch);
-            let prec = Preconditioner::build(&a, kind);
-            *cache = Some(TransientOp { dt, kind, a, prec });
-        }
-        let op = cache.as_ref().expect("transient operator just ensured");
-
         let mut rhs = std::mem::take(&mut ws.rhs);
         let mut rhs0 = std::mem::take(&mut ws.rhs0);
-        let result = (|| -> Result<_, ThermalError> {
+        let result = self.with_transient_op(dt, |a, prec| -> Result<_, ThermalError> {
             self.assemble_rhs_into(power, &mut rhs0)?;
             rhs.clear();
             rhs.resize(n, 0.0);
@@ -710,8 +702,8 @@ impl ThermalModel {
                 }
                 let mut step_recovery = RecoveryReport::default();
                 let s = solve_cg_resilient(
-                    &op.a,
-                    &op.prec,
+                    a,
+                    prec,
                     &rhs,
                     &mut x,
                     ws,
@@ -723,13 +715,332 @@ impl ThermalModel {
                 stats.residual = s.residual;
             }
             Ok((x, stats, recovery))
-        })();
+        });
         ws.rhs = rhs;
         ws.rhs0 = rhs0;
         let (x, stats, recovery) = result?;
         let temps = TemperatureField::new(self, x, stats, recovery);
         debug_check_solution(&stats, &self.solver_options, temps.raw());
         Ok(temps)
+    }
+
+    /// Runs `f` with the backward-Euler operator `G + C/dt` and its
+    /// preconditioner for `dt`, building them on a cache miss. The cache
+    /// holds [`TRANSIENT_CACHE_SLOTS`] operators keyed on `dt` (bitwise)
+    /// and preconditioner kind, evicting least-recently-used. The lock is
+    /// held for the duration of `f`; the model is effectively
+    /// single-threaded per instance (parallelism lives inside the solve).
+    fn with_transient_op<R>(&self, dt: f64, f: impl FnOnce(&CsrMatrix, &Preconditioner) -> R) -> R {
+        let kind = self.solver_options.preconditioner;
+        let mut slots = self
+            .transient_cache
+            .0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let hit = slots
+            .iter()
+            .position(|op| op.dt.to_bits() == dt.to_bits() && op.kind == kind);
+        let op = match hit {
+            Some(i) => slots.remove(i),
+            None => {
+                if slots.len() >= TRANSIENT_CACHE_SLOTS {
+                    slots.remove(0);
+                }
+                let patch: Vec<f64> = self.capacitance.iter().map(|c| c / dt).collect();
+                let a = self.csr.with_diagonal_added(&patch);
+                let prec = Preconditioner::build(&a, kind);
+                TransientOp { dt, kind, a, prec }
+            }
+        };
+        let result = f(&op.a, &op.prec);
+        // Most-recently-used lives at the back.
+        slots.push(op);
+        result
+    }
+
+    /// One backward-Euler step of `dt` seconds, in place: forms the BE
+    /// right-hand side from the current content of `x` (into the staging
+    /// buffer `rhs`) and warm-starts CG from it. Charges CG iterations to
+    /// `iterations` even when the solve fails, and reports a non-finite
+    /// solution as [`ThermalError::NonFiniteTemperature`] instead of
+    /// letting it propagate into the next step.
+    #[allow(clippy::too_many_arguments)]
+    fn be_step_inplace(
+        &self,
+        dt: f64,
+        rhs0: &[f64],
+        rhs: &mut Vec<f64>,
+        x: &mut [f64],
+        ws: &mut SolverWorkspace,
+        recovery: &mut RecoveryReport,
+        iterations: &mut usize,
+    ) -> Result<f64, ThermalError> {
+        let n = rhs0.len();
+        rhs.clear();
+        rhs.resize(n, 0.0);
+        for i in 0..n {
+            rhs[i] = rhs0[i] + self.capacitance[i] / dt * x[i];
+        }
+        let solved = self.with_transient_op(dt, |a, prec| {
+            solve_cg_resilient(a, prec, rhs, x, ws, &self.solver_options, recovery)
+        });
+        match solved {
+            Ok(s) => {
+                *iterations += s.iterations;
+                match x.iter().position(|v| !v.is_finite()) {
+                    None => Ok(s.residual),
+                    Some(node) => Err(ThermalError::NonFiniteTemperature { node }),
+                }
+            }
+            Err(e) => {
+                if let ThermalError::NoConvergence { iterations: it, .. } = &e {
+                    *iterations += *it;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Error-controlled adaptive transient integration over `horizon_s`
+    /// seconds under constant `power`, starting from `initial`.
+    ///
+    /// Each step solves one full backward-Euler step of `dt` and two
+    /// half-steps; their difference yields a weighted-RMS local-error
+    /// estimate that `ctrl` (see [`crate::adaptive`]) accepts or rejects,
+    /// adapting `dt` through a clamped PI rule over power-of-two rungs.
+    /// The accepted state is always the (more accurate) two-half-step
+    /// solution. Diverging solves — solver errors or non-finite states —
+    /// are rolled back, never propagated: the engine shrinks `dt`, and at
+    /// the degradation floor (`dt_min`, or the rejection-streak budget)
+    /// it force-accepts a finite over-tolerance state or *holds* the
+    /// previous state across an unsolvable interval. Exhausting a CG or
+    /// wall-clock budget degrades to plain fixed steps (economy mode).
+    /// The returned field is therefore always finite, and every accept,
+    /// reject, hold, and budget exhaustion is visible through
+    /// [`xylem_obs`] counters, gauges, and JSONL events.
+    ///
+    /// `ctrl` carries state across calls: a DTM loop calls this once per
+    /// control period and the step size, PI history, and budget
+    /// accounting persist (and can be checkpointed) between calls.
+    ///
+    /// # Errors
+    ///
+    /// Only for invalid *inputs* — a bad `horizon_s`, a mismatched or
+    /// non-finite `initial`. Solver failures during stepping degrade as
+    /// described instead of erroring.
+    pub fn transient_adaptive(
+        &self,
+        power: &PowerMap,
+        initial: &TemperatureField,
+        horizon_s: f64,
+        ctrl: &mut AdaptiveController,
+        ws: &mut SolverWorkspace,
+    ) -> Result<TemperatureField, ThermalError> {
+        if !(horizon_s.is_finite() && horizon_s > 0.0) {
+            return Err(ThermalError::InvalidTimeStep { dt: horizon_s });
+        }
+        let n = self.node_count();
+        if initial.node_count() != n {
+            return Err(ThermalError::PowerMapMismatch {
+                map_nodes: initial.node_count(),
+                model_nodes: n,
+            });
+        }
+        if let Some(node) = initial.raw().iter().position(|t| !t.is_finite()) {
+            return Err(ThermalError::NonFiniteTemperature { node });
+        }
+
+        let mut rhs = std::mem::take(&mut ws.rhs);
+        let mut rhs0 = std::mem::take(&mut ws.rhs0);
+        let mut x_full = std::mem::take(&mut ws.x_full);
+        let mut x_half = std::mem::take(&mut ws.x_half);
+        let result = (|| -> Result<_, ThermalError> {
+            self.assemble_rhs_into(power, &mut rhs0)?;
+            let mut x = initial.raw().to_vec();
+            let mut stats = SolveStats::default();
+            let mut recovery = RecoveryReport::default();
+            let mut t = 0.0_f64;
+            // Relative slop so a remainder step within one ULP-scale of
+            // the horizon terminates the loop.
+            let t_end = horizon_s * (1.0 - 1e-12);
+            while t < t_end {
+                let dt = ctrl.dt().min(horizon_s - t);
+                let started = std::time::Instant::now();
+                let mut iters = 0usize;
+                let mut attempt_recovery = RecoveryReport::default();
+
+                // Attempt the step. Economy mode: one plain BE step, no
+                // error estimate. Normal mode: step-doubling (full +
+                // two halves); the half-step state is the candidate.
+                let economy = ctrl.in_economy();
+                let solves: u64 = if economy { 1 } else { 3 };
+                let attempt = if economy {
+                    x_full.clear();
+                    x_full.extend_from_slice(&x);
+                    self.be_step_inplace(
+                        dt,
+                        &rhs0,
+                        &mut rhs,
+                        &mut x_full,
+                        ws,
+                        &mut attempt_recovery,
+                        &mut iters,
+                    )
+                    .map(|residual| (residual, f64::NAN))
+                } else {
+                    x_full.clear();
+                    x_full.extend_from_slice(&x);
+                    x_half.clear();
+                    x_half.extend_from_slice(&x);
+                    let half = dt * 0.5;
+                    self.be_step_inplace(
+                        dt,
+                        &rhs0,
+                        &mut rhs,
+                        &mut x_full,
+                        ws,
+                        &mut attempt_recovery,
+                        &mut iters,
+                    )
+                    .and_then(|_| {
+                        self.be_step_inplace(
+                            half,
+                            &rhs0,
+                            &mut rhs,
+                            &mut x_half,
+                            ws,
+                            &mut attempt_recovery,
+                            &mut iters,
+                        )
+                    })
+                    .and_then(|_| {
+                        self.be_step_inplace(
+                            half,
+                            &rhs0,
+                            &mut rhs,
+                            &mut x_half,
+                            ws,
+                            &mut attempt_recovery,
+                            &mut iters,
+                        )
+                    })
+                    .map(|residual| (residual, ctrl.error_norm(&x_half, &x_full)))
+                };
+                ctrl.note_cost(solves, iters as u64, started.elapsed().as_secs_f64());
+                stats.iterations += iters;
+                recovery.merge(&attempt_recovery);
+
+                // Decide the outcome. `action` doubles as the JSONL label.
+                // The streak budget is sampled before the controller
+                // mutates it, so the "which budget pushed us to the
+                // floor" report is accurate.
+                let streak_exhausted = ctrl.reject_streak_exhausted();
+                let mut err_for_event = f64::NAN;
+                let action = match attempt {
+                    Ok((residual, _err)) if economy => {
+                        x.copy_from_slice(&x_full);
+                        stats.residual = residual;
+                        t += dt;
+                        ctrl.on_economy_accept();
+                        "accept"
+                    }
+                    Ok((residual, err)) if err.is_finite() && err <= 1.0 => {
+                        x.copy_from_slice(&x_half);
+                        stats.residual = residual;
+                        t += dt;
+                        err_for_event = err;
+                        ctrl.on_accept(err);
+                        "accept"
+                    }
+                    Ok((residual, err)) if err.is_finite() => {
+                        // Error over tolerance: reject and shrink, unless
+                        // already at the floor — then keep the finite
+                        // half-step state rather than stall.
+                        err_for_event = err;
+                        if ctrl.at_dt_min() || ctrl.reject_streak_exhausted() {
+                            x.copy_from_slice(&x_half);
+                            stats.residual = residual;
+                            t += dt;
+                            ctrl.on_force_accept(err);
+                            "force_accept"
+                        } else {
+                            ctrl.on_reject();
+                            "reject"
+                        }
+                    }
+                    // Divergence: a solve failed or produced a non-finite
+                    // state (a non-finite error norm means the same).
+                    // Roll back; shrink if possible, otherwise hold the
+                    // previous state across the interval.
+                    _ => {
+                        if ctrl.at_dt_min() || ctrl.reject_streak_exhausted() {
+                            t += dt;
+                            ctrl.on_hold();
+                            "hold"
+                        } else {
+                            ctrl.on_reject();
+                            "reject"
+                        }
+                    }
+                };
+
+                match action {
+                    "accept" | "force_accept" => xylem_obs::incr(Counter::AdaptiveAccepts),
+                    "reject" => xylem_obs::incr(Counter::AdaptiveRejects),
+                    _ => xylem_obs::incr(Counter::AdaptiveHolds),
+                }
+                xylem_obs::set_gauge(Gauge::AdaptiveDtS, ctrl.dt());
+                xylem_obs::set_gauge(Gauge::AdaptiveLte, err_for_event);
+                if xylem_obs::enabled() {
+                    xylem_obs::event("adaptive_step")
+                        .f64("t_s", t)
+                        .f64("dt_s", dt)
+                        .f64("err", err_for_event)
+                        .str("action", action)
+                        .u64("iters", iters as u64)
+                        .bool("economy", economy)
+                        .emit();
+                }
+
+                // The rejection-streak budget forcing a step through the
+                // floor is an exhaustion event too (unlike the dt_min
+                // clamp, which is an ordinary part of the ladder).
+                if streak_exhausted && matches!(action, "force_accept" | "hold") {
+                    xylem_obs::incr(Counter::BudgetExhaustions);
+                    if xylem_obs::enabled() {
+                        xylem_obs::event("adaptive_budget")
+                            .str("which", "reject_streak")
+                            .f64("t_s", t)
+                            .str("mode", "forced")
+                            .emit();
+                    }
+                }
+
+                // Budgets are checked after the attempt is charged; the
+                // transition to economy mode is reported exactly once.
+                if let Some(kind) = ctrl.budget_exhausted() {
+                    if ctrl.enter_economy() {
+                        xylem_obs::incr(Counter::BudgetExhaustions);
+                        if xylem_obs::enabled() {
+                            xylem_obs::event("adaptive_budget")
+                                .str("which", kind.label())
+                                .f64("t_s", t)
+                                .str("mode", "economy")
+                                .emit();
+                        }
+                    }
+                }
+            }
+            Ok((x, stats, recovery))
+        })();
+        ws.rhs = rhs;
+        ws.rhs0 = rhs0;
+        ws.x_full = x_full;
+        ws.x_half = x_half;
+        let (x, stats, recovery) = result?;
+        // No debug_check_solution here: degraded (forced/held) states are
+        // legitimately over-tolerance. The engine guarantees finiteness.
+        Ok(TemperatureField::new(self, x, stats, recovery))
     }
 
     /// Total heat leaving through ambient paths (convection + board) for a

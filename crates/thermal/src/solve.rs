@@ -217,6 +217,12 @@ pub struct SolverWorkspace {
     /// Second staging buffer for transient stepping (the constant part
     /// of the backward-Euler right-hand side).
     pub rhs0: Vec<f64>,
+    /// Full-step trial state for adaptive step-doubling
+    /// (caller-owned; untouched by the solver).
+    pub x_full: Vec<f64>,
+    /// Two-half-step trial state for adaptive step-doubling
+    /// (caller-owned; untouched by the solver).
+    pub x_half: Vec<f64>,
     /// Entry-iterate backup for [`solve_cg_resilient`] cold restarts.
     x0: Vec<f64>,
 }
