@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Workspace CI gate. Run from the repository root:
 #
-#   ./ci.sh          # format check, clippy, xylem-lint, full test suite
+#   ./ci.sh          # format check, clippy, xylem-lint audit, full test suite
+#   ./ci.sh lint     # determinism audit only: xylem-lint text + --json modes
+#   ./ci.sh sanitize # sanitizer lane: miri (if installed) over the pure
+#                    # crates + thread-count determinism digests
 #   ./ci.sh bench    # regenerate BENCH_thermal.json (solver smoke numbers)
 #   ./ci.sh faults   # fault-injection sweep: seeded sensor faults, forced
 #                    # solver failures, checkpoint/resume bit-identity
@@ -10,9 +13,35 @@
 #   ./ci.sh adaptive # adaptive-stepping convergence vs fixed-step reference
 #                    # + 50-scenario divergence-injection sweep, release mode
 #
-# Each stage fails fast; the whole script passing is the merge bar.
+# The lint audit fails on any new finding AND on stale allowlist/baseline
+# entries (the ratchet: fixing an exempted finding requires deleting its
+# entry). Each stage fails fast; the whole script passing is the merge bar.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "lint" ]]; then
+  shift
+  echo "==> xylem-lint determinism audit"
+  cargo run -q -p xylem-lint -- "$@"
+  exit 0
+fi
+
+if [[ "${1:-}" == "sanitize" ]]; then
+  # Pure crates first: no threads, no FFI — miri-friendly if a miri
+  # toolchain is installed, plain `cargo test` otherwise. The container
+  # image does not bake miri in, so its absence is a skip, not a failure.
+  if cargo miri --version >/dev/null 2>&1; then
+    echo "==> miri (pure crates: lint, obs, workloads)"
+    cargo miri test -q -p xylem-lint -p xylem-obs -p xylem-workloads
+  else
+    echo "==> miri not installed; falling back to plain tests for pure crates"
+    cargo test -q -p xylem-lint -p xylem-obs -p xylem-workloads
+  fi
+  echo "==> thread-count determinism digest (bit-identical runs, 1 vs 4 threads)"
+  cargo test -q --release -p xylem-core --test thread_determinism
+  echo "Sanitize lane green."
+  exit 0
+fi
 
 if [[ "${1:-}" == "bench" ]]; then
   echo "==> solver smoke bench (BENCH_thermal.json)"
@@ -59,8 +88,10 @@ cargo fmt --all --check
 echo "==> cargo clippy (libs + bins, warnings are errors)"
 cargo clippy --workspace --lib --bins -- -D warnings
 
-echo "==> xylem-lint (units / panic / magic-constant hygiene)"
+echo "==> xylem-lint determinism audit (nine rules, baseline ratchet, stale check)"
 cargo run -q -p xylem-lint
+echo "==> xylem-lint --json (machine-readable findings, schema-locked JSONL)"
+cargo run -q -p xylem-lint -- --json
 
 echo "==> cargo test"
 cargo test -q --workspace

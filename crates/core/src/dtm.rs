@@ -252,7 +252,8 @@ impl DtmResult {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|s| s.f_ghz).sum::<f64>() / self.samples.len() as f64
+        let freqs: Vec<f64> = self.samples.iter().map(|s| s.f_ghz).collect();
+        xylem_thermal::reduce::pairwise_sum(&freqs) / self.samples.len() as f64
     }
 
     /// Peak hotspot seen.

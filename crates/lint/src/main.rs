@@ -1,21 +1,34 @@
-//! CLI entry point: `cargo run -p xylem-lint [workspace-root]`.
+//! CLI entry point: `cargo run -p xylem-lint [--json] [--allow-stale]
+//! [workspace-root]`.
 //!
-//! Prints one `path:line: [rule] message` per finding and exits with
-//! status 1 if any survive the allowlist, 2 on usage/IO errors.
+//! Prints one `path:line: [rule] message` per finding (or one JSON
+//! object per line with `--json`) and exits with status 1 if any finding
+//! or stale allowlist/baseline entry survives, 2 on usage/IO errors.
+//! `--allow-stale` downgrades stale entries to warnings for bring-up.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut args = std::env::args_os().skip(1);
-    let root = match (args.next(), args.next()) {
-        (None, _) => default_root(),
-        (Some(p), None) => PathBuf::from(p),
-        (Some(_), Some(_)) => {
-            eprintln!("usage: xylem-lint [workspace-root]");
-            return ExitCode::from(2);
+    let mut json = false;
+    let mut allow_stale = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args_os().skip(1) {
+        match arg.to_str() {
+            Some("--json") => json = true,
+            Some("--allow-stale") => allow_stale = true,
+            Some(s) if s.starts_with("--") => {
+                eprintln!("usage: xylem-lint [--json] [--allow-stale] [workspace-root]");
+                return ExitCode::from(2);
+            }
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            _ => {
+                eprintln!("usage: xylem-lint [--json] [--allow-stale] [workspace-root]");
+                return ExitCode::from(2);
+            }
         }
-    };
+    }
+    let root = root.unwrap_or_else(default_root);
     if !root.join("Cargo.toml").is_file() {
         eprintln!(
             "xylem-lint: {} does not look like a workspace root (no Cargo.toml)",
@@ -23,25 +36,45 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    match xylem_lint::check_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("xylem-lint: workspace clean");
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for d in &findings {
-                println!("{d}");
-            }
-            println!(
-                "xylem-lint: {} finding(s); fix them or add entries to xylem-lint.allow",
-                findings.len()
-            );
-            ExitCode::FAILURE
-        }
+    let report = match xylem_lint::audit_workspace(&root) {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("xylem-lint: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    let stale_diags: Vec<_> = report.stale.iter().map(|s| s.to_diagnostic()).collect();
+    if json {
+        for d in report.findings.iter().chain(&stale_diags) {
+            println!("{}", d.to_json());
+        }
+    } else {
+        for d in &report.findings {
+            println!("{d}");
+        }
+        for d in &stale_diags {
+            if allow_stale {
+                println!("warning (stale, allowed): {d}");
+            } else {
+                println!("{d}");
+            }
+        }
+        let verdict = if report.is_clean(allow_stale) {
+            "clean"
+        } else {
+            "FAILED"
+        };
+        println!(
+            "xylem-lint: {} finding(s), {} suppressed, {} stale entr(ies) — {verdict}",
+            report.findings.len(),
+            report.suppressed,
+            report.stale.len(),
+        );
+    }
+    if report.is_clean(allow_stale) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -1,4 +1,7 @@
-//! The five lint rules, operating on the lexer's token stream.
+//! The nine lint rules, operating on the lexer's token stream (pass 2 of
+//! the two-pass analyzer; pass 1 is [`crate::symbols`]).
+//!
+//! Token-stream rules (no symbol table needed):
 //!
 //! * `f64-param` — public API functions of the physics crates must not take
 //!   a raw `f64` where the parameter name says it is a physical quantity.
@@ -16,9 +19,33 @@
 //!   prints bypass the structured sink, corrupt piped JSONL output, and
 //!   dodge the overhead accounting. Emit an event or record a metric
 //!   instead; CLI binaries and examples keep their prints.
+//!
+//! Dataflow-aware rules (consume the [`crate::symbols::FileSymbols`]
+//! table):
+//!
+//! * `no-nondet-collections` — `HashMap`/`HashSet` anywhere in a
+//!   hot-path module (import, type, construction, or iteration). Hash
+//!   iteration order is unspecified; one stray iteration in a solver
+//!   path silently breaks the bit-identical-across-thread-counts claim.
+//!   Use `BTreeMap`/`BTreeSet` or indexed vectors.
+//! * `no-raw-accumulation` — from-scratch `+=` folds into a
+//!   float-literal-initialized accumulator, and f64 `.sum()` calls, in
+//!   hot-path modules. Reductions must go through the deterministic
+//!   pairwise helpers in `xylem_thermal::reduce` so the fold order never
+//!   depends on chunking or thread count. Row-local stencil accumulators
+//!   (seeded from an existing element, not a literal) stay legal.
+//! * `no-unit-escape` — `.0` field projection on a binding of a
+//!   `xylem_thermal::units` newtype outside `units.rs` and the material
+//!   tables. The projection bypasses the dimensional layer the
+//!   `f64-param` rule exists to protect; use `.get()`.
+//! * `obs-coverage` — in the instrumented modules, a function containing
+//!   a fallback/degradation branch (an `Err(..)` handler arm, a
+//!   `*fallback*`/`*rollback*`/`*exhausted*`-family call) must also
+//!   reference the `xylem-obs` sink, so failure paths can never go dark.
 
 use crate::lexer::{Tok, TokKind};
-use crate::{Allowlist, Diagnostic};
+use crate::symbols::{FileSymbols, UNIT_TYPES};
+use crate::Diagnostic;
 
 /// Crate sub-trees whose public API surface is units-checked (rule 1).
 const UNITS_CHECKED_PREFIXES: &[&str] = &[
@@ -69,26 +96,33 @@ const NO_PANIC_SUFFIXES: &[&str] = &[
     "crates/thermal/src/adaptive.rs",
 ];
 
-/// Library modules instrumented with `xylem-obs` (rule 5): everything
-/// that emits structured events or metrics. A stray `println!` here
-/// writes around the sink — invisible to `--metrics-out` consumers and
-/// free to interleave with (and corrupt) piped JSONL streams.
-const INSTRUMENTED_SUFFIXES: &[&str] = &[
-    "crates/core/src/dtm.rs",
-    "crates/core/src/sensor.rs",
-    "crates/core/src/checkpoint.rs",
-    "crates/thermal/src/solve.rs",
-    "crates/thermal/src/model.rs",
-    "crates/thermal/src/adaptive.rs",
-    "crates/bench/src/harness.rs",
-];
-
-/// Whole instrumented sub-trees (rule 5). The obs crate owns the sink;
-/// it must never print around itself.
-const INSTRUMENTED_PREFIXES: &[&str] = &["crates/obs/src/"];
-
 /// Print-family macros banned by rule 5.
 const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+/// The canonical home of the deterministic reduction helpers, exempt
+/// from `no-raw-accumulation`: the chunk-serial `+=` loops *inside* the
+/// pairwise machinery are the deterministic pattern itself.
+const REDUCE_HOME_SUFFIXES: &[&str] = &["crates/thermal/src/reduce.rs"];
+
+/// Files exempt from `no-unit-escape`: the newtype definitions and the
+/// constant tables that construct them wholesale.
+const UNIT_ESCAPE_EXEMPT_SUFFIXES: &[&str] = &[
+    "thermal/src/units.rs",
+    "thermal/src/material.rs",
+    "power/src/blocks.rs",
+];
+
+/// Name fragments that mark a call as part of a fallback/degradation
+/// path (rule `obs-coverage`).
+const DEGRADATION_FRAGMENTS: &[&str] = &[
+    "fallback", "rollback", "degrad", "exhaust", "retry", "failsafe",
+];
+
+/// Integer-type names whose presence in a statement marks a `.sum()` as
+/// an integer fold (out of scope for `no-raw-accumulation`).
+const INT_TYPE_IDENTS: &[&str] = &[
+    "usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "i128",
+];
 
 /// Whether `relpath` (normalized with `/`) is library source: under a
 /// crate's `src/`, not a binary target, not the lint crate itself.
@@ -157,13 +191,7 @@ fn cfg_test_mask(toks: &[Tok]) -> Vec<bool> {
 
 /// Rule 1: raw `f64` parameters named like physical quantities in public
 /// function signatures of the units-checked crates.
-pub fn check_f64_params(
-    relpath: &str,
-    toks: &[Tok],
-    mask: &[bool],
-    allow: &Allowlist,
-    out: &mut Vec<Diagnostic>,
-) {
+pub fn check_f64_params(relpath: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Diagnostic>) {
     if !UNITS_CHECKED_PREFIXES
         .iter()
         .any(|p| relpath.starts_with(p))
@@ -242,7 +270,7 @@ pub fn check_f64_params(
         }
         let params = &toks[open + 1..j.min(toks.len())];
         for param in split_params(params) {
-            check_one_param(relpath, &fn_name, param, allow, out);
+            check_one_param(relpath, &fn_name, param, out);
         }
         i = j + 1;
     }
@@ -278,13 +306,7 @@ fn split_params(params: &[Tok]) -> Vec<&[Tok]> {
     groups
 }
 
-fn check_one_param(
-    relpath: &str,
-    fn_name: &str,
-    param: &[Tok],
-    allow: &Allowlist,
-    out: &mut Vec<Diagnostic>,
-) {
+fn check_one_param(relpath: &str, fn_name: &str, param: &[Tok], out: &mut Vec<Diagnostic>) {
     if param.is_empty() || param.iter().any(|t| t.is_ident("self")) {
         return;
     }
@@ -310,9 +332,6 @@ fn check_one_param(
         return;
     }
     let symbol = format!("{fn_name}.{}", name_tok.text);
-    if allow.permits("f64-param", relpath, &symbol) {
-        return;
-    }
     out.push(Diagnostic {
         rule: "f64-param",
         path: relpath.to_string(),
@@ -327,13 +346,7 @@ fn check_one_param(
 
 /// Rule 2: `.unwrap()` calls and message-free panic-family macros in
 /// library code.
-pub fn check_panics(
-    relpath: &str,
-    toks: &[Tok],
-    mask: &[bool],
-    allow: &Allowlist,
-    out: &mut Vec<Diagnostic>,
-) {
+pub fn check_panics(relpath: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Diagnostic>) {
     if !is_library_source(relpath) {
         return;
     }
@@ -348,9 +361,6 @@ pub fn check_panics(
             && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
             && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
         {
-            if allow.permits("unwrap", relpath, "unwrap") {
-                continue;
-            }
             out.push(Diagnostic {
                 rule: "unwrap",
                 path: relpath.to_string(),
@@ -369,9 +379,6 @@ pub fn check_panics(
             && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
             && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
         {
-            if allow.permits("unwrap", relpath, &t.text) {
-                continue;
-            }
             out.push(Diagnostic {
                 rule: "unwrap",
                 path: relpath.to_string(),
@@ -391,13 +398,7 @@ pub fn check_panics(
 /// tolerates `expect("<invariant>")`; in the recovery paths even a
 /// documented invariant panic is unacceptable — the module exists to
 /// absorb violated assumptions, not to die on them.
-pub fn check_no_panic_paths(
-    relpath: &str,
-    toks: &[Tok],
-    mask: &[bool],
-    allow: &Allowlist,
-    out: &mut Vec<Diagnostic>,
-) {
+pub fn check_no_panic_paths(relpath: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Diagnostic>) {
     if !NO_PANIC_SUFFIXES.iter().any(|s| relpath.ends_with(s)) {
         return;
     }
@@ -410,9 +411,6 @@ pub fn check_no_panic_paths(
             && toks[i - 1].is_punct('.')
             && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
         if !is_call {
-            continue;
-        }
-        if allow.permits("no-panic-path", relpath, &t.text) {
             continue;
         }
         out.push(Diagnostic {
@@ -435,12 +433,10 @@ pub fn check_no_println(
     relpath: &str,
     toks: &[Tok],
     mask: &[bool],
-    allow: &Allowlist,
+    syms: &FileSymbols,
     out: &mut Vec<Diagnostic>,
 ) {
-    let instrumented = INSTRUMENTED_SUFFIXES.iter().any(|s| relpath.ends_with(s))
-        || INSTRUMENTED_PREFIXES.iter().any(|p| relpath.starts_with(p));
-    if !instrumented {
+    if !syms.zone.instrumented {
         return;
     }
     for (i, t) in toks.iter().enumerate() {
@@ -454,9 +450,6 @@ pub fn check_no_println(
             // require the macro position (no leading `.` or `::`).
             && !(i > 0 && toks[i - 1].is_punct('.'));
         if !is_print {
-            continue;
-        }
-        if allow.permits("no-println", relpath, &t.text) {
             continue;
         }
         out.push(Diagnostic {
@@ -474,13 +467,7 @@ pub fn check_no_println(
 
 /// Rule 3: float literals matching known physical-constant magnitudes
 /// outside the material tables.
-pub fn check_magic_floats(
-    relpath: &str,
-    toks: &[Tok],
-    mask: &[bool],
-    allow: &Allowlist,
-    out: &mut Vec<Diagnostic>,
-) {
+pub fn check_magic_floats(relpath: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Diagnostic>) {
     if !is_library_source(relpath) || MAGIC_EXEMPT_SUFFIXES.iter().any(|s| relpath.ends_with(s)) {
         return;
     }
@@ -497,9 +484,6 @@ pub fn check_magic_floats(
         else {
             continue;
         };
-        if allow.permits("magic-float", relpath, &t.text) {
-            continue;
-        }
         out.push(Diagnostic {
             rule: "magic-float",
             path: relpath.to_string(),
@@ -511,6 +495,325 @@ pub fn check_magic_floats(
             ),
         });
     }
+}
+
+/// Rule 6: `HashMap`/`HashSet` anywhere in a hot-path module. Hash
+/// iteration order is unspecified and seeded per-process; any use in a
+/// solver/DTM/adaptive/response-cache path risks the bit-identical
+/// determinism claim. Every mention counts — an import alone invites
+/// construction.
+pub fn check_nondet_collections(
+    relpath: &str,
+    toks: &[Tok],
+    mask: &[bool],
+    syms: &FileSymbols,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !syms.zone.hot_path {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if !(t.text == "HashMap" || t.text == "HashSet") {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "no-nondet-collections",
+            path: relpath.to_string(),
+            line: t.line,
+            symbol: t.text.clone(),
+            message: format!(
+                "`{}` in a hot-path module: hash iteration order is nondeterministic; use BTreeMap/BTreeSet or indexed vectors",
+                t.text
+            ),
+        });
+    }
+}
+
+/// Rule 7: raw accumulation folds in hot-path modules. Two shapes:
+///
+/// * `acc += ...` where `acc` is a `let mut acc = 0.0;`-style
+///   float-literal-initialized local (the symbol table's
+///   `float_accums`), and
+/// * `.sum()` / `.sum::<f64>()` over a float iterator.
+///
+/// Both must go through the deterministic pairwise helpers in
+/// `xylem_thermal::reduce` (whose own chunk-serial loops are the one
+/// exempt home). Row-local stencil accumulators seeded from an existing
+/// element (`let mut acc = r[i];`) are deliberately out of scope: their
+/// fold order is fixed by the row, not by chunking.
+pub fn check_raw_accumulation(
+    relpath: &str,
+    toks: &[Tok],
+    mask: &[bool],
+    syms: &FileSymbols,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !syms.zone.hot_path || REDUCE_HOME_SUFFIXES.iter().any(|s| relpath.ends_with(s)) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        // `acc += ...` on a tracked float accumulator.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('+'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+        {
+            if let Some(f) = syms.enclosing_fn(i) {
+                if f.float_accums.contains(&t.text) {
+                    out.push(Diagnostic {
+                        rule: "no-raw-accumulation",
+                        path: relpath.to_string(),
+                        line: t.line,
+                        symbol: format!("{}.{}", f.name, t.text),
+                        message: format!(
+                            "raw `+=` fold into float accumulator `{}` in hot-path fn `{}`; use the deterministic pairwise helpers in xylem_thermal::reduce",
+                            t.text, f.name
+                        ),
+                    });
+                }
+            }
+            continue;
+        }
+        // `.sum()` / `.sum::<f64>()` over floats.
+        if t.text == "sum" && i > 0 && toks[i - 1].is_punct('.') {
+            let fn_name = syms
+                .enclosing_fn(i)
+                .map_or_else(|| "<top>".to_string(), |f| f.name.clone());
+            // Turbofish type, if spelled, decides outright.
+            let turbofish = (toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct('<')))
+            .then(|| toks.get(i + 4))
+            .flatten();
+            let flagged = match turbofish {
+                Some(ty) => ty.is_ident("f64") || ty.is_ident("f32"),
+                None => {
+                    if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                        false
+                    } else {
+                        // Back-scan the statement: an integer type name
+                        // marks an integer fold, out of scope.
+                        let stmt_start = toks[..i]
+                            .iter()
+                            .rposition(|t| t.is_punct(';') || t.is_punct('{') || t.is_punct('}'))
+                            .map_or(0, |p| p + 1);
+                        !toks[stmt_start..i]
+                            .iter()
+                            .any(|t| INT_TYPE_IDENTS.iter().any(|n| t.is_ident(n)))
+                    }
+                }
+            };
+            if flagged {
+                out.push(Diagnostic {
+                    rule: "no-raw-accumulation",
+                    path: relpath.to_string(),
+                    line: t.line,
+                    symbol: format!("{fn_name}.sum"),
+                    message: format!(
+                        "float `.sum()` fold in hot-path fn `{fn_name}`; use xylem_thermal::reduce::pairwise_sum (or pairwise_dot) so the fold order is fixed"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 8: `.0` field projection on unit-newtype bindings outside the
+/// dimensional layer. `units.rs` owns the representation; everywhere
+/// else must go through `.get()` so the `f64-param` rule cannot be
+/// laundered away one tuple-index at a time.
+pub fn check_unit_escape(
+    relpath: &str,
+    toks: &[Tok],
+    mask: &[bool],
+    syms: &FileSymbols,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !is_library_source(relpath)
+        || UNIT_ESCAPE_EXEMPT_SUFFIXES
+            .iter()
+            .any(|s| relpath.ends_with(s))
+    {
+        return;
+    }
+    for i in 2..toks.len() {
+        if mask[i] {
+            continue;
+        }
+        let is_proj =
+            toks[i].kind == TokKind::Number && toks[i].text == "0" && toks[i - 1].is_punct('.');
+        if !is_proj {
+            continue;
+        }
+        let prev = &toks[i - 2];
+        // `binding.0` where the binding is unit-typed per pass 1.
+        if prev.kind == TokKind::Ident {
+            let Some(f) = syms.enclosing_fn(i - 2) else {
+                continue;
+            };
+            if f.unit_bindings.contains(&prev.text) {
+                out.push(Diagnostic {
+                    rule: "no-unit-escape",
+                    path: relpath.to_string(),
+                    line: toks[i].line,
+                    symbol: format!("{}.{}", f.name, prev.text),
+                    message: format!(
+                        "`.0` projection on unit-typed binding `{}` in fn `{}` bypasses the dimensional layer; use `.get()`",
+                        prev.text, f.name
+                    ),
+                });
+            }
+        }
+        // `UnitType::new(...).0` — direct constructor escape. The unit
+        // type named in the same statement is the tell.
+        if prev.is_punct(')') {
+            let stmt_start = toks[..i - 2]
+                .iter()
+                .rposition(|t| t.is_punct(';') || t.is_punct('{') || t.is_punct('}'))
+                .map_or(0, |p| p + 1);
+            if let Some(ty) = toks[stmt_start..i]
+                .iter()
+                .find(|t| UNIT_TYPES.iter().any(|u| t.is_ident(u)))
+            {
+                out.push(Diagnostic {
+                    rule: "no-unit-escape",
+                    path: relpath.to_string(),
+                    line: toks[i].line,
+                    symbol: format!("{}.0", ty.text),
+                    message: format!(
+                        "`.0` projection on a `{}` expression bypasses the dimensional layer; use `.get()`",
+                        ty.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 9: functions in the instrumented modules that contain a
+/// fallback/degradation branch but never touch the `xylem-obs` sink.
+/// Failure paths are exactly the ones operators need to see; a silent
+/// degradation is indistinguishable from a healthy run in the JSONL
+/// stream.
+pub fn check_obs_coverage(
+    relpath: &str,
+    toks: &[Tok],
+    mask: &[bool],
+    syms: &FileSymbols,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Scoped to the instrumented *consumer* files, not the obs crate
+    // itself (the sink's internals are its own failure domain).
+    if !syms.zone.instrumented || relpath.starts_with("crates/obs/") {
+        return;
+    }
+    for f in &syms.fns {
+        if f.body.is_empty() {
+            continue;
+        }
+        let start = f.sig.start.min(toks.len());
+        if mask.get(start).copied().unwrap_or(true) {
+            continue; // cfg(test)-gated fn
+        }
+        let body = &toks[f.body.start.min(toks.len())..f.body.end.min(toks.len())];
+        if body.iter().any(|t| t.is_ident("xylem_obs")) {
+            continue;
+        }
+        if let Some(marker) = find_degradation_marker(body) {
+            out.push(Diagnostic {
+                rule: "obs-coverage",
+                path: relpath.to_string(),
+                line: f.line,
+                symbol: f.name.clone(),
+                message: format!(
+                    "fn `{}` has a degradation branch (`{marker}`) but never references xylem-obs; emit an event or bump a counter so the failure path is visible",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+/// Finds the first fallback/degradation marker in a function body:
+/// a call whose name contains a [`DEGRADATION_FRAGMENTS`] fragment, an
+/// `if let Err` / `while let Err` recovery, or a non-propagating
+/// `Err(..) => ...` match arm.
+fn find_degradation_marker(body: &[Tok]) -> Option<String> {
+    for (i, t) in body.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // Call-shaped degradation name (not a `fn` definition).
+        let lower = t.text.to_ascii_lowercase();
+        if DEGRADATION_FRAGMENTS.iter().any(|m| lower.contains(m))
+            && body.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !(i > 0 && body[i - 1].is_ident("fn"))
+        {
+            return Some(format!("{}(", t.text));
+        }
+        // `if let Err` / `while let Err` — unless the consequent block
+        // just propagates (`{ return ... }` / `{ Err(...) }`).
+        if t.is_ident("let")
+            && i > 0
+            && (body[i - 1].is_ident("if") || body[i - 1].is_ident("while"))
+            && body.get(i + 1).is_some_and(|n| n.is_ident("Err"))
+        {
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            while j < body.len() {
+                if body[j].is_punct('(') {
+                    depth += 1;
+                } else if body[j].is_punct(')') {
+                    depth -= 1;
+                } else if depth == 0 && body[j].is_punct('{') {
+                    break;
+                }
+                j += 1;
+            }
+            let propagates = body
+                .get(j + 1)
+                .is_some_and(|n| n.is_ident("return") || n.is_ident("Err"));
+            if !propagates {
+                return Some("if let Err".to_string());
+            }
+        }
+        // `Err(..) => <handler>` match arm, unless the handler just
+        // propagates (`Err(...)` / `return ...`).
+        if t.is_ident("Err") && body.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < body.len() {
+                if body[j].is_punct('(') {
+                    depth += 1;
+                } else if body[j].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let is_arm = body.get(j + 1).is_some_and(|n| n.is_punct('='))
+                && body.get(j + 2).is_some_and(|n| n.is_punct('>'));
+            if is_arm {
+                let mut k = j + 3;
+                if body.get(k).is_some_and(|n| n.is_punct('{')) {
+                    k += 1;
+                }
+                let propagates = body
+                    .get(k)
+                    .is_some_and(|n| n.is_ident("Err") || n.is_ident("return"));
+                if !propagates {
+                    return Some("Err(..) =>".to_string());
+                }
+            }
+        }
+    }
+    None
 }
 
 /// Parses a *float* literal: requires a decimal point or exponent, so
@@ -539,19 +842,9 @@ pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::lex;
 
     fn run_all(relpath: &str, src: &str) -> Vec<Diagnostic> {
-        let toks = lex(src).expect("fixture lexes");
-        let mask = cfg_test_mask(&toks);
-        let allow = Allowlist::default();
-        let mut out = Vec::new();
-        check_f64_params(relpath, &toks, &mask, &allow, &mut out);
-        check_panics(relpath, &toks, &mask, &allow, &mut out);
-        check_magic_floats(relpath, &toks, &mask, &allow, &mut out);
-        check_no_panic_paths(relpath, &toks, &mask, &allow, &mut out);
-        check_no_println(relpath, &toks, &mask, &allow, &mut out);
-        out
+        crate::analyze_source(relpath, src)
     }
 
     #[test]
@@ -710,5 +1003,125 @@ mod tests {
         assert!(run_all("crates/thermal/tests/t.rs", src).is_empty());
         assert!(run_all("crates/core/src/bin/xylem.rs", src).is_empty());
         assert!(run_all("examples/quickstart.rs", src).is_empty());
+    }
+
+    // ---- dataflow-aware rules -------------------------------------
+
+    #[test]
+    fn hashmap_banned_in_hot_path_modules() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, f64> = HashMap::new(); for (k, v) in &m {} }";
+        let d = run_all("crates/thermal/src/solve.rs", src);
+        assert!(d.len() >= 3, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == "no-nondet-collections"));
+        // Free-zone files may use hash collections.
+        assert!(run_all("crates/workloads/src/trace.rs", src).is_empty());
+    }
+
+    #[test]
+    fn btree_and_vectors_pass_in_hot_path() {
+        let src = "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, f64> = BTreeMap::new(); }";
+        assert!(run_all("crates/thermal/src/solve.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_accumulation_flagged_in_hot_path() {
+        let src = "fn total(xs: &[f64]) -> f64 {\n let mut acc = 0.0;\n for x in xs { acc += x; }\n acc\n}";
+        let d = run_all("crates/thermal/src/adaptive.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "no-raw-accumulation");
+        assert_eq!(d[0].symbol, "total.acc");
+        assert_eq!(d[0].line, 3);
+        // The same fold is fine outside the hot path...
+        assert!(run_all("crates/stack/src/area.rs", src).is_empty());
+        // ...and inside the reduction helpers' home.
+        assert!(run_all("crates/thermal/src/reduce.rs", src).is_empty());
+    }
+
+    #[test]
+    fn row_seeded_accumulators_pass() {
+        // `let mut acc = r[i];` is a stencil accumulator, not a
+        // from-scratch fold: its order is fixed by the row.
+        let src =
+            "fn row(r: &[f64], v: &[f64]) -> f64 {\n let mut acc = r[0];\n for x in v { acc += x; }\n acc\n}";
+        assert!(run_all("crates/thermal/src/csr.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_sum_flagged_integer_sum_passes() {
+        let hot = "crates/core/src/response.rs";
+        let d = run_all(hot, "fn f(xs: &[f64]) -> f64 { xs.iter().sum() }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "no-raw-accumulation");
+        assert_eq!(d[0].symbol, "f.sum");
+        let d = run_all(hot, "fn g(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        // Integer folds are out of scope (order-independent).
+        let src = "fn n(rows: &[Vec<u32>]) -> usize { let c: usize = rows.iter().map(|r| r.len()).sum(); c }";
+        assert!(run_all(hot, src).is_empty());
+        let src = "fn n(rows: &[u64]) -> u64 { rows.iter().sum::<u64>() }";
+        assert!(run_all(hot, src).is_empty());
+    }
+
+    #[test]
+    fn unit_escape_flagged_via_binding_dataflow() {
+        let src = "fn f(limit: Celsius) -> f64 {\n let t = Kelvin::new(1.0);\n limit.0 + t.0\n}";
+        let d = run_all("crates/thermal/src/grid.rs", src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == "no-unit-escape"));
+        assert_eq!(d[0].symbol, "f.limit");
+        assert_eq!(d[1].symbol, "f.t");
+        // `.get()` is the sanctioned accessor.
+        let ok = "fn f(limit: Celsius) -> f64 { limit.get() }";
+        assert!(run_all("crates/thermal/src/grid.rs", ok).is_empty());
+        // units.rs owns the representation.
+        assert!(run_all("crates/thermal/src/units.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unit_escape_on_constructor_expression() {
+        let src = "fn f() -> f64 { Watts::new(1.5).0 }";
+        let d = run_all("crates/core/src/system.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].symbol, "Watts.0");
+    }
+
+    #[test]
+    fn tuple_projections_on_plain_tuples_pass() {
+        let src = "fn f(pair: (usize, f64)) -> f64 { pair.1 + (pair.0 as f64) }";
+        assert!(run_all("crates/thermal/src/grid.rs", src).is_empty());
+        let src = "fn f() { let best = (1usize, 2.0); let _ = best.0; }";
+        assert!(run_all("crates/core/src/evaluation.rs", src).is_empty());
+    }
+
+    #[test]
+    fn obs_coverage_flags_dark_degradation_paths() {
+        // A fallback branch with no obs reference anywhere in the fn.
+        let dark = "fn recover(x: Result<u32, E>) -> u32 {\n match x { Ok(v) => v, Err(_) => { apply_fallback() } }\n}";
+        let d = run_all("crates/core/src/dtm.rs", dark);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "obs-coverage");
+        assert_eq!(d[0].symbol, "recover");
+        // Same branch plus an obs counter: covered.
+        let lit = "fn recover(x: Result<u32, E>) -> u32 {\n match x { Ok(v) => v, Err(_) => { xylem_obs::incr(xylem_obs::Counter::FailsafeEvents); apply_fallback() } }\n}";
+        assert!(run_all("crates/core/src/dtm.rs", lit).is_empty());
+        // Pure propagation is not a degradation branch.
+        let prop = "fn load(x: Result<u32, E>) -> Result<u32, E> {\n match x { Ok(v) => Ok(v), Err(e) => Err(e) }\n}";
+        assert!(run_all("crates/core/src/dtm.rs", prop).is_empty());
+        // Uninstrumented modules are out of scope.
+        assert!(run_all("crates/stack/src/builder.rs", dark).is_empty());
+        // The obs crate itself is its own failure domain.
+        assert!(run_all("crates/obs/src/sink.rs", dark).is_empty());
+    }
+
+    #[test]
+    fn obs_coverage_ignores_marker_fn_definitions() {
+        // Defining `budget_exhausted()` is not the same as degrading.
+        let src = "fn budget_exhausted(&self) -> bool { self.used > self.cap }";
+        assert!(run_all("crates/thermal/src/adaptive.rs", src).is_empty());
+        // Calling it from a live branch is.
+        let call = "fn step(&mut self) { if ctrl.budget_exhausted() { self.hold(); } }";
+        let d = run_all("crates/thermal/src/adaptive.rs", call);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "obs-coverage");
     }
 }

@@ -1,0 +1,12 @@
+//! ALLOWLISTED fixture for `no-nondet-collections`: a `HashSet` used
+//! only for membership tests (never iterated) can be exempted with an
+//! explicit allow entry naming the symbol:
+//!
+//!     no-nondet-collections thermal/src/solve.rs HashSet
+
+use std::collections::HashSet;
+
+pub fn dedup_count(ids: &[u32]) -> usize {
+    let set: HashSet<u32> = ids.iter().copied().collect();
+    set.len()
+}

@@ -1,0 +1,21 @@
+//! NEGATIVE fixture for `no-nondet-collections`: ordered collections
+//! and indexed vectors in a hot-path module are the sanctioned
+//! replacements and must not fire.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn response_cache() -> Vec<(u32, f64)> {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut cache: BTreeMap<u32, f64> = BTreeMap::new();
+    cache.insert(7, 42.0);
+    seen.insert(7);
+    let mut out = Vec::new();
+    for (k, v) in &cache {
+        out.push((*k, *v));
+    }
+    // Indexed vectors are always fine.
+    let table: Vec<f64> = vec![0.5; 16];
+    out.push((0, table[3]));
+    out
+}

@@ -1,0 +1,21 @@
+//! POSITIVE fixture for `no-nondet-collections`: every `HashMap` /
+//! `HashSet` mention in a hot-path module must fire (import, type,
+//! construction, iteration). Mounted by the test harness at a hot-path
+//! relpath; inert where it actually lives (crates/lint/tests/fixtures).
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn response_cache() -> Vec<(u32, f64)> {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut cache: HashMap<u32, f64> = HashMap::new();
+    cache.insert(7, 42.0);
+    seen.insert(7);
+    // Iteration order of this loop is unspecified: the exact bug the
+    // rule exists to stop.
+    let mut out = Vec::new();
+    for (k, v) in &cache {
+        out.push((*k, *v));
+    }
+    out
+}

@@ -1,0 +1,14 @@
+//! ALLOWLISTED fixture for `no-raw-accumulation`: an inherently serial
+//! running total (a prefix scan) can be exempted per-symbol:
+//!
+//!     no-raw-accumulation thermal/src/solve.rs phase_boundaries.acc
+
+pub fn phase_boundaries(weights: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut out = Vec::new();
+    for w in weights {
+        acc += w;
+        out.push(acc);
+    }
+    out
+}

@@ -1,0 +1,30 @@
+//! NEGATIVE fixture for `no-raw-accumulation`: row-seeded stencil
+//! accumulators, integer folds, and the deterministic pairwise helpers
+//! must not fire in a hot-path module.
+
+pub fn row_apply(r: &[f64], vals: &[f64]) -> f64 {
+    // Seeded from an existing element, not a literal: a row-local
+    // stencil fold whose order is fixed by the row, not by chunking.
+    let mut acc = r[0];
+    for v in vals {
+        acc += v;
+    }
+    acc
+}
+
+pub fn nnz(rows: &[Vec<u32>]) -> usize {
+    let count: usize = rows.iter().map(|r| r.len()).sum();
+    count
+}
+
+pub fn total_iters(iters: &[u64]) -> u64 {
+    iters.iter().sum::<u64>()
+}
+
+pub fn deterministic_total(watts: &[f64]) -> f64 {
+    xylem_thermal::reduce::pairwise_sum(watts)
+}
+
+pub fn deterministic_energy(power: &[f64], dt: &[f64]) -> f64 {
+    xylem_thermal::reduce::pairwise_dot(power, dt)
+}

@@ -1,0 +1,19 @@
+//! POSITIVE fixture for `no-raw-accumulation`: from-scratch `+=` folds
+//! into float-literal-initialized accumulators and float `.sum()` calls
+//! in a hot-path module must fire.
+
+pub fn residual_norm(r: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in r {
+        acc += x * x;
+    }
+    acc.sqrt()
+}
+
+pub fn total_power(watts: &[f64]) -> f64 {
+    watts.iter().sum()
+}
+
+pub fn scaled_total(watts: &[f64]) -> f64 {
+    watts.iter().map(|w| w * 1e-3).sum::<f64>()
+}

@@ -1,0 +1,10 @@
+//! ALLOWLISTED fixture for `no-unit-escape`: a serializer that must see
+//! the raw representation can be exempted per-symbol:
+//!
+//!     no-unit-escape core/src/system.rs encode_raw.t
+
+use xylem_thermal::units::Celsius;
+
+pub fn encode_raw(t: Celsius) -> u64 {
+    t.0.to_bits()
+}

@@ -1,0 +1,18 @@
+//! NEGATIVE fixture for `no-unit-escape`: `.get()` is the sanctioned
+//! accessor, and `.0`/`.1` on plain tuples must not fire.
+
+use xylem_thermal::units::{Celsius, Watts};
+
+pub fn margin(limit: Celsius, ambient: Celsius) -> f64 {
+    limit.get() - ambient.get()
+}
+
+pub fn budget_raw() -> f64 {
+    let w = Watts::new(15.0);
+    w.get()
+}
+
+pub fn tuple_fields(pair: (usize, f64)) -> f64 {
+    let best = (3usize, 2.5);
+    pair.1 + best.1 + (pair.0 + best.0) as f64
+}

@@ -1,0 +1,23 @@
+//! POSITIVE fixture for `no-unit-escape`: `.0` projections on
+//! unit-newtype bindings (parameter, annotated let, constructor-bound
+//! let) and on constructor expressions must fire in library source.
+
+use xylem_thermal::units::{Celsius, Kelvin, Watts};
+
+pub fn margin(limit: Celsius, ambient: Celsius) -> f64 {
+    limit.0 - ambient.0
+}
+
+pub fn as_kelvin_raw(limit: Celsius) -> f64 {
+    let k: Kelvin = limit.to_kelvin();
+    k.0
+}
+
+pub fn budget_raw() -> f64 {
+    let w = Watts::new(15.0);
+    w.0
+}
+
+pub fn inline_escape() -> f64 {
+    Watts::new(1.5).0
+}

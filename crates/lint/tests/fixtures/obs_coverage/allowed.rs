@@ -1,0 +1,14 @@
+//! ALLOWLISTED fixture for `obs-coverage`: a function whose callee
+//! already emits the telemetry can be exempted by name:
+//!
+//!     obs-coverage core/src/dtm.rs accounted_retry
+
+pub fn accounted_retry(attempts: u64) -> u64 {
+    // The retry counter is bumped inside retry_with_telemetry; this
+    // wrapper only forwards.
+    retry_with_telemetry(attempts)
+}
+
+fn retry_with_telemetry(attempts: u64) -> u64 {
+    attempts + 1
+}

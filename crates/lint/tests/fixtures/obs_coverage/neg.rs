@@ -1,0 +1,45 @@
+//! NEGATIVE fixture for `obs-coverage`: degradation branches that do
+//! reference the obs sink, pure error propagation, and marker-named
+//! function *definitions* must not fire.
+
+pub fn recover(reading: Result<f64, String>) -> f64 {
+    match reading {
+        Ok(v) => v,
+        Err(_) => {
+            xylem_obs::incr(xylem_obs::Counter::FailsafeEvents);
+            apply_fallback()
+        }
+    }
+}
+
+pub fn load(state: Result<u64, String>) -> Result<u64, String> {
+    // Pure propagation is not a degradation branch.
+    match state {
+        Ok(v) => Ok(v),
+        Err(e) => Err(e),
+    }
+}
+
+pub fn validate(period: f64) -> Result<(), String> {
+    if let Err(e) = check_positive(period) {
+        return Err(format!("period: {e}"));
+    }
+    Ok(())
+}
+
+/// Defining a marker-named predicate is not the same as degrading.
+pub fn budget_exhausted(used: u64, cap: u64) -> bool {
+    used > cap
+}
+
+fn apply_fallback() -> f64 {
+    0.0
+}
+
+fn check_positive(v: f64) -> Result<(), String> {
+    if v > 0.0 {
+        Ok(())
+    } else {
+        Err("must be positive".to_string())
+    }
+}

@@ -1,0 +1,37 @@
+//! POSITIVE fixture for `obs-coverage`: functions in an instrumented
+//! module with a fallback/degradation branch but no `xylem_obs`
+//! reference must fire — one per dark function.
+
+pub fn recover(reading: Result<f64, String>) -> f64 {
+    match reading {
+        Ok(v) => v,
+        Err(_) => {
+            // Degrading to a safe default with no telemetry: dark.
+            apply_fallback()
+        }
+    }
+}
+
+pub fn step(used: u64, cap: u64) -> bool {
+    if budget_exhausted(used, cap) {
+        return false;
+    }
+    true
+}
+
+pub fn reload(state: Result<u64, String>) -> u64 {
+    if let Err(ref e) = state {
+        log_and_reset(e);
+    }
+    state.unwrap_or(0)
+}
+
+fn apply_fallback() -> f64 {
+    0.0
+}
+
+fn budget_exhausted(used: u64, cap: u64) -> bool {
+    used > cap
+}
+
+fn log_and_reset(_e: &str) {}

@@ -1,11 +1,11 @@
-//! Property tests for the lint lexer, plus the whole-workspace
-//! parseability check the ISSUE asks for: xylem-lint must be able to lex
-//! every `.rs` file in the workspace.
+//! Property tests for the lint lexer and the two-pass analyzer, plus the
+//! whole-workspace parseability check the ISSUE asks for: xylem-lint must
+//! be able to lex every `.rs` file in the workspace.
 
 use proptest::prelude::*;
 
 use xylem_lint::lexer::lex;
-use xylem_lint::{check_source, collect_rust_files, Allowlist};
+use xylem_lint::{analyze_source, check_source, collect_rust_files, Allowlist};
 
 #[test]
 fn every_workspace_file_lexes() {
@@ -31,8 +31,78 @@ fn every_workspace_file_lexes() {
 }
 
 /// Alphabet biased toward the lexer's tricky constructs: quotes, hashes,
-/// escapes, comment delimiters, dots, exponents.
-const ALPHABET: &[u8] = b"abr#\"'\\/*.0123456789eE_<>(){}!,:; \n-+xf";
+/// escapes, comment delimiters, dots, exponents, and the operators the
+/// dataflow rules pattern-match on (`+=`, `=>`, `.0`).
+const ALPHABET: &[u8] = b"abr#\"'\\/*.0123456789eE_<>(){}!,:; \n-+xf=&|";
+
+/// Vocabulary biased toward the symbol-table pass: fn/let/use skeletons,
+/// unit newtypes, collection names, degradation markers, and the
+/// operators the cross-token rules look for. Random sequences of these
+/// produce almost-plausible Rust that stresses pass 1 + pass 2 far more
+/// densely than raw byte soup.
+const VOCAB: &[&str] = &[
+    "fn",
+    "let",
+    "mut",
+    "use",
+    "pub",
+    "match",
+    "if",
+    "while",
+    "return",
+    "Err",
+    "Ok",
+    "for",
+    "in",
+    "f64",
+    "usize",
+    "0.0",
+    "0usize",
+    "1e-3",
+    "acc",
+    "sum",
+    "x",
+    "HashMap",
+    "HashSet",
+    "Celsius",
+    "Watts",
+    "fallback",
+    "retry_budget",
+    "xylem_obs",
+    "(",
+    ")",
+    "{",
+    "}",
+    "<",
+    ">",
+    "::",
+    ":",
+    ";",
+    ",",
+    ".",
+    ".0",
+    "+=",
+    "=",
+    "=>",
+    "->",
+    "&",
+    "#",
+    "\"s\"",
+    "'a",
+    "//c\n",
+    "|",
+];
+
+/// Workspace mounts spanning every zone the rules dispatch on.
+const MOUNTS: &[&str] = &[
+    "crates/thermal/src/solve.rs",  // hot-path + instrumented
+    "crates/thermal/src/reduce.rs", // hot-path, raw-accum exempt
+    "crates/core/src/dtm.rs",       // hot-path + instrumented
+    "crates/obs/src/sink.rs",       // instrumented prefix, obs-coverage exempt
+    "crates/thermal/src/units.rs",  // unit-escape exempt
+    "crates/stack/src/builder.rs",  // free-zone library
+    "crates/bench/src/main.rs",     // binary crate
+];
 
 fn to_source(bytes: &[u8]) -> String {
     bytes
@@ -75,6 +145,34 @@ proptest! {
             for w in toks.windows(2) {
                 prop_assert!(w[0].line <= w[1].line);
             }
+        }
+    }
+
+    // The full two-pass analyzer (symbol table + nine rules) is total on
+    // byte soup at every zone mount: no panics, no zero line numbers.
+    fn analyzer_total_on_byte_soup(
+        bytes in collection::vec(any::<u8>(), 0..200),
+        mount in 0..MOUNTS.len(),
+    ) {
+        let src = to_source(&bytes);
+        for d in analyze_source(MOUNTS[mount], &src) {
+            prop_assert!(d.line >= 1);
+        }
+    }
+
+    // ...and on keyword-dense pseudo-Rust, which reaches much deeper into
+    // the fn-span / unit-binding / accumulator bookkeeping of pass 1.
+    fn analyzer_total_on_keyword_soup(
+        words in collection::vec(0..VOCAB.len(), 0..120),
+        mount in 0..MOUNTS.len(),
+    ) {
+        let src: String = words
+            .iter()
+            .flat_map(|&w| [VOCAB[w], " "])
+            .collect();
+        for d in analyze_source(MOUNTS[mount], &src) {
+            prop_assert!(d.line >= 1);
+            prop_assert!(!d.symbol.is_empty() || d.rule == "lex");
         }
     }
 }

@@ -1,0 +1,228 @@
+//! Fixture-corpus tests for the four dataflow-aware rules: each rule has
+//! a positive, a negative, and an allowlisted fixture file under
+//! `tests/fixtures/<rule>/`. The fixtures live inside `crates/lint/`
+//! (where every path-scoped rule is inert), and the tests mount their
+//! content at an in-zone workspace path via the pure `analyze_source` /
+//! `check_source` API.
+
+use std::path::Path;
+
+use xylem_lint::{analyze_source, check_source, Allowlist, Diagnostic};
+
+/// Reads `tests/fixtures/<rule_dir>/<name>.rs`.
+fn fixture(rule_dir: &str, name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule_dir)
+        .join(format!("{name}.rs"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} must exist: {e}", path.display()))
+}
+
+/// Raw findings of one rule for a fixture mounted at `mount`.
+fn findings_of(rule: &str, mount: &str, src: &str) -> Vec<Diagnostic> {
+    let all = analyze_source(mount, src);
+    assert!(
+        !all.iter().any(|d| d.rule == "lex"),
+        "fixture must lex: {all:?}"
+    );
+    all.into_iter().filter(|d| d.rule == rule).collect()
+}
+
+// ---- no-nondet-collections ---------------------------------------
+
+const NONDET: &str = "no-nondet-collections";
+const HOT_MOUNT: &str = "crates/thermal/src/solve.rs";
+
+#[test]
+fn nondet_collections_positive_fixture_fires() {
+    let d = findings_of(NONDET, HOT_MOUNT, &fixture("no_nondet_collections", "pos"));
+    // Import, two type positions, two constructors, for each of
+    // HashMap/HashSet: every mention counts.
+    assert_eq!(d.len(), 6, "{d:?}");
+    assert!(d.iter().any(|d| d.symbol == "HashMap"), "{d:?}");
+    assert!(d.iter().any(|d| d.symbol == "HashSet"), "{d:?}");
+}
+
+#[test]
+fn nondet_collections_negative_fixture_is_clean() {
+    let src = fixture("no_nondet_collections", "neg");
+    assert!(
+        analyze_source(HOT_MOUNT, &src).is_empty(),
+        "whole file must be clean"
+    );
+}
+
+#[test]
+fn nondet_collections_allowed_fixture_suppressed_by_entry() {
+    let src = fixture("no_nondet_collections", "allowed");
+    assert!(
+        !findings_of(NONDET, HOT_MOUNT, &src).is_empty(),
+        "fires raw"
+    );
+    let allow = Allowlist::parse("no-nondet-collections thermal/src/solve.rs HashSet\n")
+        .expect("entry parses");
+    assert!(check_source(HOT_MOUNT, &src, &allow).is_empty());
+}
+
+// ---- no-raw-accumulation -----------------------------------------
+
+const RAW_ACC: &str = "no-raw-accumulation";
+
+#[test]
+fn raw_accumulation_positive_fixture_fires() {
+    let d = findings_of(RAW_ACC, HOT_MOUNT, &fixture("no_raw_accumulation", "pos"));
+    let symbols: Vec<&str> = d.iter().map(|d| d.symbol.as_str()).collect();
+    assert_eq!(
+        symbols,
+        vec!["residual_norm.acc", "total_power.sum", "scaled_total.sum"],
+        "{d:?}"
+    );
+}
+
+#[test]
+fn raw_accumulation_negative_fixture_is_clean() {
+    let src = fixture("no_raw_accumulation", "neg");
+    assert!(
+        analyze_source(HOT_MOUNT, &src).is_empty(),
+        "whole file must be clean"
+    );
+}
+
+#[test]
+fn raw_accumulation_allowed_fixture_suppressed_by_entry() {
+    let src = fixture("no_raw_accumulation", "allowed");
+    let raw = findings_of(RAW_ACC, HOT_MOUNT, &src);
+    assert_eq!(raw.len(), 1, "{raw:?}");
+    assert_eq!(raw[0].symbol, "phase_boundaries.acc");
+    let allow = Allowlist::parse("no-raw-accumulation thermal/src/solve.rs phase_boundaries.acc\n")
+        .expect("entry parses");
+    assert!(check_source(HOT_MOUNT, &src, &allow).is_empty());
+}
+
+#[test]
+fn raw_accumulation_exempt_in_reduce_home() {
+    // The same positive fixture is legal inside the reduction helpers'
+    // own module — the chunk-serial loops there are the pattern itself.
+    let src = fixture("no_raw_accumulation", "pos");
+    let d = findings_of(RAW_ACC, "crates/thermal/src/reduce.rs", &src);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+// ---- no-unit-escape ----------------------------------------------
+
+const UNIT_ESC: &str = "no-unit-escape";
+const LIB_MOUNT: &str = "crates/core/src/system.rs";
+
+#[test]
+fn unit_escape_positive_fixture_fires() {
+    let d = findings_of(UNIT_ESC, LIB_MOUNT, &fixture("no_unit_escape", "pos"));
+    let symbols: Vec<&str> = d.iter().map(|d| d.symbol.as_str()).collect();
+    assert_eq!(
+        symbols,
+        vec![
+            "margin.limit",
+            "margin.ambient",
+            "as_kelvin_raw.k",
+            "budget_raw.w",
+            "Watts.0"
+        ],
+        "{d:?}"
+    );
+}
+
+#[test]
+fn unit_escape_negative_fixture_is_clean() {
+    let src = fixture("no_unit_escape", "neg");
+    assert!(
+        analyze_source(LIB_MOUNT, &src).is_empty(),
+        "whole file must be clean"
+    );
+}
+
+#[test]
+fn unit_escape_allowed_fixture_suppressed_by_entry() {
+    let src = fixture("no_unit_escape", "allowed");
+    let raw = findings_of(UNIT_ESC, LIB_MOUNT, &src);
+    assert_eq!(raw.len(), 1, "{raw:?}");
+    assert_eq!(raw[0].symbol, "encode_raw.t");
+    let allow =
+        Allowlist::parse("no-unit-escape core/src/system.rs encode_raw.t\n").expect("entry parses");
+    assert!(check_source(LIB_MOUNT, &src, &allow).is_empty());
+}
+
+#[test]
+fn unit_escape_exempt_in_units_and_material_tables() {
+    let src = fixture("no_unit_escape", "pos");
+    for exempt in [
+        "crates/thermal/src/units.rs",
+        "crates/thermal/src/material.rs",
+        "crates/power/src/blocks.rs",
+    ] {
+        let d = findings_of(UNIT_ESC, exempt, &src);
+        assert!(d.is_empty(), "{exempt}: {d:?}");
+    }
+}
+
+// ---- obs-coverage ------------------------------------------------
+
+const OBS_COV: &str = "obs-coverage";
+const INSTR_MOUNT: &str = "crates/core/src/dtm.rs";
+
+#[test]
+fn obs_coverage_positive_fixture_fires_per_dark_fn() {
+    let d = findings_of(OBS_COV, INSTR_MOUNT, &fixture("obs_coverage", "pos"));
+    let symbols: Vec<&str> = d.iter().map(|d| d.symbol.as_str()).collect();
+    assert_eq!(symbols, vec!["recover", "step", "reload"], "{d:?}");
+}
+
+#[test]
+fn obs_coverage_negative_fixture_is_clean() {
+    let src = fixture("obs_coverage", "neg");
+    assert!(
+        analyze_source(INSTR_MOUNT, &src).is_empty(),
+        "whole file must be clean"
+    );
+}
+
+#[test]
+fn obs_coverage_allowed_fixture_suppressed_by_entry() {
+    let src = fixture("obs_coverage", "allowed");
+    let raw = findings_of(OBS_COV, INSTR_MOUNT, &src);
+    assert_eq!(raw.len(), 1, "{raw:?}");
+    assert_eq!(raw[0].symbol, "accounted_retry");
+    let allow =
+        Allowlist::parse("obs-coverage core/src/dtm.rs accounted_retry\n").expect("entry parses");
+    assert!(check_source(INSTR_MOUNT, &src, &allow).is_empty());
+}
+
+#[test]
+fn obs_coverage_out_of_scope_in_free_and_obs_modules() {
+    let src = fixture("obs_coverage", "pos");
+    // Free-zone library code is not required to emit telemetry...
+    assert!(findings_of(OBS_COV, "crates/stack/src/builder.rs", &src).is_empty());
+    // ...and the obs crate is its own failure domain.
+    assert!(findings_of(OBS_COV, "crates/obs/src/sink.rs", &src).is_empty());
+}
+
+// ---- corpus hygiene ----------------------------------------------
+
+#[test]
+fn fixture_corpus_is_inert_at_its_real_path() {
+    // The fixture files are walked by the workspace lint run at their
+    // actual `crates/lint/tests/fixtures/...` paths; every rule must be
+    // inert there, or the corpus itself would fail CI.
+    for dir in [
+        "no_nondet_collections",
+        "no_raw_accumulation",
+        "no_unit_escape",
+        "obs_coverage",
+    ] {
+        for name in ["pos", "neg", "allowed"] {
+            let src = fixture(dir, name);
+            let relpath = format!("crates/lint/tests/fixtures/{dir}/{name}.rs");
+            let d = analyze_source(&relpath, &src);
+            assert!(d.is_empty(), "{relpath} must be inert in place: {d:?}");
+        }
+    }
+}

@@ -320,13 +320,19 @@ impl AdaptiveController {
     /// a non-finite norm, which callers treat as divergence.
     pub fn error_norm(&self, fine: &[f64], coarse: &[f64]) -> f64 {
         let n = fine.len().max(1);
-        let mut acc = 0.0;
-        for (a, b) in fine.iter().zip(coarse.iter()) {
-            let scale = self.opts.atol + self.opts.rtol * a.abs();
-            let r = (a - b) / scale;
-            acc += r * r;
-        }
-        (acc / n as f64).sqrt()
+        // Folded with the fixed pairwise tree so the norm — and with it
+        // every accept/reject decision — has one canonical value
+        // independent of how this is ever chunked or parallelized.
+        let sq: Vec<f64> = fine
+            .iter()
+            .zip(coarse.iter())
+            .map(|(a, b)| {
+                let scale = self.opts.atol + self.opts.rtol * a.abs();
+                let r = (a - b) / scale;
+                r * r
+            })
+            .collect();
+        (crate::reduce::pairwise_sum(&sq) / n as f64).sqrt()
     }
 
     /// Records an accepted step with WRMS error `err` and advances the

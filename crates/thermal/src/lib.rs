@@ -75,6 +75,7 @@ pub mod material;
 pub mod model;
 pub mod package;
 pub mod power;
+pub mod reduce;
 pub mod report;
 pub mod solve;
 pub mod stack;

@@ -313,9 +313,11 @@ impl ThermalModel {
 
         // --- diagonal.
         let mut diagonal = vec![0.0_f64; n_nodes];
+        let mut conductances = Vec::new();
         for (i, d) in diagonal.iter_mut().enumerate() {
-            let s: f64 = neighbors[i].iter().map(|&(_, g)| g).sum();
-            *d = s + g_ambient[i];
+            conductances.clear();
+            conductances.extend(neighbors[i].iter().map(|&(_, g)| g));
+            *d = crate::reduce::pairwise_sum(&conductances) + g_ambient[i];
         }
         if diagonal.iter().any(|&d| d <= 0.0) {
             return Err(ThermalError::BadStack {
@@ -1047,13 +1049,13 @@ impl ThermalModel {
     /// temperature field. At steady state this equals the injected
     /// power — the conservation check used by the validation tests.
     pub fn ambient_outflow(&self, temps: &TemperatureField) -> Watts {
-        Watts::new(
-            self.g_ambient
-                .iter()
-                .zip(temps.raw())
-                .map(|(g, t)| g * (t - self.ambient))
-                .sum(),
-        )
+        let flows: Vec<f64> = self
+            .g_ambient
+            .iter()
+            .zip(temps.raw())
+            .map(|(g, t)| g * (t - self.ambient))
+            .collect();
+        Watts::new(crate::reduce::pairwise_sum(&flows))
     }
 
     pub(crate) fn grid_cells(&self) -> usize {

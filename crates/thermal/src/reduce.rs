@@ -1,0 +1,229 @@
+//! Deterministic floating-point reductions: the canonical home of every
+//! fold whose order must not depend on thread count.
+//!
+//! All kernels work in fixed chunks of [`ROW_CHUNK`] elements: serial
+//! accumulation *within* a chunk, a fixed pairwise tree *across* chunk
+//! partials. The reduction order therefore depends only on the input
+//! length, never on how many workers picked up chunks, which is what
+//! makes solver results bit-identical across `RAYON_NUM_THREADS`
+//! settings (locked by the `thread-determinism` digest test).
+//!
+//! `xylem-lint`'s `no-raw-accumulation` rule bans bare `+=`/`.sum()`
+//! folds over `f64` data in every other hot-path module and points here;
+//! this file is the one exemption, because the chunk-serial loops below
+//! *are* the deterministic pattern. [`pairwise_sum`] and
+//! [`pairwise_dot`] are the general-purpose entry points; the fused CG
+//! kernels stay crate-private.
+
+use crate::csr::ROW_CHUNK;
+
+/// Fixed pairwise tree fold over chunk partials. The reduction order
+/// depends only on the number of chunks, never on the thread count.
+/// Consumes `p` as scratch (partial sums overwrite the front).
+pub fn reduce_pairwise(p: &mut [f64]) -> f64 {
+    let mut len = p.len();
+    if len == 0 {
+        return 0.0;
+    }
+    while len > 1 {
+        let half = len.div_ceil(2);
+        for i in 0..len / 2 {
+            p[i] = p[2 * i] + p[2 * i + 1];
+        }
+        if len % 2 == 1 {
+            p[half - 1] = p[len - 1];
+        }
+        len = half;
+    }
+    p[0]
+}
+
+/// Deterministic sum of a slice: serial within [`ROW_CHUNK`]-sized
+/// chunks, pairwise fold across them. Allocates its own partial buffer —
+/// meant for assembly/reporting paths, not per-iteration solver inner
+/// loops (those pass a workspace to [`dot_chunked`]).
+#[must_use]
+pub fn pairwise_sum(xs: &[f64]) -> f64 {
+    let mut partials: Vec<f64> = xs.chunks(ROW_CHUNK).map(chunk_sum).collect();
+    reduce_pairwise(&mut partials)
+}
+
+/// Deterministic dot product of two slices (zipped to the shorter
+/// length), chunked like [`pairwise_sum`].
+#[must_use]
+pub fn pairwise_dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut partials: Vec<f64> = a
+        .chunks(ROW_CHUNK)
+        .zip(b.chunks(ROW_CHUNK))
+        .map(|(ca, cb)| chunk_dot(ca, cb))
+        .collect();
+    reduce_pairwise(&mut partials)
+}
+
+/// Deterministic chunked dot product: serial accumulation within
+/// [`ROW_CHUNK`]-sized chunks, pairwise fold across them. `partials`
+/// must hold `len.div_ceil(ROW_CHUNK)` slots (workspace-provided so the
+/// CG inner loop never allocates).
+pub(crate) fn dot_chunked(a: &[f64], b: &[f64], partials: &mut [f64], par: bool) -> f64 {
+    if par {
+        rayon::scope(|s| {
+            for ((pk, ca), cb) in partials
+                .iter_mut()
+                .zip(a.chunks(ROW_CHUNK))
+                .zip(b.chunks(ROW_CHUNK))
+            {
+                s.spawn(move |_| {
+                    *pk = chunk_dot(ca, cb);
+                });
+            }
+        });
+    } else {
+        for ((pk, ca), cb) in partials
+            .iter_mut()
+            .zip(a.chunks(ROW_CHUNK))
+            .zip(b.chunks(ROW_CHUNK))
+        {
+            *pk = chunk_dot(ca, cb);
+        }
+    }
+    reduce_pairwise(partials)
+}
+
+#[inline]
+fn chunk_sum(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}
+
+#[inline]
+pub(crate) fn chunk_dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Fused CG update: `x += alpha p`, `r -= alpha ap`, returning the new
+/// `||r||^2` as a by-product of the same pass (no separate `dot(r, r)`
+/// sweep). Chunked like every other reduction, so serial and parallel
+/// agree bitwise.
+pub(crate) fn fused_xr_update(
+    x: &mut [f64],
+    r: &mut [f64],
+    p: &[f64],
+    ap: &[f64],
+    alpha: f64,
+    partials: &mut [f64],
+    par: bool,
+) -> f64 {
+    let run = |k: usize, xc: &mut [f64], rc: &mut [f64]| -> f64 {
+        let base = k * ROW_CHUNK;
+        let pc = &p[base..base + xc.len()];
+        let apc = &ap[base..base + xc.len()];
+        let mut acc = 0.0;
+        for ((xi, ri), (pi, api)) in xc.iter_mut().zip(rc.iter_mut()).zip(pc.iter().zip(apc)) {
+            *xi += alpha * pi;
+            *ri -= alpha * api;
+            acc += *ri * *ri;
+        }
+        acc
+    };
+    if par {
+        rayon::scope(|s| {
+            for ((k, (xc, rc)), pk) in x
+                .chunks_mut(ROW_CHUNK)
+                .zip(r.chunks_mut(ROW_CHUNK))
+                .enumerate()
+                .zip(partials.iter_mut())
+            {
+                s.spawn(move |_| {
+                    *pk = run(k, xc, rc);
+                });
+            }
+        });
+    } else {
+        for ((k, (xc, rc)), pk) in x
+            .chunks_mut(ROW_CHUNK)
+            .zip(r.chunks_mut(ROW_CHUNK))
+            .enumerate()
+            .zip(partials.iter_mut())
+        {
+            *pk = run(k, xc, rc);
+        }
+    }
+    reduce_pairwise(partials)
+}
+
+/// `p = z + beta p`, chunk-parallel.
+pub(crate) fn fused_p_update(p: &mut [f64], z: &[f64], beta: f64, par: bool) {
+    let run = |k: usize, pc: &mut [f64]| {
+        let zc = &z[k * ROW_CHUNK..k * ROW_CHUNK + pc.len()];
+        for (pi, zi) in pc.iter_mut().zip(zc) {
+            *pi = zi + beta * *pi;
+        }
+    };
+    if par {
+        rayon::scope(|s| {
+            for (k, pc) in p.chunks_mut(ROW_CHUNK).enumerate() {
+                s.spawn(move |_| run(k, pc));
+            }
+        });
+    } else {
+        for (k, pc) in p.chunks_mut(ROW_CHUNK).enumerate() {
+            run(k, pc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_sum_matches_naive_within_tolerance() {
+        let xs: Vec<f64> = (0..3 * ROW_CHUNK + 211)
+            .map(|i| ((i * 2654435761_usize) % 1000) as f64 * 1e-3 - 0.5)
+            .collect();
+        let naive: f64 = xs.iter().sum();
+        let det = pairwise_sum(&xs);
+        assert!((det - naive).abs() < 1e-9, "{det} vs {naive}");
+    }
+
+    #[test]
+    fn pairwise_sum_is_length_stable() {
+        // Same data, same result, every call — and splitting the input
+        // differently from ROW_CHUNK would change the partials, so the
+        // helper must agree with a hand-built chunk fold bitwise.
+        let xs: Vec<f64> = (0..2 * ROW_CHUNK + 77).map(|i| (i as f64).sin()).collect();
+        let mut partials: Vec<f64> = xs.chunks(ROW_CHUNK).map(chunk_sum).collect();
+        assert_eq!(
+            pairwise_sum(&xs).to_bits(),
+            reduce_pairwise(&mut partials).to_bits()
+        );
+    }
+
+    #[test]
+    fn pairwise_dot_matches_workspace_dot_bitwise() {
+        let n = 2 * ROW_CHUNK + 123;
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+        let mut partials = vec![0.0; n.div_ceil(ROW_CHUNK)];
+        assert_eq!(
+            pairwise_dot(&a, &b).to_bits(),
+            dot_chunked(&a, &b, &mut partials, false).to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(pairwise_sum(&[]), 0.0);
+        assert_eq!(pairwise_dot(&[], &[]), 0.0);
+        assert_eq!(pairwise_sum(&[2.5]), 2.5);
+        assert_eq!(pairwise_dot(&[2.0], &[3.0]), 6.0);
+        assert_eq!(reduce_pairwise(&mut []), 0.0);
+    }
+}

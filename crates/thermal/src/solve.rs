@@ -48,6 +48,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::csr::{CsrMatrix, PAR_MIN_ROWS, ROW_CHUNK};
 use crate::error::ThermalError;
+use crate::reduce::{dot_chunked, fused_p_update, fused_xr_update, reduce_pairwise};
 
 /// Preconditioner selection for [`SolverOptions`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -518,134 +519,6 @@ impl Ic0Factor {
     }
 }
 
-/// Fixed pairwise tree fold over chunk partials. The reduction order
-/// depends only on the number of chunks, never on the thread count.
-fn reduce_pairwise(p: &mut [f64]) -> f64 {
-    let mut len = p.len();
-    if len == 0 {
-        return 0.0;
-    }
-    while len > 1 {
-        let half = len.div_ceil(2);
-        for i in 0..len / 2 {
-            p[i] = p[2 * i] + p[2 * i + 1];
-        }
-        if len % 2 == 1 {
-            p[half - 1] = p[len - 1];
-        }
-        len = half;
-    }
-    p[0]
-}
-
-/// Deterministic chunked dot product: serial accumulation within
-/// [`ROW_CHUNK`]-sized chunks, pairwise fold across them.
-fn dot_chunked(a: &[f64], b: &[f64], partials: &mut [f64], par: bool) -> f64 {
-    if par {
-        rayon::scope(|s| {
-            for ((pk, ca), cb) in partials
-                .iter_mut()
-                .zip(a.chunks(ROW_CHUNK))
-                .zip(b.chunks(ROW_CHUNK))
-            {
-                s.spawn(move |_| {
-                    *pk = chunk_dot(ca, cb);
-                });
-            }
-        });
-    } else {
-        for ((pk, ca), cb) in partials
-            .iter_mut()
-            .zip(a.chunks(ROW_CHUNK))
-            .zip(b.chunks(ROW_CHUNK))
-        {
-            *pk = chunk_dot(ca, cb);
-        }
-    }
-    reduce_pairwise(partials)
-}
-
-#[inline]
-fn chunk_dot(a: &[f64], b: &[f64]) -> f64 {
-    let mut acc = 0.0;
-    for (x, y) in a.iter().zip(b) {
-        acc += x * y;
-    }
-    acc
-}
-
-/// Fused CG update: `x += alpha p`, `r -= alpha ap`, returning the new
-/// `||r||^2` as a by-product of the same pass (no separate `dot(r, r)`
-/// sweep). Chunked like every other reduction, so serial and parallel
-/// agree bitwise.
-fn fused_xr_update(
-    x: &mut [f64],
-    r: &mut [f64],
-    p: &[f64],
-    ap: &[f64],
-    alpha: f64,
-    partials: &mut [f64],
-    par: bool,
-) -> f64 {
-    let run = |k: usize, xc: &mut [f64], rc: &mut [f64]| -> f64 {
-        let base = k * ROW_CHUNK;
-        let pc = &p[base..base + xc.len()];
-        let apc = &ap[base..base + xc.len()];
-        let mut acc = 0.0;
-        for ((xi, ri), (pi, api)) in xc.iter_mut().zip(rc.iter_mut()).zip(pc.iter().zip(apc)) {
-            *xi += alpha * pi;
-            *ri -= alpha * api;
-            acc += *ri * *ri;
-        }
-        acc
-    };
-    if par {
-        rayon::scope(|s| {
-            for ((k, (xc, rc)), pk) in x
-                .chunks_mut(ROW_CHUNK)
-                .zip(r.chunks_mut(ROW_CHUNK))
-                .enumerate()
-                .zip(partials.iter_mut())
-            {
-                s.spawn(move |_| {
-                    *pk = run(k, xc, rc);
-                });
-            }
-        });
-    } else {
-        for ((k, (xc, rc)), pk) in x
-            .chunks_mut(ROW_CHUNK)
-            .zip(r.chunks_mut(ROW_CHUNK))
-            .enumerate()
-            .zip(partials.iter_mut())
-        {
-            *pk = run(k, xc, rc);
-        }
-    }
-    reduce_pairwise(partials)
-}
-
-/// `p = z + beta p`, chunk-parallel.
-fn fused_p_update(p: &mut [f64], z: &[f64], beta: f64, par: bool) {
-    let run = |k: usize, pc: &mut [f64]| {
-        let zc = &z[k * ROW_CHUNK..k * ROW_CHUNK + pc.len()];
-        for (pi, zi) in pc.iter_mut().zip(zc) {
-            *pi = zi + beta * *pi;
-        }
-    };
-    if par {
-        rayon::scope(|s| {
-            for (k, pc) in p.chunks_mut(ROW_CHUNK).enumerate() {
-                s.spawn(move |_| run(k, pc));
-            }
-        });
-    } else {
-        for (k, pc) in p.chunks_mut(ROW_CHUNK).enumerate() {
-            run(k, pc);
-        }
-    }
-}
-
 /// Solves `A x = b` by preconditioned conjugate gradient over CSR
 /// storage.
 ///
@@ -1110,6 +983,7 @@ pub fn debug_check_solution(stats: &SolveStats, options: &SolverOptions, temps_c
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reduce::chunk_dot;
 
     fn solve(
         a: &CsrMatrix,
