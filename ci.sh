@@ -4,8 +4,12 @@
 #   ./ci.sh          # format check, clippy, xylem-lint audit, full test suite
 #   ./ci.sh lint     # determinism audit only: xylem-lint text + --json modes
 #   ./ci.sh sanitize # sanitizer lane: miri (if installed) over the pure
-#                    # crates + thread-count determinism digests
-#   ./ci.sh bench    # regenerate BENCH_thermal.json (solver smoke numbers)
+#                    # crates + thread-count determinism digests (default
+#                    # and GMG-forced solver configurations)
+#   ./ci.sh bench    # regenerate BENCH_thermal.json: steady scaling up to
+#                    # 128x128, AMG-vs-GMG setup/apply/solve head-to-head,
+#                    # stencil-vs-CSR matvec microbench, matched-accuracy
+#                    # adaptive comparison
 #   ./ci.sh faults   # fault-injection sweep: seeded sensor faults, forced
 #                    # solver failures, checkpoint/resume bit-identity
 #   ./ci.sh golden   # fast paper-claims suite (EXPERIMENTS.md ✅ rows) +
@@ -37,14 +41,14 @@ if [[ "${1:-}" == "sanitize" ]]; then
     echo "==> miri not installed; falling back to plain tests for pure crates"
     cargo test -q -p xylem-lint -p xylem-obs -p xylem-workloads
   fi
-  echo "==> thread-count determinism digest (bit-identical runs, 1 vs 4 threads)"
+  echo "==> thread-count determinism digests (default + GMG, 1 vs 4 threads)"
   cargo test -q --release -p xylem-core --test thread_determinism
   echo "Sanitize lane green."
   exit 0
 fi
 
 if [[ "${1:-}" == "bench" ]]; then
-  echo "==> solver smoke bench (BENCH_thermal.json)"
+  echo "==> solver smoke bench (BENCH_thermal.json: scaling to 128x128, AMG vs GMG, stencil matvec)"
   cargo run --release -q -p xylem-bench --bin bench_thermal_smoke
   exit 0
 fi

@@ -5,11 +5,17 @@
 //!
 //! The vendored thread pool is sized once per process from
 //! `RAYON_NUM_THREADS`, so the two runs must live in separate
-//! processes: the test re-executes itself (filtered to this one test)
+//! processes: each test re-executes itself (filtered to that one test)
 //! with the env var set to 1 and then 4, and each child writes a
 //! digest of its run — FNV-1a over every sample's raw f64 bits, plus
 //! every deterministic observability counter. The parent asserts the
 //! two digests are byte-identical.
+//!
+//! Two solver configurations are locked: the model's own default pick
+//! (GMG at this grid size) and an explicitly forced GMG run, so the
+//! geometric-multigrid cycle — smoothers, restriction, and its
+//! finest-level parallel matvec — stays inside the determinism digest
+//! even if the default pick ever changes.
 //!
 //! This is the lock on xylem-obs design rule 2 (counters count
 //! deterministic quantities, never wall-clock) and on the solver's
@@ -24,21 +30,36 @@ use xylem::system::{SystemConfig, XylemSystem};
 use xylem_obs::fnv1a;
 use xylem_stack::XylemScheme;
 use xylem_thermal::grid::GridSpec;
+use xylem_thermal::solve::{PreconditionerKind, SolverOptions};
 use xylem_workloads::Benchmark;
 
 const CHILD_ENV: &str = "XYLEM_DETERMINISM_CHILD_OUT";
 /// 32x32 keeps the node count (~30k) above the solver's parallel
 /// threshold, so the multi-threaded child really exercises the
-/// parallel CSR path.
+/// parallel CSR/stencil path.
 const GRID: usize = 32;
 
-fn run_child(out_path: &str) {
-    // Per-thread-count cache dir: both children must do the *same*
-    // response-cache work (build or load), or solve_calls would differ
-    // for cache-warming reasons rather than thread-count ones.
+/// Solver override for one digest pair: `None` locks whatever the
+/// model picks for itself; `Some` pins a preconditioner explicitly.
+fn solver_override(tag: &str) -> Option<SolverOptions> {
+    match tag {
+        "gmg" => Some(SolverOptions {
+            preconditioner: PreconditionerKind::Gmg,
+            ..SolverOptions::default()
+        }),
+        _ => None,
+    }
+}
+
+fn run_child(tag: &str, out_path: &str) {
+    // Per-thread-count, per-tag cache dir: both children of a pair must
+    // do the *same* response-cache work (build or load), or solve_calls
+    // would differ for cache-warming reasons rather than thread-count
+    // ones.
     let threads = std::env::var("RAYON_NUM_THREADS").unwrap_or_default();
     let mut cfg = SystemConfig::fast(XylemScheme::Base);
-    cfg.cache_dir = Some(std::env::temp_dir().join(format!("xylem-determinism-cache-{threads}")));
+    cfg.cache_dir =
+        Some(std::env::temp_dir().join(format!("xylem-determinism-cache-{tag}-{threads}")));
     let sys = XylemSystem::new(cfg).expect("system builds");
     let run = DtmRunConfig {
         policy: DtmPolicy::paper_default(),
@@ -59,7 +80,7 @@ fn run_child(out_path: &str) {
                 value_c: 40.0,
             },
         ],
-        solver: None,
+        solver: solver_override(tag),
         checkpoint: None,
     };
     let policy = DtmPolicy::paper_default();
@@ -107,28 +128,30 @@ fn run_child(out_path: &str) {
     std::fs::write(out_path, text).expect("child writes digest");
 }
 
-#[test]
-fn dtm_run_is_bit_identical_across_thread_counts() {
+/// Runs the 1-thread/4-thread child pair for one solver configuration
+/// and asserts their digests are byte-identical. `test_name` must be
+/// the exact name of the calling test so the re-executed binary lands
+/// back in it.
+fn run_pair(test_name: &str, tag: &str) {
     if let Ok(out) = std::env::var(CHILD_ENV) {
-        run_child(&out);
+        run_child(tag, &out);
         return;
     }
     let exe = std::env::current_exe().expect("test binary path");
     let dir = std::env::temp_dir();
     let mut digests = Vec::new();
     for threads in ["1", "4"] {
-        let out = dir.join(format!("xylem-determinism-{threads}.txt"));
+        let out = dir.join(format!("xylem-determinism-{tag}-{threads}.txt"));
         let status = Command::new(&exe)
-            .args([
-                "dtm_run_is_bit_identical_across_thread_counts",
-                "--exact",
-                "--test-threads=1",
-            ])
+            .args([test_name, "--exact", "--test-threads=1"])
             .env(CHILD_ENV, &out)
             .env("RAYON_NUM_THREADS", threads)
             .status()
             .expect("child spawns");
-        assert!(status.success(), "child with {threads} threads failed");
+        assert!(
+            status.success(),
+            "{tag} child with {threads} threads failed"
+        );
         let digest = std::fs::read_to_string(&out).expect("child digest readable");
         // Sanity: the child actually solved something and counted it.
         assert!(digest.contains("counter cg_iterations="), "{digest}");
@@ -137,7 +160,17 @@ fn dtm_run_is_bit_identical_across_thread_counts() {
     }
     assert_eq!(
         digests[0].1, digests[1].1,
-        "1-thread and 4-thread runs diverged:\n--- 1 thread ---\n{}\n--- 4 threads ---\n{}",
+        "{tag}: 1-thread and 4-thread runs diverged:\n--- 1 thread ---\n{}\n--- 4 threads ---\n{}",
         digests[0].1, digests[1].1
     );
+}
+
+#[test]
+fn dtm_run_is_bit_identical_across_thread_counts() {
+    run_pair("dtm_run_is_bit_identical_across_thread_counts", "default");
+}
+
+#[test]
+fn gmg_run_is_bit_identical_across_thread_counts() {
+    run_pair("gmg_run_is_bit_identical_across_thread_counts", "gmg");
 }

@@ -48,7 +48,9 @@ pub const UNIT_TYPES: &[&str] = &[
 pub const HOT_PATH_SUFFIXES: &[&str] = &[
     "crates/thermal/src/solve.rs",
     "crates/thermal/src/amg.rs",
+    "crates/thermal/src/gmg.rs",
     "crates/thermal/src/csr.rs",
+    "crates/thermal/src/stencil.rs",
     "crates/thermal/src/adaptive.rs",
     "crates/thermal/src/model.rs",
     "crates/thermal/src/reduce.rs",
@@ -66,6 +68,8 @@ pub const INSTRUMENTED_SUFFIXES: &[&str] = &[
     "crates/thermal/src/solve.rs",
     "crates/thermal/src/model.rs",
     "crates/thermal/src/adaptive.rs",
+    "crates/thermal/src/gmg.rs",
+    "crates/thermal/src/stencil.rs",
     "crates/bench/src/harness.rs",
 ];
 
@@ -480,6 +484,19 @@ mod tests {
                 instrumented: true
             }
         );
+        // The matrix-free kernels and the geometric hierarchy joined
+        // both zones together: hot-path (bit-identity claim) and
+        // instrumented (setup/fallback telemetry).
+        for pr7 in ["crates/thermal/src/stencil.rs", "crates/thermal/src/gmg.rs"] {
+            assert_eq!(
+                Zone::of(pr7),
+                Zone {
+                    hot_path: true,
+                    instrumented: true
+                },
+                "{pr7}"
+            );
+        }
         assert_eq!(Zone::of("crates/stack/src/tsv.rs"), Zone::default());
         assert_eq!(Zone::of("crates/stack/src/tsv.rs").label(), "free");
     }

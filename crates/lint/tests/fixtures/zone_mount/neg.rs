@@ -1,0 +1,23 @@
+//! NEGATIVE fixture for the determinism-zone mount points: the
+//! element-seeded accumulator carve-out and an ordered map must stay
+//! clean when mounted at the stencil/GMG hot-path relpaths.
+
+use std::collections::BTreeMap;
+
+pub fn line_fold(coeff: &[f64]) -> f64 {
+    // Seeded from the first element: a line-local fold whose order is
+    // fixed by the x-line itself, not by chunk scheduling.
+    let mut acc = coeff[0];
+    for c in &coeff[1..] {
+        acc += c;
+    }
+    acc
+}
+
+pub fn level_index(levels: &[u32]) -> BTreeMap<u32, usize> {
+    let mut index = BTreeMap::new();
+    for (i, l) in levels.iter().enumerate() {
+        index.insert(*l, i);
+    }
+    index
+}

@@ -1,0 +1,23 @@
+//! POSITIVE fixture for the determinism-zone *mount points*: a raw
+//! float accumulator plus `HashMap` mentions in one file. Mounted by
+//! the test harness at the stencil/GMG hot-path relpaths to pin that
+//! those modules sit inside the zone; inert where it actually lives
+//! (crates/lint/tests/fixtures).
+
+use std::collections::HashMap;
+
+pub fn plane_sum(coeff: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for c in coeff {
+        acc += c;
+    }
+    acc
+}
+
+pub fn level_index(levels: &[u32]) -> HashMap<u32, usize> {
+    let mut index = HashMap::new();
+    for (i, l) in levels.iter().enumerate() {
+        index.insert(*l, i);
+    }
+    index
+}

@@ -205,6 +205,50 @@ fn obs_coverage_out_of_scope_in_free_and_obs_modules() {
     assert!(findings_of(OBS_COV, "crates/obs/src/sink.rs", &src).is_empty());
 }
 
+// ---- determinism-zone mounts (stencil + gmg) ---------------------
+
+const ZONE_MOUNTS: [&str; 2] = ["crates/thermal/src/stencil.rs", "crates/thermal/src/gmg.rs"];
+
+#[test]
+fn stencil_and_gmg_mounts_are_inside_the_determinism_zone() {
+    // The matrix-free kernels and the geometric-multigrid hierarchy
+    // carry the same bit-identity claim as the CSR solver core; both
+    // path-scoped rules must fire when a dirty file mounts there.
+    let pos = fixture("zone_mount", "pos");
+    for mount in ZONE_MOUNTS {
+        let acc = findings_of(RAW_ACC, mount, &pos);
+        assert_eq!(acc.len(), 1, "{mount}: {acc:?}");
+        assert_eq!(acc[0].symbol, "plane_sum.acc", "{mount}");
+        let nondet = findings_of(NONDET, mount, &pos);
+        assert!(
+            nondet.iter().any(|d| d.symbol == "HashMap"),
+            "{mount}: {nondet:?}"
+        );
+    }
+}
+
+#[test]
+fn zone_mount_negative_fixture_is_clean_in_zone() {
+    let neg = fixture("zone_mount", "neg");
+    for mount in ZONE_MOUNTS {
+        let d = analyze_source(mount, &neg);
+        assert!(d.is_empty(), "{mount}: {d:?}");
+    }
+}
+
+#[test]
+fn zone_mount_positive_fixture_is_inert_outside_the_zone() {
+    let pos = fixture("zone_mount", "pos");
+    let free = analyze_source("crates/stack/src/builder.rs", &pos);
+    assert!(free.is_empty(), "free zone: {free:?}");
+    for name in ["pos", "neg"] {
+        let src = fixture("zone_mount", name);
+        let relpath = format!("crates/lint/tests/fixtures/zone_mount/{name}.rs");
+        let d = analyze_source(&relpath, &src);
+        assert!(d.is_empty(), "{relpath} must be inert in place: {d:?}");
+    }
+}
+
 // ---- corpus hygiene ----------------------------------------------
 
 #[test]

@@ -55,15 +55,16 @@ const MAX_LEVELS: usize = 25;
 const MIN_SHRINK: f64 = 0.9;
 
 /// Dense Cholesky factorization of the coarsest-level operator.
+/// Shared with the geometric hierarchy in [`crate::gmg`].
 #[derive(Debug, Clone)]
-struct DenseChol {
+pub(crate) struct DenseChol {
     n: usize,
     /// Lower-triangular factor, row-major, full `n x n` storage.
     l: Vec<f64>,
 }
 
 impl DenseChol {
-    fn factor(a: &CsrMatrix) -> Self {
+    pub(crate) fn factor(a: &CsrMatrix) -> Self {
         let n = a.n();
         let mut m = vec![0.0f64; n * n];
         for i in 0..n {
@@ -90,7 +91,7 @@ impl DenseChol {
     }
 
     /// Solves `L L^T x = b` in place.
-    fn solve(&self, x: &mut [f64]) {
+    pub(crate) fn solve(&self, x: &mut [f64]) {
         let n = self.n;
         for i in 0..n {
             let row = &self.l[i * n..i * n + i];
@@ -190,7 +191,10 @@ fn pairwise_aggregate(a: &CsrMatrix) -> (Vec<u32>, usize) {
 
 /// Galerkin product `P^T A P` for piecewise-constant `P` given by the
 /// aggregate map: sums fine entries per (coarse row, coarse col) pair.
-fn galerkin(a: &CsrMatrix, agg: &[u32], n_coarse: usize) -> CsrMatrix {
+/// For a 0/1 restriction this is identical to rediscretizing the
+/// conductance network on the aggregated cells, which is how
+/// [`crate::gmg`] reuses it for its geometric coarse operators.
+pub(crate) fn galerkin(a: &CsrMatrix, agg: &[u32], n_coarse: usize) -> CsrMatrix {
     let mut triplets = Vec::with_capacity(a.nnz());
     for i in 0..a.n() {
         let ci = agg[i];

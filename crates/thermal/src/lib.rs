@@ -69,6 +69,7 @@ pub mod block_model;
 pub mod csr;
 pub mod error;
 pub mod floorplan;
+pub mod gmg;
 pub mod grid;
 pub mod layer;
 pub mod material;
@@ -79,6 +80,7 @@ pub mod reduce;
 pub mod report;
 pub mod solve;
 pub mod stack;
+pub mod stencil;
 pub mod temperature;
 pub mod units;
 
@@ -89,9 +91,10 @@ pub use grid::GridSpec;
 pub use model::ThermalModel;
 pub use power::PowerMap;
 pub use solve::{
-    PreconditionerKind, RecoveryEvent, RecoveryReport, SolverOptions, SolverWorkspace,
+    Operator, PreconditionerKind, RecoveryEvent, RecoveryReport, SolverOptions, SolverWorkspace,
 };
 pub use stack::Stack;
+pub use stencil::StencilOperator;
 pub use temperature::TemperatureField;
 
 /// Result alias for thermal operations.

@@ -29,10 +29,11 @@ use crate::error::ThermalError;
 use crate::grid::{rasterize, GridSpec};
 use crate::power::PowerMap;
 use crate::solve::{
-    debug_check_solution, solve_cg_reference, solve_cg_resilient, Preconditioner,
+    debug_check_solution, solve_cg_reference, solve_cg_resilient_with, Operator, Preconditioner,
     PreconditionerKind, RecoveryReport, SolveStats, SolverOptions, SolverWorkspace,
 };
 use crate::stack::Stack;
+use crate::stencil::StencilOperator;
 use crate::temperature::TemperatureField;
 use crate::units::{Celsius, Watts};
 
@@ -64,6 +65,11 @@ pub struct ThermalModel {
     /// The conductance matrix lowered to flat CSR at build time; all
     /// production solves run over this.
     csr: CsrMatrix,
+    /// Matrix-free structured-grid view of `csr` (coefficient planes, no
+    /// column indices in the inner loop), extracted at build time when
+    /// the node graph matches the 7-point layout. Grids built here always
+    /// do; `None` guards future irregular topologies.
+    stencil: Option<StencilOperator>,
     /// Preconditioner built for `csr` per the current solver options.
     prec: Preconditioner,
     /// Cached backward-Euler operator `G + C/dt` (+ its preconditioner),
@@ -83,7 +89,36 @@ struct TransientOp {
     dt: f64,
     kind: PreconditionerKind,
     a: CsrMatrix,
+    /// Stencil view of `a` — the diagonal-patched clone of the model's
+    /// stencil, so transient solves keep the matrix-free fast path.
+    stencil: Option<StencilOperator>,
     prec: Preconditioner,
+}
+
+/// Grid size (cells per layer) from which a freshly built model defaults
+/// to the geometric multigrid preconditioner. Below this the AMG setup
+/// is cheap enough that the geometric hierarchy has nothing to win back;
+/// at and above it GMG's fixed, shallow in-plane coarsening beats AMG's
+/// pairwise aggregation on both setup and apply.
+const GMG_MIN_CELLS: usize = 1024;
+
+/// Builds the preconditioner for `kind` over `a`, supplying the grid
+/// geometry the geometric hierarchy needs. When `kind` is
+/// [`PreconditionerKind::Gmg`] but the hierarchy cannot be built (a
+/// matrix whose shape does not match the grid), falls back to
+/// [`Preconditioner::build`], which degrades GMG to AMG.
+fn build_prec_for(
+    a: &CsrMatrix,
+    grid: GridSpec,
+    n_layers: usize,
+    kind: PreconditionerKind,
+) -> Preconditioner {
+    if kind == PreconditionerKind::Gmg {
+        if let Some(p) = Preconditioner::build_gmg(a, grid.nx(), grid.ny(), n_layers) {
+            return p;
+        }
+    }
+    Preconditioner::build(a, kind)
 }
 
 /// Slots in the keyed transient-operator cache. Adaptive step-doubling
@@ -325,11 +360,23 @@ impl ThermalModel {
             });
         }
 
-        // Lower the node graph into flat CSR and build the steady-state
-        // preconditioner once; every solve afterwards reuses both.
-        let solver_options = SolverOptions::default();
+        // Lower the node graph into flat CSR, extract the structured
+        // stencil view, and build the steady-state preconditioner once;
+        // every solve afterwards reuses all three. Large grids default to
+        // the geometric multigrid preconditioner, which needs the stencil
+        // geometry; small ones keep AMG (see [`GMG_MIN_CELLS`]).
         let csr = CsrMatrix::from_adjacency(&neighbors, &diagonal);
-        let prec = Preconditioner::build(&csr, solver_options.preconditioner);
+        let stencil = StencilOperator::from_csr(&csr, grid.nx(), grid.ny(), n_solver_layers);
+        let preconditioner = if cells >= GMG_MIN_CELLS && stencil.is_some() {
+            PreconditionerKind::Gmg
+        } else {
+            SolverOptions::default().preconditioner
+        };
+        let solver_options = SolverOptions {
+            preconditioner,
+            ..SolverOptions::default()
+        };
+        let prec = build_prec_for(&csr, grid, n_solver_layers, solver_options.preconditioner);
 
         Ok(ThermalModel {
             grid,
@@ -342,6 +389,7 @@ impl ThermalModel {
             capacitance,
             diagonal,
             csr,
+            stencil,
             prec,
             transient_cache: TransientCache::default(),
             ambient: pkg.ambient(),
@@ -446,7 +494,12 @@ impl ThermalModel {
     /// kind changed and drops the cached transient operator.
     pub fn set_solver_options(&mut self, options: SolverOptions) {
         if options.preconditioner != self.solver_options.preconditioner {
-            self.prec = Preconditioner::build(&self.csr, options.preconditioner);
+            self.prec = build_prec_for(
+                &self.csr,
+                self.grid,
+                3 + self.n_user_layers,
+                options.preconditioner,
+            );
             self.transient_cache = TransientCache::default();
         }
         self.solver_options = options;
@@ -456,6 +509,18 @@ impl ThermalModel {
     /// diagonal, as lowered at build time).
     pub fn csr(&self) -> &CsrMatrix {
         &self.csr
+    }
+
+    /// The matrix-free structured-grid view of the conductance matrix,
+    /// when the node graph matched the 7-point layout at build time.
+    pub fn stencil(&self) -> Option<&StencilOperator> {
+        self.stencil.as_ref()
+    }
+
+    /// The steady-state operator, routed through the fastest matvec
+    /// backend available (stencil sweeps when extracted, CSR otherwise).
+    fn operator(&self) -> Operator<'_> {
+        Operator::with_stencil(&self.csr, self.stencil.as_ref())
     }
 
     /// Current solver options.
@@ -554,8 +619,8 @@ impl ThermalModel {
                 None => vec![self.ambient; n],
             };
             let mut recovery = RecoveryReport::default();
-            let stats = solve_cg_resilient(
-                &self.csr,
+            let stats = solve_cg_resilient_with(
+                self.operator(),
                 &self.prec,
                 &rhs,
                 &mut x,
@@ -684,7 +749,7 @@ impl ThermalModel {
 
         let mut rhs = std::mem::take(&mut ws.rhs);
         let mut rhs0 = std::mem::take(&mut ws.rhs0);
-        let result = self.with_transient_op(dt, |a, prec| -> Result<_, ThermalError> {
+        let result = self.with_transient_op(dt, |op, prec| -> Result<_, ThermalError> {
             self.assemble_rhs_into(power, &mut rhs0)?;
             rhs.clear();
             rhs.resize(n, 0.0);
@@ -703,8 +768,8 @@ impl ThermalModel {
                     }
                 }
                 let mut step_recovery = RecoveryReport::default();
-                let s = solve_cg_resilient(
-                    a,
+                let s = solve_cg_resilient_with(
+                    op,
                     prec,
                     &rhs,
                     &mut x,
@@ -732,7 +797,11 @@ impl ThermalModel {
     /// and preconditioner kind, evicting least-recently-used. The lock is
     /// held for the duration of `f`; the model is effectively
     /// single-threaded per instance (parallelism lives inside the solve).
-    fn with_transient_op<R>(&self, dt: f64, f: impl FnOnce(&CsrMatrix, &Preconditioner) -> R) -> R {
+    fn with_transient_op<R>(
+        &self,
+        dt: f64,
+        f: impl FnOnce(Operator<'_>, &Preconditioner) -> R,
+    ) -> R {
         let kind = self.solver_options.preconditioner;
         let mut slots = self
             .transient_cache
@@ -750,11 +819,18 @@ impl ThermalModel {
                 }
                 let patch: Vec<f64> = self.capacitance.iter().map(|c| c / dt).collect();
                 let a = self.csr.with_diagonal_added(&patch);
-                let prec = Preconditioner::build(&a, kind);
-                TransientOp { dt, kind, a, prec }
+                let stencil = self.stencil.as_ref().map(|s| s.with_diagonal_added(&patch));
+                let prec = build_prec_for(&a, self.grid, 3 + self.n_user_layers, kind);
+                TransientOp {
+                    dt,
+                    kind,
+                    a,
+                    stencil,
+                    prec,
+                }
             }
         };
-        let result = f(&op.a, &op.prec);
+        let result = f(Operator::with_stencil(&op.a, op.stencil.as_ref()), &op.prec);
         // Most-recently-used lives at the back.
         slots.push(op);
         result
@@ -783,8 +859,8 @@ impl ThermalModel {
         for i in 0..n {
             rhs[i] = rhs0[i] + self.capacitance[i] / dt * x[i];
         }
-        let solved = self.with_transient_op(dt, |a, prec| {
-            solve_cg_resilient(a, prec, rhs, x, ws, &self.solver_options, recovery)
+        let solved = self.with_transient_op(dt, |op, prec| {
+            solve_cg_resilient_with(op, prec, rhs, x, ws, &self.solver_options, recovery)
         });
         match solved {
             Ok(s) => {

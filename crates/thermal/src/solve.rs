@@ -33,22 +33,34 @@
 //!
 //! [`PreconditionerKind`] selects between Jacobi (diagonal scaling; the
 //! historical default), SSOR (symmetric Gauss-Seidel sweeps, no setup
-//! cost), IC(0) (incomplete Cholesky with zero fill), and an
-//! aggregation-based algebraic multigrid V-cycle (the default; see
-//! [`crate::amg`]). On the RC network's strongly anisotropic
-//! conductance structure Jacobi needs ~400 iterations at 64x64,
-//! SSOR/IC(0) cut that to ~180 but pay ~3 matvec-equivalents per apply
-//! in serial triangular sweeps, and AMG lands at a few dozen iterations
-//! for a similar per-apply cost — the only option that beats Jacobi in
-//! wall time on a single core. The triangular sweeps of SSOR/IC(0) are
-//! serial by nature; the matvec and vector kernels around them still
-//! parallelize.
+//! cost), IC(0) (incomplete Cholesky with zero fill), an
+//! aggregation-based algebraic multigrid V-cycle (see [`crate::amg`]),
+//! and a geometric multigrid V-cycle built from the structured grid
+//! description (see [`crate::gmg`]; only buildable when the geometry is
+//! known, so [`Preconditioner::build_gmg`] is its entry point). On the
+//! RC network's strongly anisotropic conductance structure Jacobi needs
+//! ~400 iterations at 64x64, SSOR/IC(0) cut that to ~180 but pay ~3
+//! matvec-equivalents per apply in serial triangular sweeps, and the
+//! multigrids land at a few dozen iterations for a similar per-apply
+//! cost — the only options that beat Jacobi in wall time on a single
+//! core. The triangular sweeps of SSOR/IC(0) are serial by nature; the
+//! matvec and vector kernels around them still parallelize.
+//!
+//! # Operators
+//!
+//! The CG loop itself only needs a matvec, so it runs on an
+//! [`Operator`]: the CSR matrix plus an optional matrix-free
+//! [`StencilOperator`](crate::stencil) fast path whose sweeps are
+//! bit-identical to the CSR kernel. [`solve_cg`] /
+//! [`solve_cg_resilient`] remain the CSR-only entry points;
+//! `*_with` variants accept an [`Operator`].
 
 use serde::{Deserialize, Serialize};
 
 use crate::csr::{CsrMatrix, PAR_MIN_ROWS, ROW_CHUNK};
 use crate::error::ThermalError;
 use crate::reduce::{dot_chunked, fused_p_update, fused_xr_update, reduce_pairwise};
+use crate::stencil::StencilOperator;
 
 /// Preconditioner selection for [`SolverOptions`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -70,6 +82,13 @@ pub enum PreconditionerKind {
     /// fewer CG iterations than Jacobi at a few matvec-equivalents per
     /// apply. See [`crate::amg`].
     Amg,
+    /// Geometric multigrid V-cycle over the structured stack grid:
+    /// in-plane semicoarsening with z-line block-Jacobi smoothing. Needs
+    /// the grid geometry, so it is built via
+    /// [`Preconditioner::build_gmg`]; [`Preconditioner::build`] (which
+    /// only sees a bare matrix) degrades it to [`PreconditionerKind::Amg`].
+    /// See [`crate::gmg`].
+    Gmg,
 }
 
 /// Options controlling the iterative solver.
@@ -84,8 +103,9 @@ pub struct SolverOptions {
     /// Which preconditioner to build and apply.
     pub preconditioner: PreconditionerKind,
     /// Whether [`solve_cg_resilient`] may escalate down the fallback
-    /// ladder (AMG -> IC0 -> SSOR -> Jacobi) when the configured solve
-    /// fails, instead of surfacing [`ThermalError::NoConvergence`].
+    /// ladder (GMG -> AMG -> IC0 -> SSOR -> Jacobi) when the configured
+    /// solve fails, instead of surfacing
+    /// [`ThermalError::NoConvergence`].
     pub fallback: bool,
 }
 
@@ -102,8 +122,12 @@ impl Default for SolverOptions {
 
 /// Fallback escalation order: each rung is cheaper to set up and more
 /// numerically conservative than the one before it. A solve configured
-/// at rung `k` escalates through rungs `k+1..`.
-pub const FALLBACK_LADDER: [PreconditionerKind; 4] = [
+/// at rung `k` escalates through rungs `k+1..` — so a failed GMG solve
+/// retries on AMG first (the algebraic hierarchy needs no geometry and
+/// tolerates matrices GMG's structural assumptions misread), and every
+/// configured kind ends at plain Jacobi.
+pub const FALLBACK_LADDER: [PreconditionerKind; 5] = [
+    PreconditionerKind::Gmg,
     PreconditionerKind::Amg,
     PreconditionerKind::Ic0,
     PreconditionerKind::Ssor,
@@ -265,6 +289,9 @@ pub enum Preconditioner {
     Ic0(Box<Ic0Factor>),
     /// Aggregation AMG hierarchy; one apply is a symmetric V(1,1) cycle.
     Amg(Box<crate::amg::AmgHierarchy>),
+    /// Geometric multigrid hierarchy over the structured stack grid;
+    /// one apply is a symmetric V(1,1) cycle with z-line smoothing.
+    Gmg(Box<crate::gmg::GmgHierarchy>),
 }
 
 /// The IC(0) factor storage; split out to keep [`Preconditioner`] small.
@@ -289,6 +316,7 @@ impl PreconditionerKind {
             PreconditionerKind::Ssor => "ssor",
             PreconditionerKind::Ic0 => "ic0",
             PreconditionerKind::Amg => "amg",
+            PreconditionerKind::Gmg => "gmg",
         }
     }
 }
@@ -302,10 +330,17 @@ impl Preconditioner {
             Preconditioner::Ssor { .. } => PreconditionerKind::Ssor,
             Preconditioner::Ic0(_) => PreconditionerKind::Ic0,
             Preconditioner::Amg(_) => PreconditionerKind::Amg,
+            Preconditioner::Gmg(_) => PreconditionerKind::Gmg,
         }
     }
 
     /// Builds the selected preconditioner for `a`.
+    ///
+    /// [`PreconditionerKind::Gmg`] needs grid geometry a bare matrix
+    /// does not carry, so this constructor degrades it to the algebraic
+    /// hierarchy ([`PreconditionerKind::Amg`] — the next fallback rung);
+    /// callers that know the geometry use
+    /// [`Preconditioner::build_gmg`] instead.
     #[must_use]
     pub fn build(a: &CsrMatrix, kind: PreconditionerKind) -> Self {
         match kind {
@@ -314,10 +349,19 @@ impl Preconditioner {
             },
             PreconditionerKind::Ssor => Preconditioner::Ssor { diag: a.diagonal() },
             PreconditionerKind::Ic0 => Preconditioner::Ic0(Box::new(Ic0Factor::factor(a))),
-            PreconditionerKind::Amg => {
+            PreconditionerKind::Amg | PreconditionerKind::Gmg => {
                 Preconditioner::Amg(Box::new(crate::amg::AmgHierarchy::build(a)))
             }
         }
+    }
+
+    /// Builds the geometric multigrid preconditioner for a structured
+    /// matrix with `nl` grid layers of `nx x ny` cells (see
+    /// [`crate::gmg`]). Returns `None` when the matrix does not match
+    /// that geometry.
+    #[must_use]
+    pub fn build_gmg(a: &CsrMatrix, nx: usize, ny: usize, nl: usize) -> Option<Self> {
+        crate::gmg::GmgHierarchy::build(a, nx, ny, nl).map(|h| Preconditioner::Gmg(Box::new(h)))
     }
 
     /// `z = M^-1 r` as a standalone call — benchmark/diagnostic entry
@@ -387,6 +431,61 @@ impl Preconditioner {
                 h.apply(a, r, z);
                 None
             }
+            Preconditioner::Gmg(h) => {
+                h.apply(a, r, z);
+                None
+            }
+        }
+    }
+}
+
+/// The linear operator a CG solve runs on: the CSR matrix plus an
+/// optional matrix-free stencil fast path. The stencil's sweeps are
+/// bit-identical to the CSR kernel (see [`crate::stencil`]), so which
+/// backend an [`Operator`] dispatches to is purely a performance
+/// choice — residual histories and solutions do not change by a ULP.
+#[derive(Debug, Clone, Copy)]
+pub struct Operator<'a> {
+    csr: &'a CsrMatrix,
+    stencil: Option<&'a StencilOperator>,
+}
+
+impl<'a> Operator<'a> {
+    /// A CSR-only operator.
+    #[must_use]
+    pub fn csr(a: &'a CsrMatrix) -> Self {
+        Operator {
+            csr: a,
+            stencil: None,
+        }
+    }
+
+    /// An operator with an optional stencil fast path. The stencil, if
+    /// present, must have been extracted from exactly this matrix
+    /// ([`StencilOperator::from_csr`]).
+    #[must_use]
+    pub fn with_stencil(a: &'a CsrMatrix, stencil: Option<&'a StencilOperator>) -> Self {
+        Operator { csr: a, stencil }
+    }
+
+    /// The CSR form (preconditioner setup and triangular sweeps always
+    /// read this).
+    #[must_use]
+    pub fn matrix(&self) -> &'a CsrMatrix {
+        self.csr
+    }
+
+    /// Whether the matrix-free fast path is active.
+    #[must_use]
+    pub fn is_matrix_free(&self) -> bool {
+        self.stencil.is_some()
+    }
+
+    /// `y = A x` through the fastest available backend.
+    fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        match self.stencil {
+            Some(s) => s.matvec(x, y),
+            None => self.csr.matvec(x, y),
         }
     }
 }
@@ -546,13 +645,31 @@ pub fn solve_cg(
     ws: &mut SolverWorkspace,
     options: &SolverOptions,
 ) -> Result<SolveStats, ThermalError> {
+    solve_cg_with(Operator::csr(a), prec, b, x, ws, options)
+}
+
+/// [`solve_cg`] over an [`Operator`] — same contract, with the matvec
+/// dispatched through the stencil fast path when one is attached.
+///
+/// # Errors
+///
+/// [`ThermalError::NoConvergence`] if the relative residual does not fall
+/// below `options.tolerance` within `options.max_iterations`.
+pub fn solve_cg_with(
+    op: Operator<'_>,
+    prec: &Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    ws: &mut SolverWorkspace,
+    options: &SolverOptions,
+) -> Result<SolveStats, ThermalError> {
     // Observability wrapper: counters/histogram always record (a few
     // atomic ops per solve); the residual curve and the per-solve event
     // are only built when a sink is installed.
     let obs = xylem_obs::enabled();
     let mut curve: Vec<f64> = Vec::new();
     let start = std::time::Instant::now();
-    let result = solve_cg_raw(a, prec, b, x, ws, options, obs.then_some(&mut curve));
+    let result = solve_cg_raw(op, prec, b, x, ws, options, obs.then_some(&mut curve));
     let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let (iterations, residual, converged) = match &result {
         Ok(s) => (s.iterations, s.residual, true),
@@ -570,7 +687,7 @@ pub fn solve_cg(
     if obs {
         xylem_obs::event("solve")
             .str("prec", prec.kind().label())
-            .u64("n", a.n() as u64)
+            .u64("n", op.matrix().n() as u64)
             .u64("iters", iterations as u64)
             .f64("residual", residual)
             .bool("converged", converged)
@@ -604,7 +721,7 @@ fn downsample_curve(curve: &[f64]) -> Vec<f64> {
 
 #[allow(clippy::too_many_arguments)]
 fn solve_cg_raw(
-    a: &CsrMatrix,
+    op: Operator<'_>,
     prec: &Preconditioner,
     b: &[f64],
     x: &mut [f64],
@@ -612,6 +729,7 @@ fn solve_cg_raw(
     options: &SolverOptions,
     mut curve: Option<&mut Vec<f64>>,
 ) -> Result<SolveStats, ThermalError> {
+    let a = op.matrix();
     let n = b.len();
     debug_assert_eq!(a.n(), n);
     debug_assert_eq!(x.len(), n);
@@ -628,7 +746,7 @@ fn solve_cg_raw(
     }
 
     // r = b - A x.
-    a.matvec(x, &mut ws.r);
+    op.matvec(x, &mut ws.r);
     for (ri, bi) in ws.r.iter_mut().zip(b) {
         *ri = bi - *ri;
     }
@@ -652,7 +770,7 @@ fn solve_cg_raw(
                 residual: res,
             });
         }
-        a.matvec(&ws.p, &mut ws.ap);
+        op.matvec(&ws.p, &mut ws.ap);
         let pap = dot_chunked(&ws.p, &ws.ap, &mut ws.partials, par);
         if pap <= 0.0 || !pap.is_finite() {
             // Matrix not SPD along p (should not happen); bail out.
@@ -722,8 +840,29 @@ pub fn solve_cg_resilient(
     options: &SolverOptions,
     report: &mut RecoveryReport,
 ) -> Result<SolveStats, ThermalError> {
+    solve_cg_resilient_with(Operator::csr(a), prec, b, x, ws, options, report)
+}
+
+/// [`solve_cg_resilient`] over an [`Operator`]: the fallback ladder with
+/// the stencil fast path active for every matvec (rung preconditioners
+/// are still built from the CSR form, which every kind can read).
+///
+/// # Errors
+///
+/// [`ThermalError::NoConvergence`] only when every rung of the ladder
+/// has failed.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_cg_resilient_with(
+    op: Operator<'_>,
+    prec: &Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    ws: &mut SolverWorkspace,
+    options: &SolverOptions,
+    report: &mut RecoveryReport,
+) -> Result<SolveStats, ThermalError> {
     if !options.fallback {
-        return solve_cg(a, prec, b, x, ws, options);
+        return solve_cg_with(op, prec, b, x, ws, options);
     }
     // Back up the entry iterate so rungs can cold-restart from it. The
     // buffer is workspace-owned: no allocation once it has grown.
@@ -732,7 +871,7 @@ pub fn solve_cg_resilient(
     x0.extend_from_slice(x);
 
     let mut total_iters = 0usize;
-    let first = solve_cg(a, prec, b, x, ws, options);
+    let first = solve_cg_with(op, prec, b, x, ws, options);
     let mut last_residual = match first {
         Ok(stats) => {
             if solution_is_finite(x) {
@@ -765,7 +904,7 @@ pub fn solve_cg_resilient(
     let mut recovered_stats = None;
     for &kind in &FALLBACK_LADDER[start..] {
         x.copy_from_slice(&x0);
-        let rung_prec = Preconditioner::build(a, kind);
+        let rung_prec = Preconditioner::build(op.matrix(), kind);
         let mut rung_iters = 0usize;
         let mut rung_residual = f64::INFINITY;
         let mut rung_ok = false;
@@ -776,7 +915,7 @@ pub fn solve_cg_resilient(
             preconditioner: kind,
             fallback: false,
         };
-        match solve_cg(a, &rung_prec, b, x, ws, &loose) {
+        match solve_cg_with(op, &rung_prec, b, x, ws, &loose) {
             Ok(s) if solution_is_finite(x) => {
                 rung_iters += s.iterations;
                 // Re-tighten: continue from the relaxed solution down to
@@ -785,7 +924,7 @@ pub fn solve_cg_resilient(
                     tolerance: options.tolerance,
                     ..loose
                 };
-                match solve_cg(a, &rung_prec, b, x, ws, &tight) {
+                match solve_cg_with(op, &rung_prec, b, x, ws, &tight) {
                     Ok(t) if solution_is_finite(x) => {
                         rung_iters += t.iterations;
                         rung_residual = t.residual;
@@ -1235,6 +1374,64 @@ mod tests {
         let mut x = vec![0.0; n];
         let stats = solve(&a, &b, &mut x, PreconditionerKind::Ic0).unwrap();
         assert!(stats.iterations <= 2, "{}", stats.iterations);
+    }
+
+    #[test]
+    fn gmg_kind_degrades_to_amg_without_geometry() {
+        let a = chain(30, 2.2);
+        // A bare matrix has no grid geometry: build() degrades to AMG.
+        let p = Preconditioner::build(&a, PreconditionerKind::Gmg);
+        assert_eq!(p.kind(), PreconditionerKind::Amg);
+        // With geometry (a chain is one cell column of 30 layers) the
+        // real hierarchy builds and solves.
+        let p = Preconditioner::build_gmg(&a, 1, 1, 30).expect("geometry matches");
+        assert_eq!(p.kind(), PreconditionerKind::Gmg);
+        let b = vec![1.0; 30];
+        let mut x = vec![0.0; 30];
+        let mut ws = SolverWorkspace::new();
+        let opts = SolverOptions {
+            preconditioner: PreconditionerKind::Gmg,
+            ..SolverOptions::default()
+        };
+        let stats = solve_cg(&a, &p, &b, &mut x, &mut ws, &opts).unwrap();
+        assert!(stats.residual <= opts.tolerance);
+        let mut ax = vec![0.0; 30];
+        a.matvec_serial(&x, &mut ax);
+        for (got, want) in ax.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn stencil_operator_solve_is_bitwise_the_csr_solve() {
+        // A 1-cell-column "stack" is stencil-extractable; the CG run
+        // through the matrix-free path must match the CSR path bitwise.
+        let a = chain(80, 2.3);
+        let s = StencilOperator::from_csr(&a, 1, 1, 80).expect("structured");
+        let prec = Preconditioner::build(&a, PreconditionerKind::Ic0);
+        let opts = SolverOptions {
+            preconditioner: PreconditionerKind::Ic0,
+            ..SolverOptions::default()
+        };
+        let b: Vec<f64> = (0..80).map(|i| ((i * 7) % 11) as f64 * 0.2 + 0.1).collect();
+        let mut ws = SolverWorkspace::new();
+        let mut x_csr = vec![0.0; 80];
+        let s1 = solve_cg(&a, &prec, &b, &mut x_csr, &mut ws, &opts).unwrap();
+        let mut x_st = vec![0.0; 80];
+        let s2 = solve_cg_with(
+            Operator::with_stencil(&a, Some(&s)),
+            &prec,
+            &b,
+            &mut x_st,
+            &mut ws,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(s1, s2);
+        assert!(x_csr
+            .iter()
+            .zip(&x_st)
+            .all(|(p, q)| p.to_bits() == q.to_bits()));
     }
 
     #[test]
