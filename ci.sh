@@ -16,6 +16,12 @@
 #                    # observability invariants, in release mode
 #   ./ci.sh adaptive # adaptive-stepping convergence vs fixed-step reference
 #                    # + 50-scenario divergence-injection sweep, release mode
+#   ./ci.sh sweep    # sweep-engine resilience lane: a 3x3 journaled sweep
+#                    # SIGKILLed mid-run must resume to 100% completion with
+#                    # zero duplicate journal entries, and a seeded chaos
+#                    # campaign (panics, non-convergence, deadline blowouts)
+#                    # must end every task ok|quarantined and replay
+#                    # bit-identically
 #
 # The lint audit fails on any new finding AND on stale allowlist/baseline
 # entries (the ratchet: fixing an exempted finding requires deleting its
@@ -70,6 +76,17 @@ if [[ "${1:-}" == "adaptive" ]]; then
   echo "==> adaptive DTM integration (summary, v1 compat, bit-identical resume)"
   cargo test -q --release -p xylem-core --test adaptive_dtm
   echo "Adaptive suite green."
+  exit 0
+fi
+
+if [[ "${1:-}" == "sweep" ]]; then
+  echo "==> sweep resilience (SIGKILL + resume, chaos campaign, 3x3 grid)"
+  cargo test -q --release -p xylem-sweep --test resilience
+  echo "==> sweep engine unit tests (backoff, journal, spec, chaos rolls)"
+  cargo test -q --release -p xylem-sweep --lib
+  echo "==> sweep thread/shard-count determinism digest (1 vs 4)"
+  cargo test -q --release -p xylem-core --test thread_determinism sweep_is_bit
+  echo "Sweep lane green."
   exit 0
 fi
 

@@ -106,6 +106,24 @@ struct AdaptiveCompare {
     solve_saving_at_matched_accuracy: f64,
 }
 
+/// Sweep-engine throughput (DESIGN.md §18): a warm-cache scheme x
+/// workload x frequency grid through `run_sweep`, plus a seeded chaos
+/// drill (injected panics, forced non-convergence, deadline blowouts)
+/// exercising the retry and quarantine paths.
+#[derive(Serialize)]
+struct SweepGrid {
+    grid: usize,
+    tasks: usize,
+    shards: usize,
+    elapsed_s: f64,
+    tasks_per_sec: f64,
+    task_p50_ms: f64,
+    task_p99_ms: f64,
+    chaos_retried_attempts: u64,
+    chaos_quarantined: usize,
+    chaos_ok: usize,
+}
+
 #[derive(Serialize)]
 struct Report {
     description: &'static str,
@@ -115,6 +133,7 @@ struct Report {
     matvec: Vec<MatvecRow>,
     dtm_step: DtmStep,
     adaptive: AdaptiveCompare,
+    sweep_grid: SweepGrid,
     obs_overhead: ObsOverhead,
 }
 
@@ -385,6 +404,73 @@ fn main() {
         }
     };
 
+    // Sweep-engine throughput: an 18-task scheme x workload x frequency
+    // grid at 16x16. The warm-up run populates the response cache so
+    // the timed run measures engine overhead plus evaluation math, not
+    // first-build cost; the chaos drill re-runs the same grid under a
+    // seeded 50% per-attempt fault rate to record the retry/quarantine
+    // behavior the resilience lane depends on.
+    let sweep_grid = {
+        use xylem_sweep::{run_sweep, BackoffPolicy, ChaosConfig, SweepOptions, SweepSpec};
+        let spec = SweepSpec {
+            schemes: vec![XylemScheme::Base, XylemScheme::BankEnhanced],
+            benchmarks: vec![Benchmark::Cholesky, Benchmark::Barnes, Benchmark::Fft],
+            f_ghz: vec![2.0, 2.4, 3.0],
+            grid: 16,
+            ..SweepSpec::default()
+        };
+        let shards = 4usize;
+        let opts = SweepOptions {
+            shards,
+            cache_dir: Some(std::env::temp_dir().join("xylem-bench-sweep-cache")),
+            backoff: BackoffPolicy {
+                base_ms: 0,
+                max_ms: 0,
+            },
+            ..SweepOptions::default()
+        };
+        run_sweep(&spec, &opts).expect("warm-up sweep");
+        xylem_obs::reset_metrics();
+        let timed = run_sweep(&spec, &opts).expect("timed sweep");
+
+        // Chaos drill: keep the injected panics from spraying
+        // backtraces into the bench output.
+        std::panic::set_hook(Box::new(|info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("chaos: injected panic") {
+                eprintln!("{info}");
+            }
+        }));
+        let mut chaos_opts = opts;
+        chaos_opts.max_attempts = 2;
+        chaos_opts.chaos = Some(ChaosConfig {
+            seed: 7,
+            panic_per_mille: 200,
+            error_per_mille: 200,
+            deadline_per_mille: 100,
+        });
+        let drill = run_sweep(&spec, &chaos_opts).expect("chaos drill sweep");
+        let _ = std::panic::take_hook();
+
+        SweepGrid {
+            grid: 16,
+            tasks: timed.total,
+            shards,
+            elapsed_s: timed.elapsed_s,
+            tasks_per_sec: timed.tasks_per_sec,
+            task_p50_ms: timed.task_latency.p50_ms,
+            task_p99_ms: timed.task_latency.p99_ms,
+            chaos_retried_attempts: drill.retried_attempts,
+            chaos_quarantined: drill.quarantined,
+            chaos_ok: drill.ok,
+        }
+    };
+
     // Observability overhead on the same 32x32 steady solve: the
     // xylem-obs budget is < 5% with a live JSONL sink (DESIGN.md §14).
     // Interleaved rounds with min aggregation: on a shared single-core
@@ -419,14 +505,16 @@ fn main() {
                       preconditioner head-to-head (setup/apply/solve at 64x64 and 128x128), \
                       the stencil-vs-CSR matvec microbench, warm- vs cold-started DTM \
                       steps, adaptive- vs fixed-stepping at matched accuracy on the \
-                      dtm_longrun workload, and the enabled-sink observability overhead. \
-                      Regenerate with ./ci.sh bench.",
+                      dtm_longrun workload, sweep-engine throughput with a chaos \
+                      retry/quarantine drill, and the enabled-sink observability \
+                      overhead. Regenerate with ./ci.sh bench.",
         scheme: "BankEnhanced",
         steady_state: steady,
         preconditioner,
         matvec,
         dtm_step,
         adaptive,
+        sweep_grid,
         obs_overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

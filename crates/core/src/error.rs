@@ -99,9 +99,78 @@ impl std::error::Error for CheckpointError {
     }
 }
 
+/// Failures of the design-space sweep engine (see the `xylem-sweep`
+/// crate, which builds on this error type).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// The sweep journal could not be read or written.
+    Io {
+        /// Path involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A journal line (other than a torn final line) failed to parse or
+    /// carried an impossible record.
+    Corrupt {
+        /// What failed to validate.
+        reason: String,
+    },
+    /// The journal belongs to a different sweep specification (its
+    /// recorded spec hash disagrees with the resuming sweep's).
+    SpecMismatch {
+        /// Spec hash the resuming sweep computed.
+        expected: String,
+        /// Spec hash recorded in the journal header.
+        found: String,
+    },
+    /// The sweep completed, but some tasks exhausted every retry and
+    /// were quarantined. Carries the quarantine context so callers can
+    /// report exactly which configurations are poisoned.
+    Quarantined {
+        /// Total tasks in the sweep.
+        total: usize,
+        /// `(task key, final error)` for each quarantined task.
+        tasks: Vec<(String, String)>,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Io { path, source } => {
+                write!(f, "sweep journal I/O failed for {path}: {source}")
+            }
+            SweepError::Corrupt { reason } => write!(f, "corrupt sweep journal: {reason}"),
+            SweepError::SpecMismatch { expected, found } => write!(
+                f,
+                "sweep journal belongs to a different spec: hash is {found}, \
+                 this sweep expects {expected}"
+            ),
+            SweepError::Quarantined { total, tasks } => {
+                write!(f, "sweep quarantined {}/{} tasks:", tasks.len(), total)?;
+                for (key, error) in tasks {
+                    write!(f, " [{key}: {error}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
 /// The workspace-level error: everything a Xylem experiment pipeline can
 /// fail with. `From` conversions make `?` work uniformly across thermal
-/// solves, configuration validation, and checkpoint I/O.
+/// solves, configuration validation, checkpoint I/O, and sweep runs.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum XylemError {
@@ -111,6 +180,9 @@ pub enum XylemError {
     Config(ConfigError),
     /// Checkpoint save/load failed.
     Checkpoint(CheckpointError),
+    /// A design-space sweep failed (journal I/O, spec mismatch, or
+    /// quarantined tasks).
+    Sweep(SweepError),
 }
 
 impl fmt::Display for XylemError {
@@ -119,6 +191,7 @@ impl fmt::Display for XylemError {
             XylemError::Thermal(e) => write!(f, "thermal: {e}"),
             XylemError::Config(e) => write!(f, "config: {e}"),
             XylemError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            XylemError::Sweep(e) => write!(f, "sweep: {e}"),
         }
     }
 }
@@ -129,6 +202,7 @@ impl std::error::Error for XylemError {
             XylemError::Thermal(e) => Some(e),
             XylemError::Config(e) => Some(e),
             XylemError::Checkpoint(e) => Some(e),
+            XylemError::Sweep(e) => Some(e),
         }
     }
 }
@@ -148,6 +222,12 @@ impl From<ConfigError> for XylemError {
 impl From<CheckpointError> for XylemError {
     fn from(e: CheckpointError) -> Self {
         XylemError::Checkpoint(e)
+    }
+}
+
+impl From<SweepError> for XylemError {
+    fn from(e: SweepError) -> Self {
+        XylemError::Sweep(e)
     }
 }
 
@@ -175,6 +255,20 @@ mod tests {
             source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
         };
         assert!(std::error::Error::source(&io).is_some());
+
+        let e = XylemError::from(SweepError::SpecMismatch {
+            expected: "aaaa".into(),
+            found: "bbbb".into(),
+        });
+        assert!(e.to_string().starts_with("sweep:"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = XylemError::from(SweepError::Quarantined {
+            total: 9,
+            tasks: vec![("banke/Barnes/2.4".into(), "solver diverged".into())],
+        });
+        assert!(e.to_string().contains("1/9"));
+        assert!(e.to_string().contains("solver diverged"));
     }
 
     #[test]

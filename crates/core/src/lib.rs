@@ -53,7 +53,7 @@ pub mod response;
 pub mod sensor;
 pub mod system;
 
-pub use error::{CheckpointError, ConfigError, XylemError};
+pub use error::{CheckpointError, ConfigError, SweepError, XylemError};
 pub use evaluation::Evaluation;
 pub use placement::ThreadPlacement;
 pub use response::ThermalResponse;

@@ -1,0 +1,129 @@
+//! Fuzz-style checkpoint-loader hardening: a valid checkpoint file
+//! truncated at *every* byte boundary must come back as a clean
+//! [`CheckpointError`] — never a panic, never a partially-parsed
+//! [`DtmCheckpoint`]. This is the on-disk analogue of the sweep
+//! journal's torn-tail rule: arbitrary prefix loss is a recoverable
+//! condition, not undefined behavior.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use xylem::checkpoint::{config_hash, load, save, DtmCheckpoint};
+use xylem::dtm::DtmSample;
+use xylem::error::CheckpointError;
+use xylem::XylemError;
+use xylem_thermal::units::Celsius;
+use xylem_thermal::RecoveryReport;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xylem-ckpt-trunc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir creates");
+    dir.join(name)
+}
+
+fn rich_checkpoint() -> DtmCheckpoint {
+    DtmCheckpoint {
+        step: 4821,
+        grid_nx: 24,
+        grid_ny: 24,
+        dt: 1e-3,
+        config_hash: config_hash("{\"policy\":2,\"trip\":85.0}"),
+        // Awkward floats: shortest-repr printing must round-trip these,
+        // and their serialized text exercises digits, signs, exponents.
+        temps: vec![
+            0.1 + 0.2,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            95.000_000_1,
+            -273.149_999,
+            8.25e6,
+        ],
+        level: 3,
+        throttle_events: 12,
+        above: 7,
+        failsafe_events: 1,
+        cg_iterations: 180_421,
+        samples: vec![
+            DtmSample {
+                time_s: 0.25,
+                f_ghz: 2.4,
+                hotspot: Celsius::new(83.75),
+            },
+            DtmSample {
+                time_s: 0.5,
+                f_ghz: 1.8,
+                hotspot: Celsius::new(79.125),
+            },
+        ],
+        sensors: None,
+        recovery: RecoveryReport::default(),
+        adaptive: None,
+    }
+}
+
+/// Asserts that loading `bytes` written to disk fails cleanly: no
+/// panic, and a truncation-shaped error (`Io` or `Corrupt` — never
+/// `Mismatch`, which would mean a half-validated envelope was trusted
+/// far enough to read its version field from garbage).
+fn assert_clean_failure(path: &PathBuf, bytes: &[u8], label: &str) {
+    std::fs::write(path, bytes).expect("prefix writes");
+    let outcome = catch_unwind(AssertUnwindSafe(|| load(path)));
+    let result = outcome.unwrap_or_else(|_| panic!("{label}: load must not panic"));
+    let err = match result {
+        Ok(partial) => panic!("{label}: truncated file must not load: {partial:?}"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(
+            err,
+            CheckpointError::Corrupt { .. } | CheckpointError::Io { .. }
+        ),
+        "{label}: unexpected error shape: {err}"
+    );
+    // The public surface wraps it as the checkpoint failure domain.
+    assert!(
+        matches!(XylemError::from(err), XylemError::Checkpoint(_)),
+        "{label}: must map into XylemError::Checkpoint"
+    );
+}
+
+#[test]
+fn every_byte_boundary_truncation_fails_cleanly() {
+    let full_path = scratch("full.ckpt");
+    save(&full_path, &rich_checkpoint()).expect("checkpoint saves");
+    let bytes = std::fs::read(&full_path).expect("checkpoint reads back");
+    assert!(
+        bytes.len() > 400,
+        "fixture too small to be an interesting fuzz corpus: {} bytes",
+        bytes.len()
+    );
+
+    // Sanity: the untruncated file round-trips.
+    assert_eq!(
+        load(&full_path).expect("full file loads"),
+        rich_checkpoint()
+    );
+
+    let prefix_path = scratch("prefix.ckpt");
+    for cut in 0..bytes.len() {
+        assert_clean_failure(&prefix_path, &bytes[..cut], &format!("cut at byte {cut}"));
+    }
+}
+
+#[test]
+fn truncation_inside_a_multibyte_char_fails_cleanly() {
+    // A checkpoint whose config-hash string carries multi-byte UTF-8:
+    // cutting inside a code point must surface as a clean error from
+    // the read layer, not a panic in string handling.
+    let mut ckpt = rich_checkpoint();
+    ckpt.config_hash = "λ-aware-config-0°C-±σ".to_owned();
+    let full_path = scratch("utf8.ckpt");
+    save(&full_path, &ckpt).expect("checkpoint saves");
+    let bytes = std::fs::read(&full_path).expect("checkpoint reads back");
+    assert_eq!(load(&full_path).expect("full file loads"), ckpt);
+
+    let prefix_path = scratch("utf8-prefix.ckpt");
+    for cut in 0..bytes.len() {
+        assert_clean_failure(&prefix_path, &bytes[..cut], &format!("utf8 cut {cut}"));
+    }
+}

@@ -29,6 +29,7 @@ use xylem::sensor::{FaultKind, SensorFault, SensorModel};
 use xylem::system::{SystemConfig, XylemSystem};
 use xylem_obs::fnv1a;
 use xylem_stack::XylemScheme;
+use xylem_sweep::{run_sweep, SweepOptions, SweepSpec};
 use xylem_thermal::grid::GridSpec;
 use xylem_thermal::solve::{PreconditionerKind, SolverOptions};
 use xylem_workloads::Benchmark;
@@ -51,7 +52,71 @@ fn solver_override(tag: &str) -> Option<SolverOptions> {
     }
 }
 
+/// Child body for the sweep digest pair: a small but multi-axis batch
+/// through `run_sweep`, with the shard count tied to the thread count
+/// so BOTH parallelism knobs vary between the two children. The digest
+/// covers every result f64 bit-for-bit, every record's status and
+/// attempt count, and every deterministic counter; wall-clock fields
+/// (elapsed, tasks/sec, latency histogram) are deliberately excluded.
+fn run_sweep_child(out_path: &str) {
+    let threads = std::env::var("RAYON_NUM_THREADS").unwrap_or_default();
+    let spec = SweepSpec {
+        schemes: vec![XylemScheme::Base, XylemScheme::BankEnhanced],
+        benchmarks: vec![Benchmark::Cholesky],
+        f_ghz: vec![2.4, 3.0],
+        die_thickness_um: vec![50.0, 100.0],
+        grid: 16,
+        ..SweepSpec::default()
+    };
+    let opts = SweepOptions {
+        shards: threads.parse().unwrap_or(1),
+        // Per-thread-count cache dir, same reasoning as run_child.
+        cache_dir: Some(
+            std::env::temp_dir().join(format!("xylem-determinism-cache-sweep-{threads}")),
+        ),
+        ..SweepOptions::default()
+    };
+    let report = run_sweep(&spec, &opts).expect("sweep runs");
+    report.require_complete().expect("no chaos: all tasks ok");
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "spec={} tasks={} ok={} quarantined={}",
+        report.spec_hash, report.total, report.ok, report.quarantined
+    );
+    let mut bytes = Vec::new();
+    for rec in &report.records {
+        let r = rec.result.as_ref().expect("ok record carries a result");
+        bytes.extend_from_slice(&r.proc_hotspot_c.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&r.dram_hotspot_c.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&r.total_power_w.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&r.exec_time_s.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&r.dtm_f_ghz.map_or(0, f64::to_bits).to_le_bytes());
+        for c in &r.core_hotspot_c {
+            bytes.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+        let _ = writeln!(
+            text,
+            "task {} {} status={} attempts={}",
+            rec.id,
+            rec.key,
+            rec.status.label(),
+            rec.attempts
+        );
+    }
+    let _ = writeln!(text, "result_digest={:016x}", fnv1a(&bytes));
+    for (label, value) in xylem_obs::counters_snapshot() {
+        let _ = writeln!(text, "counter {label}={value}");
+    }
+    std::fs::write(out_path, text).expect("child writes digest");
+}
+
 fn run_child(tag: &str, out_path: &str) {
+    if tag == "sweep" {
+        run_sweep_child(out_path);
+        return;
+    }
     // Per-thread-count, per-tag cache dir: both children of a pair must
     // do the *same* response-cache work (build or load), or solve_calls
     // would differ for cache-warming reasons rather than thread-count
@@ -153,9 +218,17 @@ fn run_pair(test_name: &str, tag: &str) {
             "{tag} child with {threads} threads failed"
         );
         let digest = std::fs::read_to_string(&out).expect("child digest readable");
-        // Sanity: the child actually solved something and counted it.
-        assert!(digest.contains("counter cg_iterations="), "{digest}");
-        assert!(!digest.contains("cg_iterations=0\n"), "{digest}");
+        // Sanity: the child actually did the work it digests. A sweep
+        // child with a warm response cache legitimately solves nothing
+        // (steady-state evaluation is superposition over cached unit
+        // responses), so its marker is the task counter instead.
+        if tag == "sweep" {
+            assert!(digest.contains("counter sweep_tasks_ok="), "{digest}");
+            assert!(!digest.contains("sweep_tasks_ok=0\n"), "{digest}");
+        } else {
+            assert!(digest.contains("counter cg_iterations="), "{digest}");
+            assert!(!digest.contains("cg_iterations=0\n"), "{digest}");
+        }
         digests.push((threads, digest));
     }
     assert_eq!(
@@ -173,4 +246,15 @@ fn dtm_run_is_bit_identical_across_thread_counts() {
 #[test]
 fn gmg_run_is_bit_identical_across_thread_counts() {
     run_pair("gmg_run_is_bit_identical_across_thread_counts", "gmg");
+}
+
+#[test]
+fn sweep_is_bit_identical_across_thread_and_shard_counts() {
+    // Shards follow the thread count inside the child, so the 1-thread
+    // child runs a single-worker sweep and the 4-thread child a
+    // four-shard one; results, statuses, and counters must not notice.
+    run_pair(
+        "sweep_is_bit_identical_across_thread_and_shard_counts",
+        "sweep",
+    );
 }

@@ -57,6 +57,10 @@ pub const HOT_PATH_SUFFIXES: &[&str] = &[
     "crates/core/src/dtm.rs",
     "crates/core/src/response.rs",
     "crates/core/src/headroom.rs",
+    "crates/sweep/src/engine.rs",
+    "crates/sweep/src/journal.rs",
+    "crates/sweep/src/spec.rs",
+    "crates/sweep/src/backoff.rs",
 ];
 
 /// Instrumented files: the `xylem-obs` no-println set (rule `no-println`
@@ -71,6 +75,8 @@ pub const INSTRUMENTED_SUFFIXES: &[&str] = &[
     "crates/thermal/src/gmg.rs",
     "crates/thermal/src/stencil.rs",
     "crates/bench/src/harness.rs",
+    "crates/sweep/src/engine.rs",
+    "crates/sweep/src/journal.rs",
 ];
 
 /// Whole instrumented sub-trees (the obs crate owns the sink).
@@ -495,6 +501,29 @@ mod tests {
                     instrumented: true
                 },
                 "{pr7}"
+            );
+        }
+        // The sweep engine and its journal carry both the determinism
+        // claim (bit-identical digests across shard counts) and failure
+        // telemetry; the spec/backoff modules only the former.
+        for sweep in ["crates/sweep/src/engine.rs", "crates/sweep/src/journal.rs"] {
+            assert_eq!(
+                Zone::of(sweep),
+                Zone {
+                    hot_path: true,
+                    instrumented: true
+                },
+                "{sweep}"
+            );
+        }
+        for sweep in ["crates/sweep/src/spec.rs", "crates/sweep/src/backoff.rs"] {
+            assert_eq!(
+                Zone::of(sweep),
+                Zone {
+                    hot_path: true,
+                    instrumented: false
+                },
+                "{sweep}"
             );
         }
         assert_eq!(Zone::of("crates/stack/src/tsv.rs"), Zone::default());

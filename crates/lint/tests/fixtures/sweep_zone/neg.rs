@@ -1,0 +1,46 @@
+//! NEGATIVE fixture for the sweep-engine mount points: the clean
+//! equivalents — ordered maps, integer accumulation, propagated errors,
+//! and telemetry on the swallowed-failure path — must stay clean when
+//! mounted at the `crates/sweep/src/{engine,journal}.rs` relpaths.
+
+use std::collections::BTreeMap;
+
+pub fn total_retired(per_shard: &[u64]) -> u64 {
+    let mut acc: u64 = 0;
+    for n in per_shard {
+        acc += n;
+    }
+    acc
+}
+
+pub fn shard_index(keys: &[u64]) -> BTreeMap<u64, usize> {
+    let mut index = BTreeMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        index.insert(*k, i);
+    }
+    index
+}
+
+pub fn load_header(line: Option<&str>) -> Result<&str, &'static str> {
+    line.ok_or("journal missing its sweep_header line")
+}
+
+pub fn drain(queue: &mut Vec<u64>) -> usize {
+    let mut retired = 0usize;
+    while let Some(task) = queue.pop() {
+        if let Err(_e) = run_task(task) {
+            xylem_obs::metrics::incr(xylem_obs::metrics::Counter::SweepTasksQuarantined);
+            continue;
+        }
+        retired += 1;
+    }
+    retired
+}
+
+fn run_task(task: u64) -> Result<(), u64> {
+    if task % 7 == 0 {
+        Err(task)
+    } else {
+        Ok(())
+    }
+}

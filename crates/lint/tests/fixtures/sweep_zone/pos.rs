@@ -1,0 +1,50 @@
+//! POSITIVE fixture for the sweep-engine *mount points*: one file that
+//! trips every rule the sweep orchestrator modules are registered
+//! under — a `.expect(` panic path, a raw float accumulator, `HashMap`
+//! mentions, and a dark degradation handler with no telemetry. Mounted
+//! by the test harness at the `crates/sweep/src/{engine,journal}.rs`
+//! relpaths to pin those modules inside the determinism zone; inert
+//! where it actually lives (crates/lint/tests/fixtures).
+
+use std::collections::HashMap;
+
+pub fn mean_latency(samples: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for s in samples {
+        acc += s;
+    }
+    acc / samples.len() as f64
+}
+
+pub fn shard_index(keys: &[u64]) -> HashMap<u64, usize> {
+    let mut index = HashMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        index.insert(*k, i);
+    }
+    index
+}
+
+pub fn load_header(line: Option<&str>) -> &str {
+    line.expect("journal header present")
+}
+
+pub fn drain(queue: &mut Vec<u64>) -> usize {
+    let mut retired = 0usize;
+    while let Some(task) = queue.pop() {
+        if let Err(_e) = run_with_retry(task) {
+            // Swallowed failure, no counter bump: exactly the dark
+            // degradation path obs-coverage exists to catch.
+            continue;
+        }
+        retired += 1;
+    }
+    retired
+}
+
+fn run_with_retry(task: u64) -> Result<(), u64> {
+    if task % 7 == 0 {
+        Err(task)
+    } else {
+        Ok(())
+    }
+}

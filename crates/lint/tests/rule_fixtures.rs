@@ -249,6 +249,59 @@ fn zone_mount_positive_fixture_is_inert_outside_the_zone() {
     }
 }
 
+// ---- determinism-zone mounts (sweep engine + journal) ------------
+
+const SWEEP_MOUNTS: [&str; 2] = ["crates/sweep/src/engine.rs", "crates/sweep/src/journal.rs"];
+const NO_PANIC: &str = "no-panic-path";
+
+#[test]
+fn sweep_engine_and_journal_mounts_are_inside_the_determinism_zone() {
+    // The sweep orchestrator carries the full robustness contract: it
+    // may never panic (it absorbs panics), never iterate nondet
+    // collections (resume digests must be bit-stable), never float-fold
+    // off the reduction helpers, and never swallow a degraded task
+    // without a counter. All four rules must fire on a dirty mount.
+    let pos = fixture("sweep_zone", "pos");
+    for mount in SWEEP_MOUNTS {
+        let panics = findings_of(NO_PANIC, mount, &pos);
+        assert_eq!(panics.len(), 1, "{mount}: {panics:?}");
+        assert_eq!(panics[0].symbol, "expect", "{mount}");
+        let acc = findings_of(RAW_ACC, mount, &pos);
+        assert_eq!(acc.len(), 1, "{mount}: {acc:?}");
+        assert_eq!(acc[0].symbol, "mean_latency.acc", "{mount}");
+        let nondet = findings_of(NONDET, mount, &pos);
+        assert!(
+            nondet.iter().any(|d| d.symbol == "HashMap"),
+            "{mount}: {nondet:?}"
+        );
+        let dark = findings_of(OBS_COV, mount, &pos);
+        assert_eq!(dark.len(), 1, "{mount}: {dark:?}");
+        assert_eq!(dark[0].symbol, "drain", "{mount}");
+    }
+}
+
+#[test]
+fn sweep_zone_negative_fixture_is_clean_in_zone() {
+    let neg = fixture("sweep_zone", "neg");
+    for mount in SWEEP_MOUNTS {
+        let d = analyze_source(mount, &neg);
+        assert!(d.is_empty(), "{mount}: {d:?}");
+    }
+}
+
+#[test]
+fn sweep_zone_positive_fixture_is_inert_outside_the_zone() {
+    let pos = fixture("sweep_zone", "pos");
+    let free = analyze_source("crates/stack/src/builder.rs", &pos);
+    assert!(free.is_empty(), "free zone: {free:?}");
+    for name in ["pos", "neg"] {
+        let src = fixture("sweep_zone", name);
+        let relpath = format!("crates/lint/tests/fixtures/sweep_zone/{name}.rs");
+        let d = analyze_source(&relpath, &src);
+        assert!(d.is_empty(), "{relpath} must be inert in place: {d:?}");
+    }
+}
+
 // ---- corpus hygiene ----------------------------------------------
 
 #[test]

@@ -73,6 +73,12 @@ metric_enum!(
         BudgetExhaustions => "budget_exhaustions",
         /// JSONL events written to the sink (zero when disabled).
         EventsEmitted => "events_emitted",
+        /// Sweep tasks that completed successfully.
+        SweepTasksOk => "sweep_tasks_ok",
+        /// Sweep task attempts that failed and were retried.
+        SweepTasksRetried => "sweep_tasks_retried",
+        /// Sweep tasks quarantined after exhausting all attempts.
+        SweepTasksQuarantined => "sweep_tasks_quarantined",
     }
 );
 
@@ -106,6 +112,9 @@ metric_enum!(
         SolveMs => "solve_ms",
         /// One sensor sample+fuse pass.
         SensorFuseMs => "sensor_fuse_ms",
+        /// One design-space sweep task (all attempts, success or
+        /// quarantine).
+        SweepTaskMs => "sweep_task_ms",
     }
 );
 

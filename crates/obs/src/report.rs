@@ -132,6 +132,14 @@ pub struct RunReport {
     pub boost_events: u64,
     /// Failsafe entries.
     pub failsafe_events: u64,
+    /// Sweep tasks completed successfully.
+    pub sweep_tasks_ok: u64,
+    /// Sweep task attempts retried.
+    pub sweep_tasks_retried: u64,
+    /// Sweep tasks quarantined.
+    pub sweep_tasks_quarantined: u64,
+    /// Per-sweep-task latency summary (all attempts of one task).
+    pub sweep_task_latency: HistSummary,
     /// All nonzero counters (label, value).
     pub counters: Vec<(&'static str, u64)>,
     /// All set gauges (label, value).
@@ -152,6 +160,10 @@ impl RunReport {
             throttle_events: counter(Counter::ThrottleEvents),
             boost_events: counter(Counter::BoostEvents),
             failsafe_events: counter(Counter::FailsafeEvents),
+            sweep_tasks_ok: counter(Counter::SweepTasksOk),
+            sweep_tasks_retried: counter(Counter::SweepTasksRetried),
+            sweep_tasks_quarantined: counter(Counter::SweepTasksQuarantined),
+            sweep_task_latency: summarize(Hist::SweepTaskMs),
             counters: counters_snapshot(),
             gauges: gauges_snapshot(),
         }
@@ -168,6 +180,14 @@ impl RunReport {
             .u64("solve_calls", self.solve_calls)
             .u64("solve_fallbacks", self.solve_fallbacks)
             .u64("solve_recoveries", self.solve_recoveries);
+        if self.sweep_tasks_ok + self.sweep_tasks_quarantined > 0 {
+            ev = ev
+                .u64("sweep_tasks_ok", self.sweep_tasks_ok)
+                .u64("sweep_tasks_retried", self.sweep_tasks_retried)
+                .u64("sweep_tasks_quarantined", self.sweep_tasks_quarantined)
+                .f64("sweep_task_p50_ms", self.sweep_task_latency.p50_ms)
+                .f64("sweep_task_p99_ms", self.sweep_task_latency.p99_ms);
+        }
         let counters = Value::Object(
             self.counters
                 .iter()
@@ -205,6 +225,18 @@ impl fmt::Display for RunReport {
             "  recoveries       {:>10}   ({} fallback attempts)",
             self.solve_recoveries, self.solve_fallbacks
         )?;
+        if self.sweep_tasks_ok + self.sweep_tasks_quarantined > 0 {
+            writeln!(
+                f,
+                "  sweep tasks      {:>10}   ok, {} retried, {} quarantined \
+                 (p50 {:.3} ms, p99 {:.3} ms)",
+                self.sweep_tasks_ok,
+                self.sweep_tasks_retried,
+                self.sweep_tasks_quarantined,
+                self.sweep_task_latency.p50_ms,
+                self.sweep_task_latency.p99_ms
+            )?;
+        }
         if self.throttle_events + self.boost_events + self.failsafe_events > 0 {
             writeln!(
                 f,

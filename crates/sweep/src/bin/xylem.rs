@@ -3,7 +3,8 @@
 //! ```text
 //! xylem evaluate --scheme banke --app Cholesky --freq 2.4
 //! xylem boost    --scheme banke --app FFT
-//! xylem sweep    --scheme base --freq 2.4
+//! xylem apps     --scheme base --freq 2.4
+//! xylem sweep    --schemes base,banke --thickness-um 50,100,200 --journal s.jsonl
 //! xylem report   --scheme base --app Barnes --freq 2.4
 //! xylem dtm      --scheme base --app "LU(NAS)" --freq 3.5 --duration 2.0
 //! xylem schemes
@@ -16,10 +17,11 @@ use xylem::dtm::{
     dtm_transient_configured, frequency_strip, CheckpointConfig, DtmPolicy, DtmRunConfig,
 };
 use xylem::headroom::max_frequency_at_iso_temperature;
-use xylem::system::{SystemConfig, XylemSystem};
+use xylem::system::{default_cache_dir, SystemConfig, XylemSystem};
 use xylem_stack::area::{AreaOverhead, SAMSUNG_WIDE_IO_DIE_AREA};
 use xylem_stack::dram_die::DramDieGeometry;
 use xylem_stack::XylemScheme;
+use xylem_sweep::{run_sweep, ChaosConfig, SweepOptions, SweepSpec, TaskStatus};
 use xylem_thermal::grid::GridSpec;
 use xylem_thermal::power::PowerMap;
 use xylem_thermal::report::StackThermalReport;
@@ -44,6 +46,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "evaluate" => evaluate(&opts),
         "boost" => boost(&opts),
+        "apps" => apps(&opts),
         "sweep" => sweep(&opts),
         "report" => report(&opts),
         "dtm" => dtm(&opts),
@@ -57,9 +60,9 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command '{other}'")),
     };
-    // End-of-run summary: always for the closed-loop dtm command, and
-    // for any command that wrote a metrics file.
-    if result.is_ok() && (metrics || cmd == "dtm") {
+    // End-of-run summary: always for the closed-loop dtm and batched
+    // sweep commands, and for any command that wrote a metrics file.
+    if result.is_ok() && (metrics || cmd == "dtm" || cmd == "sweep") {
         let report = xylem_obs::RunReport::capture();
         report.emit();
         print!("{report}");
@@ -108,7 +111,8 @@ fn usage() {
          commands:\n\
            evaluate --scheme S --app A --freq F     temperatures/power for one run\n\
            boost    --scheme S --app A              iso-temperature frequency boost vs base\n\
-           sweep    --scheme S --freq F             all 17 applications\n\
+           apps     --scheme S --freq F             all 17 applications\n\
+           sweep    [axes...]                       crash-safe batched design-space sweep\n\
            report   --scheme S --app A --freq F     layer-by-layer thermal breakdown\n\
            dtm      --scheme S --app A --freq F --duration D   closed-loop DTM transient\n\
            schemes                                  list TTSV schemes and overheads\n\
@@ -117,6 +121,11 @@ fn usage() {
          optional: --grid N (default 64)\n\
                    --metrics-out PATH   write JSONL metrics (manifest, per-step/per-solve\n\
                                         events, run report) and print the run summary\n\
+         sweep axes (comma-separated lists): --schemes --apps --freqs --thickness-um\n\
+                   --pillar-um --dies --d2d-um --trips; --sample K --seed N subsample\n\
+         sweep robustness: --journal PATH [--resume]   append-only result journal; a\n\
+                                        killed sweep resumes, skipping finished tasks\n\
+                   --shards N --attempts N --deadline-ms M --pace-ms M\n\
          dtm only: --checkpoint PATH [--every N] [--resume]   save/restore the run state\n\
                    --adaptive [--rtol R]   error-controlled adaptive sub-stepping\n\
                    --budget-cg N / --budget-wall-s S / --budget-rejects N   run budgets\n\
@@ -230,7 +239,7 @@ fn boost(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn sweep(opts: &HashMap<String, String>) -> Result<(), String> {
+fn apps(opts: &HashMap<String, String>) -> Result<(), String> {
     let mut sys = system_of(opts)?;
     let f = freq_of(opts)?;
     println!(
@@ -248,6 +257,200 @@ fn sweep(opts: &HashMap<String, String>) -> Result<(), String> {
             e.exec_time_s() * 1e3
         );
     }
+    Ok(())
+}
+
+fn list_of<T>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    match opts.get(key) {
+        None => Ok(Vec::new()),
+        Some(s) => s
+            .split(',')
+            .filter(|p| !p.is_empty())
+            .map(|p| parse(p.trim()))
+            .collect(),
+    }
+}
+
+fn sweep_spec_of(opts: &HashMap<String, String>) -> Result<SweepSpec, String> {
+    let mut spec = SweepSpec::default();
+    let schemes = list_of(opts, "schemes", |name| {
+        XylemScheme::ALL
+            .into_iter()
+            .find(|s| s.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown scheme '{name}'"))
+    })?;
+    if !schemes.is_empty() {
+        spec.schemes = schemes;
+    }
+    let apps = list_of(opts, "apps", |name| {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown application '{name}'"))
+    })?;
+    if !apps.is_empty() {
+        spec.benchmarks = apps;
+    }
+    let f64_of = |key: &'static str| {
+        list_of(opts, key, |s| {
+            s.parse::<f64>().map_err(|_| format!("bad --{key} '{s}'"))
+        })
+    };
+    let freqs = f64_of("freqs")?;
+    if !freqs.is_empty() {
+        spec.f_ghz = freqs;
+    }
+    spec.die_thickness_um = f64_of("thickness-um")?;
+    spec.pillar_footprint_um = f64_of("pillar-um")?;
+    spec.d2d_thickness_um = f64_of("d2d-um")?;
+    spec.trips_c = f64_of("trips")?;
+    spec.n_dram_dies = list_of(opts, "dies", |s| {
+        s.parse::<usize>().map_err(|_| format!("bad --dies '{s}'"))
+    })?;
+    if let Some(g) = opts.get("grid") {
+        spec.grid = g.parse().map_err(|_| format!("bad --grid '{g}'"))?;
+    }
+    if let Some(s) = opts.get("sample") {
+        spec.sample = Some(s.parse().map_err(|_| format!("bad --sample '{s}'"))?);
+    }
+    if let Some(s) = opts.get("seed") {
+        spec.seed = s.parse().map_err(|_| format!("bad --seed '{s}'"))?;
+    }
+    Ok(spec)
+}
+
+fn sweep_options_of(opts: &HashMap<String, String>, seed: u64) -> Result<SweepOptions, String> {
+    let mut o = SweepOptions {
+        seed,
+        cache_dir: Some(default_cache_dir()),
+        ..SweepOptions::default()
+    };
+    let num = |key: &'static str| -> Result<Option<u64>, String> {
+        opts.get(key)
+            .map(|s| s.parse::<u64>().map_err(|_| format!("bad --{key} '{s}'")))
+            .transpose()
+    };
+    if let Some(n) = num("shards")? {
+        o.shards = n as usize;
+    }
+    if let Some(n) = num("attempts")? {
+        o.max_attempts = n.max(1) as u32;
+    }
+    o.deadline_ms = num("deadline-ms")?;
+    if let Some(n) = num("pace-ms")? {
+        o.pace_ms = n;
+    }
+    if let Some(path) = opts.get("journal") {
+        o.journal_path = Some(std::path::PathBuf::from(path));
+        o.resume = opts.contains_key("resume");
+    }
+    // Fault injection for supervised chaos runs (per-mille rates).
+    let chaos_rates = (
+        num("chaos-panic")?,
+        num("chaos-error")?,
+        num("chaos-deadline")?,
+    );
+    if chaos_rates.0.is_some() || chaos_rates.1.is_some() || chaos_rates.2.is_some() {
+        o.chaos = Some(ChaosConfig {
+            seed: num("chaos-seed")?.unwrap_or(seed),
+            panic_per_mille: chaos_rates.0.unwrap_or(0) as u16,
+            error_per_mille: chaos_rates.1.unwrap_or(0) as u16,
+            deadline_per_mille: chaos_rates.2.unwrap_or(0) as u16,
+        });
+    }
+    Ok(o)
+}
+
+/// Every flag the `sweep` subcommand reads. A typo here means a batch
+/// silently sweeping its defaults for an hour, so — unlike the short
+/// interactive commands — unknown flags are a hard error.
+const SWEEP_FLAGS: &[&str] = &[
+    "schemes",
+    "apps",
+    "freqs",
+    "thickness-um",
+    "pillar-um",
+    "d2d-um",
+    "trips",
+    "dies",
+    "grid",
+    "sample",
+    "seed",
+    "shards",
+    "attempts",
+    "deadline-ms",
+    "pace-ms",
+    "journal",
+    "resume",
+    "chaos-panic",
+    "chaos-error",
+    "chaos-deadline",
+    "chaos-seed",
+    "metrics-out",
+];
+
+fn sweep(opts: &HashMap<String, String>) -> Result<(), String> {
+    let mut unknown: Vec<&str> = opts
+        .keys()
+        .map(String::as_str)
+        .filter(|k| !SWEEP_FLAGS.contains(k))
+        .collect();
+    if !unknown.is_empty() {
+        unknown.sort_unstable();
+        return Err(format!("unknown sweep flag(s): --{}", unknown.join(", --")));
+    }
+    let spec = sweep_spec_of(opts)?;
+    let sweep_opts = sweep_options_of(opts, spec.seed)?;
+    let report = run_sweep(&spec, &sweep_opts).map_err(|e| e.to_string())?;
+    println!(
+        "sweep {}: {} tasks ({} grid), {} ok, {} quarantined, {} replayed from journal",
+        report.spec_hash, report.total, spec.grid, report.ok, report.quarantined, report.replayed
+    );
+    if report.duplicate_journal_records > 0 || report.torn_tail_bytes > 0 {
+        println!(
+            "  journal repair: {} duplicate records ignored, {} torn-tail bytes dropped",
+            report.duplicate_journal_records, report.torn_tail_bytes
+        );
+    }
+    println!(
+        "{:44} {:>4} {:>9} {:>9} {:>8} {:>9} {:>8}",
+        "task", "try", "proc C", "dram C", "power W", "time ms", "dtm GHz"
+    );
+    for r in &report.records {
+        match (&r.status, &r.result) {
+            (TaskStatus::Ok, Some(res)) => {
+                let dtm = res
+                    .dtm_f_ghz
+                    .map_or_else(|| "-".to_string(), |f| format!("{f:.1}"));
+                println!(
+                    "{:44} {:>4} {:>9.2} {:>9.2} {:>8.1} {:>9.2} {:>8}",
+                    r.key,
+                    r.attempts,
+                    res.proc_hotspot_c,
+                    res.dram_hotspot_c,
+                    res.total_power_w,
+                    res.exec_time_s * 1e3,
+                    dtm
+                );
+            }
+            _ => {
+                println!(
+                    "{:44} {:>4} QUARANTINED: {}",
+                    r.key,
+                    r.attempts,
+                    r.error.as_deref().unwrap_or("no error recorded")
+                );
+            }
+        }
+    }
+    println!(
+        "completed in {:.2} s ({:.1} tasks/s fresh, {} retried attempts)",
+        report.elapsed_s, report.tasks_per_sec, report.retried_attempts
+    );
     Ok(())
 }
 

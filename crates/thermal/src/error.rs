@@ -76,6 +76,12 @@ pub enum ThermalError {
         /// The offending value.
         value: f64,
     },
+    /// A solve was aborted because the caller-installed wall-clock
+    /// deadline (see [`crate::solve::DeadlineGuard`]) expired mid-solve.
+    DeadlineExceeded {
+        /// Iterations performed before the deadline fired.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for ThermalError {
@@ -116,6 +122,12 @@ impl fmt::Display for ThermalError {
             }
             ThermalError::InvalidAdaptiveConfig { what, value } => {
                 write!(f, "invalid adaptive option {what} = {value}")
+            }
+            ThermalError::DeadlineExceeded { iterations } => {
+                write!(
+                    f,
+                    "solve aborted by wall-clock deadline after {iterations} iterations"
+                )
             }
         }
     }
@@ -164,6 +176,7 @@ mod tests {
                 what: "rtol",
                 value: -1.0,
             },
+            ThermalError::DeadlineExceeded { iterations: 12 },
         ];
         for e in errors {
             let s = e.to_string();

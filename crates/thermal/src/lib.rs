@@ -91,7 +91,8 @@ pub use grid::GridSpec;
 pub use model::ThermalModel;
 pub use power::PowerMap;
 pub use solve::{
-    Operator, PreconditionerKind, RecoveryEvent, RecoveryReport, SolverOptions, SolverWorkspace,
+    DeadlineGuard, Operator, PreconditionerKind, RecoveryEvent, RecoveryReport, SolverOptions,
+    SolverWorkspace,
 };
 pub use stack::Stack;
 pub use stencil::StencilOperator;

@@ -139,6 +139,65 @@ pub const FALLBACK_LADDER: [PreconditionerKind; 5] = [
 /// so it must not inherit a cap that already proved too small.
 const FALLBACK_MIN_ITERATIONS: usize = 20_000;
 
+std::thread_local! {
+    /// Wall-clock deadline for solves on this thread; installed by
+    /// [`DeadlineGuard`], checked every [`DEADLINE_CHECK_STRIDE`]
+    /// iterations inside the CG loop. `None` (the default) costs one
+    /// thread-local load per check and never reads the clock, so runs
+    /// without a deadline stay bit-for-bit undisturbed.
+    static SOLVE_DEADLINE: std::cell::Cell<Option<std::time::Instant>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// How many CG iterations pass between deadline checks. A power of two
+/// so the modulo folds to a mask; at ~1 ms/iteration on the largest
+/// grids the deadline overshoot is bounded by a few tens of ms.
+const DEADLINE_CHECK_STRIDE: usize = 32;
+
+/// RAII guard installing a wall-clock deadline for every solve on the
+/// current thread. While the guard is alive, [`solve_cg`] and the
+/// resilient variants abort with [`ThermalError::DeadlineExceeded`] as
+/// soon as a periodic in-loop check observes the deadline in the past —
+/// a stuck or pathologically slow solve returns to the caller instead of
+/// spinning to its iteration cap. Dropping the guard restores whatever
+/// deadline (usually none) was installed before, so guards nest.
+#[derive(Debug)]
+pub struct DeadlineGuard {
+    prev: Option<std::time::Instant>,
+}
+
+impl DeadlineGuard {
+    /// Installs `deadline` as the solve deadline for this thread until
+    /// the guard is dropped.
+    #[must_use = "the deadline is uninstalled when the guard drops"]
+    pub fn install(deadline: std::time::Instant) -> Self {
+        let prev = SOLVE_DEADLINE.with(|d| d.replace(Some(deadline)));
+        DeadlineGuard { prev }
+    }
+
+    /// Whether a deadline is currently installed on this thread.
+    pub fn active() -> bool {
+        SOLVE_DEADLINE.with(|d| d.get().is_some())
+    }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        SOLVE_DEADLINE.with(|d| d.set(prev));
+    }
+}
+
+/// Whether the thread's installed deadline (if any) has expired. Reads
+/// the clock only when a deadline is installed.
+#[inline]
+fn deadline_expired() -> bool {
+    SOLVE_DEADLINE.with(|d| {
+        d.get()
+            .is_some_and(|deadline| std::time::Instant::now() >= deadline)
+    })
+}
+
 /// Cap on detailed [`RecoveryEvent`]s kept per report; totals keep
 /// counting past it (long degraded transients would otherwise grow the
 /// report without bound).
@@ -678,6 +737,7 @@ pub fn solve_cg_with(
             residual,
             ..
         }) => (*iterations, *residual, false),
+        Err(ThermalError::DeadlineExceeded { iterations }) => (*iterations, f64::NAN, false),
         Err(_) => (0, f64::NAN, false),
     };
     xylem_obs::incr(xylem_obs::Counter::SolveCalls);
@@ -758,6 +818,9 @@ fn solve_cg_raw(
     ws.p.copy_from_slice(&ws.z);
 
     for it in 0..options.max_iterations {
+        if it % DEADLINE_CHECK_STRIDE == 0 && deadline_expired() {
+            return Err(ThermalError::DeadlineExceeded { iterations: it });
+        }
         let res = rr.sqrt() / norm_b;
         if let Some(c) = curve.as_mut() {
             if c.len() < CURVE_CAP {
@@ -941,6 +1004,14 @@ pub fn solve_cg_resilient_with(
                         rung_iters += iterations;
                         rung_residual = residual;
                     }
+                    Err(e @ ThermalError::DeadlineExceeded { .. }) => {
+                        // The deadline applies to the whole solve, not
+                        // one rung: stop escalating, hand the entry
+                        // iterate back untouched.
+                        x.copy_from_slice(&x0);
+                        ws.x0 = x0;
+                        return Err(e);
+                    }
                     Err(_) => {}
                 }
             }
@@ -954,6 +1025,11 @@ pub fn solve_cg_resilient_with(
             }) => {
                 rung_iters += iterations;
                 rung_residual = residual;
+            }
+            Err(e @ ThermalError::DeadlineExceeded { .. }) => {
+                x.copy_from_slice(&x0);
+                ws.x0 = x0;
+                return Err(e);
             }
             Err(_) => {}
         }
@@ -1345,6 +1421,72 @@ mod tests {
         for (w, c) in warm.iter().zip(&cold) {
             assert!((w - c).abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_the_plain_solve() {
+        // A deadline already in the past when the solve starts: the
+        // periodic in-loop check must abort with DeadlineExceeded and
+        // leave the initial guess untouched, and the very same solve
+        // must complete once the guard is gone.
+        let n = 300;
+        let a = chain(n, 2.02);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64 * 0.1).collect();
+        let guard = DeadlineGuard::install(std::time::Instant::now());
+        let mut x = vec![0.0; n];
+        let err = solve(&a, &b, &mut x, PreconditionerKind::Jacobi).unwrap_err();
+        assert!(
+            matches!(err, ThermalError::DeadlineExceeded { .. }),
+            "{err}"
+        );
+        assert!(
+            x.iter().all(|v| *v == 0.0),
+            "abort must restore the initial guess"
+        );
+        drop(guard);
+        solve(&a, &b, &mut x, PreconditionerKind::Jacobi).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_aborts_the_resilient_ladder() {
+        // The fallback ladder must not climb through its rungs once the
+        // deadline has passed — a blown budget surfaces immediately as
+        // DeadlineExceeded, never as NoConvergence after N more tries.
+        let n = 300;
+        let a = chain(n, 2.02);
+        let b = vec![1.0; n];
+        let opts = SolverOptions {
+            tolerance: 1e-9,
+            max_iterations: 2,
+            preconditioner: PreconditionerKind::Amg,
+            fallback: true,
+        };
+        let prec = Preconditioner::build(&a, opts.preconditioner);
+        let mut ws = SolverWorkspace::new();
+        let mut report = RecoveryReport::default();
+        let mut x = vec![0.0; n];
+        let _guard = DeadlineGuard::install(std::time::Instant::now());
+        let err = solve_cg_resilient(&a, &prec, &b, &mut x, &mut ws, &opts, &mut report)
+            .expect_err("ladder must abort under an expired deadline");
+        assert!(
+            matches!(err, ThermalError::DeadlineExceeded { .. }),
+            "ladder must abort, not climb: {err}"
+        );
+    }
+
+    #[test]
+    fn deadline_guard_nests_and_uninstalls() {
+        assert!(!DeadlineGuard::active());
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        let outer = DeadlineGuard::install(far);
+        assert!(DeadlineGuard::active());
+        {
+            let _inner = DeadlineGuard::install(far);
+            assert!(DeadlineGuard::active());
+        }
+        assert!(DeadlineGuard::active(), "inner drop restores the outer");
+        drop(outer);
+        assert!(!DeadlineGuard::active());
     }
 
     #[test]

@@ -2,43 +2,64 @@
 //! pillar footprint, the die thickness, and the stack height, and report
 //! the resulting banke-over-base temperature advantage.
 //!
+//! Each section is one declarative axis sweep through the
+//! `xylem-sweep` engine, which shards the grid across workers, retries
+//! transient solver failures, and reuses one built system per stack
+//! geometry — the example only declares axes and formats results.
+//!
 //! ```text
 //! cargo run --release --example design_space
 //! ```
 
-use xylem_stack::{StackConfig, XylemScheme};
-use xylem_thermal::grid::GridSpec;
+use xylem::system::default_cache_dir;
+use xylem_stack::XylemScheme;
+use xylem_sweep::{run_sweep, SweepOptions, SweepSpec};
 use xylem_workloads::Benchmark;
-
-use xylem::system::{SystemConfig, XylemSystem};
 
 /// Exploration runs on a 32x32 grid: each swept configuration needs its
 /// own unit-response set, and full 64x64 resolution would make this
 /// example take the better part of an hour on first run.
-fn explore_config(scheme: XylemScheme) -> SystemConfig {
-    let mut cfg = SystemConfig::paper_default(scheme);
-    cfg.grid = GridSpec::new(32, 32);
-    cfg
+fn explore_spec() -> SweepSpec {
+    SweepSpec {
+        schemes: vec![XylemScheme::BankEnhanced],
+        benchmarks: vec![Benchmark::Barnes],
+        f_ghz: vec![2.4],
+        grid: 32,
+        ..SweepSpec::default()
+    }
 }
 
-fn hotspot(mut make: impl FnMut(&mut StackConfig)) -> Result<f64, Box<dyn std::error::Error>> {
-    let mut cfg = explore_config(XylemScheme::BankEnhanced);
-    make(&mut cfg.stack);
-    let mut sys = XylemSystem::new(cfg)?;
-    Ok(sys.evaluate_uniform(Benchmark::Barnes, 2.4)?.proc_hotspot_c)
+/// Runs one axis sweep and returns the processor hotspot per task, in
+/// axis (= task id) order.
+fn hotspots(spec: &SweepSpec) -> Result<Vec<f64>, Box<dyn std::error::Error>> {
+    let opts = SweepOptions {
+        cache_dir: Some(default_cache_dir()),
+        ..SweepOptions::default()
+    };
+    let report = run_sweep(spec, &opts)?;
+    report.require_complete()?;
+    Ok(report
+        .records
+        .iter()
+        .filter_map(|r| r.result.as_ref())
+        .map(|t| t.proc_hotspot_c)
+        .collect())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Baseline reference.
-    let mut base = XylemSystem::new(explore_config(XylemScheme::Base))?;
-    let t_base = base
-        .evaluate_uniform(Benchmark::Barnes, 2.4)?
-        .proc_hotspot_c;
+    // Baseline reference: a single-task sweep over the base scheme.
+    let mut base_spec = explore_spec();
+    base_spec.schemes = vec![XylemScheme::Base];
+    let t_base = *hotspots(&base_spec)?
+        .first()
+        .ok_or("base sweep returned no tasks")?;
     println!("base @2.4 GHz (Barnes): {t_base:.2} C\n");
 
     println!("pillar footprint sweep (banke):");
-    for um in [100.0, 250.0, 450.0, 600.0] {
-        let t = hotspot(|s| s.pillar_footprint = um * 1e-6)?;
+    let pillars = [100.0, 250.0, 450.0, 600.0];
+    let mut spec = explore_spec();
+    spec.pillar_footprint_um = pillars.to_vec();
+    for (um, t) in pillars.iter().zip(hotspots(&spec)?) {
         println!(
             "  {um:>5.0} um cluster: {t:6.2} C  (saves {:5.2} C)",
             t_base - t
@@ -46,23 +67,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\ndie thickness sweep (banke, paper Fig. 18 axis):");
-    for um in [50.0, 100.0, 200.0] {
-        let t = hotspot(|s| s.die_thickness = um * 1e-6)?;
+    let thicknesses = [50.0, 100.0, 200.0];
+    let mut spec = explore_spec();
+    spec.die_thickness_um = thicknesses.to_vec();
+    for (um, t) in thicknesses.iter().zip(hotspots(&spec)?) {
         println!("  {um:>5.0} um dies:    {t:6.2} C");
     }
 
     println!("\nstack height sweep (banke, paper Fig. 19 axis):");
-    for n in [2usize, 4, 8, 12, 16] {
-        let t = hotspot(|s| s.n_dram_dies = n)?;
+    let heights = [2usize, 4, 8, 12, 16];
+    let mut spec = explore_spec();
+    spec.n_dram_dies = heights.to_vec();
+    for (n, t) in heights.iter().zip(hotspots(&spec)?) {
         println!("  {n:>2} DRAM dies:     {t:6.2} C");
     }
 
     println!("\nD2D underfill sensitivity (banke): what if future underfills improve?");
-    for lambda in [0.5, 1.5, 5.0, 15.0] {
-        // Rebuild with a custom D2D conductivity by scaling the layer
-        // thickness equivalently (Rth = t/lambda): half the thickness
-        // doubles the effective conductance.
-        let t = hotspot(|s| s.d2d_thickness = 20e-6 * 1.5 / lambda)?;
+    let lambdas = [0.5, 1.5, 5.0, 15.0];
+    let mut spec = explore_spec();
+    // Model a custom D2D conductivity by scaling the layer thickness
+    // equivalently (Rth = t/lambda): half the thickness doubles the
+    // effective conductance.
+    spec.d2d_thickness_um = lambdas.iter().map(|l| 20.0 * 1.5 / l).collect();
+    for (lambda, t) in lambdas.iter().zip(hotspots(&spec)?) {
         println!("  lambda_D2D = {lambda:>4.1} W/m-K equivalent: {t:6.2} C");
     }
     Ok(())

@@ -2,16 +2,20 @@
 //! a workload of your choice, including area overheads and an ASCII
 //! thermal map of the processor die.
 //!
+//! The five schemes run as one batched sweep through the `xylem-sweep`
+//! engine (sharded, retried, one built system per stack geometry); the
+//! example formats the per-scheme `TaskResult`s it gets back.
+//!
 //! ```text
 //! cargo run --release --example scheme_explorer [app] [freq_ghz]
 //! cargo run --release --example scheme_explorer Barnes 2.8
 //! ```
 
-use xylem::response::ThermalResponse;
-use xylem::system::{SystemConfig, XylemSystem};
+use xylem::system::default_cache_dir;
 use xylem_stack::area::{AreaOverhead, SAMSUNG_WIDE_IO_DIE_AREA};
 use xylem_stack::dram_die::DramDieGeometry;
 use xylem_stack::XylemScheme;
+use xylem_sweep::{run_sweep, SweepOptions, SweepSpec, TaskResult};
 use xylem_workloads::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,37 +39,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("frequency: {f_ghz:.1} GHz\n");
 
+    // One sweep task per scheme, at the paper-default 64x64 grid. Task
+    // ids follow the scheme axis, so records come back in ALL order.
+    let spec = SweepSpec {
+        schemes: XylemScheme::ALL.to_vec(),
+        benchmarks: vec![app],
+        f_ghz: vec![f_ghz],
+        ..SweepSpec::default()
+    };
+    let opts = SweepOptions {
+        cache_dir: Some(default_cache_dir()),
+        ..SweepOptions::default()
+    };
+    let report = run_sweep(&spec, &opts)?;
+    report.require_complete()?;
+    let results: Vec<&TaskResult> = report
+        .records
+        .iter()
+        .filter_map(|r| r.result.as_ref())
+        .collect();
+
     let geom = DramDieGeometry::paper_default();
     println!(
         "{:10} {:>6} {:>10} {:>8} {:>11} {:>10} {:>9}",
         "scheme", "TTSVs", "area %", "proc C", "bottomDRAM", "power W", "d vs base"
     );
     let mut base_hotspot = None;
-    for scheme in XylemScheme::ALL {
-        let mut sys = XylemSystem::new(SystemConfig::paper_default(scheme))?;
-        let e = sys.evaluate_uniform(app, f_ghz)?;
-        let area = AreaOverhead::for_scheme(scheme, &geom, SAMSUNG_WIDE_IO_DIE_AREA);
-        let base = *base_hotspot.get_or_insert(e.proc_hotspot_c);
+    for (scheme, t) in XylemScheme::ALL.iter().zip(&results) {
+        let area = AreaOverhead::for_scheme(*scheme, &geom, SAMSUNG_WIDE_IO_DIE_AREA);
+        let base = *base_hotspot.get_or_insert(t.proc_hotspot_c);
         println!(
             "{:10} {:>6} {:>10.2} {:>8.1} {:>11.1} {:>10.1} {:>9.2}",
             scheme.name(),
             area.ttsv_count,
             area.percent(),
-            e.proc_hotspot_c,
-            e.dram_hotspot_c,
-            e.total_power_w,
-            base - e.proc_hotspot_c
+            t.proc_hotspot_c,
+            t.dram_hotspot_c,
+            t.total_power_w,
+            base - t.proc_hotspot_c
         );
     }
 
     // ASCII thermal map of the processor die under banke.
-    let mut sys = XylemSystem::new(SystemConfig::paper_default(XylemScheme::BankEnhanced))?;
-    let e = sys.evaluate_uniform(app, f_ghz)?;
+    let banke = XylemScheme::ALL
+        .iter()
+        .position(|s| *s == XylemScheme::BankEnhanced)
+        .and_then(|i| results.get(i))
+        .ok_or("banke task missing from sweep")?;
     println!(
         "\nprocessor-die thermal map (banke, {} @ {f_ghz:.1} GHz):",
         app.name()
     );
-    print_map(sys.response(), &e);
+    print_map(banke);
     Ok(())
 }
 
@@ -77,37 +102,39 @@ fn suite_name(b: Benchmark) -> &'static str {
     }
 }
 
-/// Renders the processor-layer temperature field as ASCII shades,
-/// downsampled to a 32x16 character map.
-fn print_map(response: &ThermalResponse, _e: &xylem::Evaluation) {
-    // Re-evaluate the field through the response table is not exposed per
-    // cell on Evaluation; approximate with the per-core hotspots instead.
-    let _ = response;
-    let e = _e;
+/// Renders the per-core hotspots as ASCII shades: the per-cell field is
+/// internal to the sweep workers, but `TaskResult` keeps every core's
+/// hotspot, which is what the 8-core map needs.
+fn print_map(t: &TaskResult) {
     let shades = [" ", ".", ":", "-", "=", "+", "*", "#", "%", "@"];
-    let min = e
+    let min = t
         .core_hotspot_c
         .iter()
         .cloned()
         .fold(f64::INFINITY, f64::min);
-    let max = e.proc_hotspot_c;
+    let max = t.proc_hotspot_c;
     println!("  cores (top row 1-4, bottom row 5-8); hotter = denser glyph");
     for row in [&[1usize, 2, 3, 4], &[5usize, 6, 7, 8]] {
         let mut line = String::from("  ");
         for &id in row {
-            let t = e.core_hotspot_c[id - 1];
+            let temp = t.core_hotspot_c[id - 1];
             let idx = if max > min {
-                (((t - min) / (max - min)) * 9.0).round() as usize
+                (((temp - min) / (max - min)) * 9.0).round() as usize
             } else {
                 0
             };
-            line.push_str(&format!("[{} core{} {:5.1}C ]", shades[idx.min(9)], id, t));
+            line.push_str(&format!(
+                "[{} core{} {:5.1}C ]",
+                shades[idx.min(9)],
+                id,
+                temp
+            ));
         }
         println!("{line}");
     }
     println!(
         "  die hotspot: {:.1} C on core {}",
-        e.proc_hotspot_c,
-        e.hottest_core()
+        t.proc_hotspot_c,
+        t.hottest_core()
     );
 }
