@@ -22,6 +22,11 @@
 #                    # campaign (panics, non-convergence, deadline blowouts)
 #                    # must end every task ok|quarantined and replay
 #                    # bit-identically
+#   ./ci.sh scenario # .stk DSL lane: conformance corpus (every valid file
+#                    # lowers+solves, every invalid file matches its locked
+#                    # .stderr snapshot), parser totality fuzz, print/parse
+#                    # round-trip, golden equivalence vs the hard-wired
+#                    # paper builder, and the scenario determinism digest
 #
 # The lint audit fails on any new finding AND on stale allowlist/baseline
 # entries (the ratchet: fixing an exempted finding requires deleting its
@@ -87,6 +92,24 @@ if [[ "${1:-}" == "sweep" ]]; then
   echo "==> sweep thread/shard-count determinism digest (1 vs 4)"
   cargo test -q --release -p xylem-core --test thread_determinism sweep_is_bit
   echo "Sweep lane green."
+  exit 0
+fi
+
+if [[ "${1:-}" == "scenario" ]]; then
+  echo "==> .stk conformance corpus (valid lowers+solves, invalid snapshot-locked)"
+  cargo test -q -p xylem-scenario --test conformance
+  echo "==> parser totality fuzz (every-byte truncation, mutation, byte soup)"
+  cargo test -q -p xylem-scenario --test fuzz_totality
+  echo "==> print/parse round-trip (corpus + generated IRs)"
+  cargo test -q -p xylem-scenario --test roundtrip
+  echo "==> golden equivalence vs the hard-wired paper builder (bit-for-bit)"
+  cargo test -q --release -p xylem-scenario --test golden_equivalence
+  echo "==> scenario sweep + unit tests"
+  cargo test -q -p xylem-scenario --lib
+  cargo test -q -p xylem-sweep --lib scenario
+  echo "==> scenario thread-count determinism digest (1 vs 4)"
+  cargo test -q --release -p xylem-core --test thread_determinism scenario_solve
+  echo "Scenario lane green."
   exit 0
 fi
 

@@ -112,9 +112,50 @@ fn run_sweep_child(out_path: &str) {
     std::fs::write(out_path, text).expect("child writes digest");
 }
 
+/// Child body for the scenario-DSL digest pair: compile and solve the
+/// checked-in `xylem-paper.stk` (parse -> validate -> lower ->
+/// discretize -> steady solve) and digest every bit of the result. The
+/// lowering itself is single-threaded by construction; the solve is the
+/// parallel part, and the `scenario_lowered` counter in the digest
+/// proves the DSL path (not a cached artifact) produced the stack.
+fn run_scenario_child(out_path: &str) {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios/valid/xylem-paper.stk");
+    let src = std::fs::read_to_string(&path).expect("xylem-paper.stk reads");
+    let lowered = xylem_scenario::compile(&src).expect("paper scenario compiles");
+    let report = xylem_scenario::run(&lowered).expect("paper scenario solves");
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "nodes={} conductance={:016x} temperature={:016x} hotspot={:016x}",
+        report.nodes,
+        report.conductance_digest,
+        report.temperature_digest,
+        report.global_hotspot_c.to_bits()
+    );
+    for p in &report.probes {
+        let _ = writeln!(
+            text,
+            "probe {} {}={:016x}",
+            p.name,
+            p.layer,
+            p.celsius.to_bits()
+        );
+    }
+    for (label, value) in xylem_obs::counters_snapshot() {
+        let _ = writeln!(text, "counter {label}={value}");
+    }
+    std::fs::write(out_path, text).expect("child writes digest");
+}
+
 fn run_child(tag: &str, out_path: &str) {
     if tag == "sweep" {
         run_sweep_child(out_path);
+        return;
+    }
+    if tag == "scenario" {
+        run_scenario_child(out_path);
         return;
     }
     // Per-thread-count, per-tag cache dir: both children of a pair must
@@ -225,6 +266,9 @@ fn run_pair(test_name: &str, tag: &str) {
         if tag == "sweep" {
             assert!(digest.contains("counter sweep_tasks_ok="), "{digest}");
             assert!(!digest.contains("sweep_tasks_ok=0\n"), "{digest}");
+        } else if tag == "scenario" {
+            assert!(digest.contains("counter scenario_lowered="), "{digest}");
+            assert!(!digest.contains("scenario_lowered=0\n"), "{digest}");
         } else {
             assert!(digest.contains("counter cg_iterations="), "{digest}");
             assert!(!digest.contains("cg_iterations=0\n"), "{digest}");
@@ -246,6 +290,17 @@ fn dtm_run_is_bit_identical_across_thread_counts() {
 #[test]
 fn gmg_run_is_bit_identical_across_thread_counts() {
     run_pair("gmg_run_is_bit_identical_across_thread_counts", "gmg");
+}
+
+#[test]
+fn scenario_solve_is_bit_identical_across_thread_counts() {
+    // The `.stk` pipeline end to end: the lowered xylem-paper stack's
+    // conductance matrix, steady solve, and probe readings must not
+    // notice the solver's thread count.
+    run_pair(
+        "scenario_solve_is_bit_identical_across_thread_counts",
+        "scenario",
+    );
 }
 
 #[test]

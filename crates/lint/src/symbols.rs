@@ -61,6 +61,11 @@ pub const HOT_PATH_SUFFIXES: &[&str] = &[
     "crates/sweep/src/journal.rs",
     "crates/sweep/src/spec.rs",
     "crates/sweep/src/backoff.rs",
+    // Scenario lowering: identical .stk sources must lower to
+    // bit-identical stacks (the golden-equivalence and determinism
+    // suites assert it), so patch order and material resolution may
+    // not depend on hash iteration or raw float folds.
+    "crates/scenario/src/lower.rs",
 ];
 
 /// Instrumented files: the `xylem-obs` no-println set (rule `no-println`
@@ -526,6 +531,17 @@ mod tests {
                 "{sweep}"
             );
         }
+        // Scenario lowering carries the bit-identity claim (identical
+        // sources -> identical stacks) but emits no telemetry of its
+        // own; the crate root owns the counters.
+        assert_eq!(
+            Zone::of("crates/scenario/src/lower.rs"),
+            Zone {
+                hot_path: true,
+                instrumented: false
+            }
+        );
+        assert_eq!(Zone::of("crates/scenario/src/parser.rs"), Zone::default());
         assert_eq!(Zone::of("crates/stack/src/tsv.rs"), Zone::default());
         assert_eq!(Zone::of("crates/stack/src/tsv.rs").label(), "free");
     }

@@ -1,0 +1,23 @@
+//! NEGATIVE fixture for the scenario-lowering determinism zone: the
+//! declaration-ordered map and an element-seeded fold must stay clean
+//! when mounted at `crates/scenario/src/lower.rs`.
+
+use std::collections::BTreeMap;
+
+pub fn material_index(names: &[String]) -> BTreeMap<String, usize> {
+    let mut index = BTreeMap::new();
+    for (i, n) in names.iter().enumerate() {
+        index.insert(n.clone(), i);
+    }
+    index
+}
+
+pub fn painted_area(patches: &[(f64, f64)]) -> f64 {
+    // Seeded from the first patch: the fold order is the declaration
+    // order of the patches themselves, not a scheduling artifact.
+    let mut area = patches[0].0 * patches[0].1;
+    for (w, h) in &patches[1..] {
+        area += w * h;
+    }
+    area
+}

@@ -1,0 +1,23 @@
+//! POSITIVE fixture for the scenario-lowering determinism zone: a
+//! hash-ordered material index plus a raw float fold over patch areas.
+//! Mounted by the test harness at `crates/scenario/src/lower.rs` to pin
+//! that the lowering module sits inside the hot-path zone; inert where
+//! it actually lives (crates/lint/tests/fixtures).
+
+use std::collections::HashMap;
+
+pub fn material_index(names: &[String]) -> HashMap<String, usize> {
+    let mut index = HashMap::new();
+    for (i, n) in names.iter().enumerate() {
+        index.insert(n.clone(), i);
+    }
+    index
+}
+
+pub fn painted_area(patches: &[(f64, f64)]) -> f64 {
+    let mut area = 0.0;
+    for (w, h) in patches {
+        area += w * h;
+    }
+    area
+}

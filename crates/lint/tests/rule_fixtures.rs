@@ -302,6 +302,46 @@ fn sweep_zone_positive_fixture_is_inert_outside_the_zone() {
     }
 }
 
+// ---- determinism-zone mount (scenario lowering) ------------------
+
+const SCENARIO_MOUNT: &str = "crates/scenario/src/lower.rs";
+
+#[test]
+fn scenario_lowering_mount_is_inside_the_determinism_zone() {
+    // Identical .stk sources must lower to bit-identical stacks, so the
+    // lowering module carries the hot-path contract: no hash-ordered
+    // collections (material/floorplan resolution order) and no raw
+    // float folds.
+    let pos = fixture("scenario_zone", "pos");
+    let acc = findings_of(RAW_ACC, SCENARIO_MOUNT, &pos);
+    assert_eq!(acc.len(), 1, "{acc:?}");
+    assert_eq!(acc[0].symbol, "painted_area.area");
+    let nondet = findings_of(NONDET, SCENARIO_MOUNT, &pos);
+    assert!(nondet.iter().any(|d| d.symbol == "HashMap"), "{nondet:?}");
+}
+
+#[test]
+fn scenario_zone_negative_fixture_is_clean_in_zone() {
+    let neg = fixture("scenario_zone", "neg");
+    let d = analyze_source(SCENARIO_MOUNT, &neg);
+    assert!(d.is_empty(), "{SCENARIO_MOUNT}: {d:?}");
+}
+
+#[test]
+fn scenario_zone_positive_fixture_is_inert_outside_the_zone() {
+    let pos = fixture("scenario_zone", "pos");
+    // The parser is NOT in the zone: its output is position-stamped
+    // text, not physics, and its own tests lock totality instead.
+    let free = analyze_source("crates/scenario/src/parser.rs", &pos);
+    assert!(free.is_empty(), "free zone: {free:?}");
+    for name in ["pos", "neg"] {
+        let src = fixture("scenario_zone", name);
+        let relpath = format!("crates/lint/tests/fixtures/scenario_zone/{name}.rs");
+        let d = analyze_source(&relpath, &src);
+        assert!(d.is_empty(), "{relpath} must be inert in place: {d:?}");
+    }
+}
+
 // ---- corpus hygiene ----------------------------------------------
 
 #[test]

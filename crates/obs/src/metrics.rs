@@ -79,6 +79,12 @@ metric_enum!(
         SweepTasksRetried => "sweep_tasks_retried",
         /// Sweep tasks quarantined after exhausting all attempts.
         SweepTasksQuarantined => "sweep_tasks_quarantined",
+        /// `.stk` scenarios parsed successfully.
+        ScenarioParsed => "scenario_parsed",
+        /// `.stk` scenarios lowered to a solvable stack.
+        ScenarioLowered => "scenario_lowered",
+        /// `.stk` sources rejected by the lexer, parser, or validator.
+        ScenarioRejected => "scenario_rejected",
     }
 );
 

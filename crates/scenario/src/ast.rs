@@ -1,0 +1,311 @@
+//! The scenario IR: a faithful, span-carrying representation of one
+//! `.stk` file, produced by [`crate::parser`], checked by
+//! [`crate::validate`], lowered by [`crate::lower`], and printed back
+//! by [`crate::printer`].
+//!
+//! Equality ignores spans (see [`Spanned`]), which is what makes the
+//! round-trip law `parse(print(ir)) == ir` expressible directly.
+
+use crate::span::{Span, Spanned};
+
+/// One `material` section: SI conductivity (W/m-K) and volumetric heat
+/// capacity (J/m^3-K). Note the units deliberately differ from
+/// 3D-ICE's per-micrometer convention: everything in this workspace is
+/// strict SI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterialDef {
+    /// Material name (referenced by layers, patches, and the package).
+    pub name: Spanned<String>,
+    /// `thermal conductivity <num> ;`, W/m-K.
+    pub conductivity: Spanned<f64>,
+    /// `volumetric heat capacity <num> ;`, J/m^3-K.
+    pub capacity: Spanned<f64>,
+}
+
+/// The `dimensions` section: chip outline (m) and global grid.
+#[derive(Debug, Clone)]
+pub struct Dimensions {
+    /// Chip extent along x, m.
+    pub length: Spanned<f64>,
+    /// Chip extent along y, m.
+    pub width: Spanned<f64>,
+    /// Discretization cells along x and y.
+    pub grid: (Spanned<f64>, Spanned<f64>),
+    /// Span of the `dimensions` keyword.
+    pub span: Span,
+}
+
+// Spans are positions, not content: ignore them, like `Spanned` does,
+// so the round-trip law `parse(print(ir)) == ir` holds.
+impl PartialEq for Dimensions {
+    fn eq(&self, other: &Self) -> bool {
+        self.length == other.length && self.width == other.width && self.grid == other.grid
+    }
+}
+
+/// One optional statement of the `heat sink` section. Anything left
+/// `None` falls back to the paper package default.
+#[derive(Debug, Clone, Default)]
+pub struct HeatSinkDef {
+    /// `tim thickness <m> material <name> ;`
+    pub tim: Option<(Spanned<f64>, Spanned<String>)>,
+    /// `spreader side <m> , thickness <m> , material <name> ;`
+    pub spreader: Option<(Spanned<f64>, Spanned<f64>, Spanned<String>)>,
+    /// `sink side <m> , thickness <m> , material <name> ;`
+    pub sink: Option<(Spanned<f64>, Spanned<f64>, Spanned<String>)>,
+    /// `convection resistance <K/W> ;`
+    pub convection: Option<Spanned<f64>>,
+    /// `ambient temperature <C> ;`
+    pub ambient: Option<Spanned<f64>>,
+    /// `board resistance <K/W> ;` (secondary path; absent = default).
+    pub board: Option<Spanned<f64>>,
+    /// Span of the `heat` keyword.
+    pub span: Span,
+}
+
+impl PartialEq for HeatSinkDef {
+    fn eq(&self, other: &Self) -> bool {
+        self.tim == other.tim
+            && self.spreader == other.spreader
+            && self.sink == other.sink
+            && self.convection == other.convection
+            && self.ambient == other.ambient
+            && self.board == other.board
+    }
+}
+
+/// One floorplan block: `block <name> at <x> , <y> size <w> , <h> ;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockDef {
+    /// Block name (power bindings and block-material overrides key on it).
+    pub name: Spanned<String>,
+    /// Lower-left corner, m.
+    pub x: Spanned<f64>,
+    /// Lower-left corner, m.
+    pub y: Spanned<f64>,
+    /// Extent, m.
+    pub w: Spanned<f64>,
+    /// Extent, m.
+    pub h: Spanned<f64>,
+}
+
+/// A named floorplan (outline is implicitly the chip dimensions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloorplanDef {
+    /// Floorplan name (referenced by layers).
+    pub name: Spanned<String>,
+    /// The blocks, in declaration order.
+    pub blocks: Vec<BlockDef>,
+}
+
+/// One body statement of a `layer` section, kept in source order
+/// because patch painting order is part of the deterministic-lowering
+/// contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerOp {
+    /// `block <name> material <mat> ;` — override one floorplan
+    /// block's material.
+    BlockMaterial {
+        /// The floorplan block.
+        block: Spanned<String>,
+        /// The replacement material.
+        material: Spanned<String>,
+    },
+    /// `patch <label> at <x> , <y> size <w> , <h> material <mat> ;`
+    Patch {
+        /// Patch label (diagnostic only).
+        label: Spanned<String>,
+        /// Lower-left corner, m.
+        x: Spanned<f64>,
+        /// Lower-left corner, m.
+        y: Spanned<f64>,
+        /// Extent, m.
+        w: Spanned<f64>,
+        /// Extent, m.
+        h: Spanned<f64>,
+        /// Patch material.
+        material: Spanned<String>,
+    },
+    /// `ttsvs <scheme> material <mat> ;` — paint the named Xylem TTSV
+    /// scheme's sites (paper Wide I/O geometry) into this layer.
+    Ttsvs {
+        /// Scheme name (`base`, `bank`, `banke`, `isoCount`, `prior`).
+        scheme: Spanned<String>,
+        /// Via material (copper in the paper).
+        material: Spanned<String>,
+    },
+    /// `pillars <scheme> footprint <m> material <mat> ;` — paint the
+    /// aligned-and-shorted dummy-microbump clusters of the scheme into
+    /// this (D2D) layer.
+    Pillars {
+        /// Scheme name.
+        scheme: Spanned<String>,
+        /// Cluster side length, m (paper calibration: 450 um).
+        footprint: Spanned<f64>,
+        /// Effective pillar material.
+        material: Spanned<String>,
+    },
+}
+
+/// A layer prototype. Instantiated by dies or directly by the stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDef {
+    /// Prototype name.
+    pub name: Spanned<String>,
+    /// `height <m> ;`
+    pub height: Spanned<f64>,
+    /// `material <name> ;` — the bulk material.
+    pub material: Spanned<String>,
+    /// `floorplan <name> ;` — optional block structure.
+    pub floorplan: Option<Spanned<String>>,
+    /// Body statements, in source order.
+    pub ops: Vec<LayerOp>,
+}
+
+/// A die prototype: an ordered run of layer prototypes (top first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieDef {
+    /// Prototype name.
+    pub name: Spanned<String>,
+    /// `layer <proto> ;` entries, top first.
+    pub layers: Vec<Spanned<String>>,
+    /// `discretization <nx> , <ny> ;` — per-die grid. The current
+    /// solver discretizes the whole stack on one grid, so this must
+    /// agree with the global grid (validation enforces it).
+    pub discretization: Option<(Spanned<f64>, Spanned<f64>)>,
+}
+
+/// One entry of the `stack` section, top (heat-sink side) first.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StackEntry {
+    /// `die <instance> <prototype> ;` — instantiate a die; its layers
+    /// are named `<instance>.<layer>`.
+    Die {
+        /// Instance name.
+        instance: Spanned<String>,
+        /// Die prototype.
+        def: Spanned<String>,
+    },
+    /// `layer <prototype> ;` — instantiate one bare layer under its
+    /// own name.
+    Layer {
+        /// Layer prototype.
+        def: Spanned<String>,
+    },
+}
+
+/// A reference to an instantiated layer: `instance.layer` for a die
+/// layer, a bare prototype name for a bare stack layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRef {
+    /// Die instance, if qualified.
+    pub instance: Option<Spanned<String>>,
+    /// Layer (prototype) name.
+    pub layer: Spanned<String>,
+}
+
+impl LayerRef {
+    /// The instantiated layer name this reference resolves to.
+    #[must_use]
+    pub fn resolved(&self) -> String {
+        match &self.instance {
+            Some(i) => format!("{}.{}", i.node, self.layer.node),
+            None => self.layer.node.clone(),
+        }
+    }
+
+    /// The full span of the reference.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match &self.instance {
+            Some(i) => i.span.to(self.layer.span),
+            None => self.layer.span,
+        }
+    }
+}
+
+/// One `power` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerStmt {
+    /// `uniform <layerref> <watts> ;` — spread evenly over the layer.
+    Uniform {
+        /// Target layer.
+        target: LayerRef,
+        /// Total power, W.
+        watts: Spanned<f64>,
+    },
+    /// `block <layerref> <block> <watts> ;` — spread evenly over one
+    /// floorplan block of the layer (the power-trace binding).
+    Block {
+        /// Target layer.
+        target: LayerRef,
+        /// Floorplan block.
+        block: Spanned<String>,
+        /// Total power, W.
+        watts: Spanned<f64>,
+    },
+}
+
+/// What a probe reads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeKind {
+    /// `max in <layerref>` — hottest cell of the layer.
+    Max,
+    /// `mean in <layerref>` — area mean of the layer.
+    Mean,
+    /// `at <x> , <y> in <layerref>` — the cell containing (x, y).
+    At(Spanned<f64>, Spanned<f64>),
+}
+
+/// One `output` probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeDef {
+    /// Probe name (printed in `xylem run` output).
+    pub name: Spanned<String>,
+    /// What it reads.
+    pub kind: ProbeKind,
+    /// Which layer.
+    pub target: LayerRef,
+}
+
+/// A whole parsed `.stk` scenario.
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    /// `material` sections, in order.
+    pub materials: Vec<MaterialDef>,
+    /// The `dimensions` section (required; validation enforces).
+    pub dimensions: Option<Dimensions>,
+    /// The `heat sink` section, if present.
+    pub heat_sink: Option<HeatSinkDef>,
+    /// `floorplan` sections, in order.
+    pub floorplans: Vec<FloorplanDef>,
+    /// `layer` sections, in order.
+    pub layers: Vec<LayerDef>,
+    /// `die` sections, in order.
+    pub dies: Vec<DieDef>,
+    /// The `stack` section entries, top first.
+    pub stack: Vec<StackEntry>,
+    /// Span of the `stack` keyword (for whole-stack diagnostics).
+    pub stack_span: Option<Span>,
+    /// `power` statements, in order.
+    pub power: Vec<PowerStmt>,
+    /// Whether a `solver : steady ;` section appeared (the only mode).
+    pub solver_steady: bool,
+    /// `output` probes, in order.
+    pub probes: Vec<ProbeDef>,
+}
+
+impl PartialEq for Scenario {
+    fn eq(&self, other: &Self) -> bool {
+        self.materials == other.materials
+            && self.dimensions == other.dimensions
+            && self.heat_sink == other.heat_sink
+            && self.floorplans == other.floorplans
+            && self.layers == other.layers
+            && self.dies == other.dies
+            && self.stack == other.stack
+            && self.power == other.power
+            && self.solver_steady == other.solver_steady
+            && self.probes == other.probes
+    }
+}

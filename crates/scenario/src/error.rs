@@ -1,0 +1,122 @@
+//! The scenario failure domain: one error type for lexing, parsing,
+//! validation, and lowering, always carrying a [`Span`] and rendering
+//! a rustc-style report against the original source.
+
+use crate::span::Span;
+
+/// A scenario error: what went wrong, where, and (optionally) a short
+/// inline help note rendered after the caret run.
+///
+/// Every stage of the pipeline — lexer, parser, validator, lowering —
+/// produces this same shape, so a caller needs exactly one rendering
+/// path no matter how deep the failure happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// One-line description (the `error:` headline).
+    pub message: String,
+    /// The offending source region.
+    pub span: Span,
+    /// Optional note rendered inline after the carets.
+    pub note: Option<String>,
+}
+
+impl ParseError {
+    /// An error at `span` with no inline note.
+    #[must_use]
+    pub fn new(message: impl Into<String>, span: Span) -> ParseError {
+        ParseError {
+            message: message.into(),
+            span,
+            note: None,
+        }
+    }
+
+    /// Attaches the inline note rendered after the caret run.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> ParseError {
+        self.note = Some(note.into());
+        self
+    }
+
+    /// Renders the rustc-style report:
+    ///
+    /// ```text
+    /// error: unknown material `coppr`
+    ///   --> scenarios/invalid/unknown-material.stk:7:15
+    ///    |
+    ///  7 |     material coppr ;
+    ///    |              ^^^^^ defined materials: copper, silicon
+    /// ```
+    ///
+    /// `path` is whatever the caller wants printed (typically the
+    /// relative path); `source` must be the text the error was produced
+    /// from, so the quoted line matches the span.
+    #[must_use]
+    pub fn render(&self, path: &str, source: &str) -> String {
+        let line_no = self.span.line.max(1);
+        let text = source.lines().nth(line_no as usize - 1).unwrap_or_default();
+        let gutter = line_no.to_string();
+        let pad = " ".repeat(gutter.len());
+        let mut out = String::new();
+        out.push_str(&format!("error: {}\n", self.message));
+        out.push_str(&format!(
+            "{pad}--> {path}:{}:{}\n",
+            line_no,
+            self.span.col.max(1)
+        ));
+        out.push_str(&format!("{pad} |\n"));
+        out.push_str(&format!("{gutter} | {text}\n"));
+        // Caret run under the span, counted in characters. Columns past
+        // the end of the line (e.g. "unexpected end of file") still get
+        // one caret, just past the last character.
+        let col = self.span.col.max(1) as usize - 1;
+        let lead: String = text
+            .chars()
+            .take(col)
+            .map(|c| if c == '\t' { '\t' } else { ' ' })
+            .collect();
+        let carets = "^".repeat(self.span.len.max(1) as usize);
+        match &self.note {
+            Some(n) => out.push_str(&format!("{pad} | {lead}{carets} {n}\n")),
+            None => out.push_str(&format!("{pad} | {lead}{carets}\n")),
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at line {}, column {}",
+            self.message, self.span.line, self.span.col
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_quotes_line_and_points_at_span() {
+        let src = "material cu :\n    thermal conductivity -4 ;\n";
+        let e = ParseError::new("thermal conductivity must be positive", Span::new(2, 26, 2))
+            .with_note("got -4");
+        let r = e.render("x.stk", src);
+        assert!(r.contains("error: thermal conductivity must be positive\n"));
+        assert!(r.contains("--> x.stk:2:26\n"));
+        assert!(r.contains("2 |     thermal conductivity -4 ;\n"));
+        assert!(r.contains("^^ got -4\n"));
+    }
+
+    #[test]
+    fn render_survives_out_of_range_lines() {
+        let e = ParseError::new("unexpected end of file", Span::new(99, 1, 1));
+        let r = e.render("x.stk", "one line only\n");
+        assert!(r.contains("error: unexpected end of file"));
+        assert!(r.contains("99 | \n"));
+    }
+}

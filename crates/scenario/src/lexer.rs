@@ -1,0 +1,255 @@
+//! A total tokenizer for the `.stk` scenario format.
+//!
+//! Tokens: identifiers (letters, digits, `_`, `-` after a leading
+//! letter), numbers (decimal with optional fraction/exponent and an
+//! optional leading `-`), the punctuation `:` `;` `,` `.`, and
+//! line comments (`//` to end of line, discarded).
+//!
+//! Totality is a hard requirement (the fuzz suite feeds this arbitrary
+//! byte soup): every input either lexes to a token vector or returns a
+//! clean [`ParseError`] with a span — never a panic, never an unbounded
+//! loop. Each iteration of the main loop consumes at least one
+//! character.
+
+use crate::error::ParseError;
+use crate::span::Span;
+
+/// Kind of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier/keyword: `material`, `dram0_si`, `tsv-bus`.
+    Ident,
+    /// Numeric literal; the parsed value rides in [`Tok::value`].
+    Number,
+    /// One of `:` `;` `,` `.`.
+    Punct,
+    /// Synthetic end-of-input marker (always the last token).
+    Eof,
+}
+
+/// One token with its source text, span, and (for numbers) value.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The source text (empty for [`TokKind::Eof`]).
+    pub text: String,
+    /// Where it sits in the source.
+    pub span: Span,
+    /// Parsed value for [`TokKind::Number`], `0.0` otherwise.
+    pub value: f64,
+}
+
+impl Tok {
+    /// Whether this is the identifier `word`.
+    #[must_use]
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// Whether this is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Tokenizes `source`. Character columns (not byte offsets) feed the
+/// spans, so multi-byte UTF-8 in comments cannot skew later carets.
+///
+/// # Errors
+///
+/// [`ParseError`] on the first unexpected character or malformed /
+/// out-of-range numeric literal.
+pub fn lex(source: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        // Newlines and whitespace.
+        if c == '\n' {
+            chars.next();
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            chars.next();
+            col += 1;
+            continue;
+        }
+        // Line comments: `//` to end of line.
+        if c == '/' {
+            let start = Span::new(line, col, 1);
+            chars.next();
+            col += 1;
+            if chars.peek() == Some(&'/') {
+                while let Some(&n) = chars.peek() {
+                    if n == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    col += 1;
+                }
+                continue;
+            }
+            return Err(ParseError::new("unexpected character `/`", start)
+                .with_note("comments start with `//`"));
+        }
+        if is_ident_start(c) {
+            let start_col = col;
+            let mut text = String::new();
+            while let Some(&n) = chars.peek() {
+                if is_ident_continue(n) {
+                    text.push(n);
+                    chars.next();
+                    col += 1;
+                } else {
+                    break;
+                }
+            }
+            let span = Span::new(line, start_col, col - start_col);
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                span,
+                value: 0.0,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() || c == '-' {
+            let start_col = col;
+            let mut text = String::new();
+            text.push(c);
+            chars.next();
+            col += 1;
+            if c == '-' && !chars.peek().is_some_and(char::is_ascii_digit) {
+                return Err(ParseError::new(
+                    "unexpected character `-`",
+                    Span::new(line, start_col, 1),
+                )
+                .with_note("`-` is only valid as a numeric sign"));
+            }
+            // Digits, one optional `.` fraction, one optional exponent.
+            let mut seen_dot = false;
+            let mut seen_exp = false;
+            while let Some(&n) = chars.peek() {
+                let take = n.is_ascii_digit()
+                    || (n == '.' && !seen_dot && !seen_exp)
+                    || ((n == 'e' || n == 'E') && !seen_exp)
+                    || ((n == '+' || n == '-') && text.ends_with(['e', 'E']) && seen_exp);
+                if !take {
+                    break;
+                }
+                if n == '.' {
+                    seen_dot = true;
+                }
+                if n == 'e' || n == 'E' {
+                    seen_exp = true;
+                }
+                text.push(n);
+                chars.next();
+                col += 1;
+            }
+            let span = Span::new(line, start_col, col - start_col);
+            let value: f64 = text
+                .parse()
+                .map_err(|_| ParseError::new(format!("malformed number `{text}`"), span))?;
+            if !value.is_finite() {
+                return Err(ParseError::new(
+                    format!("number `{text}` is out of range for an IEEE double"),
+                    span,
+                ));
+            }
+            toks.push(Tok {
+                kind: TokKind::Number,
+                text,
+                span,
+                value,
+            });
+            continue;
+        }
+        if c == ':' || c == ';' || c == ',' || c == '.' {
+            chars.next();
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                span: Span::new(line, col, 1),
+                value: 0.0,
+            });
+            col += 1;
+            continue;
+        }
+        return Err(ParseError::new(
+            format!("unexpected character `{}`", c.escape_default()),
+            Span::new(line, col, 1),
+        ));
+    }
+    toks.push(Tok {
+        kind: TokKind::Eof,
+        text: String::new(),
+        span: Span::new(line, col, 1),
+        value: 0.0,
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_idents_numbers_punct_and_comments() {
+        let toks = lex("material tsv-bus : // metal composite\n  k 1.5e-3 ;").expect("lexes");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["material", "tsv-bus", ":", "k", "1.5e-3", ";", ""]
+        );
+        assert_eq!(toks[4].kind, TokKind::Number);
+        assert!((toks[4].value - 1.5e-3).abs() < 1e-18);
+        assert_eq!(toks[4].span, Span::new(2, 5, 6));
+    }
+
+    #[test]
+    fn negative_and_exponent_signs() {
+        let toks = lex("-4 2e+6 1E-9").expect("lexes");
+        assert_eq!(toks[0].value, -4.0);
+        assert_eq!(toks[1].value, 2e6);
+        assert_eq!(toks[2].value, 1e-9);
+    }
+
+    #[test]
+    fn rejects_overflow_and_garbage() {
+        assert!(lex("1e999").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("a / b").is_err());
+        let e = lex("height - ;").expect_err("bare minus rejected");
+        assert_eq!(e.span.line, 1);
+    }
+
+    #[test]
+    fn every_lex_is_total_over_ascii_soup() {
+        // A pile of printable ASCII: either tokens or a clean error.
+        for seed in 0u64..64 {
+            let mut s = String::new();
+            let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            for _ in 0..200 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                s.push((0x20 + (x % 0x5f) as u8) as char);
+            }
+            let _ = lex(&s);
+        }
+    }
+}

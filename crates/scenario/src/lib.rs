@@ -1,0 +1,235 @@
+//! `xylem-scenario`: the `.stk` scenario DSL.
+//!
+//! A hand-rolled, zero-dependency parser for a 3D-ICE-inspired stack
+//! description format, lowered through a validated IR into the
+//! `xylem-thermal`/`xylem-stack` builders. One `.stk` file declares the
+//! whole experiment: material tables, chip dimensions and grid, the
+//! package (heat sink), floorplans, layer prototypes (with TTSV/pillar
+//! painting per Xylem scheme), die prototypes, the stack itself, power
+//! bindings, the solver mode, and output probes.
+//!
+//! Design contracts, each locked by a test suite:
+//!
+//! * **Spanned diagnostics** — every lexer/parser/validation error
+//!   carries a line/column span and renders rustc-style via
+//!   [`error::ParseError::render`]. The messages are snapshot-locked by
+//!   the `scenarios/invalid/` corpus (`tests/conformance.rs`).
+//! * **Totality** — no input bytes can make the pipeline panic, hang,
+//!   or OOM (`tests/fuzz_totality.rs`).
+//! * **Round-trip** — [`printer::print`] is a right inverse of
+//!   [`parser::parse`] up to spans (`tests/roundtrip.rs`).
+//! * **Golden equivalence** — `scenarios/valid/xylem-paper.stk` lowers
+//!   to physics bit-identical to the hard-wired paper builder
+//!   (`tests/golden_equivalence.rs`), compared through the digests of
+//!   [`digest`].
+//! * **Determinism** — lowering ([`lower`]) is a registered
+//!   determinism zone in `xylem-lint`; identical sources produce
+//!   bit-identical stacks across runs and thread counts.
+
+pub mod ast;
+pub mod digest;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod paper;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod validate;
+
+use xylem_obs::metrics::{incr, Counter};
+use xylem_thermal::error::ThermalError;
+use xylem_thermal::grid::GridSpec;
+use xylem_thermal::model::ThermalModel;
+use xylem_thermal::power::PowerMap;
+use xylem_thermal::temperature::TemperatureField;
+use xylem_thermal::units::Watts;
+
+pub use ast::Scenario;
+pub use error::ParseError;
+pub use lower::{LoweredScenario, PowerBinding, ProbeSite};
+
+/// Parses `.stk` source into a scenario IR (no validation).
+///
+/// Counts `scenario_parsed` / `scenario_rejected`.
+///
+/// # Errors
+///
+/// A spanned [`ParseError`] from the lexer or parser.
+pub fn parse_scenario(source: &str) -> Result<Scenario, ParseError> {
+    match parser::parse(source) {
+        Ok(sc) => {
+            incr(Counter::ScenarioParsed);
+            Ok(sc)
+        }
+        Err(e) => {
+            incr(Counter::ScenarioRejected);
+            Err(e)
+        }
+    }
+}
+
+/// Parses, validates, and lowers `.stk` source into a solvable stack.
+///
+/// Counts `scenario_lowered` on success and `scenario_rejected` on any
+/// failure (each source is counted rejected at most once).
+///
+/// # Errors
+///
+/// A spanned [`ParseError`] from any stage.
+pub fn compile(source: &str) -> Result<LoweredScenario, ParseError> {
+    let sc = parse_scenario(source)?;
+    match lower::lower(&sc) {
+        Ok(l) => {
+            incr(Counter::ScenarioLowered);
+            Ok(l)
+        }
+        Err(e) => {
+            incr(Counter::ScenarioRejected);
+            Err(e)
+        }
+    }
+}
+
+/// One evaluated output probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeReading {
+    /// Probe name (from the `output` section).
+    pub name: String,
+    /// Instantiated layer name the probe reads.
+    pub layer: String,
+    /// The reading, deg C.
+    pub celsius: f64,
+}
+
+/// The result of solving a lowered scenario once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Thermal-network node count (user layers + package).
+    pub nodes: usize,
+    /// FNV-1a digest of the assembled conductance matrix.
+    pub conductance_digest: u64,
+    /// FNV-1a digest of the steady-state temperature field.
+    pub temperature_digest: u64,
+    /// Hottest cell across all user layers, deg C.
+    pub global_hotspot_c: f64,
+    /// Probe readings, in `output` order.
+    pub probes: Vec<ProbeReading>,
+}
+
+/// Builds the scenario's power map against a discretized model.
+fn power_map(model: &ThermalModel, l: &LoweredScenario) -> Result<PowerMap, ThermalError> {
+    let mut p = PowerMap::zeros(model);
+    for b in &l.power {
+        match b {
+            PowerBinding::Uniform { layer, watts } => {
+                p.add_uniform_layer_power(*layer, Watts::new(*watts));
+            }
+            PowerBinding::Block {
+                layer,
+                block,
+                watts,
+            } => {
+                p.add_block_power(model, *layer, block, Watts::new(*watts))?;
+            }
+        }
+    }
+    Ok(p)
+}
+
+/// Discretizes, solves one steady state, and evaluates the probes.
+///
+/// # Errors
+///
+/// [`ThermalError`] from discretization or the linear solver.
+pub fn run(l: &LoweredScenario) -> Result<RunReport, ThermalError> {
+    let model = l.stack.discretize(GridSpec::new(l.nx, l.ny))?;
+    let p = power_map(&model, l)?;
+    let t: TemperatureField = model.steady_state(&p)?;
+    let probes = l
+        .probes
+        .iter()
+        .map(|pr| {
+            let c = match pr.site {
+                ProbeSite::Max => t.max_of_layer(pr.layer),
+                ProbeSite::Mean => t.mean_of_layer(pr.layer),
+                ProbeSite::At { ix, iy } => t.cell(pr.layer, ix, iy),
+            };
+            ProbeReading {
+                name: pr.name.clone(),
+                layer: l.layer_names[pr.layer].clone(),
+                celsius: c.get(),
+            }
+        })
+        .collect();
+    Ok(RunReport {
+        nodes: model.node_count(),
+        conductance_digest: digest::conductance_digest(&model),
+        temperature_digest: digest::field_digest(t.raw()),
+        global_hotspot_c: t.global_hotspot().2.get(),
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "\
+material si :
+    thermal conductivity 120.0 ;
+    volumetric heat capacity 1.75e6 ;
+dimensions :
+    chip length 8e-3 , width 8e-3 ;
+    grid 4 , 4 ;
+layer body :
+    height 1e-4 ;
+    material si ;
+stack :
+    layer body ;
+power :
+    uniform body 5.0 ;
+solver :
+    steady ;
+output :
+    probe hot max in body ;
+    probe avg mean in body ;
+";
+
+    #[test]
+    fn compile_and_run_minimal() {
+        let l = compile(MINIMAL).expect("compiles");
+        let r = run(&l).expect("solves");
+        assert!(r.nodes > 16);
+        assert_eq!(r.probes.len(), 2);
+        assert_eq!(r.probes[0].name, "hot");
+        assert_eq!(r.probes[0].layer, "body");
+        // 5 W over 64 mm^2 must heat the die above ambient, but only by
+        // a few degrees through the default package.
+        assert!(r.probes[0].celsius > 43.0, "{:?}", r.probes);
+        assert!(r.probes[0].celsius < 80.0, "{:?}", r.probes);
+        assert!(r.probes[0].celsius >= r.probes[1].celsius);
+        assert!((r.global_hotspot_c - r.probes[0].celsius).abs() <= f64::EPSILON);
+    }
+
+    #[test]
+    fn identical_sources_run_bit_identically() {
+        let a = run(&compile(MINIMAL).expect("compiles")).expect("solves");
+        let b = run(&compile(MINIMAL).expect("compiles")).expect("solves");
+        assert_eq!(a.conductance_digest, b.conductance_digest);
+        assert_eq!(a.temperature_digest, b.temperature_digest);
+    }
+
+    #[test]
+    fn counters_move_on_compile() {
+        use xylem_obs::metrics::counter;
+        let parsed0 = counter(Counter::ScenarioParsed);
+        let lowered0 = counter(Counter::ScenarioLowered);
+        let rejected0 = counter(Counter::ScenarioRejected);
+        let _ = compile(MINIMAL).expect("compiles");
+        assert!(counter(Counter::ScenarioParsed) > parsed0);
+        assert!(counter(Counter::ScenarioLowered) > lowered0);
+        let _ = compile("material ;");
+        assert!(counter(Counter::ScenarioRejected) > rejected0);
+    }
+}

@@ -1,0 +1,408 @@
+//! Deterministic lowering: validated scenario IR -> `xylem_thermal::Stack`.
+//!
+//! This is a determinism-audited hot path (registered in xylem-lint's
+//! hot-path zone): layer construction, patch painting, and power/probe
+//! binding must be bit-reproducible across runs and thread counts, so
+//! everything here iterates IR vectors in source order and looks
+//! resolved names up in `BTreeMap`s — no hash containers, no float
+//! accumulation, no I/O.
+//!
+//! TTSV and pillar painting call the *same* exported functions the
+//! hard-wired paper builder uses ([`xylem_stack::builder::paint_ttsvs`]
+//! / [`paint_pillars`]), which is what makes the golden equivalence
+//! lock (`scenarios/valid/xylem-paper.stk` vs
+//! `StackConfig::paper_default`) hold bit-for-bit.
+
+use xylem_stack::builder::{paint_pillars, paint_ttsvs};
+use xylem_stack::dram_die::DramDieGeometry;
+use xylem_stack::scheme::XylemScheme;
+use xylem_stack::tsv::TsvTech;
+use xylem_thermal::floorplan::Rect;
+use xylem_thermal::layer::{Layer, MaterialPatch};
+use xylem_thermal::material::{Material, COPPER, TIM};
+use xylem_thermal::package::{Package, DEFAULT_AMBIENT_C};
+use xylem_thermal::stack::Stack;
+use xylem_thermal::units::Celsius;
+
+use crate::ast::{HeatSinkDef, LayerDef, LayerOp, PowerStmt, ProbeKind, Scenario};
+use crate::error::ParseError;
+use crate::span::{Span, Spanned};
+use crate::validate::{check, defaults, Resolved};
+
+/// One lowered power binding, by instantiated-layer index (top first).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerBinding {
+    /// Power spread uniformly over a whole layer.
+    Uniform {
+        /// Stack layer index.
+        layer: usize,
+        /// Total power, W.
+        watts: f64,
+    },
+    /// Power spread over one floorplan block of a layer.
+    Block {
+        /// Stack layer index.
+        layer: usize,
+        /// Floorplan block name.
+        block: String,
+        /// Total power, W.
+        watts: f64,
+    },
+}
+
+/// Where a lowered probe reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeSite {
+    /// Hottest cell of the layer.
+    Max,
+    /// Area mean of the layer.
+    Mean,
+    /// A specific grid cell (precomputed from the probe coordinates).
+    At {
+        /// Cell index along x.
+        ix: usize,
+        /// Cell index along y.
+        iy: usize,
+    },
+}
+
+/// One lowered output probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredProbe {
+    /// Probe name (from the `output` section).
+    pub name: String,
+    /// Stack layer index.
+    pub layer: usize,
+    /// What it reads.
+    pub site: ProbeSite,
+}
+
+/// The result of lowering: a solvable stack plus run bindings.
+#[derive(Debug)]
+pub struct LoweredScenario {
+    /// The assembled thermal stack (layers top first, package attached).
+    pub stack: Stack,
+    /// Grid cells along x.
+    pub nx: usize,
+    /// Grid cells along y.
+    pub ny: usize,
+    /// Chip extent along x, m.
+    pub length: f64,
+    /// Chip extent along y, m.
+    pub width: f64,
+    /// Instantiated layer names, top first (index = stack layer index).
+    pub layer_names: Vec<String>,
+    /// Power bindings, in source order.
+    pub power: Vec<PowerBinding>,
+    /// Output probes, in source order.
+    pub probes: Vec<LoweredProbe>,
+}
+
+fn scheme_by_name(n: &Spanned<String>) -> Result<XylemScheme, ParseError> {
+    XylemScheme::ALL
+        .iter()
+        .copied()
+        .find(|s| s.name() == n.node)
+        .ok_or_else(|| ParseError::new(format!("unknown ttsv scheme `{}`", n.node), n.span))
+}
+
+fn or_default(v: &Option<Spanned<f64>>, d: f64) -> f64 {
+    match v {
+        Some(s) => s.node,
+        None => d,
+    }
+}
+
+/// Lowers a parsed scenario into a solvable stack.
+///
+/// Validation runs first, so every failure carries the span of the IR
+/// node that caused it; lowering itself cannot panic on any input that
+/// validates.
+///
+/// # Errors
+///
+/// A spanned [`ParseError`] from validation, or (defensively) from a
+/// thermal-layer builder rejecting geometry.
+pub fn lower(sc: &Scenario) -> Result<LoweredScenario, ParseError> {
+    let r = check(sc)?;
+    let package = build_package(sc, &r)?;
+    let mut layers = Vec::with_capacity(r.instances.len());
+    for (name, li) in &r.instances {
+        layers.push(build_layer(name, &sc.layers[*li], &r)?);
+    }
+    let stack_span = sc.stack_span.unwrap_or_default();
+    let stack = Stack::builder(r.length, r.width)
+        .package(package)
+        .layers(layers)
+        .build()
+        .map_err(|e| ParseError::new(e.to_string(), stack_span))?;
+
+    let layer_names: Vec<String> = r.instances.iter().map(|(n, _)| n.clone()).collect();
+    let index_of = |name: &str, span: Span| -> Result<usize, ParseError> {
+        layer_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| ParseError::new(format!("unknown stack layer `{name}`"), span))
+    };
+
+    let mut power = Vec::with_capacity(sc.power.len());
+    for p in &sc.power {
+        match p {
+            PowerStmt::Uniform { target, watts } => {
+                power.push(PowerBinding::Uniform {
+                    layer: index_of(&target.resolved(), target.span())?,
+                    watts: watts.node,
+                });
+            }
+            PowerStmt::Block {
+                target,
+                block,
+                watts,
+            } => {
+                power.push(PowerBinding::Block {
+                    layer: index_of(&target.resolved(), target.span())?,
+                    block: block.node.clone(),
+                    watts: watts.node,
+                });
+            }
+        }
+    }
+
+    let mut probes = Vec::with_capacity(sc.probes.len());
+    for p in &sc.probes {
+        let layer = index_of(&p.target.resolved(), p.target.span())?;
+        let site = match &p.kind {
+            ProbeKind::Max => ProbeSite::Max,
+            ProbeKind::Mean => ProbeSite::Mean,
+            ProbeKind::At(x, y) => {
+                let ix = cell_of(x.node, r.length, r.nx);
+                let iy = cell_of(y.node, r.width, r.ny);
+                ProbeSite::At { ix, iy }
+            }
+        };
+        probes.push(LoweredProbe {
+            name: p.name.node.clone(),
+            layer,
+            site,
+        });
+    }
+
+    Ok(LoweredScenario {
+        stack,
+        nx: r.nx,
+        ny: r.ny,
+        length: r.length,
+        width: r.width,
+        layer_names,
+        power,
+        probes,
+    })
+}
+
+/// The grid cell containing coordinate `x` on an axis of `extent`
+/// meters split into `n` cells (boundary-inclusive, end clamped).
+fn cell_of(x: f64, extent: f64, n: usize) -> usize {
+    let f = (x / extent * n as f64).floor();
+    if f < 0.0 {
+        0
+    } else {
+        (f as usize).min(n - 1)
+    }
+}
+
+fn lookup_material(r: &Resolved, n: &Spanned<String>) -> Result<Material, ParseError> {
+    r.materials
+        .get(&n.node)
+        .cloned()
+        .ok_or_else(|| ParseError::new(format!("unknown material `{}`", n.node), n.span))
+}
+
+fn build_package(sc: &Scenario, r: &Resolved) -> Result<Package, ParseError> {
+    let default_def = HeatSinkDef::default();
+    let hs = match &sc.heat_sink {
+        Some(h) => h,
+        None => &default_def,
+    };
+    let (tim_t, tim_m) = match &hs.tim {
+        Some((t, m)) => (t.node, lookup_material(r, m)?),
+        None => (defaults::TIM_THICKNESS, TIM.clone()),
+    };
+    let (sp_side, sp_t, sp_m) = match &hs.spreader {
+        Some((s, t, m)) => (s.node, t.node, lookup_material(r, m)?),
+        None => (defaults::SPREADER.0, defaults::SPREADER.1, COPPER.clone()),
+    };
+    let (sk_side, sk_t, sk_m) = match &hs.sink {
+        Some((s, t, m)) => (s.node, t.node, lookup_material(r, m)?),
+        None => (defaults::SINK.0, defaults::SINK.1, COPPER.clone()),
+    };
+    let ambient_c = or_default(&hs.ambient, DEFAULT_AMBIENT_C);
+    let ambient_span = match &hs.ambient {
+        Some(a) => a.span,
+        None => Span::default(),
+    };
+    let ambient =
+        Celsius::try_new(ambient_c).map_err(|e| ParseError::new(e.to_string(), ambient_span))?;
+    Ok(Package::one_dimensional(r.length, r.width)
+        .with_tim(tim_t, tim_m)
+        .with_spreader(sp_side, sp_t, sp_m)
+        .with_sink(sk_side, sk_t, sk_m)
+        .with_convection_resistance(or_default(&hs.convection, defaults::CONVECTION))
+        .with_ambient(ambient)
+        .with_board_resistance(Some(or_default(&hs.board, defaults::BOARD))))
+}
+
+fn build_layer(name: &str, proto: &LayerDef, r: &Resolved) -> Result<Layer, ParseError> {
+    let mut layer = Layer::uniform(
+        name,
+        proto.height.node,
+        lookup_material(r, &proto.material)?,
+    );
+    if let Some(f) = &proto.floorplan {
+        let fp =
+            r.floorplans.get(&f.node).cloned().ok_or_else(|| {
+                ParseError::new(format!("unknown floorplan `{}`", f.node), f.span)
+            })?;
+        layer = layer.with_floorplan(fp);
+    }
+    let geom = DramDieGeometry::paper_default();
+    let tech = TsvTech::thermal();
+    for op in &proto.ops {
+        match op {
+            LayerOp::BlockMaterial { block, material } => {
+                let m = lookup_material(r, material)?;
+                layer
+                    .set_block_material(&block.node, m)
+                    .map_err(|e| ParseError::new(e.to_string(), block.span))?;
+            }
+            LayerOp::Patch {
+                label,
+                x,
+                y,
+                w,
+                h,
+                material,
+            } => {
+                let m = lookup_material(r, material)?;
+                let rect = Rect::new(x.node, y.node, w.node, h.node);
+                layer
+                    .add_patch(MaterialPatch::new(label.node.clone(), rect, m))
+                    .map_err(|e| ParseError::new(e.to_string(), label.span))?;
+            }
+            LayerOp::Ttsvs { scheme, material } => {
+                let s = scheme_by_name(scheme)?;
+                let m = lookup_material(r, material)?;
+                let sites = s.sites(&geom);
+                paint_ttsvs(&mut layer, &sites, &tech, &m)
+                    .map_err(|e| ParseError::new(e.to_string(), scheme.span))?;
+            }
+            LayerOp::Pillars {
+                scheme,
+                footprint,
+                material,
+            } => {
+                let s = scheme_by_name(scheme)?;
+                let m = lookup_material(r, material)?;
+                let sites = s.sites(&geom);
+                let grow = ((footprint.node - tech.diameter) / 2.0).max(0.0);
+                paint_pillars(&mut layer, &sites, &tech, &m, grow)
+                    .map_err(|e| ParseError::new(e.to_string(), scheme.span))?;
+            }
+        }
+    }
+    Ok(layer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const TWO_LAYER: &str = "\
+material si :
+    thermal conductivity 120.0 ;
+    volumetric heat capacity 1.75e6 ;
+material cu :
+    thermal conductivity 400.0 ;
+    volumetric heat capacity 3.4e6 ;
+dimensions :
+    chip length 8e-3 , width 8e-3 ;
+    grid 8 , 8 ;
+floorplan halves :
+    block west at 0 , 0 size 4e-3 , 8e-3 ;
+    block east at 4e-3 , 0 size 4e-3 , 8e-3 ;
+layer body :
+    height 100e-6 ;
+    material si ;
+    floorplan halves ;
+    block east material cu ;
+layer lid :
+    height 2e-6 ;
+    material cu ;
+stack :
+    layer lid ;
+    layer body ;
+power :
+    uniform body 10.0 ;
+    block body west 2.5 ;
+solver :
+    steady ;
+output :
+    probe hot max in body ;
+    probe corner at 1e-3 , 1e-3 in body ;
+";
+
+    #[test]
+    fn lowers_layers_in_stack_order() {
+        let l = lower(&parse(TWO_LAYER).expect("parses")).expect("lowers");
+        assert_eq!(l.layer_names, vec!["lid".to_string(), "body".to_string()]);
+        assert_eq!(l.stack.layers().len(), 2);
+        assert_eq!(l.stack.layers()[0].name(), "lid");
+        assert_eq!(l.stack.layers()[1].thickness(), 100e-6);
+        assert_eq!(
+            l.power,
+            vec![
+                PowerBinding::Uniform {
+                    layer: 1,
+                    watts: 10.0
+                },
+                PowerBinding::Block {
+                    layer: 1,
+                    block: "west".to_string(),
+                    watts: 2.5
+                }
+            ]
+        );
+        assert_eq!(l.probes[1].site, ProbeSite::At { ix: 1, iy: 1 });
+    }
+
+    #[test]
+    fn block_override_applies_to_floorplan_block() {
+        let l = lower(&parse(TWO_LAYER).expect("parses")).expect("lowers");
+        let body = &l.stack.layers()[1];
+        // Block 1 ("east") overridden to copper, block 0 untouched.
+        assert!(body.block_material(0).is_none());
+        assert_eq!(
+            body.block_material(1).map(|m| m.conductivity().get()),
+            Some(400.0)
+        );
+    }
+
+    #[test]
+    fn default_package_matches_paper_values() {
+        let l = lower(&parse(TWO_LAYER).expect("parses")).expect("lowers");
+        let p = l.stack.package();
+        assert_eq!(p.tim_thickness(), defaults::TIM_THICKNESS);
+        assert_eq!(p.spreader_side(), defaults::SPREADER.0);
+        assert_eq!(p.sink_side(), defaults::SINK.0);
+        assert_eq!(p.convection_resistance(), defaults::CONVECTION);
+        assert_eq!(p.ambient(), DEFAULT_AMBIENT_C);
+        assert_eq!(p.board_resistance(), Some(defaults::BOARD));
+    }
+
+    #[test]
+    fn cell_of_clamps_boundaries() {
+        assert_eq!(cell_of(0.0, 8e-3, 8), 0);
+        assert_eq!(cell_of(8e-3, 8e-3, 8), 7);
+        assert_eq!(cell_of(4.1e-3, 8e-3, 8), 4);
+    }
+}

@@ -1,0 +1,310 @@
+//! The paper scenario, expressed as `.stk` text.
+//!
+//! [`paper_scenario_ir`] rebuilds the full Table-1 evaluation stack —
+//! 8 Wide I/O DRAM dies over the 4-core processor, `banke` TTSVs,
+//! default package — as a scenario IR whose every number is pulled from
+//! the same constants the hard-wired builder
+//! (`xylem_stack::builder::StackConfig::paper_default`) uses:
+//! material tables, die geometries, paper thicknesses. Printing it
+//! through [`crate::printer::print`] yields
+//! `scenarios/valid/xylem-paper.stk`, and because the shortest `{}`
+//! float representation round-trips bit-exactly, lowering the printed
+//! text produces a stack whose conductance matrix and steady solve are
+//! bit-identical to the builder's (the golden equivalence lock in
+//! `tests/golden_equivalence.rs`).
+//!
+//! The corpus file is locked to this function: the conformance test
+//! regenerates it under `XYLEM_UPDATE_SNAPSHOTS=1` and fails if the
+//! checked-in bytes drift.
+
+use xylem_stack::builder::StackConfig;
+use xylem_stack::scheme::XylemScheme;
+use xylem_thermal::floorplan::Floorplan;
+use xylem_thermal::material::{
+    self, electrical_bus_d2d, shorted_pillar_d2d, Material, COPPER, D2D_AVERAGE, DRAM_METAL,
+    PROC_METAL, SILICON, TIM,
+};
+use xylem_thermal::package::Package;
+
+use crate::ast::{
+    BlockDef, DieDef, Dimensions, FloorplanDef, HeatSinkDef, LayerDef, LayerOp, LayerRef,
+    MaterialDef, PowerStmt, ProbeDef, ProbeKind, Scenario, StackEntry,
+};
+use crate::span::{Span, Spanned};
+
+/// Grid used by the golden suite (32x32, `tests/golden_paper_claims.rs`).
+pub const PAPER_GRID: usize = 32;
+
+/// Processor power of the golden suite, W.
+pub const PAPER_PROC_WATTS: f64 = 20.0;
+
+/// Per-DRAM-metal-layer power of the golden suite, W.
+pub const PAPER_DRAM_WATTS: f64 = 0.4;
+
+/// Number of DRAM dies in the paper stack.
+pub const PAPER_DRAM_DIES: usize = 8;
+
+fn s<T>(node: T) -> Spanned<T> {
+    Spanned::synthetic(node)
+}
+
+fn mat(name: &str, m: &Material) -> MaterialDef {
+    MaterialDef {
+        name: s(name.to_string()),
+        conductivity: s(m.conductivity().get()),
+        capacity: s(m.volumetric_heat_capacity().get()),
+    }
+}
+
+fn floorplan_def(name: &str, fp: &Floorplan) -> FloorplanDef {
+    FloorplanDef {
+        name: s(name.to_string()),
+        blocks: fp
+            .blocks()
+            .iter()
+            .map(|b| BlockDef {
+                name: s(b.name().to_string()),
+                x: s(b.rect().x()),
+                y: s(b.rect().y()),
+                w: s(b.rect().width()),
+                h: s(b.rect().height()),
+            })
+            .collect(),
+    }
+}
+
+fn die_ref(instance: &str, layer: &str) -> LayerRef {
+    LayerRef {
+        instance: Some(s(instance.to_string())),
+        layer: s(layer.to_string()),
+    }
+}
+
+/// The paper evaluation stack as a scenario IR (synthetic spans).
+///
+/// Every numeric value is read out of the hard-wired configuration, so
+/// this IR — and the text printed from it — tracks the builder by
+/// construction.
+#[must_use]
+pub fn paper_scenario_ir() -> Scenario {
+    let cfg = StackConfig::paper_default(XylemScheme::BankEnhanced);
+    let g = &cfg.dram_geometry;
+    let pg = &cfg.proc_geometry;
+    let scheme_name = cfg.scheme.name();
+    let dram_fp = g.floorplan().expect("paper DRAM floorplan is valid");
+    let proc_fp = pg.floorplan().expect("paper processor floorplan is valid");
+    let bus = g.tsv_bus_rect();
+
+    let materials = vec![
+        mat("si", &SILICON),
+        mat("cu", &COPPER),
+        mat("dram_metal", &DRAM_METAL),
+        mat("proc_metal", &PROC_METAL),
+        mat("d2d_avg", &D2D_AVERAGE),
+        mat("tim", &TIM),
+        mat("tsv_bus_si", &material::tsv_bus()),
+        mat("ebus_d2d", &electrical_bus_d2d(cfg.d2d_thickness)),
+        mat("pillar_d2d", &shorted_pillar_d2d(cfg.d2d_thickness)),
+    ];
+
+    let dimensions = Some(Dimensions {
+        length: s(g.width),
+        width: s(g.height),
+        grid: (s(PAPER_GRID as f64), s(PAPER_GRID as f64)),
+        span: Span::default(),
+    });
+
+    let p: &Package = &cfg.package;
+    let heat_sink = Some(HeatSinkDef {
+        tim: Some((s(p.tim_thickness()), s("tim".to_string()))),
+        spreader: Some((
+            s(p.spreader_side()),
+            s(p.spreader_thickness()),
+            s("cu".to_string()),
+        )),
+        sink: Some((s(p.sink_side()), s(p.sink_thickness()), s("cu".to_string()))),
+        convection: Some(s(p.convection_resistance())),
+        ambient: Some(s(p.ambient())),
+        board: p.board_resistance().map(s),
+        span: Span::default(),
+    });
+
+    let floorplans = vec![
+        floorplan_def("dram", &dram_fp),
+        floorplan_def("proc", &proc_fp),
+    ];
+
+    let tsv_bus_override = LayerOp::BlockMaterial {
+        block: s("tsv_bus".to_string()),
+        material: s("tsv_bus_si".to_string()),
+    };
+    let ttsvs = LayerOp::Ttsvs {
+        scheme: s(scheme_name.to_string()),
+        material: s("cu".to_string()),
+    };
+    let layers = vec![
+        LayerDef {
+            name: s("dram_si".to_string()),
+            height: s(cfg.die_thickness),
+            material: s("si".to_string()),
+            floorplan: Some(s("dram".to_string())),
+            ops: vec![tsv_bus_override.clone(), ttsvs.clone()],
+        },
+        LayerDef {
+            name: s("dram_metal".to_string()),
+            height: s(cfg.dram_metal_thickness),
+            material: s("dram_metal".to_string()),
+            floorplan: Some(s("dram".to_string())),
+            ops: vec![],
+        },
+        LayerDef {
+            name: s("d2d".to_string()),
+            height: s(cfg.d2d_thickness),
+            material: s("d2d_avg".to_string()),
+            floorplan: None,
+            // Order matters: the builder adds the electrical-bus patch
+            // before the pillar patches, and lowering preserves source
+            // order, so the printed text must list the bus first.
+            ops: vec![
+                LayerOp::Patch {
+                    label: s("electrical-bus".to_string()),
+                    x: s(bus.x()),
+                    y: s(bus.y()),
+                    w: s(bus.width()),
+                    h: s(bus.height()),
+                    material: s("ebus_d2d".to_string()),
+                },
+                LayerOp::Pillars {
+                    scheme: s(scheme_name.to_string()),
+                    footprint: s(cfg.pillar_footprint),
+                    material: s("pillar_d2d".to_string()),
+                },
+            ],
+        },
+        LayerDef {
+            name: s("proc_si".to_string()),
+            height: s(cfg.die_thickness),
+            material: s("si".to_string()),
+            floorplan: Some(s("proc".to_string())),
+            ops: vec![tsv_bus_override, ttsvs],
+        },
+        LayerDef {
+            name: s("proc_metal".to_string()),
+            height: s(cfg.proc_metal_thickness),
+            material: s("proc_metal".to_string()),
+            floorplan: Some(s("proc".to_string())),
+            ops: vec![],
+        },
+    ];
+
+    let dies = vec![
+        DieDef {
+            name: s("dram".to_string()),
+            layers: vec![
+                s("dram_si".to_string()),
+                s("dram_metal".to_string()),
+                s("d2d".to_string()),
+            ],
+            discretization: Some((s(PAPER_GRID as f64), s(PAPER_GRID as f64))),
+        },
+        DieDef {
+            name: s("cpu".to_string()),
+            layers: vec![s("proc_si".to_string()), s("proc_metal".to_string())],
+            discretization: None,
+        },
+    ];
+
+    let mut stack = Vec::with_capacity(PAPER_DRAM_DIES + 1);
+    for die in 0..PAPER_DRAM_DIES {
+        stack.push(StackEntry::Die {
+            instance: s(format!("dram{die}")),
+            def: s("dram".to_string()),
+        });
+    }
+    stack.push(StackEntry::Die {
+        instance: s("cpu".to_string()),
+        def: s("cpu".to_string()),
+    });
+
+    let mut power = vec![PowerStmt::Uniform {
+        target: die_ref("cpu", "proc_metal"),
+        watts: s(PAPER_PROC_WATTS),
+    }];
+    for die in 0..PAPER_DRAM_DIES {
+        power.push(PowerStmt::Uniform {
+            target: die_ref(&format!("dram{die}"), "dram_metal"),
+            watts: s(PAPER_DRAM_WATTS),
+        });
+    }
+
+    let bottom_dram = format!("dram{}", PAPER_DRAM_DIES - 1);
+    let probes = vec![
+        ProbeDef {
+            name: s("proc_hotspot".to_string()),
+            kind: ProbeKind::Max,
+            target: die_ref("cpu", "proc_metal"),
+        },
+        ProbeDef {
+            name: s("dram_hotspot".to_string()),
+            kind: ProbeKind::Max,
+            target: die_ref(&bottom_dram, "dram_metal"),
+        },
+        ProbeDef {
+            name: s("proc_mean".to_string()),
+            kind: ProbeKind::Mean,
+            target: die_ref("cpu", "proc_metal"),
+        },
+    ];
+
+    Scenario {
+        materials,
+        dimensions,
+        heat_sink,
+        floorplans,
+        layers,
+        dies,
+        stack,
+        stack_span: Some(Span::default()),
+        power,
+        solver_steady: true,
+        probes,
+    }
+}
+
+/// The canonical text of `scenarios/valid/xylem-paper.stk`.
+#[must_use]
+pub fn paper_scenario_text() -> String {
+    let mut text = String::from(
+        "// The Xylem paper evaluation stack (Table 1): 8 Wide I/O DRAM dies\n\
+         // over a 4-core processor, banke TTSVs, default package.\n\
+         // GENERATED from xylem_scenario::paper::paper_scenario_text() --\n\
+         // regenerate with XYLEM_UPDATE_SNAPSHOTS=1, do not hand-edit.\n\n",
+    );
+    text.push_str(&crate::printer::print(&paper_scenario_ir()));
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::parser::parse;
+
+    #[test]
+    fn paper_text_parses_to_the_paper_ir() {
+        let ir = paper_scenario_ir();
+        let parsed = parse(&paper_scenario_text()).expect("paper text parses");
+        assert_eq!(ir, parsed);
+    }
+
+    #[test]
+    fn paper_scenario_lowers_to_26_layers() {
+        let l = lower(&paper_scenario_ir()).expect("paper scenario lowers");
+        assert_eq!(l.layer_names.len(), 3 * PAPER_DRAM_DIES + 2);
+        assert_eq!(l.nx, PAPER_GRID);
+        assert_eq!(l.layer_names[0], "dram0.dram_si");
+        assert_eq!(l.layer_names[25], "cpu.proc_metal");
+        assert_eq!(l.power.len(), 1 + PAPER_DRAM_DIES);
+        assert_eq!(l.probes.len(), 3);
+    }
+}

@@ -1,0 +1,841 @@
+//! Recursive-descent parser for the `.stk` scenario grammar.
+//!
+//! ```text
+//! material NAME : thermal conductivity N ; volumetric heat capacity N ;
+//! dimensions : chip length N , width N ; grid N , N ;
+//! heat sink : tim thickness N material ID ; spreader side N , thickness N , material ID ;
+//!             sink side N , thickness N , material ID ; convection resistance N ;
+//!             ambient temperature N ; board resistance N ;
+//! floorplan NAME : block ID at N , N size N , N ;
+//! layer NAME : height N ; material ID ; floorplan ID ; block ID material ID ;
+//!              patch ID at N , N size N , N material ID ;
+//!              ttsvs ID material ID ; pillars ID footprint N material ID ;
+//! die NAME : layer ID ; discretization N , N ;
+//! stack : die INSTANCE DIEDEF ; layer ID ;
+//! power : uniform LAYERREF N ; block LAYERREF ID N ;
+//! solver : steady ;
+//! output : probe ID max in LAYERREF ; probe ID mean in LAYERREF ;
+//!          probe ID at N , N in LAYERREF ;
+//! LAYERREF := IDENT ( "." IDENT )?
+//! ```
+//!
+//! Statements end with `;`; sections end implicitly at the next section
+//! header. The keywords `material`, `floorplan`, `layer`, and `die` are
+//! contextual: inside a section body they open a *new* section only
+//! when followed by a name and then `:` (two-token lookahead), so
+//! `layer proc_si ;` inside `stack` is a statement while
+//! `layer proc_si :` starts a prototype.
+//!
+//! Like the lexer, the parser is total: every token stream either
+//! yields a [`Scenario`] or a clean spanned [`ParseError`]. The token
+//! cursor never moves backwards and every loop either consumes a token
+//! or returns, so parsing terminates on all inputs.
+
+use crate::ast::{
+    BlockDef, DieDef, Dimensions, FloorplanDef, HeatSinkDef, LayerDef, LayerOp, LayerRef,
+    MaterialDef, PowerStmt, ProbeDef, ProbeKind, Scenario, StackEntry,
+};
+use crate::error::ParseError;
+use crate::lexer::{lex, Tok, TokKind};
+use crate::span::Spanned;
+
+/// Sections introduced by a bare keyword followed by `:`.
+const BARE_SECTIONS: [&str; 5] = ["dimensions", "stack", "power", "solver", "output"];
+/// Sections introduced by `keyword NAME :` (contextual keywords).
+const NAMED_SECTIONS: [&str; 4] = ["material", "floorplan", "layer", "die"];
+
+/// Parses `.stk` source text into the scenario IR.
+///
+/// # Errors
+///
+/// The first lexical or syntactic problem, as a spanned [`ParseError`].
+pub fn parse(source: &str) -> Result<Scenario, ParseError> {
+    let toks = lex(source)?;
+    Parser { toks, pos: 0 }.scenario()
+}
+
+fn found(t: &Tok) -> String {
+    if t.kind == TokKind::Eof {
+        "end of file".to_string()
+    } else {
+        format!("`{}`", t.text)
+    }
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        // The lexer always appends an Eof sentinel and `bump` never
+        // moves past it, so this index is in range.
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        &self.toks[(self.pos + n).min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.peek().clone();
+        if t.kind != TokKind::Eof {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kw(&mut self, word: &str) -> Result<Tok, ParseError> {
+        if self.peek().is_ident(word) {
+            Ok(self.bump())
+        } else {
+            let t = self.peek();
+            Err(ParseError::new(
+                format!("expected `{word}`, found {}", found(t)),
+                t.span,
+            ))
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<Tok, ParseError> {
+        if self.peek().is_punct(c) {
+            Ok(self.bump())
+        } else {
+            let t = self.peek();
+            Err(ParseError::new(
+                format!("expected `{c}`, found {}", found(t)),
+                t.span,
+            ))
+        }
+    }
+
+    fn expect_name(&mut self, what: &str) -> Result<Spanned<String>, ParseError> {
+        if self.peek().kind == TokKind::Ident {
+            let t = self.bump();
+            Ok(Spanned::new(t.text, t.span))
+        } else {
+            let t = self.peek();
+            Err(ParseError::new(
+                format!("expected {what}, found {}", found(t)),
+                t.span,
+            ))
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<Spanned<f64>, ParseError> {
+        if self.peek().kind == TokKind::Number {
+            let t = self.bump();
+            Ok(Spanned::new(t.value, t.span))
+        } else {
+            let t = self.peek();
+            Err(ParseError::new(
+                format!("expected a number, found {}", found(t)),
+                t.span,
+            ))
+        }
+    }
+
+    /// Whether the cursor sits on a section header (the contextual
+    /// two-token lookahead described in the module docs).
+    fn starts_section(&self) -> bool {
+        let t = self.peek();
+        if t.kind != TokKind::Ident {
+            return false;
+        }
+        if BARE_SECTIONS.contains(&t.text.as_str()) {
+            return self.peek_at(1).is_punct(':');
+        }
+        if t.is_ident("heat") {
+            return self.peek_at(1).is_ident("sink") && self.peek_at(2).is_punct(':');
+        }
+        if NAMED_SECTIONS.contains(&t.text.as_str()) {
+            return self.peek_at(1).kind == TokKind::Ident && self.peek_at(2).is_punct(':');
+        }
+        false
+    }
+
+    fn at_section_end(&self) -> bool {
+        self.peek().kind == TokKind::Eof || self.starts_section()
+    }
+
+    fn unknown_stmt(&self, section: &str, expected: &str) -> ParseError {
+        let t = self.peek();
+        let message = if t.kind == TokKind::Ident {
+            format!("unknown statement `{}` in `{section}` section", t.text)
+        } else {
+            format!(
+                "expected a statement in `{section}` section, found {}",
+                found(t)
+            )
+        };
+        ParseError::new(message, t.span).with_note(format!("expected one of: {expected}"))
+    }
+
+    fn duplicate(&self, what: &str, t: &Tok) -> ParseError {
+        ParseError::new(format!("duplicate `{what}` statement"), t.span)
+    }
+
+    fn scenario(&mut self) -> Result<Scenario, ParseError> {
+        let mut sc = Scenario::default();
+        while self.peek().kind != TokKind::Eof {
+            if !self.starts_section() {
+                let t = self.peek();
+                return Err(ParseError::new(
+                    format!("expected a section header, found {}", found(t)),
+                    t.span,
+                )
+                .with_note(
+                    "sections: material, dimensions, heat sink, floorplan, layer, die, \
+                     stack, power, solver, output",
+                ));
+            }
+            let head = self.peek().clone();
+            match head.text.as_str() {
+                "material" => {
+                    let m = self.material_section()?;
+                    sc.materials.push(m);
+                }
+                "dimensions" => {
+                    if sc.dimensions.is_some() {
+                        return Err(ParseError::new("duplicate `dimensions` section", head.span));
+                    }
+                    sc.dimensions = Some(self.dimensions_section()?);
+                }
+                "heat" => {
+                    if sc.heat_sink.is_some() {
+                        return Err(ParseError::new("duplicate `heat sink` section", head.span));
+                    }
+                    sc.heat_sink = Some(self.heat_sink_section()?);
+                }
+                "floorplan" => {
+                    let f = self.floorplan_section()?;
+                    sc.floorplans.push(f);
+                }
+                "layer" => {
+                    let l = self.layer_section()?;
+                    sc.layers.push(l);
+                }
+                "die" => {
+                    let d = self.die_section()?;
+                    sc.dies.push(d);
+                }
+                "stack" => {
+                    if sc.stack_span.is_some() {
+                        return Err(ParseError::new("duplicate `stack` section", head.span));
+                    }
+                    sc.stack_span = Some(head.span);
+                    self.stack_section(&mut sc)?;
+                }
+                "power" => self.power_section(&mut sc)?,
+                "solver" => {
+                    if sc.solver_steady {
+                        return Err(ParseError::new("duplicate `solver` section", head.span));
+                    }
+                    self.solver_section(&mut sc)?;
+                }
+                "output" => self.output_section(&mut sc)?,
+                // starts_section() returned true, so head is one of the
+                // section keywords handled above.
+                _ => unreachable!("starts_section admitted a non-section keyword"),
+            }
+        }
+        Ok(sc)
+    }
+
+    fn material_section(&mut self) -> Result<MaterialDef, ParseError> {
+        self.expect_kw("material")?;
+        let name = self.expect_name("a material name")?;
+        self.expect_punct(':')?;
+        let mut conductivity: Option<Spanned<f64>> = None;
+        let mut capacity: Option<Spanned<f64>> = None;
+        while !self.at_section_end() {
+            let t = self.peek().clone();
+            if t.is_ident("thermal") {
+                self.bump();
+                self.expect_kw("conductivity")?;
+                let v = self.expect_number()?;
+                self.expect_punct(';')?;
+                if conductivity.replace(v).is_some() {
+                    return Err(self.duplicate("thermal conductivity", &t));
+                }
+            } else if t.is_ident("volumetric") {
+                self.bump();
+                self.expect_kw("heat")?;
+                self.expect_kw("capacity")?;
+                let v = self.expect_number()?;
+                self.expect_punct(';')?;
+                if capacity.replace(v).is_some() {
+                    return Err(self.duplicate("volumetric heat capacity", &t));
+                }
+            } else {
+                return Err(
+                    self.unknown_stmt("material", "thermal conductivity, volumetric heat capacity")
+                );
+            }
+        }
+        let conductivity = conductivity.ok_or_else(|| {
+            ParseError::new(
+                format!("material `{}` is missing `thermal conductivity`", name.node),
+                name.span,
+            )
+        })?;
+        let capacity = capacity.ok_or_else(|| {
+            ParseError::new(
+                format!(
+                    "material `{}` is missing `volumetric heat capacity`",
+                    name.node
+                ),
+                name.span,
+            )
+        })?;
+        Ok(MaterialDef {
+            name,
+            conductivity,
+            capacity,
+        })
+    }
+
+    fn dimensions_section(&mut self) -> Result<Dimensions, ParseError> {
+        let head = self.expect_kw("dimensions")?;
+        self.expect_punct(':')?;
+        let mut chip: Option<(Spanned<f64>, Spanned<f64>)> = None;
+        let mut grid: Option<(Spanned<f64>, Spanned<f64>)> = None;
+        while !self.at_section_end() {
+            let t = self.peek().clone();
+            if t.is_ident("chip") {
+                self.bump();
+                self.expect_kw("length")?;
+                let l = self.expect_number()?;
+                self.expect_punct(',')?;
+                self.expect_kw("width")?;
+                let w = self.expect_number()?;
+                self.expect_punct(';')?;
+                if chip.replace((l, w)).is_some() {
+                    return Err(self.duplicate("chip", &t));
+                }
+            } else if t.is_ident("grid") {
+                self.bump();
+                let nx = self.expect_number()?;
+                self.expect_punct(',')?;
+                let ny = self.expect_number()?;
+                self.expect_punct(';')?;
+                if grid.replace((nx, ny)).is_some() {
+                    return Err(self.duplicate("grid", &t));
+                }
+            } else {
+                return Err(self.unknown_stmt("dimensions", "chip, grid"));
+            }
+        }
+        let (length, width) = chip
+            .ok_or_else(|| ParseError::new("`dimensions` section is missing `chip`", head.span))?;
+        let grid = grid
+            .ok_or_else(|| ParseError::new("`dimensions` section is missing `grid`", head.span))?;
+        Ok(Dimensions {
+            length,
+            width,
+            grid,
+            span: head.span,
+        })
+    }
+
+    fn heat_sink_section(&mut self) -> Result<HeatSinkDef, ParseError> {
+        let head = self.expect_kw("heat")?;
+        self.expect_kw("sink")?;
+        self.expect_punct(':')?;
+        let mut def = HeatSinkDef {
+            span: head.span,
+            ..HeatSinkDef::default()
+        };
+        while !self.at_section_end() {
+            let t = self.peek().clone();
+            if t.is_ident("tim") {
+                self.bump();
+                self.expect_kw("thickness")?;
+                let th = self.expect_number()?;
+                self.expect_kw("material")?;
+                let m = self.expect_name("a material name")?;
+                self.expect_punct(';')?;
+                if def.tim.replace((th, m)).is_some() {
+                    return Err(self.duplicate("tim", &t));
+                }
+            } else if t.is_ident("spreader") || t.is_ident("sink") {
+                self.bump();
+                self.expect_kw("side")?;
+                let side = self.expect_number()?;
+                self.expect_punct(',')?;
+                self.expect_kw("thickness")?;
+                let th = self.expect_number()?;
+                self.expect_punct(',')?;
+                self.expect_kw("material")?;
+                let m = self.expect_name("a material name")?;
+                self.expect_punct(';')?;
+                let slot = if t.is_ident("spreader") {
+                    &mut def.spreader
+                } else {
+                    &mut def.sink
+                };
+                if slot.replace((side, th, m)).is_some() {
+                    return Err(self.duplicate(&t.text, &t));
+                }
+            } else if t.is_ident("convection") {
+                self.bump();
+                self.expect_kw("resistance")?;
+                let v = self.expect_number()?;
+                self.expect_punct(';')?;
+                if def.convection.replace(v).is_some() {
+                    return Err(self.duplicate("convection resistance", &t));
+                }
+            } else if t.is_ident("ambient") {
+                self.bump();
+                self.expect_kw("temperature")?;
+                let v = self.expect_number()?;
+                self.expect_punct(';')?;
+                if def.ambient.replace(v).is_some() {
+                    return Err(self.duplicate("ambient temperature", &t));
+                }
+            } else if t.is_ident("board") {
+                self.bump();
+                self.expect_kw("resistance")?;
+                let v = self.expect_number()?;
+                self.expect_punct(';')?;
+                if def.board.replace(v).is_some() {
+                    return Err(self.duplicate("board resistance", &t));
+                }
+            } else {
+                return Err(self.unknown_stmt(
+                    "heat sink",
+                    "tim, spreader, sink, convection, ambient, board",
+                ));
+            }
+        }
+        Ok(def)
+    }
+
+    fn floorplan_section(&mut self) -> Result<FloorplanDef, ParseError> {
+        self.expect_kw("floorplan")?;
+        let name = self.expect_name("a floorplan name")?;
+        self.expect_punct(':')?;
+        let mut blocks = Vec::new();
+        while !self.at_section_end() {
+            if !self.peek().is_ident("block") {
+                return Err(self.unknown_stmt("floorplan", "block"));
+            }
+            self.bump();
+            let bname = self.expect_name("a block name")?;
+            self.expect_kw("at")?;
+            let x = self.expect_number()?;
+            self.expect_punct(',')?;
+            let y = self.expect_number()?;
+            self.expect_kw("size")?;
+            let w = self.expect_number()?;
+            self.expect_punct(',')?;
+            let h = self.expect_number()?;
+            self.expect_punct(';')?;
+            blocks.push(BlockDef {
+                name: bname,
+                x,
+                y,
+                w,
+                h,
+            });
+        }
+        Ok(FloorplanDef { name, blocks })
+    }
+
+    fn layer_section(&mut self) -> Result<LayerDef, ParseError> {
+        self.expect_kw("layer")?;
+        let name = self.expect_name("a layer name")?;
+        self.expect_punct(':')?;
+        let mut height: Option<Spanned<f64>> = None;
+        let mut material: Option<Spanned<String>> = None;
+        let mut floorplan: Option<Spanned<String>> = None;
+        let mut ops = Vec::new();
+        while !self.at_section_end() {
+            let t = self.peek().clone();
+            if t.is_ident("height") {
+                self.bump();
+                let v = self.expect_number()?;
+                self.expect_punct(';')?;
+                if height.replace(v).is_some() {
+                    return Err(self.duplicate("height", &t));
+                }
+            } else if t.is_ident("material") {
+                self.bump();
+                let m = self.expect_name("a material name")?;
+                self.expect_punct(';')?;
+                if material.replace(m).is_some() {
+                    return Err(self.duplicate("material", &t));
+                }
+            } else if t.is_ident("floorplan") {
+                self.bump();
+                let f = self.expect_name("a floorplan name")?;
+                self.expect_punct(';')?;
+                if floorplan.replace(f).is_some() {
+                    return Err(self.duplicate("floorplan", &t));
+                }
+            } else if t.is_ident("block") {
+                self.bump();
+                let block = self.expect_name("a block name")?;
+                self.expect_kw("material")?;
+                let m = self.expect_name("a material name")?;
+                self.expect_punct(';')?;
+                ops.push(LayerOp::BlockMaterial { block, material: m });
+            } else if t.is_ident("patch") {
+                self.bump();
+                let label = self.expect_name("a patch label")?;
+                self.expect_kw("at")?;
+                let x = self.expect_number()?;
+                self.expect_punct(',')?;
+                let y = self.expect_number()?;
+                self.expect_kw("size")?;
+                let w = self.expect_number()?;
+                self.expect_punct(',')?;
+                let h = self.expect_number()?;
+                self.expect_kw("material")?;
+                let m = self.expect_name("a material name")?;
+                self.expect_punct(';')?;
+                ops.push(LayerOp::Patch {
+                    label,
+                    x,
+                    y,
+                    w,
+                    h,
+                    material: m,
+                });
+            } else if t.is_ident("ttsvs") {
+                self.bump();
+                let scheme = self.expect_name("a scheme name")?;
+                self.expect_kw("material")?;
+                let m = self.expect_name("a material name")?;
+                self.expect_punct(';')?;
+                ops.push(LayerOp::Ttsvs {
+                    scheme,
+                    material: m,
+                });
+            } else if t.is_ident("pillars") {
+                self.bump();
+                let scheme = self.expect_name("a scheme name")?;
+                self.expect_kw("footprint")?;
+                let footprint = self.expect_number()?;
+                self.expect_kw("material")?;
+                let m = self.expect_name("a material name")?;
+                self.expect_punct(';')?;
+                ops.push(LayerOp::Pillars {
+                    scheme,
+                    footprint,
+                    material: m,
+                });
+            } else {
+                return Err(self.unknown_stmt(
+                    "layer",
+                    "height, material, floorplan, block, patch, ttsvs, pillars",
+                ));
+            }
+        }
+        let height = height.ok_or_else(|| {
+            ParseError::new(
+                format!("layer `{}` is missing `height`", name.node),
+                name.span,
+            )
+        })?;
+        let material = material.ok_or_else(|| {
+            ParseError::new(
+                format!("layer `{}` is missing `material`", name.node),
+                name.span,
+            )
+        })?;
+        Ok(LayerDef {
+            name,
+            height,
+            material,
+            floorplan,
+            ops,
+        })
+    }
+
+    fn die_section(&mut self) -> Result<DieDef, ParseError> {
+        self.expect_kw("die")?;
+        let name = self.expect_name("a die name")?;
+        self.expect_punct(':')?;
+        let mut layers = Vec::new();
+        let mut discretization: Option<(Spanned<f64>, Spanned<f64>)> = None;
+        while !self.at_section_end() {
+            let t = self.peek().clone();
+            if t.is_ident("layer") {
+                self.bump();
+                let l = self.expect_name("a layer name")?;
+                self.expect_punct(';')?;
+                layers.push(l);
+            } else if t.is_ident("discretization") {
+                self.bump();
+                let nx = self.expect_number()?;
+                self.expect_punct(',')?;
+                let ny = self.expect_number()?;
+                self.expect_punct(';')?;
+                if discretization.replace((nx, ny)).is_some() {
+                    return Err(self.duplicate("discretization", &t));
+                }
+            } else {
+                return Err(self.unknown_stmt("die", "layer, discretization"));
+            }
+        }
+        Ok(DieDef {
+            name,
+            layers,
+            discretization,
+        })
+    }
+
+    fn stack_section(&mut self, sc: &mut Scenario) -> Result<(), ParseError> {
+        self.expect_kw("stack")?;
+        self.expect_punct(':')?;
+        while !self.at_section_end() {
+            let t = self.peek().clone();
+            if t.is_ident("die") {
+                self.bump();
+                let instance = self.expect_name("a die instance name")?;
+                let def = self.expect_name("a die prototype name")?;
+                self.expect_punct(';')?;
+                sc.stack.push(StackEntry::Die { instance, def });
+            } else if t.is_ident("layer") {
+                self.bump();
+                let def = self.expect_name("a layer name")?;
+                self.expect_punct(';')?;
+                sc.stack.push(StackEntry::Layer { def });
+            } else {
+                return Err(self.unknown_stmt("stack", "die, layer"));
+            }
+        }
+        Ok(())
+    }
+
+    fn layer_ref(&mut self) -> Result<LayerRef, ParseError> {
+        let first = self.expect_name("a layer reference")?;
+        if self.peek().is_punct('.') {
+            self.bump();
+            let layer = self.expect_name("a layer name")?;
+            Ok(LayerRef {
+                instance: Some(first),
+                layer,
+            })
+        } else {
+            Ok(LayerRef {
+                instance: None,
+                layer: first,
+            })
+        }
+    }
+
+    fn power_section(&mut self, sc: &mut Scenario) -> Result<(), ParseError> {
+        self.expect_kw("power")?;
+        self.expect_punct(':')?;
+        while !self.at_section_end() {
+            let t = self.peek().clone();
+            if t.is_ident("uniform") {
+                self.bump();
+                let target = self.layer_ref()?;
+                let watts = self.expect_number()?;
+                self.expect_punct(';')?;
+                sc.power.push(PowerStmt::Uniform { target, watts });
+            } else if t.is_ident("block") {
+                self.bump();
+                let target = self.layer_ref()?;
+                let block = self.expect_name("a block name")?;
+                let watts = self.expect_number()?;
+                self.expect_punct(';')?;
+                sc.power.push(PowerStmt::Block {
+                    target,
+                    block,
+                    watts,
+                });
+            } else {
+                return Err(self.unknown_stmt("power", "uniform, block"));
+            }
+        }
+        Ok(())
+    }
+
+    fn solver_section(&mut self, sc: &mut Scenario) -> Result<(), ParseError> {
+        let head = self.expect_kw("solver")?;
+        self.expect_punct(':')?;
+        while !self.at_section_end() {
+            let t = self.peek().clone();
+            if t.is_ident("steady") {
+                self.bump();
+                self.expect_punct(';')?;
+                if sc.solver_steady {
+                    return Err(self.duplicate("steady", &t));
+                }
+                sc.solver_steady = true;
+            } else {
+                return Err(self.unknown_stmt("solver", "steady"));
+            }
+        }
+        if !sc.solver_steady {
+            return Err(ParseError::new(
+                "`solver` section must declare `steady`",
+                head.span,
+            ));
+        }
+        Ok(())
+    }
+
+    fn output_section(&mut self, sc: &mut Scenario) -> Result<(), ParseError> {
+        self.expect_kw("output")?;
+        self.expect_punct(':')?;
+        while !self.at_section_end() {
+            if !self.peek().is_ident("probe") {
+                return Err(self.unknown_stmt("output", "probe"));
+            }
+            self.bump();
+            let name = self.expect_name("a probe name")?;
+            let t = self.peek().clone();
+            let kind = if t.is_ident("max") {
+                self.bump();
+                ProbeKind::Max
+            } else if t.is_ident("mean") {
+                self.bump();
+                ProbeKind::Mean
+            } else if t.is_ident("at") {
+                self.bump();
+                let x = self.expect_number()?;
+                self.expect_punct(',')?;
+                let y = self.expect_number()?;
+                ProbeKind::At(x, y)
+            } else {
+                return Err(ParseError::new(
+                    format!("expected `max`, `mean`, or `at`, found {}", found(&t)),
+                    t.span,
+                ));
+            };
+            self.expect_kw("in")?;
+            let target = self.layer_ref()?;
+            self.expect_punct(';')?;
+            sc.probes.push(ProbeDef { name, kind, target });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "\
+// a minimal two-layer stack
+material si :
+    thermal conductivity 120.0 ;
+    volumetric heat capacity 1.75e6 ;
+
+dimensions :
+    chip length 8e-3 , width 8e-3 ;
+    grid 16 , 16 ;
+
+layer body :
+    height 100e-6 ;
+    material si ;
+
+stack :
+    layer body ;
+
+power :
+    uniform body 10.0 ;
+
+solver :
+    steady ;
+
+output :
+    probe hot max in body ;
+";
+
+    #[test]
+    fn parses_a_minimal_scenario() {
+        let sc = parse(SMALL).expect("parses");
+        assert_eq!(sc.materials.len(), 1);
+        assert_eq!(sc.materials[0].name.node, "si");
+        let dims = sc.dimensions.expect("dimensions");
+        assert_eq!(dims.grid.0.node, 16.0);
+        assert_eq!(sc.layers.len(), 1);
+        assert_eq!(sc.stack.len(), 1);
+        assert!(sc.solver_steady);
+        assert_eq!(sc.probes.len(), 1);
+        assert!(matches!(sc.probes[0].kind, ProbeKind::Max));
+    }
+
+    #[test]
+    fn contextual_layer_keyword_statement_vs_section() {
+        // `layer x ;` inside stack is a statement; `layer x :` opens a
+        // section. Both in one file.
+        let src = "\
+material m :
+    thermal conductivity 1.0 ;
+    volumetric heat capacity 1.0 ;
+layer x :
+    height 1e-6 ;
+    material m ;
+stack :
+    layer x ;
+";
+        let sc = parse(src).expect("parses");
+        assert_eq!(sc.layers.len(), 1);
+        assert!(matches!(&sc.stack[0], StackEntry::Layer { def } if def.node == "x"));
+    }
+
+    #[test]
+    fn qualified_layer_refs_parse() {
+        let src = "\
+power :
+    uniform cpu.proc_metal 20.0 ;
+    block cpu.proc_si core0 1.5 ;
+";
+        let sc = parse(src).expect("parses");
+        match &sc.power[0] {
+            PowerStmt::Uniform { target, watts } => {
+                assert_eq!(target.resolved(), "cpu.proc_metal");
+                assert_eq!(watts.node, 20.0);
+            }
+            PowerStmt::Block { .. } => unreachable!("first statement is uniform"),
+        }
+    }
+
+    #[test]
+    fn missing_semicolon_points_at_next_token() {
+        let src = "\
+material m :
+    thermal conductivity 1.0 ;
+    volumetric heat capacity 1.0
+dimensions :
+    chip length 1.0 , width 1.0 ;
+    grid 4 , 4 ;
+";
+        let e = parse(src).expect_err("missing semicolon");
+        assert!(e.message.contains("expected `;`"), "{}", e.message);
+        assert_eq!(e.span.line, 4);
+    }
+
+    #[test]
+    fn unknown_statement_names_the_section() {
+        let e = parse("solver :\n    transient ;\n").expect_err("rejected");
+        assert!(
+            e.message.contains("unknown statement `transient`"),
+            "{}",
+            e.message
+        );
+        assert!(e.note.as_deref() == Some("expected one of: steady"));
+    }
+
+    #[test]
+    fn duplicate_sections_are_rejected() {
+        let src = "\
+dimensions :
+    chip length 1.0 , width 1.0 ;
+    grid 4 , 4 ;
+dimensions :
+    chip length 1.0 , width 1.0 ;
+    grid 4 , 4 ;
+";
+        let e = parse(src).expect_err("rejected");
+        assert_eq!(e.message, "duplicate `dimensions` section");
+    }
+}

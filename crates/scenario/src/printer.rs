@@ -1,0 +1,297 @@
+//! The canonical `.stk` pretty-printer.
+//!
+//! Locked by the round-trip property `parse(print(ir)) == ir` (see
+//! `tests/roundtrip.rs`): every IR the parser can produce prints back
+//! to text that re-parses to the same IR. Numbers use Rust's shortest
+//! `{}` representation, which `str::parse::<f64>()` recovers
+//! bit-exactly, so printing never loses physical precision.
+
+use std::fmt::Write as _;
+
+use crate::ast::{LayerOp, LayerRef, PowerStmt, ProbeKind, Scenario, StackEntry};
+
+fn num(v: f64) -> String {
+    format!("{v}")
+}
+
+fn layer_ref(r: &LayerRef) -> String {
+    match &r.instance {
+        Some(i) => format!("{}.{}", i.node, r.layer.node),
+        None => r.layer.node.clone(),
+    }
+}
+
+/// Renders a scenario IR as canonical `.stk` text.
+#[must_use]
+pub fn print(sc: &Scenario) -> String {
+    let mut o = String::new();
+    for m in &sc.materials {
+        let _ = writeln!(o, "material {} :", m.name.node);
+        let _ = writeln!(o, "    thermal conductivity {} ;", num(m.conductivity.node));
+        let _ = writeln!(o, "    volumetric heat capacity {} ;", num(m.capacity.node));
+        o.push('\n');
+    }
+    if let Some(d) = &sc.dimensions {
+        let _ = writeln!(o, "dimensions :");
+        let _ = writeln!(
+            o,
+            "    chip length {} , width {} ;",
+            num(d.length.node),
+            num(d.width.node)
+        );
+        let _ = writeln!(
+            o,
+            "    grid {} , {} ;",
+            num(d.grid.0.node),
+            num(d.grid.1.node)
+        );
+        o.push('\n');
+    }
+    if let Some(hs) = &sc.heat_sink {
+        let _ = writeln!(o, "heat sink :");
+        if let Some((t, m)) = &hs.tim {
+            let _ = writeln!(o, "    tim thickness {} material {} ;", num(t.node), m.node);
+        }
+        if let Some((s, t, m)) = &hs.spreader {
+            let _ = writeln!(
+                o,
+                "    spreader side {} , thickness {} , material {} ;",
+                num(s.node),
+                num(t.node),
+                m.node
+            );
+        }
+        if let Some((s, t, m)) = &hs.sink {
+            let _ = writeln!(
+                o,
+                "    sink side {} , thickness {} , material {} ;",
+                num(s.node),
+                num(t.node),
+                m.node
+            );
+        }
+        if let Some(r) = &hs.convection {
+            let _ = writeln!(o, "    convection resistance {} ;", num(r.node));
+        }
+        if let Some(a) = &hs.ambient {
+            let _ = writeln!(o, "    ambient temperature {} ;", num(a.node));
+        }
+        if let Some(b) = &hs.board {
+            let _ = writeln!(o, "    board resistance {} ;", num(b.node));
+        }
+        o.push('\n');
+    }
+    for f in &sc.floorplans {
+        let _ = writeln!(o, "floorplan {} :", f.name.node);
+        for b in &f.blocks {
+            let _ = writeln!(
+                o,
+                "    block {} at {} , {} size {} , {} ;",
+                b.name.node,
+                num(b.x.node),
+                num(b.y.node),
+                num(b.w.node),
+                num(b.h.node)
+            );
+        }
+        o.push('\n');
+    }
+    for l in &sc.layers {
+        let _ = writeln!(o, "layer {} :", l.name.node);
+        let _ = writeln!(o, "    height {} ;", num(l.height.node));
+        let _ = writeln!(o, "    material {} ;", l.material.node);
+        if let Some(f) = &l.floorplan {
+            let _ = writeln!(o, "    floorplan {} ;", f.node);
+        }
+        for op in &l.ops {
+            match op {
+                LayerOp::BlockMaterial { block, material } => {
+                    let _ = writeln!(o, "    block {} material {} ;", block.node, material.node);
+                }
+                LayerOp::Patch {
+                    label,
+                    x,
+                    y,
+                    w,
+                    h,
+                    material,
+                } => {
+                    let _ = writeln!(
+                        o,
+                        "    patch {} at {} , {} size {} , {} material {} ;",
+                        label.node,
+                        num(x.node),
+                        num(y.node),
+                        num(w.node),
+                        num(h.node),
+                        material.node
+                    );
+                }
+                LayerOp::Ttsvs { scheme, material } => {
+                    let _ = writeln!(o, "    ttsvs {} material {} ;", scheme.node, material.node);
+                }
+                LayerOp::Pillars {
+                    scheme,
+                    footprint,
+                    material,
+                } => {
+                    let _ = writeln!(
+                        o,
+                        "    pillars {} footprint {} material {} ;",
+                        scheme.node,
+                        num(footprint.node),
+                        material.node
+                    );
+                }
+            }
+        }
+        o.push('\n');
+    }
+    for d in &sc.dies {
+        let _ = writeln!(o, "die {} :", d.name.node);
+        for l in &d.layers {
+            let _ = writeln!(o, "    layer {} ;", l.node);
+        }
+        if let Some((nx, ny)) = &d.discretization {
+            let _ = writeln!(
+                o,
+                "    discretization {} , {} ;",
+                num(nx.node),
+                num(ny.node)
+            );
+        }
+        o.push('\n');
+    }
+    if sc.stack_span.is_some() || !sc.stack.is_empty() {
+        let _ = writeln!(o, "stack :");
+        for e in &sc.stack {
+            match e {
+                StackEntry::Die { instance, def } => {
+                    let _ = writeln!(o, "    die {} {} ;", instance.node, def.node);
+                }
+                StackEntry::Layer { def } => {
+                    let _ = writeln!(o, "    layer {} ;", def.node);
+                }
+            }
+        }
+        o.push('\n');
+    }
+    if !sc.power.is_empty() {
+        let _ = writeln!(o, "power :");
+        for p in &sc.power {
+            match p {
+                PowerStmt::Uniform { target, watts } => {
+                    let _ = writeln!(o, "    uniform {} {} ;", layer_ref(target), num(watts.node));
+                }
+                PowerStmt::Block {
+                    target,
+                    block,
+                    watts,
+                } => {
+                    let _ = writeln!(
+                        o,
+                        "    block {} {} {} ;",
+                        layer_ref(target),
+                        block.node,
+                        num(watts.node)
+                    );
+                }
+            }
+        }
+        o.push('\n');
+    }
+    if sc.solver_steady {
+        let _ = writeln!(o, "solver :");
+        let _ = writeln!(o, "    steady ;");
+        o.push('\n');
+    }
+    if !sc.probes.is_empty() {
+        let _ = writeln!(o, "output :");
+        for p in &sc.probes {
+            match &p.kind {
+                ProbeKind::Max => {
+                    let _ = writeln!(
+                        o,
+                        "    probe {} max in {} ;",
+                        p.name.node,
+                        layer_ref(&p.target)
+                    );
+                }
+                ProbeKind::Mean => {
+                    let _ = writeln!(
+                        o,
+                        "    probe {} mean in {} ;",
+                        p.name.node,
+                        layer_ref(&p.target)
+                    );
+                }
+                ProbeKind::At(x, y) => {
+                    let _ = writeln!(
+                        o,
+                        "    probe {} at {} , {} in {} ;",
+                        p.name.node,
+                        num(x.node),
+                        num(y.node),
+                        layer_ref(&p.target)
+                    );
+                }
+            }
+        }
+        o.push('\n');
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn shortest_repr_round_trips_bits() {
+        for v in [
+            8e-3,
+            0.26,
+            1.75e6,
+            450e-6,
+            -0.0,
+            f64::MIN_POSITIVE,
+            1.000_000_000_000_000_2,
+        ] {
+            let s = format!("{v}");
+            let back: f64 = s.parse().expect("parses");
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} -> {s}");
+        }
+    }
+
+    #[test]
+    fn print_parse_is_identity_on_a_small_scenario() {
+        let src = "\
+material si :
+    thermal conductivity 148.0 ;
+    volumetric heat capacity 1.66e6 ;
+dimensions :
+    chip length 8e-3 , width 8e-3 ;
+    grid 4 , 4 ;
+heat sink :
+    convection resistance 0.3 ;
+layer body :
+    height 1e-4 ;
+    material si ;
+stack :
+    layer body ;
+power :
+    uniform body 5.0 ;
+solver :
+    steady ;
+output :
+    probe p mean in body ;
+";
+        let ir = parse(src).expect("parses");
+        let printed = print(&ir);
+        let back = parse(&printed).expect("printed text parses");
+        assert_eq!(ir, back, "printed:\n{printed}");
+        // And printing is a fixpoint.
+        assert_eq!(printed, print(&back));
+    }
+}

@@ -1,0 +1,104 @@
+//! Source locations for the `.stk` scenario format.
+//!
+//! Every token, IR node, and diagnostic carries a [`Span`] — a 1-based
+//! line/column plus a character length — so parse *and* validation
+//! errors can point at the exact offending text, rustc-style.
+
+/// A half-open source region on a single line: `len` characters
+/// starting at column `col` of line `line` (both 1-based).
+///
+/// Multi-line constructs are spanned by their opening token; the rule
+/// keeps rendering trivial (one source line, one caret run) without
+/// giving up precision anywhere it matters — the offending token is
+/// always on the first line of its construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based source line. Zero only for the synthetic default span.
+    pub line: u32,
+    /// 1-based column, counted in characters (not bytes).
+    pub col: u32,
+    /// Width of the region in characters; rendered as that many carets
+    /// (minimum one).
+    pub len: u32,
+}
+
+impl Span {
+    /// A span covering `len` characters at `line:col`.
+    #[must_use]
+    pub fn new(line: u32, col: u32, len: u32) -> Span {
+        Span { line, col, len }
+    }
+
+    /// A span merged with `other`: same start, length extended to
+    /// `other`'s end when both sit on the same line (otherwise `self`
+    /// unchanged — the opening token carries the blame).
+    #[must_use]
+    pub fn to(self, other: Span) -> Span {
+        if self.line == other.line && other.col >= self.col {
+            Span {
+                len: other.col + other.len - self.col,
+                ..self
+            }
+        } else {
+            self
+        }
+    }
+}
+
+/// An IR node paired with the span it was parsed from.
+///
+/// Equality deliberately ignores the span: two IRs are "the same
+/// scenario" when their *content* matches, which is exactly the
+/// round-trip property the pretty-printer is locked against
+/// (`parse(print(ir)) == ir`, spans necessarily differing).
+#[derive(Debug, Clone, Copy)]
+pub struct Spanned<T> {
+    /// The parsed value.
+    pub node: T,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Wraps `node` with `span`.
+    pub fn new(node: T, span: Span) -> Spanned<T> {
+        Spanned { node, span }
+    }
+
+    /// A spanless node (synthetic IR built in code, not parsed).
+    pub fn synthetic(node: T) -> Spanned<T> {
+        Spanned {
+            node,
+            span: Span::default(),
+        }
+    }
+}
+
+impl<T: PartialEq> PartialEq for Spanned<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.node == other.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spanned_equality_ignores_spans() {
+        let a = Spanned::new(42u32, Span::new(1, 2, 3));
+        let b = Spanned::new(42u32, Span::new(9, 9, 9));
+        let c = Spanned::new(43u32, Span::new(1, 2, 3));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn span_merge_extends_on_same_line() {
+        let a = Span::new(3, 5, 2);
+        let b = Span::new(3, 10, 4);
+        assert_eq!(a.to(b), Span::new(3, 5, 9));
+        // Cross-line merge keeps the opener.
+        assert_eq!(a.to(Span::new(4, 1, 1)), a);
+    }
+}

@@ -1,0 +1,661 @@
+//! Semantic validation of a parsed [`Scenario`].
+//!
+//! Everything the lowering stage would otherwise discover by panicking
+//! is checked here, against the *spans* of the offending IR nodes:
+//! reference resolution (materials, floorplans, layers, dies, blocks),
+//! value domains (unit newtypes, geometry positivity), grid caps, and
+//! the package's geometric ordering (chip <= spreader <= sink).
+//!
+//! Validation also resolves the scenario into a [`Resolved`] context —
+//! interned materials, built floorplans, and the instantiated stack
+//! layer list — which is exactly what [`crate::lower`] consumes, so the
+//! checks and the lowering can never drift apart.
+
+use std::collections::BTreeMap;
+
+use xylem_stack::dram_die::DramDieGeometry;
+use xylem_stack::scheme::XylemScheme;
+use xylem_thermal::floorplan::Floorplan;
+use xylem_thermal::material::Material;
+use xylem_thermal::units::{Celsius, VolumetricHeatCapacity, WattsPerMeterKelvin};
+
+use crate::ast::{LayerOp, LayerRef, PowerStmt, ProbeKind, Scenario, StackEntry};
+use crate::error::ParseError;
+use crate::span::{Span, Spanned};
+
+/// Hard cap on grid cells per layer (`nx * ny`), an OOM guard: a parse
+/// input must not be able to request gigabyte allocations.
+pub const MAX_GRID_CELLS: usize = 1 << 20;
+
+/// Hard cap on each grid axis.
+pub const MAX_GRID_AXIS: usize = 4096;
+
+/// Package defaults used when the `heat sink` section omits a field.
+/// These mirror `Package::default_for_die` (paper Table 1), so a
+/// scenario with no `heat sink` section lowers to the paper package.
+pub(crate) mod defaults {
+    /// TIM thickness, m.
+    pub const TIM_THICKNESS: f64 = 50e-6;
+    /// IHS (side, thickness), m.
+    pub const SPREADER: (f64, f64) = (3e-2, 1e-3);
+    /// Sink base (side, thickness), m.
+    pub const SINK: (f64, f64) = (6e-2, 7e-3);
+    /// Sink-to-ambient convection resistance, K/W.
+    pub const CONVECTION: f64 = 0.26;
+    /// Secondary board-path resistance, K/W.
+    pub const BOARD: f64 = 20.0;
+}
+
+/// The validated, resolved context handed to the lowering stage.
+#[derive(Debug)]
+pub(crate) struct Resolved {
+    /// Interned materials by name.
+    pub materials: BTreeMap<String, Material>,
+    /// Built (containment/overlap-checked) floorplans by name.
+    pub floorplans: BTreeMap<String, Floorplan>,
+    /// Chip extent along x, m.
+    pub length: f64,
+    /// Chip extent along y, m.
+    pub width: f64,
+    /// Grid cells along x.
+    pub nx: usize,
+    /// Grid cells along y.
+    pub ny: usize,
+    /// Instantiated stack layers, top first:
+    /// (instantiated name, index into `Scenario::layers`).
+    pub instances: Vec<(String, usize)>,
+}
+
+/// Validates a scenario and resolves its references.
+///
+/// # Errors
+///
+/// The first semantic problem found, as a spanned [`ParseError`].
+pub fn validate(sc: &Scenario) -> Result<(), ParseError> {
+    check(sc).map(|_| ())
+}
+
+fn err(message: impl Into<String>, span: Span) -> ParseError {
+    ParseError::new(message, span)
+}
+
+fn positive(value: &Spanned<f64>, what: &str) -> Result<f64, ParseError> {
+    if value.node.is_finite() && value.node > 0.0 {
+        Ok(value.node)
+    } else {
+        Err(
+            err(format!("{what} must be positive and finite"), value.span)
+                .with_note(format!("got `{}`", value.node)),
+        )
+    }
+}
+
+fn finite(value: &Spanned<f64>, what: &str) -> Result<f64, ParseError> {
+    if value.node.is_finite() {
+        Ok(value.node)
+    } else {
+        Err(err(format!("{what} must be finite"), value.span))
+    }
+}
+
+fn grid_axis(value: &Spanned<f64>, what: &str) -> Result<usize, ParseError> {
+    let v = value.node;
+    let integral = v.is_finite() && v.fract().abs() <= 0.0;
+    if !integral || !(1.0..=MAX_GRID_AXIS as f64).contains(&v) {
+        return Err(err(
+            format!("{what} must be an integer between 1 and {MAX_GRID_AXIS}"),
+            value.span,
+        )
+        .with_note(format!("got `{v}`")));
+    }
+    Ok(v as usize)
+}
+
+fn names_note(kind: &str, names: &[&str]) -> String {
+    if names.is_empty() {
+        format!("no {kind} are defined")
+    } else {
+        format!("defined {kind}: {}", names.join(", "))
+    }
+}
+
+fn scheme_of(name: &Spanned<String>) -> Result<XylemScheme, ParseError> {
+    XylemScheme::ALL
+        .iter()
+        .copied()
+        .find(|s| s.name() == name.node)
+        .ok_or_else(|| {
+            err(format!("unknown ttsv scheme `{}`", name.node), name.span).with_note(format!(
+                "schemes: {}",
+                XylemScheme::ALL.map(|s| s.name()).join(", ")
+            ))
+        })
+}
+
+pub(crate) fn check(sc: &Scenario) -> Result<Resolved, ParseError> {
+    // --- dimensions -----------------------------------------------------
+    let dims = sc.dimensions.as_ref().ok_or_else(|| {
+        err(
+            "scenario is missing a `dimensions` section",
+            Span::new(1, 1, 1),
+        )
+    })?;
+    let length = positive(&dims.length, "chip length")?;
+    let width = positive(&dims.width, "chip width")?;
+    let nx = grid_axis(&dims.grid.0, "grid size")?;
+    let ny = grid_axis(&dims.grid.1, "grid size")?;
+    if nx * ny > MAX_GRID_CELLS {
+        return Err(err(
+            format!("grid {nx} x {ny} exceeds the {MAX_GRID_CELLS}-cell limit"),
+            dims.grid.0.span.to(dims.grid.1.span),
+        ));
+    }
+
+    // --- materials ------------------------------------------------------
+    let mut materials: BTreeMap<String, Material> = BTreeMap::new();
+    for m in &sc.materials {
+        if materials.contains_key(&m.name.node) {
+            return Err(err(
+                format!("material `{}` is defined twice", m.name.node),
+                m.name.span,
+            ));
+        }
+        let k = positive(&m.conductivity, "thermal conductivity")?;
+        let c = positive(&m.capacity, "volumetric heat capacity")?;
+        let k =
+            WattsPerMeterKelvin::try_new(k).map_err(|e| err(e.to_string(), m.conductivity.span))?;
+        let c =
+            VolumetricHeatCapacity::try_new(c).map_err(|e| err(e.to_string(), m.capacity.span))?;
+        materials.insert(
+            m.name.node.clone(),
+            Material::new(m.name.node.clone(), k, c),
+        );
+    }
+    let material_names: Vec<&str> = sc.materials.iter().map(|m| m.name.node.as_str()).collect();
+    let lookup_material = |name: &Spanned<String>| -> Result<Material, ParseError> {
+        materials.get(&name.node).cloned().ok_or_else(|| {
+            err(format!("unknown material `{}`", name.node), name.span)
+                .with_note(names_note("materials", &material_names))
+        })
+    };
+
+    // --- heat sink ------------------------------------------------------
+    let mut spreader_side = defaults::SPREADER.0;
+    let mut sink_side = defaults::SINK.0;
+    let mut spreader_span = dims.span;
+    let mut sink_span = dims.span;
+    if let Some(hs) = &sc.heat_sink {
+        if let Some((th, m)) = &hs.tim {
+            positive(th, "tim thickness")?;
+            lookup_material(m)?;
+        }
+        if let Some((side, th, m)) = &hs.spreader {
+            spreader_side = positive(side, "spreader side")?;
+            spreader_span = side.span;
+            positive(th, "spreader thickness")?;
+            lookup_material(m)?;
+        }
+        if let Some((side, th, m)) = &hs.sink {
+            sink_side = positive(side, "sink side")?;
+            sink_span = side.span;
+            positive(th, "sink thickness")?;
+            lookup_material(m)?;
+        }
+        if let Some(r) = &hs.convection {
+            positive(r, "convection resistance")?;
+        }
+        if let Some(a) = &hs.ambient {
+            finite(a, "ambient temperature")?;
+            Celsius::try_new(a.node).map_err(|e| err(e.to_string(), a.span))?;
+        }
+        if let Some(r) = &hs.board {
+            positive(r, "board resistance")?;
+        }
+    }
+    if length > spreader_side || width > spreader_side {
+        return Err(err(
+            format!(
+                "chip ({:.1} x {:.1} mm) does not fit under the spreader ({:.1} mm)",
+                length * 1e3,
+                width * 1e3,
+                spreader_side * 1e3
+            ),
+            spreader_span,
+        ));
+    }
+    if spreader_side > sink_side {
+        return Err(err(
+            format!(
+                "spreader ({:.1} mm) is larger than the sink ({:.1} mm)",
+                spreader_side * 1e3,
+                sink_side * 1e3
+            ),
+            sink_span,
+        ));
+    }
+
+    // --- floorplans -----------------------------------------------------
+    let mut floorplans: BTreeMap<String, Floorplan> = BTreeMap::new();
+    for f in &sc.floorplans {
+        if floorplans.contains_key(&f.name.node) {
+            return Err(err(
+                format!("floorplan `{}` is defined twice", f.name.node),
+                f.name.span,
+            ));
+        }
+        let mut fp = Floorplan::new(length, width);
+        for b in &f.blocks {
+            finite(&b.x, "block x")?;
+            finite(&b.y, "block y")?;
+            positive(&b.w, "block width")?;
+            positive(&b.h, "block height")?;
+            let rect = xylem_thermal::floorplan::Rect::new(b.x.node, b.y.node, b.w.node, b.h.node);
+            fp.add_block(b.name.node.clone(), rect)
+                .map_err(|e| err(e.to_string(), b.name.span))?;
+        }
+        floorplans.insert(f.name.node.clone(), fp);
+    }
+    let floorplan_names: Vec<&str> = sc.floorplans.iter().map(|f| f.name.node.as_str()).collect();
+
+    // --- layer prototypes -----------------------------------------------
+    let paper_geom = DramDieGeometry::paper_default();
+    let paper_outline = length.to_bits() == paper_geom.width.to_bits()
+        && width.to_bits() == paper_geom.height.to_bits();
+    let mut layer_index: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, l) in sc.layers.iter().enumerate() {
+        if layer_index.insert(l.name.node.as_str(), i).is_some() {
+            return Err(err(
+                format!("layer `{}` is defined twice", l.name.node),
+                l.name.span,
+            ));
+        }
+        positive(&l.height, "layer height")?;
+        lookup_material(&l.material)?;
+        let fp = match &l.floorplan {
+            Some(f) => Some(floorplans.get(&f.node).ok_or_else(|| {
+                err(format!("unknown floorplan `{}`", f.node), f.span)
+                    .with_note(names_note("floorplans", &floorplan_names))
+            })?),
+            None => None,
+        };
+        for op in &l.ops {
+            match op {
+                LayerOp::BlockMaterial { block, material } => {
+                    let fp = fp.ok_or_else(|| {
+                        err(
+                            format!(
+                                "layer `{}` has no floorplan, so `block` cannot be used",
+                                l.name.node
+                            ),
+                            block.span,
+                        )
+                    })?;
+                    if fp.block(&block.node).is_none() {
+                        let blocks: Vec<&str> = fp.blocks().iter().map(|b| b.name()).collect();
+                        return Err(err(format!("unknown block `{}`", block.node), block.span)
+                            .with_note(names_note("blocks", &blocks)));
+                    }
+                    lookup_material(material)?;
+                }
+                LayerOp::Patch {
+                    label,
+                    x,
+                    y,
+                    w,
+                    h,
+                    material,
+                } => {
+                    finite(x, "patch x")?;
+                    finite(y, "patch y")?;
+                    positive(w, "patch width")?;
+                    positive(h, "patch height")?;
+                    lookup_material(material)?;
+                    // Mirror Layer::add_patch: containment enforced only
+                    // when a floorplan is attached (grown pillar patches
+                    // may legitimately hang over the die edge otherwise).
+                    if fp.is_some() {
+                        let outline = xylem_thermal::floorplan::Rect::new(0.0, 0.0, length, width);
+                        let rect =
+                            xylem_thermal::floorplan::Rect::new(x.node, y.node, w.node, h.node);
+                        if !outline.contains_rect(&rect) {
+                            return Err(err(
+                                format!(
+                                    "patch `{}` escapes the {:.1} x {:.1} mm chip outline",
+                                    label.node,
+                                    length * 1e3,
+                                    width * 1e3
+                                ),
+                                label.span,
+                            ));
+                        }
+                    }
+                }
+                LayerOp::Ttsvs { scheme, material } => {
+                    scheme_of(scheme)?;
+                    lookup_material(material)?;
+                    if !paper_outline {
+                        return Err(err(
+                            format!(
+                                "ttsv scheme `{}` requires the paper die outline ({} x {} m)",
+                                scheme.node, paper_geom.width, paper_geom.height
+                            ),
+                            scheme.span,
+                        )
+                        .with_note("scheme site coordinates are fixed to the Wide I/O die"));
+                    }
+                }
+                LayerOp::Pillars {
+                    scheme,
+                    footprint,
+                    material,
+                } => {
+                    scheme_of(scheme)?;
+                    positive(footprint, "pillar footprint")?;
+                    // Bounded so the grown patch arithmetic in lowering
+                    // can never overflow to non-finite coordinates.
+                    if footprint.node > length.max(width) {
+                        return Err(err(
+                            format!(
+                                "pillar footprint {} m exceeds the {} x {} m chip outline",
+                                footprint.node, length, width
+                            ),
+                            footprint.span,
+                        ));
+                    }
+                    lookup_material(material)?;
+                    if !paper_outline {
+                        return Err(err(
+                            format!(
+                                "ttsv scheme `{}` requires the paper die outline ({} x {} m)",
+                                scheme.node, paper_geom.width, paper_geom.height
+                            ),
+                            scheme.span,
+                        )
+                        .with_note("scheme site coordinates are fixed to the Wide I/O die"));
+                    }
+                }
+            }
+        }
+    }
+    let layer_names: Vec<&str> = sc.layers.iter().map(|l| l.name.node.as_str()).collect();
+
+    // --- die prototypes -------------------------------------------------
+    let mut die_index: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, d) in sc.dies.iter().enumerate() {
+        if die_index.insert(d.name.node.as_str(), i).is_some() {
+            return Err(err(
+                format!("die `{}` is defined twice", d.name.node),
+                d.name.span,
+            ));
+        }
+        if d.layers.is_empty() {
+            return Err(err(
+                format!("die `{}` has no layers", d.name.node),
+                d.name.span,
+            ));
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for l in &d.layers {
+            if !layer_index.contains_key(l.node.as_str()) {
+                return Err(err(format!("unknown layer `{}`", l.node), l.span)
+                    .with_note(names_note("layers", &layer_names)));
+            }
+            if seen.contains(&l.node.as_str()) {
+                return Err(err(
+                    format!("layer `{}` appears twice in die `{}`", l.node, d.name.node),
+                    l.span,
+                ));
+            }
+            seen.push(l.node.as_str());
+        }
+        if let Some((dx, dy)) = &d.discretization {
+            let dnx = grid_axis(dx, "die discretization")?;
+            let dny = grid_axis(dy, "die discretization")?;
+            if dnx != nx || dny != ny {
+                return Err(err(
+                    format!(
+                        "die discretization {dnx} x {dny} does not match the global grid {nx} x {ny}"
+                    ),
+                    dx.span.to(dy.span),
+                )
+                .with_note("the solver discretizes the whole stack on one grid"));
+            }
+        }
+    }
+    let die_names: Vec<&str> = sc.dies.iter().map(|d| d.name.node.as_str()).collect();
+
+    // --- stack ----------------------------------------------------------
+    let stack_span = sc
+        .stack_span
+        .ok_or_else(|| err("scenario is missing a `stack` section", Span::new(1, 1, 1)))?;
+    if sc.stack.is_empty() {
+        return Err(err("`stack` section has no entries", stack_span));
+    }
+    let mut instances: Vec<(String, usize)> = Vec::new();
+    let mut instance_names: Vec<&str> = Vec::new();
+    for entry in &sc.stack {
+        match entry {
+            StackEntry::Die { instance, def } => {
+                let di = *die_index.get(def.node.as_str()).ok_or_else(|| {
+                    err(format!("unknown die `{}`", def.node), def.span)
+                        .with_note(names_note("dies", &die_names))
+                })?;
+                if instance_names.contains(&instance.node.as_str()) {
+                    return Err(err(
+                        format!("die instance `{}` is used twice", instance.node),
+                        instance.span,
+                    ));
+                }
+                instance_names.push(instance.node.as_str());
+                for l in &sc.dies[di].layers {
+                    let li = layer_index.get(l.node.as_str()).copied().ok_or_else(|| {
+                        // Die prototypes were fully checked above.
+                        err(format!("unknown layer `{}`", l.node), l.span)
+                    })?;
+                    instances.push((format!("{}.{}", instance.node, l.node), li));
+                }
+            }
+            StackEntry::Layer { def } => {
+                let li = layer_index.get(def.node.as_str()).copied().ok_or_else(|| {
+                    err(format!("unknown layer `{}`", def.node), def.span)
+                        .with_note(names_note("layers", &layer_names))
+                })?;
+                if instances.iter().any(|(n, _)| n == &def.node) {
+                    return Err(err(
+                        format!("layer `{}` is instantiated twice in the stack", def.node),
+                        def.span,
+                    ));
+                }
+                instances.push((def.node.clone(), li));
+            }
+        }
+    }
+
+    let resolve_target = |target: &LayerRef| -> Result<usize, ParseError> {
+        let name = target.resolved();
+        instances
+            .iter()
+            .position(|(n, _)| n == &name)
+            .ok_or_else(|| {
+                let names: Vec<&str> = instances.iter().map(|(n, _)| n.as_str()).collect();
+                err(format!("unknown stack layer `{name}`"), target.span())
+                    .with_note(names_note("stack layers", &names))
+            })
+    };
+
+    // --- power ----------------------------------------------------------
+    for p in &sc.power {
+        match p {
+            PowerStmt::Uniform { target, watts } => {
+                resolve_target(target)?;
+                if !(watts.node.is_finite() && watts.node >= 0.0) {
+                    return Err(err("power must be finite and non-negative", watts.span)
+                        .with_note(format!("got `{}`", watts.node)));
+                }
+            }
+            PowerStmt::Block {
+                target,
+                block,
+                watts,
+            } => {
+                let pos = resolve_target(target)?;
+                let proto = &sc.layers[instances[pos].1];
+                let fp = proto
+                    .floorplan
+                    .as_ref()
+                    .and_then(|f| floorplans.get(&f.node))
+                    .ok_or_else(|| {
+                        err(
+                            format!(
+                                "layer `{}` has no floorplan, so block power cannot bind",
+                                instances[pos].0
+                            ),
+                            block.span,
+                        )
+                    })?;
+                if fp.block(&block.node).is_none() {
+                    let blocks: Vec<&str> = fp.blocks().iter().map(|b| b.name()).collect();
+                    return Err(err(format!("unknown block `{}`", block.node), block.span)
+                        .with_note(names_note("blocks", &blocks)));
+                }
+                if !(watts.node.is_finite() && watts.node >= 0.0) {
+                    return Err(err("power must be finite and non-negative", watts.span)
+                        .with_note(format!("got `{}`", watts.node)));
+                }
+            }
+        }
+    }
+
+    // --- solver ---------------------------------------------------------
+    if !sc.solver_steady {
+        return Err(
+            err("scenario is missing a `solver` section", Span::new(1, 1, 1))
+                .with_note("add `solver :` with `steady ;`"),
+        );
+    }
+
+    // --- probes ---------------------------------------------------------
+    let mut probe_names: Vec<&str> = Vec::new();
+    for p in &sc.probes {
+        if probe_names.contains(&p.name.node.as_str()) {
+            return Err(err(
+                format!("probe `{}` is defined twice", p.name.node),
+                p.name.span,
+            ));
+        }
+        probe_names.push(p.name.node.as_str());
+        resolve_target(&p.target)?;
+        if let ProbeKind::At(x, y) = &p.kind {
+            finite(x, "probe x")?;
+            finite(y, "probe y")?;
+            if !(0.0..=length).contains(&x.node) || !(0.0..=width).contains(&y.node) {
+                return Err(err(
+                    format!(
+                        "probe point ({}, {}) is outside the {} x {} m chip",
+                        x.node, y.node, length, width
+                    ),
+                    x.span.to(y.span),
+                ));
+            }
+        }
+    }
+
+    Ok(Resolved {
+        materials,
+        floorplans,
+        length,
+        width,
+        nx,
+        ny,
+        instances,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn minimal() -> String {
+        "\
+material si :
+    thermal conductivity 120.0 ;
+    volumetric heat capacity 1.75e6 ;
+dimensions :
+    chip length 8e-3 , width 8e-3 ;
+    grid 8 , 8 ;
+layer body :
+    height 100e-6 ;
+    material si ;
+stack :
+    layer body ;
+power :
+    uniform body 10.0 ;
+solver :
+    steady ;
+"
+        .to_string()
+    }
+
+    #[test]
+    fn minimal_scenario_validates() {
+        let sc = parse(&minimal()).expect("parses");
+        let r = check(&sc).expect("validates");
+        assert_eq!(r.nx, 8);
+        assert_eq!(r.instances, vec![("body".to_string(), 0)]);
+    }
+
+    #[test]
+    fn unknown_material_is_caught_with_note() {
+        let src = minimal().replace("material si ;", "material copper ;");
+        let e = validate(&parse(&src).expect("parses")).expect_err("rejected");
+        assert_eq!(e.message, "unknown material `copper`");
+        assert_eq!(e.note.as_deref(), Some("defined materials: si"));
+    }
+
+    #[test]
+    fn grid_cell_cap_is_enforced() {
+        let src = minimal().replace("grid 8 , 8 ;", "grid 2048 , 2048 ;");
+        let e = validate(&parse(&src).expect("parses")).expect_err("rejected");
+        assert!(e.message.contains("exceeds"), "{}", e.message);
+        let src = minimal().replace("grid 8 , 8 ;", "grid 8.5 , 8 ;");
+        let e = validate(&parse(&src).expect("parses")).expect_err("rejected");
+        assert!(e.message.contains("integer"), "{}", e.message);
+    }
+
+    #[test]
+    fn ttsvs_require_paper_outline() {
+        let src = minimal()
+            .replace("chip length 8e-3", "chip length 9e-3")
+            .replace(
+                "material si ;\n",
+                "material si ;\n    ttsvs banke material si ;\n",
+            );
+        let e = validate(&parse(&src).expect("parses")).expect_err("rejected");
+        assert!(e.message.contains("paper die outline"), "{}", e.message);
+    }
+
+    #[test]
+    fn die_discretization_must_match_grid() {
+        let src = minimal().replace(
+            "stack :\n",
+            "die d :\n    layer body ;\n    discretization 16 , 16 ;\nstack :\n",
+        );
+        let e = validate(&parse(&src).expect("parses")).expect_err("rejected");
+        assert!(
+            e.message.contains("does not match the global grid"),
+            "{}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn spreader_ordering_is_checked() {
+        let src = minimal().replace(
+            "layer body :",
+            "heat sink :\n    spreader side 7e-2 , thickness 1e-3 , material si ;\nlayer body :",
+        );
+        let e = validate(&parse(&src).expect("parses")).expect_err("rejected");
+        assert!(e.message.contains("larger than the sink"), "{}", e.message);
+    }
+}

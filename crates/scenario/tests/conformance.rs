@@ -1,0 +1,217 @@
+//! Corpus-driven conformance suite over `scenarios/`.
+//!
+//! * Every `scenarios/valid/*.stk` must parse, validate, lower, and
+//!   solve one steady step to finite temperatures — one test per file.
+//! * Every `scenarios/invalid/*.stk` must fail to compile, and its
+//!   rendered rustc-style diagnostic must match the checked-in
+//!   `.stderr` snapshot byte-for-byte — one test per file.
+//! * `scenarios/valid/xylem-paper.stk` is locked to the generator in
+//!   `xylem_scenario::paper` (the file is its printed output).
+//!
+//! Regenerate snapshots and the paper file with
+//! `XYLEM_UPDATE_SNAPSHOTS=1 cargo test -p xylem-scenario --test conformance`.
+//! Completeness tests fail if a corpus file exists on disk but is not
+//! listed here (or vice versa), so adding a scenario without wiring it
+//! into the suite is impossible.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn update_snapshots() -> bool {
+    std::env::var_os("XYLEM_UPDATE_SNAPSHOTS").is_some_and(|v| v == "1")
+}
+
+fn check_valid(file: &str) {
+    let path = corpus().join("valid").join(file);
+    let src =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let lowered = match xylem_scenario::compile(&src) {
+        Ok(l) => l,
+        Err(e) => panic!(
+            "{file} must compile, but:\n{}",
+            e.render(&format!("scenarios/valid/{file}"), &src)
+        ),
+    };
+    let report = xylem_scenario::run(&lowered)
+        .unwrap_or_else(|e| panic!("{file} must solve one steady step: {e}"));
+    assert!(report.nodes > 0, "{file}: empty model");
+    assert!(
+        report.global_hotspot_c.is_finite(),
+        "{file}: non-finite hotspot"
+    );
+    for p in &report.probes {
+        assert!(
+            p.celsius.is_finite(),
+            "{file}: probe `{}` read a non-finite temperature",
+            p.name
+        );
+    }
+}
+
+fn check_invalid(file: &str) {
+    let dir = corpus().join("invalid");
+    let path = dir.join(file);
+    let src =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let err = match xylem_scenario::compile(&src) {
+        Ok(_) => panic!("{file} compiled, but the corpus says it must be rejected"),
+        Err(e) => e,
+    };
+    let rendered = err.render(&format!("scenarios/invalid/{file}"), &src);
+    let snap_path = path.with_extension("stderr");
+    if update_snapshots() {
+        fs::write(&snap_path, &rendered)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", snap_path.display()));
+        return;
+    }
+    let want = fs::read_to_string(&snap_path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read snapshot {} ({e}); run with XYLEM_UPDATE_SNAPSHOTS=1 to create it",
+            snap_path.display()
+        )
+    });
+    assert_eq!(
+        rendered, want,
+        "{file}: diagnostic drifted from its .stderr snapshot;\n\
+         rendered:\n{rendered}\nif the change is intentional, regenerate with \
+         XYLEM_UPDATE_SNAPSHOTS=1"
+    );
+}
+
+/// Asserts the on-disk corpus and the listed test set are identical.
+fn assert_listed(sub: &str, listed: &[&str]) {
+    let dir = corpus().join(sub);
+    let on_disk: BTreeSet<String> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()))
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .filter(|n| n.ends_with(".stk"))
+        .collect();
+    let listed: BTreeSet<String> = listed.iter().map(|s| (*s).to_string()).collect();
+    assert_eq!(
+        on_disk, listed,
+        "scenarios/{sub} and the conformance test list disagree; \
+         add the missing test or delete the stray file"
+    );
+}
+
+macro_rules! corpus_tests {
+    ($modname:ident, $checker:ident, $sub:literal, { $($name:ident => $file:literal,)+ }) => {
+        mod $modname {
+            $(
+                #[test]
+                fn $name() {
+                    super::$checker($file);
+                }
+            )+
+
+            #[test]
+            fn corpus_is_fully_listed() {
+                super::assert_listed($sub, &[$($file),+]);
+            }
+        }
+    };
+}
+
+corpus_tests!(valid, check_valid, "valid", {
+    asymmetric_floorplan => "asymmetric-floorplan.stk",
+    bare_layers_mix => "bare-layers-mix.stk",
+    comments_torture => "comments-torture.stk",
+    custom_package => "custom-package.stk",
+    die_discretization => "die-discretization.stk",
+    dram_cube_4high => "dram-cube-4high.stk",
+    explicit_patches => "explicit-patches.stk",
+    interposer_2p5d => "interposer-2p5d.stk",
+    minimal => "minimal.stk",
+    pillars_isocount => "pillars-isocount.stk",
+    probes => "probes.stk",
+    processor_on_top => "processor-on-top.stk",
+    two_layer_uniform => "two-layer-uniform.stk",
+    xylem_paper => "xylem-paper.stk",
+});
+
+corpus_tests!(invalid, check_invalid, "invalid", {
+    bad_number => "bad-number.stk",
+    block_escapes_outline => "block-escapes-outline.stk",
+    discretization_mismatch => "discretization-mismatch.stk",
+    duplicate_die_instance => "duplicate-die-instance.stk",
+    duplicate_material => "duplicate-material.stk",
+    empty_stack => "empty-stack.stk",
+    grid_too_large => "grid-too-large.stk",
+    missing_dimensions => "missing-dimensions.stk",
+    negative_conductivity => "negative-conductivity.stk",
+    overlapping_blocks => "overlapping-blocks.stk",
+    power_unknown_block => "power-unknown-block.stk",
+    probe_unknown_layer => "probe-unknown-layer.stk",
+    scheme_wrong_outline => "scheme-wrong-outline.stk",
+    unknown_material => "unknown-material.stk",
+    unknown_scheme => "unknown-scheme.stk",
+    unterminated_statement => "unterminated-statement.stk",
+});
+
+/// `xylem-paper.stk` is generated: its bytes must equal the printer's
+/// output for the paper IR, so the corpus file can never drift from
+/// the builder constants it mirrors.
+#[test]
+fn xylem_paper_stk_matches_the_generator() {
+    let path = corpus().join("valid/xylem-paper.stk");
+    let want = xylem_scenario::paper::paper_scenario_text();
+    if update_snapshots() {
+        fs::write(&path, &want).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    }
+    let got = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with XYLEM_UPDATE_SNAPSHOTS=1 to generate it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "scenarios/valid/xylem-paper.stk drifted from paper_scenario_text(); \
+         regenerate with XYLEM_UPDATE_SNAPSHOTS=1"
+    );
+}
+
+/// Every invalid-corpus diagnostic ends with a newline and starts with
+/// the rustc-style `error: ` prefix — the render contract the CLI
+/// relies on.
+#[test]
+fn invalid_snapshots_have_render_shape() {
+    let dir = corpus().join("invalid");
+    let mut seen = 0;
+    for entry in fs::read_dir(&dir).expect("list invalid corpus") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "stderr") {
+            let text = fs::read_to_string(&path).expect("read snapshot");
+            assert!(
+                text.starts_with("error: "),
+                "{}: missing `error: ` prefix",
+                path.display()
+            );
+            assert!(
+                text.contains("--> scenarios/invalid/"),
+                "{}: missing span arrow",
+                path.display()
+            );
+            assert!(
+                text.ends_with('\n'),
+                "{}: no trailing newline",
+                path.display()
+            );
+            seen += 1;
+        }
+    }
+    assert!(
+        seen >= 10,
+        "expected at least 10 .stderr snapshots, found {seen}"
+    );
+}

@@ -1,0 +1,194 @@
+//! Parser-totality fuzzing: no input bytes may make the `.stk`
+//! pipeline (lex -> parse -> validate -> lower) panic. This is the
+//! scenario-DSL analogue of `checkpoint_truncation.rs` in xylem-core:
+//! every valid corpus file is cut at *every* byte boundary, mutated at
+//! random positions with a deterministic xorshift stream, and finally
+//! battered with proptest byte soup. A truncated or corrupted source
+//! may still parse (cuts inside trailing comments are legal programs),
+//! so the only universal contract is "returns `Ok` or a spanned
+//! `Err` — never unwinds".
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+fn corpus_dir(kind: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../scenarios/{kind}"))
+}
+
+/// Every `.stk` file under `scenarios/<kind>/`, with its file name.
+fn corpus(kind: &str) -> Vec<(String, Vec<u8>)> {
+    let dir = corpus_dir(kind);
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()))
+        .map(|entry| entry.expect("corpus entry reads").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "stk"))
+        .map(|p| {
+            let name = p
+                .file_name()
+                .expect("corpus file has a name")
+                .to_string_lossy()
+                .into_owned();
+            let bytes =
+                std::fs::read(&p).unwrap_or_else(|e| panic!("cannot read {}: {e}", p.display()));
+            (name, bytes)
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "empty corpus under {}", dir.display());
+    files
+}
+
+/// The totality contract: `compile` on this source must return, not
+/// unwind. The result value is irrelevant.
+fn assert_total(source: &str, label: &str) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _ = xylem_scenario::compile(source);
+    }));
+    assert!(outcome.is_ok(), "{label}: compile panicked");
+}
+
+#[test]
+fn every_byte_prefix_of_every_corpus_file_is_total() {
+    for kind in ["valid", "invalid"] {
+        for (name, bytes) in corpus(kind) {
+            for cut in 0..=bytes.len() {
+                let source = String::from_utf8_lossy(&bytes[..cut]);
+                assert_total(&source, &format!("{kind}/{name} cut at byte {cut}"));
+            }
+        }
+    }
+}
+
+/// xorshift64: a tiny deterministic PRNG so the mutation stream is
+/// identical on every run and every machine (no `Math.random` flake).
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[test]
+fn random_single_byte_mutations_are_total() {
+    let mut rng = XorShift64(0x9e37_79b9_7f4a_7c15);
+    for (name, bytes) in corpus("valid") {
+        for round in 0..200 {
+            let mut mutated = bytes.clone();
+            let pos = (rng.next() as usize) % mutated.len();
+            let byte = (rng.next() & 0xff) as u8;
+            mutated[pos] = byte;
+            let source = String::from_utf8_lossy(&mutated);
+            assert_total(
+                &source,
+                &format!("valid/{name} round {round}: byte {pos} -> {byte:#04x}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_inside_a_multibyte_char_is_total() {
+    // Multi-byte UTF-8 can only legally appear inside comments; cutting
+    // the byte stream mid-code-point yields replacement characters
+    // after lossy decoding, which the lexer must reject cleanly (or
+    // skip, if the cut lands back inside a comment).
+    let source = "// λ-config 0°C ±σ\nmaterial si :\n    thermal conductivity 120.0 ; // αβγ\n";
+    let bytes = source.as_bytes();
+    assert!(
+        bytes.len() > source.chars().count(),
+        "fixture must actually contain multi-byte characters"
+    );
+    for cut in 0..=bytes.len() {
+        let lossy = String::from_utf8_lossy(&bytes[..cut]);
+        assert_total(&lossy, &format!("utf8 cut at byte {cut}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Raw byte soup, lossily decoded: never panics.
+    #[test]
+    fn byte_soup_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let source = String::from_utf8_lossy(&bytes);
+        assert_total(&source, "byte soup");
+    }
+
+    /// Arbitrary well-formed unicode strings: never panic.
+    #[test]
+    fn unicode_soup_is_total(points in proptest::collection::vec(any::<u32>(), 0..512)) {
+        let source: String = points
+            .iter()
+            .map(|&p| char::from_u32(p % 0x11_0000).unwrap_or('\u{FFFD}'))
+            .collect();
+        assert_total(&source, "unicode soup");
+    }
+
+    /// Structured-ish soup: statements assembled from DSL-adjacent
+    /// tokens hit deeper parser paths than raw bytes ever reach.
+    #[test]
+    fn keyword_soup_is_total(
+        picks in proptest::collection::vec(0usize..WORDS.len(), 0..64),
+    ) {
+        let source = picks
+            .iter()
+            .map(|&i| WORDS[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_total(&source, "keyword soup");
+    }
+}
+
+/// DSL-adjacent token pool for [`keyword_soup_is_total`].
+const WORDS: &[&str] = &[
+    "material",
+    "floorplan",
+    "layer",
+    "die",
+    "stack",
+    "dimensions",
+    "power",
+    "solver",
+    "output",
+    "heat",
+    "sink",
+    "chip",
+    "grid",
+    "block",
+    "patch",
+    "ttsvs",
+    "pillars",
+    "uniform",
+    "probe",
+    "max",
+    "mean",
+    "at",
+    "in",
+    "height",
+    "thermal",
+    "conductivity",
+    "volumetric",
+    "capacity",
+    "steady",
+    "si",
+    "cu",
+    "banke",
+    ":",
+    ";",
+    ",",
+    "8e-3",
+    "1.5",
+    "-2",
+    "0",
+    "1e308",
+    "//",
+    "\n",
+];

@@ -1,0 +1,97 @@
+//! The golden equivalence lock: `scenarios/valid/xylem-paper.stk`
+//! must describe *exactly* the physics of the hard-wired paper builder
+//! (`StackConfig::paper_default(BankEnhanced)`).
+//!
+//! Layer and material names legitimately differ between the two paths
+//! (`dram0.dram_si` vs `dram0_si`), so the comparison is physical, not
+//! structural: identical node counts, bit-identical conductance
+//! matrices (FNV-1a over CSR), and a bit-identical steady-state solve
+//! at the golden suite's 32x32 grid and power assignment.
+
+use std::fs;
+use std::path::PathBuf;
+
+use xylem_scenario::digest::{conductance_digest, field_digest};
+use xylem_scenario::paper::{PAPER_DRAM_WATTS, PAPER_GRID, PAPER_PROC_WATTS};
+use xylem_stack::builder::{BuiltStack, StackConfig};
+use xylem_stack::scheme::XylemScheme;
+use xylem_thermal::grid::GridSpec;
+use xylem_thermal::power::PowerMap;
+use xylem_thermal::units::Watts;
+
+fn paper_source() -> String {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/valid/xylem-paper.stk");
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+fn hard_wired() -> BuiltStack {
+    StackConfig::paper_default(XylemScheme::BankEnhanced)
+        .build()
+        .expect("paper builder builds")
+}
+
+#[test]
+fn node_counts_and_conductances_match_bit_for_bit() {
+    let built = hard_wired();
+    let grid = GridSpec::new(PAPER_GRID, PAPER_GRID);
+    let builder_model = built.stack().discretize(grid).expect("builder discretizes");
+
+    let src = paper_source();
+    let lowered = xylem_scenario::compile(&src).unwrap_or_else(|e| {
+        panic!(
+            "xylem-paper.stk must compile:\n{}",
+            e.render("scenarios/valid/xylem-paper.stk", &src)
+        )
+    });
+    assert_eq!(lowered.nx, PAPER_GRID);
+    let dsl_model = lowered
+        .stack
+        .discretize(GridSpec::new(lowered.nx, lowered.ny))
+        .expect("DSL stack discretizes");
+
+    assert_eq!(
+        builder_model.node_count(),
+        dsl_model.node_count(),
+        "node counts diverge"
+    );
+    assert_eq!(
+        conductance_digest(&builder_model),
+        conductance_digest(&dsl_model),
+        "conductance matrices diverge: the .stk lowering no longer \
+         reproduces the hard-wired paper stack"
+    );
+}
+
+#[test]
+fn steady_solve_is_bit_identical() {
+    let built = hard_wired();
+    let grid = GridSpec::new(PAPER_GRID, PAPER_GRID);
+    let builder_model = built.stack().discretize(grid).expect("builder discretizes");
+    let mut p = PowerMap::zeros(&builder_model);
+    p.add_uniform_layer_power(built.proc_metal_layer(), Watts::new(PAPER_PROC_WATTS));
+    for &l in built.dram_metal_layers() {
+        p.add_uniform_layer_power(l, Watts::new(PAPER_DRAM_WATTS));
+    }
+    let builder_t = builder_model.steady_state(&p).expect("builder solves");
+
+    let src = paper_source();
+    let lowered = xylem_scenario::compile(&src).expect("paper scenario compiles");
+    let report = xylem_scenario::run(&lowered).expect("paper scenario solves");
+
+    assert_eq!(
+        field_digest(builder_t.raw()),
+        report.temperature_digest,
+        "steady-state fields diverge bit-for-bit"
+    );
+    // The scenario's probes read the same physical spots the golden
+    // suite reads: the processor hotspot and the bottom DRAM die.
+    let proc_hot = builder_t.max_of_layer(built.proc_metal_layer()).get();
+    let dram_hot = builder_t
+        .max_of_layer(built.bottom_dram_metal_layer())
+        .get();
+    assert_eq!(report.probes[0].name, "proc_hotspot");
+    assert_eq!(report.probes[0].celsius.to_bits(), proc_hot.to_bits());
+    assert_eq!(report.probes[1].name, "dram_hotspot");
+    assert_eq!(report.probes[1].celsius.to_bits(), dram_hot.to_bits());
+}

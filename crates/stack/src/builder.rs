@@ -246,7 +246,11 @@ impl StackConfig {
     }
 }
 
-fn paint_ttsvs(
+/// Paints one copper patch per TTSV of `sites` into a silicon layer.
+/// Exposed so scenario lowering (the `.stk` DSL) paints the exact same
+/// patches — in the same order, with the same labels — as the
+/// hard-wired paper builder.
+pub fn paint_ttsvs(
     layer: &mut Layer,
     sites: &[TtsvSite],
     tech: &TsvTech,
@@ -258,7 +262,7 @@ fn paint_ttsvs(
 /// Paints a patch per TTSV, each grown by `grow` on every side (used for
 /// the D2D dummy-microbump clusters). Grown patches may extend past the
 /// die edge; the rasterizer clips them.
-fn paint_pillars(
+pub fn paint_pillars(
     layer: &mut Layer,
     sites: &[TtsvSite],
     tech: &TsvTech,

@@ -4,7 +4,9 @@
 //! xylem evaluate --scheme banke --app Cholesky --freq 2.4
 //! xylem boost    --scheme banke --app FFT
 //! xylem apps     --scheme base --freq 2.4
+//! xylem run      scenarios/valid/xylem-paper.stk
 //! xylem sweep    --schemes base,banke --thickness-um 50,100,200 --journal s.jsonl
+//! xylem sweep    --scenario my.stk --grids 16,32 --power-scale 0.5,1,2
 //! xylem report   --scheme base --app Barnes --freq 2.4
 //! xylem dtm      --scheme base --app "LU(NAS)" --freq 3.5 --duration 2.0
 //! xylem schemes
@@ -21,7 +23,10 @@ use xylem::system::{default_cache_dir, SystemConfig, XylemSystem};
 use xylem_stack::area::{AreaOverhead, SAMSUNG_WIDE_IO_DIE_AREA};
 use xylem_stack::dram_die::DramDieGeometry;
 use xylem_stack::XylemScheme;
-use xylem_sweep::{run_sweep, ChaosConfig, SweepOptions, SweepSpec, TaskStatus};
+use xylem_sweep::{
+    run_scenario_sweep, run_sweep, ChaosConfig, ScenarioSweepSpec, SweepOptions, SweepSpec,
+    TaskStatus,
+};
 use xylem_thermal::grid::GridSpec;
 use xylem_thermal::power::PowerMap;
 use xylem_thermal::report::StackThermalReport;
@@ -47,6 +52,7 @@ fn main() -> ExitCode {
         "evaluate" => evaluate(&opts),
         "boost" => boost(&opts),
         "apps" => apps(&opts),
+        "run" => run_scenario(&args[1..]),
         "sweep" => sweep(&opts),
         "report" => report(&opts),
         "dtm" => dtm(&opts),
@@ -75,6 +81,13 @@ fn main() -> ExitCode {
     }
     match result {
         Ok(()) => ExitCode::SUCCESS,
+        // Rendered scenario diagnostics arrive already prefixed with
+        // `error:` and carry a source caret — print them verbatim and
+        // skip the usage dump (the flags were fine; the file wasn't).
+        Err(e) if e.starts_with("error:") => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
         Err(e) => {
             eprintln!("error: {e}");
             usage();
@@ -112,6 +125,7 @@ fn usage() {
            evaluate --scheme S --app A --freq F     temperatures/power for one run\n\
            boost    --scheme S --app A              iso-temperature frequency boost vs base\n\
            apps     --scheme S --freq F             all 17 applications\n\
+           run      FILE.stk                        compile and solve one .stk scenario\n\
            sweep    [axes...]                       crash-safe batched design-space sweep\n\
            report   --scheme S --app A --freq F     layer-by-layer thermal breakdown\n\
            dtm      --scheme S --app A --freq F --duration D   closed-loop DTM transient\n\
@@ -126,6 +140,8 @@ fn usage() {
          sweep robustness: --journal PATH [--resume]   append-only result journal; a\n\
                                         killed sweep resumes, skipping finished tasks\n\
                    --shards N --attempts N --deadline-ms M --pace-ms M\n\
+         scenario sweep: sweep --scenario FILE.stk [--grids 16,32] [--power-scale 0.5,1,2]\n\
+                   [--ambients 30,45]   vary a .stk scenario instead of the paper axes\n\
          dtm only: --checkpoint PATH [--every N] [--resume]   save/restore the run state\n\
                    --adaptive [--rtol R]   error-controlled adaptive sub-stepping\n\
                    --budget-cg N / --budget-wall-s S / --budget-rejects N   run budgets\n\
@@ -256,6 +272,46 @@ fn apps(opts: &HashMap<String, String>) -> Result<(), String> {
             e.total_power_w,
             e.exec_time_s() * 1e3
         );
+    }
+    Ok(())
+}
+
+/// The positional (non-flag) argument, skipping `--flag value` pairs.
+fn positional_of(args: &[String]) -> Option<&str> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            // Boolean flag if followed by another flag; else skip value.
+            i += if args.get(i + 1).is_some_and(|a| !a.starts_with("--")) {
+                2
+            } else {
+                1
+            };
+            continue;
+        }
+        return Some(&args[i]);
+    }
+    None
+}
+
+fn run_scenario(args: &[String]) -> Result<(), String> {
+    let Some(path) = positional_of(args) else {
+        return Err("run needs a scenario file: xylem run FILE.stk".to_string());
+    };
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let lowered = xylem_scenario::compile(&src).map_err(|e| e.render(path, &src))?;
+    let report = xylem_scenario::run(&lowered).map_err(|e| e.to_string())?;
+    println!(
+        "{path}: {} nodes ({}x{} grid)",
+        report.nodes, lowered.nx, lowered.ny
+    );
+    println!(
+        "  conductance digest : {:016x}\n  temperature digest : {:016x}",
+        report.conductance_digest, report.temperature_digest
+    );
+    println!("  global hotspot     : {:8.2} C", report.global_hotspot_c);
+    for p in &report.probes {
+        println!("  probe {:12} : {:8.2} C  ({})", p.name, p.celsius, p.layer);
     }
     Ok(())
 }
@@ -393,7 +449,85 @@ const SWEEP_FLAGS: &[&str] = &[
     "metrics-out",
 ];
 
+/// Flags of the scenario-driven sweep mode. Disjoint from the paper
+/// axes: combining `--scenario` with `--schemes` has no meaning, so it
+/// errors instead of silently ignoring half the command line.
+const SCENARIO_SWEEP_FLAGS: &[&str] = &[
+    "scenario",
+    "grids",
+    "power-scale",
+    "ambients",
+    "metrics-out",
+];
+
+fn scenario_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
+    let mut unknown: Vec<&str> = opts
+        .keys()
+        .map(String::as_str)
+        .filter(|k| !SCENARIO_SWEEP_FLAGS.contains(k))
+        .collect();
+    if !unknown.is_empty() {
+        unknown.sort_unstable();
+        return Err(format!(
+            "flag(s) not valid with --scenario: --{}",
+            unknown.join(", --")
+        ));
+    }
+    let path = opts.get("scenario").expect("caller checked --scenario");
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+    let spec = ScenarioSweepSpec {
+        name,
+        source,
+        grids: list_of(opts, "grids", |s| {
+            s.parse::<usize>().map_err(|_| format!("bad --grids '{s}'"))
+        })?,
+        power_scales: list_of(opts, "power-scale", |s| {
+            s.parse::<f64>()
+                .map_err(|_| format!("bad --power-scale '{s}'"))
+        })?,
+        ambients_c: list_of(opts, "ambients", |s| {
+            s.parse::<f64>()
+                .map_err(|_| format!("bad --ambients '{s}'"))
+        })?,
+    };
+    let report = run_scenario_sweep(&spec)?;
+    println!(
+        "scenario sweep {}: {} points, {} ok, {} quarantined",
+        report.scenario,
+        report.records.len(),
+        report.ok,
+        report.quarantined
+    );
+    println!(
+        "{:44} {:>9} {:>10} {:>18}",
+        "point", "hotspot C", "nodes", "temp digest"
+    );
+    for r in &report.records {
+        match &r.outcome {
+            Ok(res) => println!(
+                "{:44} {:>9.2} {:>10} {:>18}",
+                r.key,
+                res.global_hotspot_c,
+                res.nodes,
+                format!("{:016x}", res.temperature_digest)
+            ),
+            Err(e) => println!(
+                "{:44} QUARANTINED: {}",
+                r.key,
+                e.lines().next().unwrap_or("no error recorded")
+            ),
+        }
+    }
+    Ok(())
+}
+
 fn sweep(opts: &HashMap<String, String>) -> Result<(), String> {
+    if opts.contains_key("scenario") {
+        return scenario_sweep(opts);
+    }
     let mut unknown: Vec<&str> = opts
         .keys()
         .map(String::as_str)

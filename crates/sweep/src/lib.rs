@@ -34,9 +34,13 @@
 pub mod backoff;
 pub mod engine;
 pub mod journal;
+pub mod scenario_sweep;
 pub mod spec;
 
 pub use backoff::{splitmix64, BackoffPolicy};
 pub use engine::{run_sweep, ChaosConfig, SweepOptions, SweepReport};
 pub use journal::{Journal, JournalScan, TaskRecord, TaskResult, TaskStatus};
+pub use scenario_sweep::{
+    run_scenario_sweep, ScenarioPointRecord, ScenarioSweepReport, ScenarioSweepSpec,
+};
 pub use spec::{SweepSpec, TaskSpec};

@@ -1,0 +1,277 @@
+//! Scenario-driven sweeps: one `.stk` file, many design points.
+//!
+//! Where [`crate::engine`] sweeps the hard-wired paper configuration
+//! axes (schemes, benchmarks, thicknesses), this module sweeps the
+//! *scenario itself*: the variation axes — grid resolution, a global
+//! power scale, and the package ambient — are applied to the parsed IR,
+//! re-printed through the canonical printer, and pushed through the
+//! full locked pipeline (`parse -> validate -> lower -> solve`) per
+//! point. Each point is fenced by `catch_unwind` and counted with the
+//! same sweep counters as the batch engine, so a pathological variant
+//! quarantines instead of killing the batch.
+
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use xylem_obs::metrics::{incr, Counter};
+use xylem_scenario::ast::{HeatSinkDef, PowerStmt, Scenario};
+use xylem_scenario::span::Spanned;
+use xylem_scenario::{printer, RunReport};
+
+/// One scenario sweep: the base `.stk` source plus variation axes. An
+/// empty axis means "keep what the scenario says".
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioSweepSpec {
+    /// Display name (usually the file stem).
+    pub name: String,
+    /// The `.stk` source text.
+    pub source: String,
+    /// Grid override values (applied to the global grid AND every
+    /// per-die `discretization`, which validation requires to agree).
+    pub grids: Vec<usize>,
+    /// Multipliers applied to every `power` statement's wattage.
+    pub power_scales: Vec<f64>,
+    /// Package ambient overrides, deg C.
+    pub ambients_c: Vec<f64>,
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone)]
+pub struct ScenarioPointRecord {
+    /// `name/gridN/scaleS/ambA` — stable, journal-friendly key.
+    pub key: String,
+    /// The solved report, or why this point was rejected/quarantined.
+    pub outcome: Result<RunReport, String>,
+}
+
+/// The whole sweep's outcome. Points appear in deterministic axis
+/// order: grids, then power scales, then ambients.
+#[derive(Debug, Clone)]
+pub struct ScenarioSweepReport {
+    /// Scenario name from the spec.
+    pub scenario: String,
+    /// Points evaluated successfully.
+    pub ok: usize,
+    /// Points that failed to compile, solve, or panicked.
+    pub quarantined: usize,
+    /// All point records, in evaluation order.
+    pub records: Vec<ScenarioPointRecord>,
+}
+
+/// Applies one design point's overrides to a copy of the base IR.
+fn variant(base: &Scenario, grid: Option<usize>, scale: f64, ambient: Option<f64>) -> Scenario {
+    let mut sc = base.clone();
+    if let Some(g) = grid {
+        let g = g as f64;
+        if let Some(d) = &mut sc.dimensions {
+            d.grid.0 = Spanned::synthetic(g);
+            d.grid.1 = Spanned::synthetic(g);
+        }
+        // Per-die discretizations must agree with the global grid
+        // (validation enforces it), so the override reaches them too.
+        for die in &mut sc.dies {
+            if die.discretization.is_some() {
+                die.discretization = Some((Spanned::synthetic(g), Spanned::synthetic(g)));
+            }
+        }
+    }
+    if (scale - 1.0).abs() > 0.0 {
+        for p in &mut sc.power {
+            match p {
+                PowerStmt::Uniform { watts, .. } | PowerStmt::Block { watts, .. } => {
+                    watts.node *= scale;
+                }
+            }
+        }
+    }
+    if let Some(a) = ambient {
+        let hs = sc.heat_sink.get_or_insert_with(HeatSinkDef::default);
+        hs.ambient = Some(Spanned::synthetic(a));
+    }
+    sc
+}
+
+/// Evaluates one point: print the variant IR, re-compile it through the
+/// locked pipeline, solve, all behind a panic fence.
+fn evaluate(sc: &Scenario, key: &str) -> Result<RunReport, String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let text = printer::print(sc);
+        let lowered =
+            xylem_scenario::compile(&text).map_err(|e| e.render(&format!("<{key}>"), &text))?;
+        xylem_scenario::run(&lowered).map_err(|e| e.to_string())
+    }));
+    match outcome {
+        Ok(r) => r,
+        Err(_) => Err("point evaluation panicked".to_string()),
+    }
+}
+
+/// Runs the scenario sweep serially in deterministic point order.
+///
+/// Point-level failures (a variant that no longer validates, a solver
+/// failure, a panic) are quarantined into their records; the `Err`
+/// path is reserved for a base scenario that does not even parse.
+///
+/// # Errors
+///
+/// The rendered parse error of the base scenario.
+pub fn run_scenario_sweep(spec: &ScenarioSweepSpec) -> Result<ScenarioSweepReport, String> {
+    let base = xylem_scenario::parse_scenario(&spec.source)
+        .map_err(|e| e.render(&spec.name, &spec.source))?;
+
+    let grids: Vec<Option<usize>> = if spec.grids.is_empty() {
+        vec![None]
+    } else {
+        spec.grids.iter().copied().map(Some).collect()
+    };
+    let scales: Vec<f64> = if spec.power_scales.is_empty() {
+        vec![1.0]
+    } else {
+        spec.power_scales.clone()
+    };
+    let ambients: Vec<Option<f64>> = if spec.ambients_c.is_empty() {
+        vec![None]
+    } else {
+        spec.ambients_c.iter().copied().map(Some).collect()
+    };
+
+    let mut report = ScenarioSweepReport {
+        scenario: spec.name.clone(),
+        ok: 0,
+        quarantined: 0,
+        records: Vec::new(),
+    };
+    for &grid in &grids {
+        for &scale in &scales {
+            for &ambient in &ambients {
+                let mut key = spec.name.clone();
+                match grid {
+                    Some(g) => {
+                        let _ = write!(key, "/grid{g}");
+                    }
+                    None => key.push_str("/grid-native"),
+                }
+                let _ = write!(key, "/scale{scale}");
+                match ambient {
+                    Some(a) => {
+                        let _ = write!(key, "/amb{a}");
+                    }
+                    None => key.push_str("/amb-native"),
+                }
+                let sc = variant(&base, grid, scale, ambient);
+                let outcome = evaluate(&sc, &key);
+                match &outcome {
+                    Ok(_) => {
+                        report.ok += 1;
+                        incr(Counter::SweepTasksOk);
+                    }
+                    Err(_) => {
+                        report.quarantined += 1;
+                        incr(Counter::SweepTasksQuarantined);
+                    }
+                }
+                report.records.push(ScenarioPointRecord { key, outcome });
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "\
+material si :
+    thermal conductivity 120.0 ;
+    volumetric heat capacity 1.75e6 ;
+dimensions :
+    chip length 8e-3 , width 8e-3 ;
+    grid 8 , 8 ;
+layer body :
+    height 1e-4 ;
+    material si ;
+stack :
+    layer body ;
+power :
+    uniform body 5.0 ;
+solver :
+    steady ;
+";
+
+    fn spec() -> ScenarioSweepSpec {
+        ScenarioSweepSpec {
+            name: "minimal".to_string(),
+            source: MINIMAL.to_string(),
+            ..ScenarioSweepSpec::default()
+        }
+    }
+
+    #[test]
+    fn native_point_runs_when_no_axes_given() {
+        let r = run_scenario_sweep(&spec()).expect("sweeps");
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.ok, 1);
+        assert_eq!(r.records[0].key, "minimal/grid-native/scale1/amb-native");
+        assert!(r.records[0].outcome.is_ok());
+    }
+
+    #[test]
+    fn axes_form_a_deterministic_product() {
+        let mut s = spec();
+        s.grids = vec![4, 8];
+        s.power_scales = vec![0.5, 2.0];
+        s.ambients_c = vec![30.0];
+        let r = run_scenario_sweep(&s).expect("sweeps");
+        assert_eq!(r.records.len(), 4);
+        assert_eq!(r.ok, 4);
+        assert_eq!(r.records[0].key, "minimal/grid4/scale0.5/amb30");
+        assert_eq!(r.records[3].key, "minimal/grid8/scale2/amb30");
+        // More power -> hotter; same grid, same ambient.
+        let t = |i: usize| {
+            r.records[i]
+                .outcome
+                .as_ref()
+                .expect("point solved")
+                .global_hotspot_c
+        };
+        assert!(t(1) > t(0), "{} vs {}", t(1), t(0));
+    }
+
+    #[test]
+    fn ambient_override_shifts_the_whole_field() {
+        let mut s = spec();
+        s.ambients_c = vec![30.0, 60.0];
+        let r = run_scenario_sweep(&s).expect("sweeps");
+        assert_eq!(r.ok, 2);
+        let hot = |i: usize| {
+            r.records[i]
+                .outcome
+                .as_ref()
+                .expect("point solved")
+                .global_hotspot_c
+        };
+        assert!(hot(1) > hot(0) + 25.0, "{} vs {}", hot(1), hot(0));
+    }
+
+    #[test]
+    fn invalid_point_quarantines_instead_of_failing_the_sweep() {
+        let mut s = spec();
+        // 3000^2 cells blows the validator's grid budget: the point
+        // must quarantine with the rendered diagnostic.
+        s.grids = vec![8, 3000];
+        let r = run_scenario_sweep(&s).expect("sweep itself survives");
+        assert_eq!(r.ok, 1);
+        assert_eq!(r.quarantined, 1);
+        let err = r.records[1].outcome.as_ref().expect_err("rejected");
+        assert!(err.contains("grid"), "{err}");
+    }
+
+    #[test]
+    fn unparseable_base_scenario_is_a_sweep_error() {
+        let mut s = spec();
+        s.source = "material ;".to_string();
+        let err = run_scenario_sweep(&s).expect_err("must fail");
+        assert!(err.contains("error:"), "{err}");
+    }
+}

@@ -163,6 +163,35 @@ impl Package {
         self
     }
 
+    /// Sets the IHS side length (m), thickness (m), and material.
+    ///
+    /// Geometric ordering against the die and sink is checked by
+    /// [`Package::validate_die`] when the stack is built.
+    pub fn with_spreader(mut self, side: f64, thickness: f64, material: Material) -> Self {
+        assert!(side.is_finite() && side > 0.0, "spreader side must be > 0");
+        assert!(
+            thickness.is_finite() && thickness > 0.0,
+            "spreader thickness must be > 0"
+        );
+        self.spreader_side = side;
+        self.spreader_thickness = thickness;
+        self.spreader_material = material;
+        self
+    }
+
+    /// Sets the heat-sink base side length (m), thickness (m), and material.
+    pub fn with_sink(mut self, side: f64, thickness: f64, material: Material) -> Self {
+        assert!(side.is_finite() && side > 0.0, "sink side must be > 0");
+        assert!(
+            thickness.is_finite() && thickness > 0.0,
+            "sink thickness must be > 0"
+        );
+        self.sink_side = side;
+        self.sink_thickness = thickness;
+        self.sink_material = material;
+        self
+    }
+
     /// TIM thickness, m.
     pub fn tim_thickness(&self) -> f64 {
         self.tim_thickness
@@ -251,6 +280,24 @@ mod tests {
         assert_eq!(p.convection_resistance(), 0.2);
         assert_eq!(p.ambient(), 40.0);
         assert!(p.board_resistance().is_none());
+    }
+
+    #[test]
+    fn spreader_and_sink_setters_update_geometry() {
+        let p = Package::default_for_die(8e-3, 8e-3)
+            .with_spreader(4e-2, 2e-3, COPPER.clone())
+            .with_sink(8e-2, 9e-3, COPPER.clone());
+        assert_eq!(p.spreader_side(), 4e-2);
+        assert_eq!(p.spreader_thickness(), 2e-3);
+        assert_eq!(p.sink_side(), 8e-2);
+        assert_eq!(p.sink_thickness(), 9e-3);
+        assert!(p.validate_die(8e-3, 8e-3).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "spreader side")]
+    fn zero_spreader_side_panics() {
+        let _ = Package::default_for_die(8e-3, 8e-3).with_spreader(0.0, 1e-3, COPPER.clone());
     }
 
     #[test]
