@@ -22,6 +22,13 @@
 #                    # campaign (panics, non-convergence, deadline blowouts)
 #                    # must end every task ok|quarantined and replay
 #                    # bit-identically
+#   ./ci.sh serve    # service lane: admission/backpressure + fairness +
+#                    # crash acceptance tests (SIGKILL mid-run must resume
+#                    # bit-identically with zero duplicate frames), then the
+#                    # full chaos/load selftest campaign — 1000 clients, 8
+#                    # tenants, seeded panics/errors/deadline misses, and a
+#                    # kill drill — merging latency percentiles into
+#                    # BENCH_thermal.json
 #   ./ci.sh scenario # .stk DSL lane: conformance corpus (every valid file
 #                    # lowers+solves, every invalid file matches its locked
 #                    # .stderr snapshot), parser totality fuzz, print/parse
@@ -92,6 +99,23 @@ if [[ "${1:-}" == "sweep" ]]; then
   echo "==> sweep thread/shard-count determinism digest (1 vs 4)"
   cargo test -q --release -p xylem-core --test thread_determinism sweep_is_bit
   echo "Sweep lane green."
+  exit 0
+fi
+
+if [[ "${1:-}" == "serve" ]]; then
+  echo "==> serve admission control (backpressure, quotas, shedding, restart)"
+  cargo test -q --release -p xylem-serve --test backpressure
+  echo "==> serve load smoke + tenant-fairness regression (tick-metered p99 bound)"
+  cargo test -q --release -p xylem-serve --test load
+  echo "==> serve SIGKILL drill (kill -9 mid-run; bit-identical resume, zero dup frames)"
+  cargo test -q --release -p xylem-serve --test crash
+  echo "==> serve unit + protocol tests"
+  cargo test -q --release -p xylem-serve --lib
+  echo "==> chaos/load selftest campaign (1000 clients, kill drill, bench row)"
+  cargo run -q --release -p xylem-sweep --bin xylem -- serve --selftest \
+    --sessions 1000 --kill-drill --spool target/serve-selftest \
+    --bench-out BENCH_thermal.json
+  echo "Serve lane green."
   exit 0
 fi
 

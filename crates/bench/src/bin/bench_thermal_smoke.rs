@@ -517,9 +517,27 @@ fn main() {
         sweep_grid,
         obs_overhead,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_thermal.json");
+    let json = merged_with_foreign_rows(&report, path);
     std::fs::write(path, format!("{json}\n")).expect("write BENCH_thermal.json");
     println!("{json}");
     println!("[wrote {path}]");
+}
+
+/// Serializes the report, carrying over any top-level rows in the
+/// existing file that other lanes own (e.g. the `serve` row written by
+/// `./ci.sh serve`) — regenerating the solver numbers must not erase
+/// another lane's benchmark.
+fn merged_with_foreign_rows(report: &Report, path: &str) -> String {
+    let serde::Value::Object(mut merged) = report.to_value() else {
+        unreachable!("report is a struct")
+    };
+    if let Ok(old) = std::fs::read_to_string(path) {
+        if let Ok(serde::Value::Object(existing)) = serde_json::from_str::<serde::Value>(&old) {
+            for (key, row) in existing {
+                merged.entry(key).or_insert(row);
+            }
+        }
+    }
+    serde_json::to_string_pretty(&serde::Value::Object(merged)).expect("report serializes")
 }

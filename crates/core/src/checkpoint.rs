@@ -17,8 +17,17 @@
 //! JSON floats round-trip exactly (shortest-representation printing),
 //! so a resumed run continues from bit-identical state — the
 //! fault-injection suite asserts resume equals an uninterrupted run.
-//! Writes go to a temporary sibling file first and are renamed into
-//! place, so a crash mid-write never corrupts the previous checkpoint.
+//! Writes go to a temporary sibling file first, are fsynced, renamed
+//! into place, and the parent directory is fsynced after the rename —
+//! a crash mid-write never corrupts the previous checkpoint, and a
+//! power loss just after `save` returns cannot un-link the new file
+//! (the rename itself must be durable, which requires the directory
+//! sync, not just the file sync).
+//!
+//! The envelope is payload-agnostic: [`save_payload`] / [`load_payload`]
+//! wrap any serialized string in the same magic/version/checksum armor,
+//! which is how xylem-serve persists per-session state without
+//! reimplementing the durability protocol.
 
 use std::path::Path;
 
@@ -120,46 +129,58 @@ fn io_err(path: &Path, source: std::io::Error) -> CheckpointError {
     }
 }
 
-/// Serializes `ckpt` to `path` atomically (temp file + rename).
+/// Fsyncs the directory containing `path`, making a just-completed
+/// rename into that directory durable. An empty parent (bare relative
+/// file name) syncs the current directory.
+fn fsync_parent(path: &Path) -> Result<(), CheckpointError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let dir = std::fs::File::open(parent).map_err(|e| io_err(parent, e))?;
+    dir.sync_all().map_err(|e| io_err(parent, e))
+}
+
+/// Writes `payload` to `path` wrapped in the checkpoint envelope
+/// (magic, version, FNV-1a checksum), durably: temp sibling + file
+/// fsync + rename + parent-directory fsync. After this returns, the
+/// file survives power loss at any instant — either the old content or
+/// the new, never a torn mix, never a vanished entry.
 ///
 /// # Errors
 ///
 /// [`CheckpointError::Io`] on filesystem failures;
-/// [`CheckpointError::Corrupt`] if the state cannot be serialized
-/// (non-finite temperatures — JSON has no NaN).
-pub fn save(path: &Path, ckpt: &DtmCheckpoint) -> Result<(), CheckpointError> {
-    if let Some(node) = ckpt.temps.iter().position(|t| !t.is_finite()) {
-        return Err(CheckpointError::Corrupt {
-            reason: format!("refusing to write non-finite temperature at node {node}"),
-        });
-    }
-    let payload = serde_json::to_string(ckpt).map_err(|e| CheckpointError::Corrupt {
-        reason: format!("payload serialization failed: {e}"),
-    })?;
+/// [`CheckpointError::Corrupt`] if the envelope cannot be serialized.
+pub fn save_payload(path: &Path, payload: &str) -> Result<(), CheckpointError> {
     let envelope = Envelope {
         magic: CHECKPOINT_MAGIC.to_owned(),
         version: CHECKPOINT_VERSION,
         checksum: format!("{:016x}", fnv1a(payload.as_bytes())),
-        payload,
+        payload: payload.to_owned(),
     };
     let text = serde_json::to_string(&envelope).map_err(|e| CheckpointError::Corrupt {
         reason: format!("envelope serialization failed: {e}"),
     })?;
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, text).map_err(|e| io_err(&tmp, e))?;
-    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(text.as_bytes()).map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    fsync_parent(path)
 }
 
-/// Loads and validates a checkpoint file (magic, version, checksum,
-/// payload shape). Run-compatibility checks are the caller's job via
-/// [`DtmCheckpoint::validate_against`].
+/// Reads and validates an envelope written by [`save_payload`] (magic,
+/// version range, checksum) and returns the verified payload string.
 ///
 /// # Errors
 ///
 /// [`CheckpointError::Io`] if the file cannot be read;
 /// [`CheckpointError::Corrupt`] for a damaged or foreign file;
 /// [`CheckpointError::Mismatch`] for an unsupported version.
-pub fn load(path: &Path) -> Result<DtmCheckpoint, CheckpointError> {
+pub fn load_payload(path: &Path) -> Result<String, CheckpointError> {
     let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
     let envelope: Envelope = serde_json::from_str(&text).map_err(|e| CheckpointError::Corrupt {
         reason: format!("envelope parse failed: {e}"),
@@ -185,7 +206,41 @@ pub fn load(path: &Path) -> Result<DtmCheckpoint, CheckpointError> {
             ),
         });
     }
-    serde_json::from_str(&envelope.payload).map_err(|e| CheckpointError::Corrupt {
+    Ok(envelope.payload)
+}
+
+/// Serializes `ckpt` to `path` atomically and durably (temp file +
+/// fsync + rename + directory fsync).
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] on filesystem failures;
+/// [`CheckpointError::Corrupt`] if the state cannot be serialized
+/// (non-finite temperatures — JSON has no NaN).
+pub fn save(path: &Path, ckpt: &DtmCheckpoint) -> Result<(), CheckpointError> {
+    if let Some(node) = ckpt.temps.iter().position(|t| !t.is_finite()) {
+        return Err(CheckpointError::Corrupt {
+            reason: format!("refusing to write non-finite temperature at node {node}"),
+        });
+    }
+    let payload = serde_json::to_string(ckpt).map_err(|e| CheckpointError::Corrupt {
+        reason: format!("payload serialization failed: {e}"),
+    })?;
+    save_payload(path, &payload)
+}
+
+/// Loads and validates a checkpoint file (magic, version, checksum,
+/// payload shape). Run-compatibility checks are the caller's job via
+/// [`DtmCheckpoint::validate_against`].
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] if the file cannot be read;
+/// [`CheckpointError::Corrupt`] for a damaged or foreign file;
+/// [`CheckpointError::Mismatch`] for an unsupported version.
+pub fn load(path: &Path) -> Result<DtmCheckpoint, CheckpointError> {
+    let payload = load_payload(path)?;
+    serde_json::from_str(&payload).map_err(|e| CheckpointError::Corrupt {
         reason: format!("payload parse failed: {e}"),
     })
 }
@@ -336,6 +391,57 @@ mod tests {
         let mut ckpt = sample_checkpoint();
         ckpt.temps[1] = f64::NAN;
         assert!(save(&path, &ckpt).is_err());
+    }
+
+    #[test]
+    fn save_is_durable_and_atomic() {
+        // Regression for the missing parent-directory fsync: `save` must
+        // fsync the temp file, leave no temp sibling behind, and sync
+        // the directory so the rename itself survives power loss. The
+        // fsync calls are on the success path, so this test failing to
+        // even *reach* them (e.g. an unwritable parent) is an Io error,
+        // never a silent skip.
+        let dir = std::env::temp_dir().join("xylem-ckpt-durable-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("durable.ckpt");
+        save(&path, &sample_checkpoint()).unwrap();
+        assert!(path.exists());
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp sibling must be renamed away"
+        );
+        // Overwrite in place: still atomic, still no temp left.
+        let mut second = sample_checkpoint();
+        second.step += 1;
+        save(&path, &second).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+        assert_eq!(load(&path).unwrap().step, second.step);
+        // A parent that cannot be opened for the directory sync (or the
+        // write) is a clean Io error, not a panic.
+        let bad = dir.join("no-such-subdir").join("x.ckpt");
+        assert!(matches!(
+            save(&bad, &sample_checkpoint()),
+            Err(CheckpointError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn generic_payload_round_trips_and_rejects_tampering() {
+        let dir = std::env::temp_dir().join("xylem-ckpt-durable-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("payload.ckpt");
+        let payload = "{\"session\":\"s-0007\",\"step\":41,\"temps\":[45.5,46.25]}";
+        save_payload(&path, payload).unwrap();
+        assert_eq!(load_payload(&path).unwrap(), payload);
+        // Flip one payload byte: checksum must catch it.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let pos = text.find("41").unwrap();
+        text.replace_range(pos..pos + 2, "14");
+        std::fs::write(&path, text).unwrap();
+        assert!(matches!(
+            load_payload(&path),
+            Err(CheckpointError::Corrupt { .. })
+        ));
     }
 
     #[test]

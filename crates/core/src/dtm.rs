@@ -27,8 +27,8 @@ use xylem_thermal::power::PowerMap;
 use xylem_thermal::temperature::TemperatureField;
 use xylem_thermal::units::{Celsius, Watts};
 use xylem_thermal::{
-    AdaptiveController, AdaptiveOptions, AdaptiveSummary, RecoveryReport, SolverOptions,
-    SolverWorkspace,
+    AdaptiveController, AdaptiveOptions, AdaptiveSummary, DeadlineGuard, RecoveryReport,
+    SolverOptions, SolverWorkspace,
 };
 use xylem_workloads::Benchmark;
 
@@ -316,6 +316,14 @@ pub struct DtmRunConfig {
     pub solver: Option<SolverOptions>,
     /// Periodic checkpoint/resume.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Wall-clock budget for the whole run, enforced by a
+    /// [`xylem_thermal::DeadlineGuard`] around the control loop: an
+    /// expired deadline aborts the in-flight CG solve with a clean
+    /// [`xylem_thermal::ThermalError::DeadlineExceeded`] — never a hang.
+    /// `None` (the default) runs unbounded. Excluded from the resume
+    /// fingerprint: a re-run with a different budget may resume the
+    /// same checkpoint.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for DtmPolicy {
@@ -335,6 +343,7 @@ impl DtmRunConfig {
             faults: Vec::new(),
             solver: None,
             checkpoint: None,
+            deadline_ms: None,
         }
     }
 }
@@ -521,6 +530,15 @@ pub fn dtm_transient_configured(
             }
         }
     }
+
+    // Wall-clock budget for everything below, including resumed runs:
+    // the guard is thread-local and checked inside the CG loop, so an
+    // expired deadline surfaces as a clean `DeadlineExceeded` from the
+    // in-flight solve instead of a hang. RAII drop uninstalls it on
+    // every exit path.
+    let _deadline = run.deadline_ms.map(|ms| {
+        DeadlineGuard::install(std::time::Instant::now() + std::time::Duration::from_millis(ms))
+    });
 
     let mut ws = SolverWorkspace::new();
     for k in start_step..steps {

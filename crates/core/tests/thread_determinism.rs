@@ -188,6 +188,7 @@ fn run_child(tag: &str, out_path: &str) {
         ],
         solver: solver_override(tag),
         checkpoint: None,
+        deadline_ms: None,
     };
     let policy = DtmPolicy::paper_default();
     let duration = 50.0 * policy.control_period_s;

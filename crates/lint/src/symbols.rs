@@ -66,6 +66,10 @@ pub const HOT_PATH_SUFFIXES: &[&str] = &[
     // suites assert it), so patch order and material resolution may
     // not depend on hash iteration or raw float folds.
     "crates/scenario/src/lower.rs",
+    // Serve slice execution: resumed runs are claimed bit-identical to
+    // uninterrupted ones, which holds only if slice composition is
+    // deterministic — no hash-ordered iteration, no raw float folds.
+    "crates/serve/src/session.rs",
 ];
 
 /// Instrumented files: the `xylem-obs` no-println set (rule `no-println`
@@ -82,6 +86,11 @@ pub const INSTRUMENTED_SUFFIXES: &[&str] = &[
     "crates/bench/src/harness.rs",
     "crates/sweep/src/engine.rs",
     "crates/sweep/src/journal.rs",
+    // The serve scheduler's degradation ladder (retry, economy
+    // stepping, suspend, quarantine) must never fire darkly: every
+    // absorbed fault bumps a serve counter, and streamed output is
+    // protocol JSON, never print-macro noise.
+    "crates/serve/src/scheduler.rs",
 ];
 
 /// Whole instrumented sub-trees (the obs crate owns the sink).

@@ -1,0 +1,47 @@
+//! NEGATIVE fixture for the serve-scheduler mount points: the clean
+//! equivalents — ordered maps, integer accumulation, propagated
+//! options, and telemetry on the quarantine path — must stay clean
+//! when mounted at the `crates/serve/src/{scheduler,session}.rs`
+//! relpaths.
+
+use std::collections::BTreeMap;
+
+pub fn total_frames(per_session: &[u64]) -> u64 {
+    let mut acc: u64 = 0;
+    for n in per_session {
+        acc += n;
+    }
+    acc
+}
+
+pub fn tenant_queues(tenants: &[u64]) -> BTreeMap<u64, usize> {
+    let mut queues = BTreeMap::new();
+    for (i, t) in tenants.iter().enumerate() {
+        queues.insert(*t, i);
+    }
+    queues
+}
+
+pub fn durable_frame(line: Option<&str>) -> Result<&str, &'static str> {
+    line.ok_or("frame journal ended before the durable watermark")
+}
+
+pub fn settle(sessions: &mut Vec<u64>) -> usize {
+    let mut completed = 0usize;
+    while let Some(id) = sessions.pop() {
+        if let Err(_e) = advance(id) {
+            xylem_obs::metrics::incr(xylem_obs::metrics::Counter::ServeSessionsQuarantined);
+            continue;
+        }
+        completed += 1;
+    }
+    completed
+}
+
+fn advance(id: u64) -> Result<(), u64> {
+    if id % 5 == 0 {
+        Err(id)
+    } else {
+        Ok(())
+    }
+}

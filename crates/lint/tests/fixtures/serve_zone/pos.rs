@@ -1,0 +1,51 @@
+//! POSITIVE fixture for the serve-scheduler *mount points*: one file
+//! that trips every rule the serve modules are registered under — an
+//! `.expect(` panic path in what must be crash-only code, a raw float
+//! accumulator over frame temperatures, a `HashMap` whose iteration
+//! order would leak into the tick schedule, and a dark quarantine
+//! handler that absorbs a fault without bumping a counter. Mounted by
+//! the test harness at the `crates/serve/src/{scheduler,session}.rs`
+//! relpaths; inert where it actually lives (crates/lint/tests/fixtures).
+
+use std::collections::HashMap;
+
+pub fn mean_hotspot(frames: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for t in frames {
+        acc += t;
+    }
+    acc / frames.len() as f64
+}
+
+pub fn tenant_queues(tenants: &[u64]) -> HashMap<u64, usize> {
+    let mut queues = HashMap::new();
+    for (i, t) in tenants.iter().enumerate() {
+        queues.insert(*t, i);
+    }
+    queues
+}
+
+pub fn durable_frame(line: Option<&str>) -> &str {
+    line.expect("frame journal ends at the durable watermark")
+}
+
+pub fn settle(sessions: &mut Vec<u64>) -> usize {
+    let mut completed = 0usize;
+    while let Some(id) = sessions.pop() {
+        if let Err(_e) = advance(id) {
+            // Quarantined without a counter bump: exactly the dark
+            // degradation path obs-coverage exists to catch.
+            continue;
+        }
+        completed += 1;
+    }
+    completed
+}
+
+fn advance(id: u64) -> Result<(), u64> {
+    if id % 5 == 0 {
+        Err(id)
+    } else {
+        Ok(())
+    }
+}

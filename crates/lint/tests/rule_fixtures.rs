@@ -302,6 +302,67 @@ fn sweep_zone_positive_fixture_is_inert_outside_the_zone() {
     }
 }
 
+// ---- robustness-zone mounts (serve scheduler + session) ----------
+
+const SERVE_SCHED_MOUNT: &str = "crates/serve/src/scheduler.rs";
+const SERVE_SESSION_MOUNT: &str = "crates/serve/src/session.rs";
+
+#[test]
+fn serve_scheduler_mount_is_crash_only_and_instrumented() {
+    // The scheduler absorbs panics and deadline misses, so it may
+    // never panic itself (rule 4) and may never degrade a session
+    // darkly (obs-coverage). It is not a float hot path, so the
+    // accumulation rules stay out of scope here.
+    let pos = fixture("serve_zone", "pos");
+    let panics = findings_of(NO_PANIC, SERVE_SCHED_MOUNT, &pos);
+    assert_eq!(panics.len(), 1, "{panics:?}");
+    assert_eq!(panics[0].symbol, "expect");
+    let dark = findings_of(OBS_COV, SERVE_SCHED_MOUNT, &pos);
+    assert_eq!(dark.len(), 1, "{dark:?}");
+    assert_eq!(dark[0].symbol, "settle");
+}
+
+#[test]
+fn serve_session_mount_is_inside_the_determinism_zone() {
+    // Slice execution carries the bit-identical-resume claim: no
+    // panicking escape hatches, no hash-ordered iteration, no raw
+    // float folds.
+    let pos = fixture("serve_zone", "pos");
+    let panics = findings_of(NO_PANIC, SERVE_SESSION_MOUNT, &pos);
+    assert_eq!(panics.len(), 1, "{panics:?}");
+    let acc = findings_of(RAW_ACC, SERVE_SESSION_MOUNT, &pos);
+    assert_eq!(acc.len(), 1, "{acc:?}");
+    assert_eq!(acc[0].symbol, "mean_hotspot.acc");
+    let nondet = findings_of(NONDET, SERVE_SESSION_MOUNT, &pos);
+    assert!(nondet.iter().any(|d| d.symbol == "HashMap"), "{nondet:?}");
+}
+
+#[test]
+fn serve_zone_negative_fixture_is_clean_in_zone() {
+    let neg = fixture("serve_zone", "neg");
+    for mount in [SERVE_SCHED_MOUNT, SERVE_SESSION_MOUNT] {
+        let d = analyze_source(mount, &neg);
+        assert!(d.is_empty(), "{mount}: {d:?}");
+    }
+}
+
+#[test]
+fn serve_zone_positive_fixture_is_inert_outside_the_zone() {
+    let pos = fixture("serve_zone", "pos");
+    // chaos.rs is deliberately outside the no-panic zone: its injected
+    // panics are the chaos harness's signal, not a crash vector.
+    let chaos = findings_of(NO_PANIC, "crates/serve/src/chaos.rs", &pos);
+    assert!(chaos.is_empty(), "chaos.rs exempt: {chaos:?}");
+    let free = analyze_source("crates/stack/src/builder.rs", &pos);
+    assert!(free.is_empty(), "free zone: {free:?}");
+    for name in ["pos", "neg"] {
+        let src = fixture("serve_zone", name);
+        let relpath = format!("crates/lint/tests/fixtures/serve_zone/{name}.rs");
+        let d = analyze_source(&relpath, &src);
+        assert!(d.is_empty(), "{relpath} must be inert in place: {d:?}");
+    }
+}
+
 // ---- determinism-zone mount (scenario lowering) ------------------
 
 const SCENARIO_MOUNT: &str = "crates/scenario/src/lower.rs";

@@ -85,6 +85,49 @@ metric_enum!(
         ScenarioLowered => "scenario_lowered",
         /// `.stk` sources rejected by the lexer, parser, or validator.
         ScenarioRejected => "scenario_rejected",
+        /// Transient-operator cache lookups that reused a cached factor.
+        TransientCacheHits => "transient_cache_hits",
+        /// Transient-operator cache lookups that built a new factor.
+        TransientCacheMisses => "transient_cache_misses",
+        /// Transient-operator cache slots evicted (LRU).
+        TransientCacheEvictions => "transient_cache_evictions",
+        /// Serve submissions received (before admission).
+        ServeSubmitted => "serve_submitted",
+        /// Serve submissions admitted into the run queue.
+        ServeAdmitted => "serve_admitted",
+        /// Serve submissions rejected by admission control or a full
+        /// queue (the reject carries an explicit retry-after hint).
+        ServeRejected => "serve_rejected",
+        /// Serve sessions that ran to completion.
+        ServeSessionsCompleted => "serve_sessions_completed",
+        /// Serve sessions quarantined after exhausting the degradation
+        /// ladder.
+        ServeSessionsQuarantined => "serve_sessions_quarantined",
+        /// Serve sessions resumed from a durable checkpoint after a
+        /// process kill.
+        ServeSessionsResumed => "serve_sessions_resumed",
+        /// Session panics caught at the slice boundary (state restored
+        /// from the pre-dispatch snapshot).
+        ServePanicsCaught => "serve_panics_caught",
+        /// Deadline misses that triggered a degradation rung (economy
+        /// stepping or checkpoint-and-suspend).
+        ServeDeadlineDegradations => "serve_deadline_degradations",
+        /// Sessions parked by checkpoint-and-suspend.
+        ServeSuspends => "serve_suspends",
+        /// Temperature frames emitted to clients.
+        ServeFramesEmitted => "serve_frames_emitted",
+        /// Frames suppressed during resume because they were already
+        /// durable in the frame journal (duplicate-frame guard).
+        ServeFramesSuppressed => "serve_frames_suppressed",
+        /// Slow-client overflows: a session's outbound buffer filled and
+        /// streaming was shed for that client (frames stay durable).
+        ServeSlowClientSheds => "serve_slow_client_sheds",
+        /// Slice outcomes lost to a dead worker pool (the tick barrier
+        /// degraded to applying only what arrived).
+        ServeOutcomesLost => "serve_outcomes_lost",
+        /// Shared-model materializations that failed at dispatch (the
+        /// session quarantines; the server keeps serving).
+        ServeMaterializationFailures => "serve_materialization_failures",
     }
 );
 
@@ -121,6 +164,12 @@ metric_enum!(
         /// One design-space sweep task (all attempts, success or
         /// quarantine).
         SweepTaskMs => "sweep_task_ms",
+        /// Submit-to-first-frame latency of a serve session.
+        ServeFirstFrameMs => "serve_first_frame_ms",
+        /// Submit-to-completion latency of a serve session.
+        ServeSessionMs => "serve_session_ms",
+        /// One scheduler slice (dispatch to outcome) of a serve session.
+        ServeSliceMs => "serve_slice_ms",
     }
 );
 

@@ -137,14 +137,33 @@ fn power_map(model: &ThermalModel, l: &LoweredScenario) -> Result<PowerMap, Ther
     Ok(p)
 }
 
+/// Discretizes a lowered scenario into a reusable session pair: the
+/// thermal model and the scenario's bound power map.
+///
+/// This is the compile-to-session entry for long-lived consumers
+/// (xylem-serve sessions, transient drivers): the model carries the
+/// shared operator caches, so building it once and stepping many times
+/// — or sharing one model across sessions compiled from an identical
+/// source — pays discretization and factorization once.
+///
+/// # Errors
+///
+/// [`ThermalError`] from discretization or power binding.
+pub fn discretize_with_power(
+    l: &LoweredScenario,
+) -> Result<(ThermalModel, PowerMap), ThermalError> {
+    let model = l.stack.discretize(GridSpec::new(l.nx, l.ny))?;
+    let p = power_map(&model, l)?;
+    Ok((model, p))
+}
+
 /// Discretizes, solves one steady state, and evaluates the probes.
 ///
 /// # Errors
 ///
 /// [`ThermalError`] from discretization or the linear solver.
 pub fn run(l: &LoweredScenario) -> Result<RunReport, ThermalError> {
-    let model = l.stack.discretize(GridSpec::new(l.nx, l.ny))?;
-    let p = power_map(&model, l)?;
+    let (model, p) = discretize_with_power(l)?;
     let t: TemperatureField = model.steady_state(&p)?;
     let probes = l
         .probes

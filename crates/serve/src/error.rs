@@ -1,0 +1,108 @@
+//! Error and rejection types for the serve layer.
+//!
+//! The split matters: a [`Rejection`] is a *normal* protocol outcome
+//! (the admission controller saying "not now" or "never"), while a
+//! [`ServeError`] is an infrastructure fault (spool I/O, corrupt
+//! journal). Overload must never be reported as an error — clients
+//! retry rejections, they page on errors.
+
+use std::fmt;
+
+use xylem_thermal::error::ThermalError;
+
+/// Why a submission was not admitted.
+///
+/// `retry_after_ms: Some(_)` marks the rejection as transient
+/// (backpressure): the client should resubmit after the hint. `None`
+/// marks it permanent (malformed scenario, oversized job): resubmitting
+/// the same payload can never succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// Human-readable reason, stable enough to assert on in tests.
+    pub reason: String,
+    /// Backoff hint in milliseconds; `None` means permanent.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl Rejection {
+    /// A transient, overload-driven rejection with a backoff hint.
+    pub fn backpressure(reason: impl Into<String>, retry_after_ms: u64) -> Self {
+        Rejection {
+            reason: reason.into(),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
+
+    /// A permanent rejection: the submission itself is invalid.
+    pub fn permanent(reason: impl Into<String>) -> Self {
+        Rejection {
+            reason: reason.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// Whether the client may usefully resubmit later.
+    pub fn is_transient(&self) -> bool {
+        self.retry_after_ms.is_some()
+    }
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.retry_after_ms {
+            Some(ms) => write!(f, "rejected ({}); retry after {ms} ms", self.reason),
+            None => write!(f, "rejected permanently ({})", self.reason),
+        }
+    }
+}
+
+/// An infrastructure fault inside the serve layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Spool or journal I/O failed.
+    Io(std::io::Error),
+    /// A durable record failed to parse on recovery.
+    Corrupt {
+        /// Which file the record came from.
+        source: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A checkpoint failed integrity validation.
+    Checkpoint(String),
+    /// A session's thermal solve failed in a non-recoverable way.
+    Thermal(ThermalError),
+    /// The server is shutting down and cannot accept work.
+    ShuttingDown,
+    /// A protocol request was malformed.
+    Protocol(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "spool I/O: {e}"),
+            ServeError::Corrupt { source, detail } => {
+                write!(f, "corrupt record in {source}: {detail}")
+            }
+            ServeError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            ServeError::Thermal(e) => write!(f, "thermal: {e}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<ThermalError> for ServeError {
+    fn from(e: ThermalError) -> Self {
+        ServeError::Thermal(e)
+    }
+}

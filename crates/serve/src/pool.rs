@@ -1,0 +1,249 @@
+//! A bounded worker pool with explicit backpressure.
+//!
+//! The pool is the service's only source of compute concurrency, and it
+//! is deliberately boring: a fixed worker count, a bounded job queue,
+//! and a non-blocking [`BoundedPool::try_submit`] that fails fast with
+//! [`PoolSaturated`] instead of queueing unboundedly. Overload is
+//! surfaced to the admission layer (which turns it into a
+//! retry-after rejection), never absorbed as latent memory growth.
+//!
+//! Workers wrap every job in `catch_unwind` as a backstop; the
+//! scheduler wraps session slices in their own `catch_unwind` first, so
+//! a panic reaching the pool layer means a bug in the scheduler itself
+//! — it is swallowed (crash-only: the journal protects the state), and
+//! the worker thread survives to take the next job.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// A job the pool runs: boxed, sendable, run-once.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Returned by [`BoundedPool::try_submit`] when the job queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSaturated {
+    /// The queue capacity that was hit.
+    pub capacity: usize,
+}
+
+struct Inner {
+    jobs: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    capacity: usize,
+    shutting_down: AtomicBool,
+}
+
+/// Locks a mutex, recovering the data if a previous holder panicked.
+/// Pool state (a plain job deque) has no invariant a panic can tear.
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A fixed-size worker pool over a bounded FIFO job queue.
+pub struct BoundedPool {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl BoundedPool {
+    /// Spawns `workers` threads over a queue of at most `capacity` jobs.
+    ///
+    /// `workers == 0` is allowed and yields an inline pool: submission
+    /// runs the job on the caller's thread (used by deterministic
+    /// tests and single-threaded deployments).
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let inner = Arc::new(Inner {
+            jobs: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            capacity: capacity.max(1),
+            shutting_down: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            // Thread spawn fails only on resource exhaustion at startup,
+            // before any session state exists; treat it as fatal.
+            .unwrap_or_else(|e| panic!("serve pool failed to spawn workers: {e}"));
+        BoundedPool {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Whether the pool runs jobs inline on the submitting thread.
+    pub fn is_inline(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Submits a job, failing fast if the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolSaturated`] when the queue is full (or the pool is
+    /// shutting down — late work is shed, not run).
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolSaturated> {
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return Err(PoolSaturated {
+                capacity: self.inner.capacity,
+            });
+        }
+        if self.is_inline() {
+            // Inline mode still honors the catch_unwind backstop.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            return Ok(());
+        }
+        let mut jobs = lock_or_recover(&self.inner.jobs);
+        if jobs.len() >= self.inner.capacity {
+            return Err(PoolSaturated {
+                capacity: self.inner.capacity,
+            });
+        }
+        jobs.push_back(Box::new(job));
+        drop(jobs);
+        self.inner.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Current queue depth (for admission heuristics and tests).
+    pub fn queued(&self) -> usize {
+        lock_or_recover(&self.inner.jobs).len()
+    }
+
+    /// Stops accepting work, drains the queue, and joins the workers.
+    pub fn shutdown(mut self) {
+        self.inner.shutting_down.store(true, Ordering::Release);
+        self.inner.job_ready.notify_all();
+        for h in self.workers.drain(..) {
+            // A worker that panicked already had the panic swallowed by
+            // its catch_unwind; a join error here can only mean a panic
+            // in the loop glue itself, which leaves nothing to salvage.
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for BoundedPool {
+    fn drop(&mut self) {
+        // Dropping without shutdown() still terminates the workers so
+        // tests cannot leak threads.
+        self.inner.shutting_down.store(true, Ordering::Release);
+        self.inner.job_ready.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut jobs = lock_or_recover(&inner.jobs);
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
+                }
+                if inner.shutting_down.load(Ordering::Acquire) {
+                    break None;
+                }
+                jobs = inner
+                    .job_ready
+                    .wait(jobs)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        match job {
+            Some(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_jobs_and_reports_saturation() {
+        let pool = BoundedPool::new(2, 4);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..16 {
+            // Retry on saturation: with a capacity-4 queue some of 16
+            // rapid submissions must be refused at least transiently.
+            loop {
+                let ran = Arc::clone(&ran);
+                let tx = tx.clone();
+                match pool.try_submit(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(());
+                }) {
+                    Ok(()) => break,
+                    Err(PoolSaturated { capacity }) => {
+                        assert_eq!(capacity, 4);
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        for _ in 0..16 {
+            rx.recv().expect("all jobs complete");
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 16);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn worker_survives_job_panic() {
+        let pool = BoundedPool::new(1, 4);
+        let (tx, rx) = mpsc::channel();
+        crate::silence_expected_panics();
+        loop {
+            match pool.try_submit(|| panic!("{} (pool test)", crate::chaos::CHAOS_PANIC_MARKER)) {
+                Ok(()) => break,
+                Err(_) => std::thread::yield_now(),
+            }
+        }
+        loop {
+            let tx = tx.clone();
+            match pool.try_submit(move || {
+                let _ = tx.send(7);
+            }) {
+                Ok(()) => break,
+                Err(_) => std::thread::yield_now(),
+            }
+        }
+        assert_eq!(rx.recv().expect("worker still alive"), 7);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn inline_pool_runs_on_caller() {
+        let pool = BoundedPool::new(0, 4);
+        assert!(pool.is_inline());
+        let mut hit = false;
+        {
+            let hit = &mut hit;
+            // Inline jobs may borrow: extend the closure over a scope.
+            let cell = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&cell);
+            pool.try_submit(move || {
+                c2.store(3, Ordering::Relaxed);
+            })
+            .expect("inline never saturates");
+            *hit = cell.load(Ordering::Relaxed) == 3;
+        }
+        assert!(hit);
+    }
+}

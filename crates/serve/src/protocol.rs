@@ -1,0 +1,313 @@
+//! The line-delimited client protocol.
+//!
+//! One JSON object per line in, one or more JSON lines out. The same
+//! loop serves stdio (`xylem serve --stdio`) and a local Unix socket
+//! (`xylem serve --socket PATH`); it is transport-agnostic over any
+//! `BufRead`/`Write` pair.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"cmd":"submit","tenant":"a","scenario":"...","steps":8,"dt_s":1e-3,
+//!  "frame_every":2,"power_scale":1.0,"trip_c":80.0,"deadline_ms":500}
+//! {"cmd":"tick","n":4}         run n scheduler ticks (default 1)
+//! {"cmd":"run","max_ticks":N}  tick until all sessions settle
+//! {"cmd":"drain","id":7}       stream session 7's buffered lines
+//! {"cmd":"status"}             server status counts
+//! {"cmd":"shutdown"}           stop serving this connection
+//! ```
+//!
+//! Every response line carries `"ok"`. A rejected submission is
+//! `ok: true` with `"admitted": false` and a `retry_after_ms` hint —
+//! backpressure is a protocol outcome, not a transport error.
+
+use std::io::{BufRead, Write};
+
+use serde::{Map, Number, Value};
+
+use crate::error::ServeError;
+use crate::scheduler::{Server, Submission, SubmitParams};
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    let mut m = Map::new();
+    for (k, v) in pairs {
+        m.insert(k.to_string(), v);
+    }
+    Value::Object(m)
+}
+
+fn vstr(s: &str) -> Value {
+    Value::String(s.to_string())
+}
+
+fn vu64(x: u64) -> Value {
+    Value::Number(Number::U64(x))
+}
+
+fn get<'a>(m: &'a Map, key: &str) -> Option<&'a Value> {
+    m.get(key)
+}
+
+fn get_u64(m: &Map, key: &str) -> Option<u64> {
+    match get(m, key) {
+        Some(Value::Number(n)) => n.try_as::<u64>(),
+        _ => None,
+    }
+}
+
+fn get_f64(m: &Map, key: &str) -> Option<f64> {
+    match get(m, key) {
+        Some(Value::Number(n)) => Some(n.as_f64()),
+        _ => None,
+    }
+}
+
+fn get_str<'a>(m: &'a Map, key: &str) -> Option<&'a str> {
+    get(m, key).and_then(Value::as_str)
+}
+
+/// Parses one submit request into its parameters.
+fn submit_params(m: &Map) -> Result<SubmitParams, String> {
+    let d = SubmitParams::default();
+    Ok(SubmitParams {
+        steps: get_u64(m, "steps").map_or(Ok(d.steps), |x| {
+            u32::try_from(x).map_err(|_| format!("steps {x} out of range"))
+        })?,
+        dt_s: get_f64(m, "dt_s").unwrap_or(d.dt_s),
+        frame_every: get_u64(m, "frame_every").map_or(Ok(d.frame_every), |x| {
+            u32::try_from(x).map_err(|_| format!("frame_every {x} out of range"))
+        })?,
+        power_scale: get_f64(m, "power_scale").unwrap_or(d.power_scale),
+        trip_c: get_f64(m, "trip_c"),
+        deadline_ms: get_u64(m, "deadline_ms"),
+    })
+}
+
+/// Handles one parsed request; returns the response lines.
+///
+/// # Errors
+///
+/// [`ServeError`] only for server-side faults (spool I/O); malformed
+/// requests produce an `ok: false` response line instead.
+pub fn handle(server: &mut Server, request: &Value) -> Result<Vec<String>, ServeError> {
+    let err_line = |msg: String| {
+        Ok(vec![render(&obj(vec![
+            ("ok", Value::Bool(false)),
+            ("error", vstr(&msg)),
+        ]))])
+    };
+    let Some(m) = request.as_object() else {
+        return err_line("request must be a JSON object".to_string());
+    };
+    let Some(cmd) = get_str(m, "cmd") else {
+        return err_line("missing \"cmd\"".to_string());
+    };
+    match cmd {
+        "submit" => {
+            let Some(tenant) = get_str(m, "tenant") else {
+                return err_line("submit requires \"tenant\"".to_string());
+            };
+            let Some(scenario) = get_str(m, "scenario") else {
+                return err_line("submit requires \"scenario\"".to_string());
+            };
+            let params = match submit_params(m) {
+                Ok(p) => p,
+                Err(e) => return err_line(e),
+            };
+            let line = match server.submit(tenant, scenario, &params)? {
+                Submission::Admitted(id) => obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("admitted", Value::Bool(true)),
+                    ("id", vu64(id)),
+                ]),
+                Submission::Rejected(r) => obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("admitted", Value::Bool(false)),
+                    ("reason", vstr(&r.reason)),
+                    ("retry_after_ms", r.retry_after_ms.map_or(Value::Null, vu64)),
+                ]),
+            };
+            Ok(vec![render(&line)])
+        }
+        "tick" => {
+            let n = get_u64(m, "n").unwrap_or(1);
+            let mut applied = 0usize;
+            for _ in 0..n {
+                applied += server.tick()?;
+            }
+            Ok(vec![render(&obj(vec![
+                ("ok", Value::Bool(true)),
+                ("tick", vu64(server.status().tick)),
+                ("applied", vu64(applied as u64)),
+            ]))])
+        }
+        "run" => {
+            let max = get_u64(m, "max_ticks").unwrap_or(100_000);
+            server.run_until_settled(max)?;
+            Ok(vec![render(&obj(vec![
+                ("ok", Value::Bool(true)),
+                ("tick", vu64(server.status().tick)),
+            ]))])
+        }
+        "drain" => {
+            let Some(id) = get_u64(m, "id") else {
+                return err_line("drain requires \"id\"".to_string());
+            };
+            let mut lines = server.drain_output(id);
+            lines.push(render(&obj(vec![
+                ("ok", Value::Bool(true)),
+                ("drained", vu64(lines.len() as u64)),
+            ])));
+            Ok(lines)
+        }
+        "status" => {
+            let st = server.status();
+            Ok(vec![render(&obj(vec![
+                ("ok", Value::Bool(true)),
+                ("tick", vu64(st.tick)),
+                ("active", vu64(st.active as u64)),
+                ("runnable", vu64(st.runnable as u64)),
+                ("done", vu64(st.done as u64)),
+                ("quarantined", vu64(st.quarantined as u64)),
+            ]))])
+        }
+        "shutdown" => Ok(vec![render(&obj(vec![
+            ("ok", Value::Bool(true)),
+            ("bye", Value::Bool(true)),
+        ]))]),
+        other => err_line(format!("unknown cmd {other:?}")),
+    }
+}
+
+fn render(v: &Value) -> String {
+    serde_json::to_string(v).unwrap_or_default()
+}
+
+/// Serves one client over a line-delimited transport until `shutdown`,
+/// EOF, or a server-side fault.
+///
+/// # Errors
+///
+/// [`ServeError`] for transport I/O or spool faults.
+pub fn serve_lines(
+    server: &mut Server,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> Result<(), ServeError> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request: Value = match serde_json::from_str(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                let resp = render(&obj(vec![
+                    ("ok", Value::Bool(false)),
+                    ("error", vstr(&format!("bad request JSON: {e}"))),
+                ]));
+                writeln!(writer, "{resp}")?;
+                continue;
+            }
+        };
+        let is_shutdown = request
+            .as_object()
+            .and_then(|m| get_str(m, "cmd"))
+            .is_some_and(|c| c == "shutdown");
+        for resp in handle(server, &request)? {
+            writeln!(writer, "{resp}")?;
+        }
+        writer.flush()?;
+        if is_shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ServerConfig;
+    use std::path::PathBuf;
+
+    const MINIMAL: &str = "\
+material si :
+    thermal conductivity 120.0 ;
+    volumetric heat capacity 1.75e6 ;
+dimensions :
+    chip length 8e-3 , width 8e-3 ;
+    grid 4 , 4 ;
+layer body :
+    height 1e-4 ;
+    material si ;
+stack :
+    layer body ;
+power :
+    uniform body 5.0 ;
+solver :
+    steady ;
+output :
+    probe hot max in body ;
+";
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("xylem-serve-proto-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn stdio_round_trip_submit_run_drain() {
+        let dir = tmp("roundtrip");
+        let mut cfg = ServerConfig::new(&dir);
+        cfg.workers = 0;
+        let (mut server, _) = Server::open(cfg).expect("open");
+        let scenario = MINIMAL.replace('\n', "\\n").replace('"', "\\\"");
+        let input = format!(
+            concat!(
+                "{{\"cmd\":\"submit\",\"tenant\":\"a\",\"scenario\":\"{}\",\"steps\":4}}\n",
+                "{{\"cmd\":\"run\"}}\n",
+                "{{\"cmd\":\"drain\",\"id\":1}}\n",
+                "{{\"cmd\":\"status\"}}\n",
+                "{{\"cmd\":\"shutdown\"}}\n",
+            ),
+            scenario
+        );
+        let mut out = Vec::new();
+        serve_lines(&mut server, input.as_bytes(), &mut out).expect("serves");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines[0].contains("\"admitted\":true") && lines[0].contains("\"id\":1"),
+            "{}",
+            lines[0]
+        );
+        assert!(text.contains("\"record\":\"frame\""), "{text}");
+        assert!(text.contains("\"kind\":\"done\""), "{text}");
+        assert!(text.contains("\"done\":1"), "{text}");
+        assert!(lines.last().is_some_and(|l| l.contains("\"bye\":true")));
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_lines_answer_errors_and_keep_serving() {
+        let dir = tmp("badlines");
+        let mut cfg = ServerConfig::new(&dir);
+        cfg.workers = 0;
+        let (mut server, _) = Server::open(cfg).expect("open");
+        let input = "not json\n{\"cmd\":\"nope\"}\n{\"cmd\":\"status\"}\n";
+        let mut out = Vec::new();
+        serve_lines(&mut server, input.as_bytes(), &mut out).expect("serves");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("\"ok\":false"));
+        assert!(lines[1].contains("unknown cmd"));
+        assert!(lines[2].contains("\"ok\":true"));
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,554 @@
+//! The durable spool: everything the server must not lose.
+//!
+//! Layout under the spool directory:
+//!
+//! ```text
+//! spool/
+//!   manifest.jsonl      submit / done / quarantine records
+//!   frames.jsonl        every emitted temperature frame
+//!   sources/<key>.stk   scenario sources, one file per distinct hash
+//!   ckpt/<id>.ckpt      per-session state checkpoints (envelope format)
+//! ```
+//!
+//! Crash-only discipline: both journals are append-only, written line
+//! by line with an fsync *before* the checkpoint that supersedes the
+//! line's slice. A torn tail (the one partially-written line a SIGKILL
+//! can leave) is detected on open and physically truncated before
+//! appends resume; mid-file corruption, by contrast, is an error —
+//! silent data loss in the middle of a journal means the storage lied,
+//! and resuming over it would fabricate history.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use xylem::checkpoint::{load_payload, save_payload};
+use xylem::error::CheckpointError;
+
+use crate::error::ServeError;
+use crate::session::{FrameRecord, SessionSpec, SessionState};
+
+/// A `submit` manifest record (the spec plus its record tag).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SubmitRecord {
+    record: String,
+    id: u64,
+    tenant: String,
+    source_key: u64,
+    steps: u32,
+    dt_s: f64,
+    frame_every: u32,
+    power_scale: f64,
+    trip_c: Option<f64>,
+    deadline_ms: Option<u64>,
+}
+
+/// A `done` manifest record: the terminal digest a verifier compares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DoneRecord {
+    record: String,
+    /// Completed session.
+    pub id: u64,
+    /// Final step count.
+    pub step: u32,
+    /// Frames emitted over the whole run.
+    pub frames: u32,
+    /// FNV-1a digest of the final temperature field.
+    pub final_digest: u64,
+    /// Frame chain digest at completion.
+    pub chain: u64,
+}
+
+/// A `quarantine` manifest record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct QuarantineRecord {
+    record: String,
+    id: u64,
+    reason: String,
+}
+
+/// Tagged frame line in `frames.jsonl`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FrameLine {
+    record: String,
+    id: u64,
+    idx: u32,
+    step: u32,
+    hot_c: f64,
+    digest: u64,
+    chain: u64,
+    level: u8,
+}
+
+/// What a spool scan recovered.
+#[derive(Debug, Default)]
+pub struct SpoolScan {
+    /// Every admitted spec, in submit order.
+    pub submits: Vec<SessionSpec>,
+    /// Sessions with a durable `done` record.
+    pub done: BTreeMap<u64, DoneRecord>,
+    /// Sessions with a durable `quarantine` record.
+    pub quarantined: BTreeSet<u64>,
+    /// Per-session count of durable frames (max index + 1).
+    pub durable_frames: BTreeMap<u64, u32>,
+    /// Recovered `(key, source)` pairs.
+    pub sources: Vec<(u64, String)>,
+    /// Highest session id ever admitted (0 if none).
+    pub max_id: u64,
+}
+
+/// The server's durable storage handle.
+pub struct Spool {
+    dir: PathBuf,
+    manifest: File,
+    frames: File,
+    /// Whether appends fsync before returning (tests may relax this;
+    /// the crash drill requires it on).
+    sync: bool,
+}
+
+fn io_ctx(e: std::io::Error, path: &Path) -> ServeError {
+    ServeError::Io(std::io::Error::new(
+        e.kind(),
+        format!("{}: {e}", path.display()),
+    ))
+}
+
+/// Scans a journal file: returns its parsed lines and the byte length
+/// of the valid prefix. Only a *trailing* unparsable fragment is
+/// tolerated (and reported for truncation).
+fn scan_lines(path: &Path) -> Result<(Vec<String>, u64, bool), ServeError> {
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text).map_err(|e| io_ctx(e, path))?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0, false)),
+        Err(e) => return Err(io_ctx(e, path)),
+    }
+    let mut lines = Vec::new();
+    let mut valid_len = 0u64;
+    let mut torn = false;
+    let mut offset = 0usize;
+    for raw in text.split_inclusive('\n') {
+        let complete = raw.ends_with('\n');
+        let line = raw.trim_end_matches('\n');
+        let parses = !line.trim().is_empty() && serde_json::from_str::<serde::Value>(line).is_ok();
+        if complete && parses {
+            lines.push(line.to_string());
+            valid_len = (offset + raw.len()) as u64;
+        } else if complete {
+            // A complete but unparsable line mid-file is corruption.
+            return Err(ServeError::Corrupt {
+                source: path.display().to_string(),
+                detail: format!("unparsable record at byte {offset}"),
+            });
+        } else {
+            // Incomplete final line: the torn tail.
+            torn = true;
+        }
+        offset += raw.len();
+    }
+    Ok((lines, valid_len, torn))
+}
+
+/// Opens (appending, creating) a journal after truncating a torn tail.
+fn open_journal(path: &Path) -> Result<(Vec<String>, File), ServeError> {
+    let (lines, valid_len, torn) = scan_lines(path)?;
+    let file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| io_ctx(e, path))?;
+    if torn {
+        file.set_len(valid_len).map_err(|e| io_ctx(e, path))?;
+        file.sync_all().map_err(|e| io_ctx(e, path))?;
+    }
+    Ok((lines, file))
+}
+
+impl Spool {
+    /// Opens (or creates) a spool directory, recovering every durable
+    /// record. Torn journal tails are truncated; everything else must
+    /// parse.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on filesystem failure, [`ServeError::Corrupt`]
+    /// on mid-journal damage.
+    pub fn open(dir: &Path, sync: bool) -> Result<(Spool, SpoolScan), ServeError> {
+        std::fs::create_dir_all(dir.join("sources")).map_err(|e| io_ctx(e, dir))?;
+        std::fs::create_dir_all(dir.join("ckpt")).map_err(|e| io_ctx(e, dir))?;
+
+        let manifest_path = dir.join("manifest.jsonl");
+        let frames_path = dir.join("frames.jsonl");
+        let (manifest_lines, manifest) = open_journal(&manifest_path)?;
+        let (frame_lines, frames) = open_journal(&frames_path)?;
+
+        let mut scan = SpoolScan::default();
+        for line in &manifest_lines {
+            let v: serde::Value = serde_json::from_str(line).map_err(|e| ServeError::Corrupt {
+                source: manifest_path.display().to_string(),
+                detail: e.to_string(),
+            })?;
+            let tag = v
+                .as_object()
+                .and_then(|m| m.get("record"))
+                .and_then(serde::Value::as_str)
+                .unwrap_or("");
+            match tag {
+                "submit" => {
+                    let r: SubmitRecord =
+                        serde_json::from_str(line).map_err(|e| ServeError::Corrupt {
+                            source: manifest_path.display().to_string(),
+                            detail: e.to_string(),
+                        })?;
+                    scan.max_id = scan.max_id.max(r.id);
+                    scan.submits.push(SessionSpec {
+                        id: r.id,
+                        tenant: r.tenant,
+                        source_key: r.source_key,
+                        steps: r.steps,
+                        dt_s: r.dt_s,
+                        frame_every: r.frame_every,
+                        power_scale: r.power_scale,
+                        trip_c: r.trip_c,
+                        deadline_ms: r.deadline_ms,
+                    });
+                }
+                "done" => {
+                    let r: DoneRecord =
+                        serde_json::from_str(line).map_err(|e| ServeError::Corrupt {
+                            source: manifest_path.display().to_string(),
+                            detail: e.to_string(),
+                        })?;
+                    scan.done.insert(r.id, r);
+                }
+                "quarantine" => {
+                    let r: QuarantineRecord =
+                        serde_json::from_str(line).map_err(|e| ServeError::Corrupt {
+                            source: manifest_path.display().to_string(),
+                            detail: e.to_string(),
+                        })?;
+                    scan.quarantined.insert(r.id);
+                }
+                other => {
+                    return Err(ServeError::Corrupt {
+                        source: manifest_path.display().to_string(),
+                        detail: format!("unknown record tag {other:?}"),
+                    })
+                }
+            }
+        }
+        for line in &frame_lines {
+            let r: FrameLine = serde_json::from_str(line).map_err(|e| ServeError::Corrupt {
+                source: frames_path.display().to_string(),
+                detail: e.to_string(),
+            })?;
+            let durable = scan.durable_frames.entry(r.id).or_insert(0);
+            *durable = (*durable).max(r.idx + 1);
+        }
+
+        // Recover sources.
+        for entry in std::fs::read_dir(dir.join("sources")).map_err(|e| io_ctx(e, dir))? {
+            let entry = entry.map_err(|e| io_ctx(e, dir))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(hex) = name.strip_suffix(".stk") {
+                if let Ok(key) = u64::from_str_radix(hex, 16) {
+                    let mut text = String::new();
+                    File::open(entry.path())
+                        .and_then(|mut f| f.read_to_string(&mut text))
+                        .map_err(|e| io_ctx(e, &entry.path()))?;
+                    scan.sources.push((key, text));
+                }
+            }
+        }
+
+        Ok((
+            Spool {
+                dir: dir.to_path_buf(),
+                manifest,
+                frames,
+                sync,
+            },
+            scan,
+        ))
+    }
+
+    /// The spool directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn append(&mut self, which: Which, line: &str) -> Result<(), ServeError> {
+        let (file, path) = match which {
+            Which::Manifest => (&mut self.manifest, self.dir.join("manifest.jsonl")),
+            Which::Frames => (&mut self.frames, self.dir.join("frames.jsonl")),
+        };
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .map_err(|e| io_ctx(e, &path))?;
+        if self.sync {
+            file.sync_all().map_err(|e| io_ctx(e, &path))?;
+        }
+        Ok(())
+    }
+
+    /// Durably records a new scenario source (idempotent per key).
+    pub fn record_source(&mut self, key: u64, source: &str) -> Result<(), ServeError> {
+        let path = self.dir.join("sources").join(format!("{key:016x}.stk"));
+        if path.exists() {
+            return Ok(());
+        }
+        let tmp = path.with_extension("stk.tmp");
+        {
+            let mut f = File::create(&tmp).map_err(|e| io_ctx(e, &tmp))?;
+            f.write_all(source.as_bytes())
+                .map_err(|e| io_ctx(e, &tmp))?;
+            if self.sync {
+                f.sync_all().map_err(|e| io_ctx(e, &tmp))?;
+            }
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| io_ctx(e, &path))?;
+        Ok(())
+    }
+
+    /// Durably records an admission. Must precede any compute for the
+    /// session (crash-only: an admitted session is never forgotten).
+    pub fn record_submit(&mut self, spec: &SessionSpec) -> Result<(), ServeError> {
+        let r = SubmitRecord {
+            record: "submit".to_string(),
+            id: spec.id,
+            tenant: spec.tenant.clone(),
+            source_key: spec.source_key,
+            steps: spec.steps,
+            dt_s: spec.dt_s,
+            frame_every: spec.frame_every,
+            power_scale: spec.power_scale,
+            trip_c: spec.trip_c,
+            deadline_ms: spec.deadline_ms,
+        };
+        let line = serde_json::to_string(&r).map_err(|e| ServeError::Protocol(e.to_string()))?;
+        self.append(Which::Manifest, &line)
+    }
+
+    /// Durably records a frame. Returns the serialized line so the
+    /// scheduler can also stream it to the client buffer.
+    pub fn record_frame(&mut self, frame: &FrameRecord) -> Result<String, ServeError> {
+        let r = FrameLine {
+            record: "frame".to_string(),
+            id: frame.id,
+            idx: frame.idx,
+            step: frame.step,
+            hot_c: frame.hot_c,
+            digest: frame.digest,
+            chain: frame.chain,
+            level: frame.level,
+        };
+        let line = serde_json::to_string(&r).map_err(|e| ServeError::Protocol(e.to_string()))?;
+        self.append(Which::Frames, &line)?;
+        Ok(line)
+    }
+
+    /// Durably records completion.
+    pub fn record_done(&mut self, rec: &DoneRecord) -> Result<(), ServeError> {
+        let line = serde_json::to_string(rec).map_err(|e| ServeError::Protocol(e.to_string()))?;
+        self.append(Which::Manifest, &line)
+    }
+
+    /// Builds a `done` record.
+    pub fn done_record(id: u64, state: &SessionState) -> DoneRecord {
+        DoneRecord {
+            record: "done".to_string(),
+            id,
+            step: state.step,
+            frames: state.frames,
+            final_digest: crate::chaos::fnv1a(
+                &state
+                    .temps
+                    .iter()
+                    .flat_map(|t| t.to_bits().to_le_bytes())
+                    .collect::<Vec<u8>>(),
+            ),
+            chain: state.chain,
+        }
+    }
+
+    /// Durably records a quarantine.
+    pub fn record_quarantine(&mut self, id: u64, reason: &str) -> Result<(), ServeError> {
+        let r = QuarantineRecord {
+            record: "quarantine".to_string(),
+            id,
+            reason: reason.to_string(),
+        };
+        let line = serde_json::to_string(&r).map_err(|e| ServeError::Protocol(e.to_string()))?;
+        self.append(Which::Manifest, &line)
+    }
+
+    /// Path of a session's checkpoint file.
+    pub fn ckpt_path(&self, id: u64) -> PathBuf {
+        self.dir.join("ckpt").join(format!("{id}.ckpt"))
+    }
+
+    /// Durably checkpoints a session's state (atomic replace + fsync,
+    /// via the workspace checkpoint envelope).
+    pub fn save_state(&self, id: u64, state: &SessionState) -> Result<(), ServeError> {
+        let payload =
+            serde_json::to_string(state).map_err(|e| ServeError::Protocol(e.to_string()))?;
+        save_payload(&self.ckpt_path(id), &payload)
+            .map_err(|e| ServeError::Checkpoint(e.to_string()))
+    }
+
+    /// Loads a session's checkpointed state, if one exists.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Checkpoint`] if the envelope exists but fails
+    /// integrity validation or the payload does not parse.
+    pub fn load_state(&self, id: u64) -> Result<Option<SessionState>, ServeError> {
+        let path = self.ckpt_path(id);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let payload = match load_payload(&path) {
+            Ok(p) => p,
+            Err(CheckpointError::Io { .. }) if !path.exists() => return Ok(None),
+            Err(e) => return Err(ServeError::Checkpoint(e.to_string())),
+        };
+        let state: SessionState =
+            serde_json::from_str(&payload).map_err(|e| ServeError::Checkpoint(e.to_string()))?;
+        Ok(Some(state))
+    }
+}
+
+enum Which {
+    Manifest,
+    Frames,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("xylem-serve-spool-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(id: u64) -> SessionSpec {
+        SessionSpec {
+            id,
+            tenant: "t".to_string(),
+            source_key: 7,
+            steps: 4,
+            dt_s: 1e-3,
+            frame_every: 2,
+            power_scale: 1.0,
+            trip_c: Some(80.0),
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_reopen() {
+        let dir = tmp("roundtrip");
+        {
+            let (mut spool, scan) = Spool::open(&dir, true).expect("open");
+            assert!(scan.submits.is_empty());
+            spool.record_source(7, "material ;").expect("source");
+            spool.record_submit(&spec(1)).expect("submit");
+            spool.record_submit(&spec(2)).expect("submit");
+            let mut state = SessionState::fresh(&spec(1));
+            state.step = 4;
+            state.temps = vec![1.0, 2.0];
+            state.frames = 2;
+            spool
+                .record_frame(&FrameRecord {
+                    id: 1,
+                    idx: 0,
+                    step: 2,
+                    hot_c: 50.0,
+                    digest: 9,
+                    chain: 11,
+                    level: 0,
+                })
+                .expect("frame");
+            spool.save_state(1, &state).expect("ckpt");
+            spool
+                .record_done(&Spool::done_record(1, &state))
+                .expect("done");
+            spool.record_quarantine(2, "test").expect("quarantine");
+        }
+        let (spool, scan) = Spool::open(&dir, true).expect("reopen");
+        assert_eq!(scan.submits.len(), 2);
+        assert_eq!(scan.submits[0], spec(1));
+        assert!(scan.done.contains_key(&1));
+        assert_eq!(scan.done[&1].frames, 2);
+        assert!(scan.quarantined.contains(&2));
+        assert_eq!(scan.durable_frames[&1], 1);
+        assert_eq!(scan.sources, vec![(7, "material ;".to_string())]);
+        assert_eq!(scan.max_id, 2);
+        let state = spool.load_state(1).expect("load").expect("present");
+        assert_eq!(state.step, 4);
+        assert_eq!(state.temps, vec![1.0, 2.0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmp("torn");
+        {
+            let (mut spool, _) = Spool::open(&dir, true).expect("open");
+            spool.record_submit(&spec(1)).expect("submit");
+        }
+        // Simulate a SIGKILL mid-append: a partial line with no newline.
+        let path = dir.join("manifest.jsonl");
+        let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+        f.write_all(b"{\"record\":\"submit\",\"id\":9")
+            .expect("tear");
+        drop(f);
+        let (_, scan) = Spool::open(&dir, true).expect("reopen tolerates torn tail");
+        assert_eq!(scan.submits.len(), 1);
+        assert_eq!(scan.max_id, 1);
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.ends_with('\n'), "tail must be physically truncated");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let dir = tmp("corrupt");
+        {
+            let (mut spool, _) = Spool::open(&dir, true).expect("open");
+            spool.record_submit(&spec(1)).expect("submit");
+        }
+        let path = dir.join("manifest.jsonl");
+        let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+        f.write_all(b"garbage not json\n").expect("append");
+        {
+            let mut g = OpenOptions::new().append(true).open(&path).expect("open");
+            g.write_all(b"{\"record\":\"quarantine\",\"id\":1,\"reason\":\"x\"}\n")
+                .expect("append");
+        }
+        drop(f);
+        match Spool::open(&dir, true) {
+            Err(ServeError::Corrupt { .. }) => {}
+            Err(other) => panic!("expected Corrupt, got {other:?}"),
+            Ok(_) => panic!("expected Corrupt, got Ok"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none_not_error() {
+        let dir = tmp("nockpt");
+        let (spool, _) = Spool::open(&dir, true).expect("open");
+        assert!(spool.load_state(42).expect("ok").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,231 @@
+//! Admission control: explicit backpressure, tenant quotas, permanent
+//! rejections, slow-client shedding, and graceful-restart resume.
+
+use std::path::PathBuf;
+
+use xylem_obs::metrics::{counter, Counter};
+use xylem_serve::selftest::frame_set;
+use xylem_serve::{Server, ServerConfig, Submission, SubmitParams, TenantQuota};
+
+const MINIMAL: &str = "\
+material si :
+    thermal conductivity 120.0 ;
+    volumetric heat capacity 1.75e6 ;
+dimensions :
+    chip length 8e-3 , width 8e-3 ;
+    grid 4 , 4 ;
+layer body :
+    height 1e-4 ;
+    material si ;
+stack :
+    layer body ;
+power :
+    uniform body 5.0 ;
+solver :
+    steady ;
+output :
+    probe hot max in body ;
+";
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xylem-serve-bp-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_cfg(dir: &PathBuf) -> ServerConfig {
+    let mut cfg = ServerConfig::new(dir);
+    cfg.workers = 0;
+    cfg.round_slots = 4;
+    cfg.queue_cap = 8;
+    cfg.quota = TenantQuota {
+        max_active: 4,
+        max_active_steps: 1 << 16,
+    };
+    cfg.sync = false;
+    cfg
+}
+
+/// 64 submissions against a queue of 8: overload yields transient
+/// rejections with retry hints, and a retry loop eventually lands
+/// every job — overload degrades throughput, never correctness.
+#[test]
+fn overload_rejects_with_retry_after_then_admits() {
+    let dir = tmp("overload");
+    let (mut server, _) = Server::open(small_cfg(&dir)).expect("open");
+    let params = SubmitParams {
+        steps: 4,
+        ..SubmitParams::default()
+    };
+
+    let mut pending = 64usize;
+    let mut transient_rejects = 0u64;
+    let mut admitted = 0usize;
+    let mut spins = 0u64;
+    while pending > 0 {
+        match server.submit("t", MINIMAL, &params).expect("no fault") {
+            Submission::Admitted(_) => {
+                admitted += 1;
+                pending -= 1;
+            }
+            Submission::Rejected(r) => {
+                assert!(r.is_transient(), "overload must be transient: {r}");
+                assert!(
+                    r.retry_after_ms.is_some_and(|ms| ms > 0),
+                    "retry hint must be positive: {r}"
+                );
+                transient_rejects += 1;
+                // "Wait" by letting the server make progress, exactly
+                // what a client backoff buys in wall time.
+                server.tick().expect("tick");
+            }
+        }
+        spins += 1;
+        assert!(spins < 100_000, "retry loop failed to converge");
+    }
+    assert_eq!(admitted, 64);
+    assert!(
+        transient_rejects > 0,
+        "a 64-job burst against queue_cap=8 must see backpressure"
+    );
+    server.run_until_settled(100_000).expect("settles");
+    assert_eq!(server.status().done, 64);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The per-tenant quota rejects tenant B's fifth session while tenant
+/// C (under quota) is still admitted — quotas isolate tenants.
+#[test]
+fn tenant_quota_is_per_tenant() {
+    let dir = tmp("quota");
+    let (mut server, _) = Server::open(small_cfg(&dir)).expect("open");
+    let params = SubmitParams {
+        steps: 4,
+        ..SubmitParams::default()
+    };
+    for _ in 0..4 {
+        match server.submit("b", MINIMAL, &params).expect("ok") {
+            Submission::Admitted(_) => {}
+            Submission::Rejected(r) => panic!("under quota yet rejected: {r}"),
+        }
+    }
+    match server.submit("b", MINIMAL, &params).expect("ok") {
+        Submission::Rejected(r) => assert!(r.is_transient()),
+        Submission::Admitted(_) => panic!("5th session must exceed max_active=4"),
+    }
+    match server.submit("c", MINIMAL, &params).expect("ok") {
+        Submission::Admitted(_) => {}
+        Submission::Rejected(r) => panic!("tenant c is under quota: {r}"),
+    }
+    server.run_until_settled(100_000).expect("settles");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Malformed scenarios and insane parameters are permanent rejections
+/// (no retry hint) and never enter the queue.
+#[test]
+fn invalid_submissions_reject_permanently() {
+    let dir = tmp("invalid");
+    let (mut server, _) = Server::open(small_cfg(&dir)).expect("open");
+    let ok = SubmitParams {
+        steps: 4,
+        ..SubmitParams::default()
+    };
+    match server.submit("t", "material ;", &ok).expect("no fault") {
+        Submission::Rejected(r) => {
+            assert!(!r.is_transient(), "parse failure must be permanent: {r}");
+        }
+        Submission::Admitted(_) => panic!("malformed scenario admitted"),
+    }
+    let bad_dt = SubmitParams {
+        dt_s: f64::NAN,
+        ..ok.clone()
+    };
+    match server.submit("t", MINIMAL, &bad_dt).expect("no fault") {
+        Submission::Rejected(r) => assert!(!r.is_transient()),
+        Submission::Admitted(_) => panic!("NaN dt admitted"),
+    }
+    assert_eq!(server.status().active, 0, "rejections must not enqueue");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A client that never drains loses only buffered convenience lines:
+/// the journal keeps every frame, the buffer sheds oldest-first and
+/// says so once.
+#[test]
+fn slow_client_sheds_lines_but_frames_stay_durable() {
+    let dir = tmp("slowclient");
+    let mut cfg = small_cfg(&dir);
+    cfg.client_buffer_cap = 4;
+    cfg.sync = true;
+    let (mut server, _) = Server::open(cfg).expect("open");
+    let params = SubmitParams {
+        steps: 24,
+        frame_every: 2, // 12 frames >> buffer cap of 4
+        ..SubmitParams::default()
+    };
+    let shed0 = counter(Counter::ServeSlowClientSheds);
+    let id = match server.submit("t", MINIMAL, &params).expect("ok") {
+        Submission::Admitted(id) => id,
+        Submission::Rejected(r) => panic!("rejected: {r}"),
+    };
+    server.run_until_settled(100_000).expect("settles");
+    assert!(
+        counter(Counter::ServeSlowClientSheds) > shed0,
+        "a 12-frame session against a 4-line buffer must shed"
+    );
+    let lines = server.drain_output(id);
+    assert!(lines.len() <= 5, "buffer respects its cap: {}", lines.len());
+    assert!(
+        lines.iter().any(|l| l.contains("\"kind\":\"overflow\"")),
+        "shedding must be announced: {lines:?}"
+    );
+    // Every frame the buffer dropped is still in the durable journal.
+    let frames = frame_set(&dir).expect("journal intact, no duplicates");
+    let session_frames = frames.keys().filter(|(fid, _)| *fid == id).count();
+    assert_eq!(session_frames, 12, "journal has all frames");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Graceful restart: drop a server mid-run, reopen over the same
+/// spool, and finish. No duplicate frames, every session completes,
+/// and resumed sessions are counted.
+#[test]
+fn restart_mid_run_resumes_without_duplicates() {
+    let dir = tmp("restart");
+    let mut cfg = small_cfg(&dir);
+    cfg.sync = true;
+    let params = SubmitParams {
+        steps: 12,
+        frame_every: 2,
+        ..SubmitParams::default()
+    };
+    {
+        let (mut server, _) = Server::open(cfg.clone()).expect("open");
+        for _ in 0..4 {
+            match server.submit("t", MINIMAL, &params).expect("ok") {
+                Submission::Admitted(_) => {}
+                Submission::Rejected(r) => panic!("rejected: {r}"),
+            }
+        }
+        // Run partway: some frames out, nothing done.
+        for _ in 0..3 {
+            server.tick().expect("tick");
+        }
+        assert!(server.status().active > 0);
+        server.shutdown();
+    }
+    let (mut server, resume) = Server::open(cfg).expect("reopen");
+    assert!(resume.resumed > 0, "mid-flight sessions must be resumed");
+    server.run_until_settled(100_000).expect("settles");
+    assert_eq!(server.status().done, 4);
+    assert_eq!(server.status().quarantined, 0);
+    let frames = frame_set(&dir).expect("no duplicate frames across restart");
+    assert_eq!(frames.len(), 4 * 6, "12 steps / stride 2 = 6 frames each");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

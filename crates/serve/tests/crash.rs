@@ -1,0 +1,106 @@
+//! The SIGKILL drill as a regression test: kill -9 a child server
+//! mid-run, resume its spool in-process, and require bit-identical
+//! frames with zero duplicates against an uninterrupted reference.
+//!
+//! Child-process pattern: the test binary re-invokes itself with
+//! `XYLEM_SERVE_CRASH_CHILD` set, which turns the `crash_child_body`
+//! "test" into the drill child's main loop. SIGKILL gives the child no
+//! chance to flush or unwind — exactly the failure the crash-only
+//! design must absorb.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use xylem_serve::selftest::{frame_set, run_drill_child};
+use xylem_serve::{Server, ServerConfig};
+
+const CHILD_ENV: &str = "XYLEM_SERVE_CRASH_CHILD";
+const SEED: u64 = 0x51_6B11;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xylem-serve-crash-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Not a test of anything by itself: when the env var is set, this is
+/// the drill child's body. Without it, it no-ops (and "passes").
+#[test]
+fn crash_child_body() {
+    let Ok(spool) = std::env::var(CHILD_ENV) else {
+        return;
+    };
+    // Paced so the parent's SIGKILL lands mid-run.
+    run_drill_child(std::path::Path::new(&spool), SEED, 3).expect("drill child runs");
+}
+
+#[test]
+fn sigkill_mid_run_resumes_bit_identically_with_zero_duplicate_frames() {
+    let drill_dir = tmp("drill");
+    std::fs::create_dir_all(&drill_dir).expect("mkdir");
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = std::process::Command::new(&exe)
+        .args(["crash_child_body", "--exact", "--test-threads=1"])
+        .env(CHILD_ENV, &drill_dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn drill child");
+
+    // Wait for durable progress, then SIGKILL mid-run.
+    let frames_path = drill_dir.join("frames.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let lines = std::fs::read_to_string(&frames_path)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if lines >= 20 {
+            break;
+        }
+        assert!(
+            child.try_wait().expect("try_wait").is_none(),
+            "drill child finished before the kill; slow it down"
+        );
+        assert!(
+            Instant::now() < deadline,
+            "drill child made no progress in 120s"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+
+    // Resume the killed spool in-process and finish every session.
+    let mut cfg = ServerConfig::new(&drill_dir);
+    cfg.workers = 2;
+    cfg.round_slots = 4;
+    cfg.sync = true;
+    let (mut server, resume) = Server::open(cfg).expect("resume over killed spool");
+    assert!(resume.resumed > 0, "the kill must land mid-flight");
+    server.run_until_settled(200_000).expect("settles");
+    assert_eq!(
+        server.status().quarantined,
+        0,
+        "a crash is not a session fault"
+    );
+    let done = server.status().done;
+    server.shutdown();
+
+    // Reference: the identical fleet, never killed.
+    let ref_dir = tmp("ref");
+    run_drill_child(&ref_dir, SEED, 0).expect("reference run");
+
+    // frame_set fails on any duplicate (id, idx): zero-duplicates is
+    // checked by construction, bit-identity by comparison.
+    let killed = frame_set(&drill_dir).expect("killed journal has zero duplicate frames");
+    let reference = frame_set(&ref_dir).expect("reference journal well-formed");
+    assert_eq!(
+        killed, reference,
+        "killed+resumed frames must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(done, 12, "all drill sessions complete");
+
+    let _ = std::fs::remove_dir_all(&drill_dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}

@@ -1,0 +1,157 @@
+//! Load smoke and the tenant-fairness regression.
+//!
+//! Both tests run the scheduler in inline mode (`workers = 0`) so
+//! every latency is measured in deterministic scheduler ticks — the
+//! fairness bound below is a locked constant, not a wall-clock
+//! heuristic that flakes on a loaded CI box.
+
+use std::path::PathBuf;
+
+use xylem_serve::selftest::client_fleet;
+use xylem_serve::{Server, ServerConfig, Submission, SubmitParams, TenantQuota};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xylem-serve-load-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// ≥64 concurrent sessions across 8 tenants all complete, none
+/// quarantined, every admitted session reaches a terminal state.
+#[test]
+fn sixty_four_sessions_all_complete() {
+    let dir = tmp("smoke64");
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.workers = 0;
+    cfg.round_slots = 8;
+    cfg.queue_cap = 128;
+    cfg.quota = TenantQuota {
+        max_active: 16,
+        max_active_steps: 1 << 20,
+    };
+    cfg.sync = false;
+    let (mut server, _) = Server::open(cfg).expect("open");
+
+    let fleet = client_fleet(0xBEEF, 64, 8);
+    let mut admitted = 0usize;
+    for job in &fleet {
+        match server
+            .submit(&job.tenant, &job.scenario, &job.params)
+            .expect("no infrastructure fault")
+        {
+            Submission::Admitted(_) => admitted += 1,
+            Submission::Rejected(r) => panic!("unexpected rejection under capacity: {r}"),
+        }
+    }
+    assert_eq!(admitted, 64);
+    server.run_until_settled(100_000).expect("settles");
+    let st = server.status();
+    assert_eq!(st.active, 0);
+    assert_eq!(st.done, 64, "every session completes");
+    assert_eq!(st.quarantined, 0, "no quarantines without chaos");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+const MINIMAL: &str = "\
+material si :
+    thermal conductivity 120.0 ;
+    volumetric heat capacity 1.75e6 ;
+dimensions :
+    chip length 8e-3 , width 8e-3 ;
+    grid 4 , 4 ;
+layer body :
+    height 1e-4 ;
+    material si ;
+stack :
+    layer body ;
+power :
+    uniform body 5.0 ;
+solver :
+    steady ;
+output :
+    probe hot max in body ;
+";
+
+/// Runs alice's 16 small sessions (optionally against a bully tenant
+/// with 10x-oversized jobs) and returns the p99 of alice's
+/// submit-to-done latency in scheduler ticks.
+fn alice_p99_ticks(dir: &PathBuf, with_bully: bool) -> u64 {
+    let mut cfg = ServerConfig::new(dir);
+    cfg.workers = 0;
+    cfg.round_slots = 4;
+    cfg.queue_cap = 128;
+    cfg.quota = TenantQuota {
+        max_active: 32,
+        max_active_steps: 1 << 20,
+    };
+    cfg.sync = false;
+    let (mut server, _) = Server::open(cfg).expect("open");
+
+    let small = SubmitParams {
+        steps: 4,
+        frame_every: 2,
+        ..SubmitParams::default()
+    };
+    let oversized = SubmitParams {
+        steps: 40, // 10x alice's work per session
+        frame_every: 2,
+        ..SubmitParams::default()
+    };
+    let mut alice_ids = Vec::new();
+    for i in 0..16 {
+        // Interleave so the bully's backlog is already queued ahead of
+        // most of alice's submissions — the worst case for FIFO, the
+        // case round-robin must neutralize.
+        if with_bully {
+            match server.submit("bully", MINIMAL, &oversized).expect("ok") {
+                Submission::Admitted(_) => {}
+                Submission::Rejected(r) => panic!("bully rejected: {r}"),
+            }
+        }
+        match server.submit("alice", MINIMAL, &small).expect("ok") {
+            Submission::Admitted(id) => alice_ids.push(id),
+            Submission::Rejected(r) => panic!("alice rejected: {r}"),
+        }
+        let _ = i;
+    }
+    server.run_until_settled(100_000).expect("settles");
+    let mut latencies: Vec<u64> = alice_ids
+        .iter()
+        .map(|&id| {
+            let (submit, _, done) = server
+                .completion_ticks(id)
+                .expect("alice session completed");
+            done - submit
+        })
+        .collect();
+    latencies.sort_unstable();
+    let p99 = latencies[(latencies.len() * 99)
+        .div_ceil(100)
+        .saturating_sub(1)
+        .min(latencies.len() - 1)];
+    server.shutdown();
+    p99
+}
+
+/// Fairness regression: a tenant submitting 10x-oversized jobs must
+/// not raise another tenant's p99 submit-to-done latency beyond a
+/// locked multiple of its solo baseline. Round-robin tenant scheduling
+/// is what holds this bound; FIFO would blow it by ~10x.
+#[test]
+fn oversized_tenant_cannot_starve_another() {
+    let solo_dir = tmp("fair-solo");
+    let bully_dir = tmp("fair-bully");
+    let solo_p99 = alice_p99_ticks(&solo_dir, false);
+    let contended_p99 = alice_p99_ticks(&bully_dir, true);
+    // Locked bound: with one equal-priority competitor, round-robin
+    // hands alice at least half the slots, so her p99 may at most
+    // double, plus 2 ticks of scheduling slack. (The bully's sessions
+    // being 10x longer is exactly what must NOT leak into the bound.)
+    assert!(
+        contended_p99 <= 2 * solo_p99 + 2,
+        "fairness regression: alice p99 {contended_p99} ticks vs solo {solo_p99} ticks"
+    );
+    let _ = std::fs::remove_dir_all(&solo_dir);
+    let _ = std::fs::remove_dir_all(&bully_dir);
+}

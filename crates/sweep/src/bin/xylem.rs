@@ -9,6 +9,7 @@
 //! xylem sweep    --scenario my.stk --grids 16,32 --power-scale 0.5,1,2
 //! xylem report   --scheme base --app Barnes --freq 2.4
 //! xylem dtm      --scheme base --app "LU(NAS)" --freq 3.5 --duration 2.0
+//! xylem serve    --selftest --sessions 1000 --kill-drill
 //! xylem schemes
 //! ```
 
@@ -31,7 +32,7 @@ use xylem_thermal::grid::GridSpec;
 use xylem_thermal::power::PowerMap;
 use xylem_thermal::report::StackThermalReport;
 use xylem_thermal::units::{Celsius, Watts};
-use xylem_thermal::AdaptiveOptions;
+use xylem_thermal::{AdaptiveOptions, DeadlineGuard};
 use xylem_workloads::Benchmark;
 
 fn main() -> ExitCode {
@@ -52,8 +53,9 @@ fn main() -> ExitCode {
         "evaluate" => evaluate(&opts),
         "boost" => boost(&opts),
         "apps" => apps(&opts),
-        "run" => run_scenario(&args[1..]),
+        "run" => run_scenario(&args[1..], &opts),
         "sweep" => sweep(&opts),
+        "serve" => serve(&opts),
         "report" => report(&opts),
         "dtm" => dtm(&opts),
         "schemes" => {
@@ -129,6 +131,7 @@ fn usage() {
            sweep    [axes...]                       crash-safe batched design-space sweep\n\
            report   --scheme S --app A --freq F     layer-by-layer thermal breakdown\n\
            dtm      --scheme S --app A --freq F --duration D   closed-loop DTM transient\n\
+           serve    --selftest | --stdio            multi-tenant simulation service\n\
            schemes                                  list TTSV schemes and overheads\n\
          \n\
          schemes: base bank banke isoCount prior;  apps: FFT Cholesky ... (paper names)\n\
@@ -142,6 +145,14 @@ fn usage() {
                    --shards N --attempts N --deadline-ms M --pace-ms M\n\
          scenario sweep: sweep --scenario FILE.stk [--grids 16,32] [--power-scale 0.5,1,2]\n\
                    [--ambients 30,45]   vary a .stk scenario instead of the paper axes\n\
+         run/dtm:  --deadline-ms M   wall-clock budget; an expired deadline aborts the\n\
+                                        in-flight solve with DeadlineExceeded, never a hang\n\
+         serve:    --selftest [--sessions N] [--tenants N] [--workers N] [--seed N]\n\
+                   [--no-chaos] [--kill-drill] [--bench-out PATH]   seeded chaos/load\n\
+                   campaign: overload + fault injection, then verifies every service\n\
+                   contract (terminal states, bit-identical replays, crash resume)\n\
+                   --stdio [--spool DIR]   serve the line-delimited JSON protocol on\n\
+                                        stdin/stdout; a reused spool resumes its sessions\n\
          dtm only: --checkpoint PATH [--every N] [--resume]   save/restore the run state\n\
                    --adaptive [--rtol R]   error-controlled adaptive sub-stepping\n\
                    --budget-cg N / --budget-wall-s S / --budget-rejects N   run budgets\n\
@@ -154,6 +165,13 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
+            // `--key=value` form (used by the serve drill re-exec,
+            // where values may start with `-` or contain spaces).
+            if let Some((k, v)) = key.split_once('=') {
+                out.insert(k.to_string(), v.to_string());
+                i += 1;
+                continue;
+            }
             // A flag followed by another flag (or nothing) is boolean.
             if i + 1 < args.len() && !args[i + 1].starts_with("--") {
                 out.insert(key.to_string(), args[i + 1].clone());
@@ -165,6 +183,19 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
         i += 1;
     }
     out
+}
+
+/// Parses `--deadline-ms` into an installed [`DeadlineGuard`] (held by
+/// the caller for the duration of the command), or `None` when absent.
+fn deadline_guard_of(opts: &HashMap<String, String>) -> Result<Option<DeadlineGuard>, String> {
+    opts.get("deadline-ms")
+        .map(|s| {
+            let ms: u64 = s.parse().map_err(|_| format!("bad --deadline-ms '{s}'"))?;
+            Ok(DeadlineGuard::install(
+                std::time::Instant::now() + std::time::Duration::from_millis(ms),
+            ))
+        })
+        .transpose()
 }
 
 fn scheme_of(opts: &HashMap<String, String>) -> Result<XylemScheme, String> {
@@ -294,12 +325,15 @@ fn positional_of(args: &[String]) -> Option<&str> {
     None
 }
 
-fn run_scenario(args: &[String]) -> Result<(), String> {
+fn run_scenario(args: &[String], opts: &HashMap<String, String>) -> Result<(), String> {
     let Some(path) = positional_of(args) else {
         return Err("run needs a scenario file: xylem run FILE.stk".to_string());
     };
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     let lowered = xylem_scenario::compile(&src).map_err(|e| e.render(path, &src))?;
+    // Same timeout semantics as the sweep engine: the guard aborts the
+    // in-flight CG solve with DeadlineExceeded, never a hang.
+    let _deadline = deadline_guard_of(opts)?;
     let report = xylem_scenario::run(&lowered).map_err(|e| e.to_string())?;
     println!(
         "{path}: {} nodes ({}x{} grid)",
@@ -588,6 +622,147 @@ fn sweep(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Every flag the `serve` subcommand reads. The drill child is
+/// re-spawned from a test harness with these exact flags, so — like
+/// `sweep` — a typo is a hard error, never a silently-defaulted knob.
+const SERVE_FLAGS: &[&str] = &[
+    "selftest",
+    "stdio",
+    "drill-child",
+    "spool",
+    "sessions",
+    "tenants",
+    "workers",
+    "seed",
+    "no-chaos",
+    "kill-drill",
+    "bench-out",
+    "pace-ms",
+    "metrics-out",
+];
+
+fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let mut unknown: Vec<&str> = opts
+        .keys()
+        .map(String::as_str)
+        .filter(|k| !SERVE_FLAGS.contains(k))
+        .collect();
+    if !unknown.is_empty() {
+        unknown.sort_unstable();
+        return Err(format!("unknown serve flag(s): --{}", unknown.join(", --")));
+    }
+    let num = |key: &'static str| -> Result<Option<u64>, String> {
+        opts.get(key)
+            .map(|s| s.parse::<u64>().map_err(|_| format!("bad --{key} '{s}'")))
+            .transpose()
+    };
+    let spool = opts.get("spool").map_or_else(
+        || std::env::temp_dir().join(format!("xylem-serve-{}", std::process::id())),
+        std::path::PathBuf::from,
+    );
+
+    // Drill child: the SIGKILL target the selftest spawns and kills.
+    if opts.contains_key("drill-child") {
+        let seed = num("seed")?.unwrap_or(0xCAFE);
+        let pace = num("pace-ms")?.unwrap_or(0);
+        return xylem_serve::selftest::run_drill_child(&spool, seed, pace)
+            .map_err(|e| e.to_string());
+    }
+
+    // Interactive line protocol over stdin/stdout.
+    if opts.contains_key("stdio") {
+        let mut cfg = xylem_serve::ServerConfig::new(&spool);
+        if let Some(w) = num("workers")? {
+            cfg.workers = w as usize;
+        }
+        let (mut server, resume) = xylem_serve::Server::open(cfg).map_err(|e| e.to_string())?;
+        if resume.resumed > 0 {
+            eprintln!(
+                "[resumed {} mid-flight session(s) from {}]",
+                resume.resumed,
+                spool.display()
+            );
+        }
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let served = xylem_serve::protocol::serve_lines(&mut server, stdin.lock(), stdout.lock());
+        server.shutdown();
+        return served.map_err(|e| e.to_string());
+    }
+
+    if !opts.contains_key("selftest") {
+        return Err(
+            "serve needs a mode: --selftest (chaos/load drill), --stdio (line \
+             protocol), or --drill-child (internal)"
+                .to_string(),
+        );
+    }
+
+    // The chaos/load campaign.
+    let mut cfg = xylem_serve::SelftestConfig::new(&spool);
+    if let Some(n) = num("sessions")? {
+        cfg.sessions = n as usize;
+    }
+    if let Some(n) = num("tenants")? {
+        cfg.tenants = (n as usize).max(1);
+    }
+    if let Some(n) = num("workers")? {
+        cfg.workers = n as usize;
+    }
+    if let Some(n) = num("seed")? {
+        cfg.seed = n;
+    }
+    cfg.chaos = !opts.contains_key("no-chaos");
+    cfg.kill_drill = opts.contains_key("kill-drill");
+    cfg.bench_out = opts.get("bench-out").map(std::path::PathBuf::from);
+    cfg.exe = std::env::current_exe().ok();
+    if cfg.kill_drill && cfg.exe.is_none() {
+        return Err("--kill-drill needs a resolvable current exe".to_string());
+    }
+    let report = xylem_serve::run_selftest(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "serve selftest: {} sessions over {} tenants (seed {:#x}, chaos {})",
+        cfg.sessions,
+        cfg.tenants,
+        cfg.seed,
+        if cfg.chaos { "on" } else { "off" }
+    );
+    println!(
+        "  admitted {} (after {} transient rejections over {} attempts)",
+        report.admitted, report.rejected, report.submitted
+    );
+    println!(
+        "  completed {}, quarantined {}, verified bit-identical {}",
+        report.completed, report.quarantined, report.verified
+    );
+    println!(
+        "  contained: {} panics, {} deadline degradations, {} suspends, {} line sheds",
+        report.panics_caught, report.degradations, report.suspends, report.sheds
+    );
+    println!(
+        "  submit-to-first-frame p50 {:.2} ms, p99 {:.2} ms; session p50 {:.2} ms, \
+         p99 {:.2} ms",
+        report.p50_first_frame_ms,
+        report.p99_first_frame_ms,
+        report.p50_session_ms,
+        report.p99_session_ms
+    );
+    if cfg.kill_drill {
+        println!(
+            "  SIGKILL drill: {}",
+            if report.kill_drill_passed {
+                "resumed bit-identically, zero duplicate frames"
+            } else {
+                "FAILED"
+            }
+        );
+    }
+    if let Some(bench) = &cfg.bench_out {
+        println!("  [serve row merged into {}]", bench.display());
+    }
+    Ok(())
+}
+
 fn report(opts: &HashMap<String, String>) -> Result<(), String> {
     let sys = system_of(opts)?;
     let app = app_of(opts)?;
@@ -690,6 +865,10 @@ fn dtm(opts: &HashMap<String, String>) -> Result<(), String> {
             every_steps: every,
             resume,
         }),
+        deadline_ms: opts
+            .get("deadline-ms")
+            .map(|s| s.parse().map_err(|_| format!("bad --deadline-ms '{s}'")))
+            .transpose()?,
         ..DtmRunConfig::new(policy)
     };
     let r = dtm_transient_configured(&sys, app, f, duration, &run, GridSpec::new(24, 24))

@@ -19,7 +19,7 @@
 //! a node: convection enters the diagonal and the right-hand side, which
 //! keeps the system symmetric positive definite.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use xylem_obs::{Counter, Gauge};
 
@@ -133,8 +133,14 @@ const TRANSIENT_CACHE_SLOTS: usize = 4;
 /// per call. DTM control loops re-solve with the same control period
 /// thousands of times, and the adaptive engine cycles through a small
 /// set of power-of-two step sizes.
+///
+/// Slots hold `Arc<TransientOp>` so the mutex guards only lookup,
+/// insertion, and eviction — never a solve. Concurrent sessions sharing
+/// one model (xylem-serve's shared-stack operator cache) each clone the
+/// `Arc` and solve in parallel; an evicted operator stays alive until
+/// the last in-flight solve drops its reference.
 #[derive(Debug, Default)]
-struct TransientCache(Mutex<Vec<TransientOp>>);
+struct TransientCache(Mutex<Vec<Arc<TransientOp>>>);
 
 impl Clone for TransientCache {
     /// Clones start empty: the cache is a pure memoization and rebuilding
@@ -791,17 +797,14 @@ impl ThermalModel {
         Ok(temps)
     }
 
-    /// Runs `f` with the backward-Euler operator `G + C/dt` and its
-    /// preconditioner for `dt`, building them on a cache miss. The cache
-    /// holds [`TRANSIENT_CACHE_SLOTS`] operators keyed on `dt` (bitwise)
-    /// and preconditioner kind, evicting least-recently-used. The lock is
-    /// held for the duration of `f`; the model is effectively
-    /// single-threaded per instance (parallelism lives inside the solve).
-    fn with_transient_op<R>(
-        &self,
-        dt: f64,
-        f: impl FnOnce(Operator<'_>, &Preconditioner) -> R,
-    ) -> R {
+    /// Returns the backward-Euler operator `G + C/dt` (+ preconditioner)
+    /// for `dt`, building it on a cache miss. The cache holds
+    /// [`TRANSIENT_CACHE_SLOTS`] operators keyed on `dt` (bitwise) and
+    /// preconditioner kind, evicting least-recently-used. The lock spans
+    /// lookup and (on miss) the build, so hit/miss/eviction counters stay
+    /// deterministic for a fixed call sequence; the returned `Arc` lets
+    /// callers solve without holding the lock.
+    fn transient_op(&self, dt: f64) -> Arc<TransientOp> {
         let kind = self.solver_options.preconditioner;
         let mut slots = self
             .transient_cache
@@ -811,29 +814,43 @@ impl ThermalModel {
         let hit = slots
             .iter()
             .position(|op| op.dt.to_bits() == dt.to_bits() && op.kind == kind);
-        let op = match hit {
-            Some(i) => slots.remove(i),
-            None => {
-                if slots.len() >= TRANSIENT_CACHE_SLOTS {
-                    slots.remove(0);
-                }
-                let patch: Vec<f64> = self.capacitance.iter().map(|c| c / dt).collect();
-                let a = self.csr.with_diagonal_added(&patch);
-                let stencil = self.stencil.as_ref().map(|s| s.with_diagonal_added(&patch));
-                let prec = build_prec_for(&a, self.grid, 3 + self.n_user_layers, kind);
-                TransientOp {
-                    dt,
-                    kind,
-                    a,
-                    stencil,
-                    prec,
-                }
-            }
-        };
-        let result = f(Operator::with_stencil(&op.a, op.stencil.as_ref()), &op.prec);
-        // Most-recently-used lives at the back.
-        slots.push(op);
-        result
+        if let Some(i) = hit {
+            xylem_obs::incr(Counter::TransientCacheHits);
+            let op = slots.remove(i);
+            // Most-recently-used lives at the back.
+            slots.push(Arc::clone(&op));
+            return op;
+        }
+        xylem_obs::incr(Counter::TransientCacheMisses);
+        if slots.len() >= TRANSIENT_CACHE_SLOTS {
+            slots.remove(0);
+            xylem_obs::incr(Counter::TransientCacheEvictions);
+        }
+        let patch: Vec<f64> = self.capacitance.iter().map(|c| c / dt).collect();
+        let a = self.csr.with_diagonal_added(&patch);
+        let stencil = self.stencil.as_ref().map(|s| s.with_diagonal_added(&patch));
+        let prec = build_prec_for(&a, self.grid, 3 + self.n_user_layers, kind);
+        let op = Arc::new(TransientOp {
+            dt,
+            kind,
+            a,
+            stencil,
+            prec,
+        });
+        slots.push(Arc::clone(&op));
+        op
+    }
+
+    /// Runs `f` with the cached backward-Euler operator for `dt`. The
+    /// cache lock is *not* held while `f` runs, so concurrent transient
+    /// solves over one shared model proceed in parallel.
+    fn with_transient_op<R>(
+        &self,
+        dt: f64,
+        f: impl FnOnce(Operator<'_>, &Preconditioner) -> R,
+    ) -> R {
+        let op = self.transient_op(dt);
+        f(Operator::with_stencil(&op.a, op.stencil.as_ref()), &op.prec)
     }
 
     /// One backward-Euler step of `dt` seconds, in place: forms the BE

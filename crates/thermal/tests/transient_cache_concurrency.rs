@@ -1,0 +1,159 @@
+//! The keyed LRU transient-operator cache under concurrency.
+//!
+//! xylem-serve shares one `ThermalModel` (and therefore one transient
+//! cache) across every session compiled from the same stack, so the
+//! cache must tolerate N threads hammering distinct `dt` keys at once:
+//! no deadlock, results bit-identical to a single-threaded run, and
+//! hit/miss/eviction counters that stay consistent with the number of
+//! lookups actually performed. The dt working set is deliberately
+//! larger than the slot count so evictions happen *while other threads
+//! hold in-flight operators* — the `Arc` slots must keep an evicted
+//! operator alive until its last solve completes.
+
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
+use std::thread;
+
+use xylem_obs::{counter, Counter};
+use xylem_thermal::grid::GridSpec;
+use xylem_thermal::layer::Layer;
+use xylem_thermal::material::{D2D_AVERAGE, SILICON};
+use xylem_thermal::package::Package;
+use xylem_thermal::power::PowerMap;
+use xylem_thermal::stack::Stack;
+use xylem_thermal::units::Watts;
+use xylem_thermal::{SolverWorkspace, TemperatureField, ThermalModel};
+
+const DIE: f64 = 8e-3;
+const N_THREADS: usize = 8;
+const STEPS: usize = 2;
+/// Six distinct keys against four cache slots: every full rotation
+/// evicts, so the churn path runs constantly.
+const DTS: [f64; 6] = [1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 4e-3];
+
+/// Counter assertions are deltas over process-global atomics, so tests
+/// that read them must not interleave with each other.
+fn counter_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn small_model() -> ThermalModel {
+    let stack = Stack::builder(DIE, DIE)
+        .package(Package::default_for_die(DIE, DIE))
+        .layer(Layer::uniform("dram", 100e-6, SILICON.clone()))
+        .layer(Layer::uniform("d2d", 20e-6, D2D_AVERAGE.clone()))
+        .layer(Layer::uniform("proc", 100e-6, SILICON.clone()))
+        .build()
+        .unwrap();
+    stack.discretize(GridSpec::new(6, 6)).unwrap()
+}
+
+fn test_power(model: &ThermalModel) -> PowerMap {
+    let mut p = PowerMap::zeros(model);
+    p.add_uniform_layer_power(2, Watts::new(3.0));
+    p
+}
+
+/// One deterministic solve: fixed initial state, cold workspace, no
+/// explicit guess. Returns the raw solution bits.
+fn solve_bits(model: &ThermalModel, power: &PowerMap, dt: f64) -> Vec<u64> {
+    let initial = TemperatureField::uniform(model, model.ambient());
+    let mut ws = SolverWorkspace::new();
+    let field = model
+        .transient_with(power, &initial, dt, STEPS, None, &mut ws)
+        .unwrap();
+    field.raw().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn concurrent_shared_cache_is_bit_identical_and_counts_consistently() {
+    let _serial = counter_lock().lock().unwrap();
+    let model = Arc::new(small_model());
+    let power = Arc::new(test_power(&model));
+
+    // Reference pass, strictly single-threaded.
+    let reference: Vec<Vec<u64>> = DTS
+        .iter()
+        .map(|&dt| solve_bits(&model, &power, dt))
+        .collect();
+    let single_calls = DTS.len() as u64;
+
+    let hits0 = counter(Counter::TransientCacheHits);
+    let misses0 = counter(Counter::TransientCacheMisses);
+    let evict0 = counter(Counter::TransientCacheEvictions);
+
+    // Concurrent pass: every thread walks the dt ring from a different
+    // phase, so distinct keys contend and the LRU order churns.
+    let barrier = Arc::new(Barrier::new(N_THREADS));
+    let handles: Vec<_> = (0..N_THREADS)
+        .map(|t| {
+            let model = Arc::clone(&model);
+            let power = Arc::clone(&power);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                let mut out = Vec::with_capacity(DTS.len());
+                for k in 0..DTS.len() {
+                    let i = (k + t) % DTS.len();
+                    out.push((i, solve_bits(&model, &power, DTS[i])));
+                }
+                out
+            })
+        })
+        .collect();
+    for h in handles {
+        for (i, bits) in h.join().expect("cache worker panicked") {
+            assert_eq!(
+                bits, reference[i],
+                "dt={} diverged from the single-threaded reference",
+                DTS[i]
+            );
+        }
+    }
+
+    let hits = counter(Counter::TransientCacheHits) - hits0;
+    let misses = counter(Counter::TransientCacheMisses) - misses0;
+    let evictions = counter(Counter::TransientCacheEvictions) - evict0;
+    let calls = (N_THREADS * DTS.len()) as u64;
+    assert_eq!(
+        hits + misses,
+        calls,
+        "every lookup must be exactly one hit or one miss"
+    );
+    // The reference pass warmed the cache, so the concurrent pass must
+    // rebuild at least once per key beyond the slot capacity — and an
+    // eviction can only follow a miss.
+    assert!(misses >= 1, "six keys over four slots cannot all hit");
+    assert!(
+        evictions <= misses,
+        "evictions ({evictions}) exceeded misses ({misses})"
+    );
+    let _ = single_calls;
+}
+
+#[test]
+fn single_threaded_counters_are_exact() {
+    let _serial = counter_lock().lock().unwrap();
+    let model = small_model();
+    let power = test_power(&model);
+
+    let hits0 = counter(Counter::TransientCacheHits);
+    let misses0 = counter(Counter::TransientCacheMisses);
+    let evict0 = counter(Counter::TransientCacheEvictions);
+
+    // Two full rotations over six keys with four slots: with an LRU
+    // that evicts the oldest key, a ring walk longer than the capacity
+    // never hits — every lookup misses and (once warm) evicts.
+    for _ in 0..2 {
+        for &dt in &DTS {
+            let _ = solve_bits(&model, &power, dt);
+        }
+    }
+    let hits = counter(Counter::TransientCacheHits) - hits0;
+    let misses = counter(Counter::TransientCacheMisses) - misses0;
+    let evictions = counter(Counter::TransientCacheEvictions) - evict0;
+    assert_eq!(hits, 0, "a ring walk over capacity must never hit");
+    assert_eq!(misses, 2 * DTS.len() as u64);
+    // The first four misses fill empty slots; every later miss evicts.
+    assert_eq!(evictions, misses - 4);
+}

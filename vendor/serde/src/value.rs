@@ -70,6 +70,21 @@ pub enum Value {
     Object(Map),
 }
 
+impl crate::Serialize for Value {
+    /// Identity: a value tree serializes as itself. Lets callers
+    /// round-trip arbitrary JSON documents (parse, edit a key, pretty
+    /// print) through `serde_json` without a typed schema.
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, crate::DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Value {
     /// Short kind name for diagnostics.
     pub fn kind(&self) -> &'static str {
